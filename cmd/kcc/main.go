@@ -1,0 +1,150 @@
+// Command kcc mimics the paper's semantics-based C "compiler": it
+// compiles a C file against the executable semantics and runs it,
+// reporting undefined behavior in the format of §3.2:
+//
+//	$ kcc helloworld.c
+//	Hello world
+//
+//	$ kcc unseq.c
+//	ERROR! KCC encountered an error.
+//	===============================================
+//	Error: 00016
+//	Description: Unsequenced side effect on scalar object ...
+//
+// Flags:
+//
+//	-model   LP64 (default), ILP32, or INT8 (§2.5.1's 8-byte-int model)
+//	-search  explore all evaluation orders (§2.5.2) instead of one run
+//	-print-config  print the configuration cell tree (Figure 1) and exit
+//	-catalog print the undefined behavior catalog and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ctypes"
+	"repro/internal/driver"
+	"repro/internal/interp"
+	"repro/internal/runner"
+	"repro/internal/search"
+	"repro/internal/sema"
+	"repro/internal/spec"
+	"repro/internal/ub"
+)
+
+func main() {
+	modelFlag := flag.String("model", "LP64", "implementation-defined model: LP64, ILP32, or INT8")
+	searchFlag := flag.Bool("search", false, "search all evaluation orders (§2.5.2)")
+	printConfig := flag.Bool("print-config", false, "print the configuration cell tree (Figure 1)")
+	catalog := flag.Bool("catalog", false, "print the undefined behavior catalog")
+	maxSteps := flag.Int64("max-steps", 0, "execution step budget (0 = default)")
+	axioms := flag.Bool("axioms", false, "also enforce the §4.5.2 declarative axioms")
+	flag.Parse()
+
+	if *catalog {
+		fmt.Println(runner.CatalogSummary())
+		for _, b := range runner.SortedBehaviors() {
+			fmt.Println(" ", b)
+		}
+		return
+	}
+
+	model := ctypes.LP64()
+	switch *modelFlag {
+	case "LP64":
+	case "ILP32":
+		model = ctypes.ILP32()
+	case "INT8":
+		model = ctypes.Int8()
+	default:
+		fmt.Fprintf(os.Stderr, "kcc: unknown model %q\n", *modelFlag)
+		os.Exit(2)
+	}
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: kcc [flags] file.c [args...]")
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
+		os.Exit(1)
+	}
+
+	prog, err := driver.Compile(string(src), file, driver.Options{Model: model})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
+		os.Exit(1)
+	}
+	if len(prog.StaticUB) > 0 {
+		// Translation-time detection: report and stop, as the standard
+		// permits ("terminating a translation ... with the issuance of a
+		// diagnostic message", §3.4.3).
+		fmt.Print(prog.StaticUB[0].Report())
+		os.Exit(1)
+	}
+
+	if *printConfig {
+		in := interp.New(prog, interp.Options{})
+		fmt.Println("Subset of the C configuration (Figure 1):")
+		fmt.Print(in.ConfigTree().Render())
+		return
+	}
+
+	if *searchFlag {
+		runSearch(prog)
+		return
+	}
+
+	opts := interp.Options{
+		Out:      os.Stdout,
+		MaxSteps: *maxSteps,
+		Args:     flag.Args()[1:],
+	}
+	if *axioms {
+		opts.Monitors = spec.Set{
+			spec.NeverDerefNull(),
+			spec.NeverDerefVoid(),
+			spec.NoUnseqConflict(),
+		}
+	}
+	res := interp.Run(prog, opts)
+	if res.UB != nil {
+		fmt.Print(res.UB.Report())
+		os.Exit(1)
+	}
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "kcc: %v\n", res.Err)
+		os.Exit(1)
+	}
+	os.Exit(res.ExitCode)
+}
+
+func runSearch(prog *sema.Program) {
+	res := search.Explore(prog, search.Options{MaxRuns: 5000})
+	fmt.Printf("explored %d executions (exhausted: %v)\n", res.Runs, res.Exhausted)
+	for i, o := range res.Outcomes {
+		fmt.Printf("\n--- behavior %d (decision trace %v) ---\n", i+1, o.Trace)
+		switch {
+		case o.UB != nil:
+			fmt.Print(o.UB.Report())
+		case o.Err != nil:
+			fmt.Printf("error: %v\n", o.Err)
+		default:
+			fmt.Printf("exit %d", o.ExitCode)
+			if o.Output != "" {
+				fmt.Printf(", output:\n%s", o.Output)
+			}
+			fmt.Println()
+		}
+	}
+	if u := res.UB(); u != nil {
+		fmt.Println("\nverdict: program has undefined behavior on some evaluation order")
+		os.Exit(1)
+	}
+	fmt.Println("\nverdict: no undefined behavior found on explored orders")
+	_ = ub.Catalog // keep the catalog linked for -catalog users
+}

@@ -1,0 +1,61 @@
+// Command ubexplore searches the unspecified evaluation orders of a C
+// program for undefined behavior (paper §2.5.2): a program may be defined
+// under one compiler's order and undefined under another's — kcc-style
+// checking of a single order is not enough.
+//
+//	$ ubexplore setdenom.c
+//	2 distinct behaviors over 3 executions:
+//	  behavior 1: exit 2
+//	  behavior 2: UB 00039 division by zero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/driver"
+	"repro/internal/search"
+)
+
+func main() {
+	maxRuns := flag.Int("max-runs", 5000, "maximum executions to try")
+	stopFirst := flag.Bool("stop-at-first-ub", false, "stop as soon as any UB is found")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ubexplore [flags] file.c")
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ubexplore: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := driver.Compile(string(src), file, driver.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ubexplore: %v\n", err)
+		os.Exit(1)
+	}
+	res := search.Explore(prog, search.Options{MaxRuns: *maxRuns, StopAtFirstUB: *stopFirst})
+	fmt.Printf("%d distinct behaviors over %d executions (exhausted: %v):\n",
+		len(res.Outcomes), res.Runs, res.Exhausted)
+	for i, o := range res.Outcomes {
+		switch {
+		case o.UB != nil:
+			fmt.Printf("  behavior %d: UB %05d [C11 §%s] %s\n",
+				i+1, o.UB.Behavior.Code, o.UB.Behavior.Section, o.UB.Msg)
+		case o.Err != nil:
+			fmt.Printf("  behavior %d: error: %v\n", i+1, o.Err)
+		default:
+			fmt.Printf("  behavior %d: exit %d", i+1, o.ExitCode)
+			if o.Output != "" {
+				fmt.Printf(" output %q", o.Output)
+			}
+			fmt.Println()
+		}
+	}
+	if res.UB() != nil {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command ubsuite regenerates the paper's evaluation tables:
+//
+//	ubsuite -suite juliet   # Figure 2: the Juliet-style class table
+//	ubsuite -suite own      # Figure 3: static/dynamic averages
+//	ubsuite -suite torture  # positive-semantics regression (pass rate)
+//	ubsuite -catalog        # §5.2.1 classification counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/runner"
+	"repro/internal/suite"
+	"repro/internal/tools"
+
+	undefc "repro"
+)
+
+func main() {
+	suiteFlag := flag.String("suite", "juliet", "suite to run: juliet, own, or torture")
+	catalog := flag.Bool("catalog", false, "print the §5.2.1 classification counts")
+	timing := flag.Bool("time", true, "include per-tool timing")
+	flag.Parse()
+
+	if *catalog {
+		fmt.Println(runner.CatalogSummary())
+		return
+	}
+
+	cfg := tools.Config{}
+	switch *suiteFlag {
+	case "juliet":
+		s := suite.Juliet()
+		fmt.Printf("generated %d test cases (%d undefined + %d defined controls)\n\n",
+			len(s.Cases), s.BadCount(), len(s.Cases)-s.BadCount())
+		fig := runner.RunJuliet(s, tools.All(cfg))
+		out := fig.Render()
+		if !*timing {
+			out = stripTiming(out)
+		}
+		fmt.Print(out)
+	case "own":
+		s := suite.Own()
+		fmt.Printf("generated %d test cases covering %d behaviors (%d undefined + %d defined controls)\n\n",
+			len(s.Cases), suite.Behaviors(s), s.BadCount(), len(s.Cases)-s.BadCount())
+		fig := runner.RunOwn(s, tools.All(cfg))
+		fmt.Print(fig.Render())
+	case "torture":
+		pass, fail := 0, 0
+		for _, tc := range suite.Torture() {
+			res := undefc.RunSource(tc.Source, tc.Name+".c", undefc.Options{})
+			if res.Err == nil && res.UB == nil &&
+				res.ExitCode == tc.ExitCode && res.Output == tc.Output {
+				pass++
+			} else {
+				fail++
+				fmt.Printf("FAIL %s: ub=%v err=%v exit=%d\n", tc.Name, res.UB, res.Err, res.ExitCode)
+			}
+		}
+		total := pass + fail
+		fmt.Printf("torture-lite: %d/%d defined programs pass (%.1f%%)\n",
+			pass, total, 100*float64(pass)/float64(total))
+		if fail > 0 {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ubsuite: unknown suite %q\n", *suiteFlag)
+		os.Exit(2)
+	}
+}
+
+func stripTiming(s string) string {
+	var out []byte
+	for _, line := range splitLines(s) {
+		if len(line) >= 9 && line[:9] == "Mean time" {
+			continue
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

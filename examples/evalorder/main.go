@@ -1,0 +1,71 @@
+// Evalorder: the paper's §2.5.2 experiment. The program below is compiled
+// without incident by GCC, but CompCert — a *verified* compiler — generates
+// code that divides by zero, because evaluation order in C is unspecified
+// and there is an order (right-to-left) under which setDenom(0) runs before
+// 10/d. Both are correct: the program contains reachable undefined
+// behavior, so "any tool seeking to identify all undefined behaviors must
+// search all possible evaluation strategies."
+//
+//	go run ./examples/evalorder
+package main
+
+import (
+	"fmt"
+
+	undefc "repro"
+	"repro/internal/interp"
+	"repro/internal/search"
+)
+
+const setDenom = `
+int d = 5;
+int setDenom(int x){
+	return d = x;
+}
+int main(void) {
+	return (10/d) + setDenom(0);
+}
+`
+
+func main() {
+	fmt.Println("the program (paper §2.5.2):")
+	fmt.Print(setDenom)
+
+	fmt.Println("--- left-to-right (GCC's order) ---")
+	res := undefc.RunSource(setDenom, "setdenom.c", undefc.Options{})
+	report(res)
+
+	fmt.Println("\n--- right-to-left (the order CompCert chose) ---")
+	res = undefc.RunSource(setDenom, "setdenom.c", undefc.Options{
+		Exec: interp.Options{Sched: interp.RightToLeft{}},
+	})
+	report(res)
+
+	fmt.Println("\n--- exhaustive search over all orders ---")
+	prog, err := undefc.Compile(setDenom, "setdenom.c", undefc.Options{})
+	if err != nil {
+		panic(err)
+	}
+	sres := search.Explore(prog, search.Options{})
+	fmt.Printf("%d executions, %d distinct behaviors (exhausted: %v)\n",
+		sres.Runs, len(sres.Outcomes), sres.Exhausted)
+	for i, o := range sres.Outcomes {
+		if o.UB != nil {
+			fmt.Printf("  behavior %d: UNDEFINED — %s\n", i+1, o.UB.Msg)
+		} else {
+			fmt.Printf("  behavior %d: defined, exit %d\n", i+1, o.ExitCode)
+		}
+	}
+	if sres.UB() != nil {
+		fmt.Println("\nverdict: the program is undefined — some evaluation order reaches UB.")
+	}
+}
+
+func report(res undefc.Result) {
+	if res.UB != nil {
+		fmt.Printf("UNDEFINED: UB %05d [C11 §%s] %s\n",
+			res.UB.Behavior.Code, res.UB.Behavior.Section, res.UB.Msg)
+		return
+	}
+	fmt.Printf("defined on this order: exit %d\n", res.ExitCode)
+}

@@ -1,0 +1,120 @@
+// Gallery: the paper's §2 examples of undefined behavior, run through the
+// checker. Each program is shown with what real compilers do to it (per the
+// paper) and what the semantics-based checker reports.
+//
+//	go run ./examples/gallery
+package main
+
+import (
+	"fmt"
+
+	undefc "repro"
+	"repro/internal/ctypes"
+)
+
+type exhibit struct {
+	title    string
+	compiler string // what the paper observed real compilers doing
+	src      string
+	model    *ctypes.Model
+}
+
+var exhibits = []exhibit{
+	{
+		title: "§2.3 — dereferencing NULL is simply ignored",
+		compiler: "GCC, Clang, and ICC do not generate code that segfaults:\n" +
+			"they silently delete the dereference.",
+		src: `
+#include <stdio.h>
+int main(void){
+	*(char*)NULL;
+	return 0;
+}
+`,
+	},
+	{
+		title: "§2.3 — (x = 1) + (x = 2) looks like 3",
+		compiler: "GCC returns 4: it rewrites the program to x=1; x=2; return x+x;\n" +
+			"— a legal transformation, because the program has no meaning.",
+		src: `
+int main(void){
+	int x = 0;
+	return (x = 1) + (x = 2);
+}
+`,
+	},
+	{
+		title: "§2.4 — division by zero moves before the printf",
+		compiler: "GCC and ICC hoist the loop-invariant 5/d above the loop:\n" +
+			"on a trapping machine, nothing prints before the fault.",
+		src: `
+#include <stdio.h>
+int main(void){
+	int r = 0, d = 0;
+	for (int i = 0; i < 5; i++) {
+		printf("%d\n", i);
+		r += 5 / d;
+	}
+	return r;
+}
+`,
+	},
+	{
+		title: "§2.5.1 — undefinedness depends on sizeof(int)",
+		compiler: "With 4-byte ints this is a correct program. Under an\n" +
+			"implementation with 8-byte ints, *p writes past the allocation.",
+		src: `
+#include <stdlib.h>
+int main(void) {
+	int *p = malloc(4);
+	if (p) { *p = 1000; }
+	return 0;
+}
+`,
+		model: ctypes.Int8(),
+	},
+	{
+		title: "§4.3.1 — &a < &b has no answer",
+		compiler: "With concrete addresses this would always evaluate; with\n" +
+			"symbolic base/offset pointers it gets stuck — as it should.",
+		src: `
+int main(void) {
+	int a, b;
+	if (&a < &b) { return 1; }
+	return 0;
+}
+`,
+	},
+	{
+		title: "§4.2.2 — strchr launders const away",
+		compiler: "The call is defined and really does return a non-const\n" +
+			"pointer into the const array; the write through it is not.",
+		src: `
+#include <string.h>
+int main(void) {
+	const char p[] = "hello";
+	char *q = strchr(p, p[0]);
+	*q = 'H';
+	return 0;
+}
+`,
+	},
+}
+
+func main() {
+	for i, ex := range exhibits {
+		fmt.Printf("══ exhibit %d: %s ══\n", i+1, ex.title)
+		fmt.Printf("what compilers do:\n%s\n\n", ex.compiler)
+		res := undefc.RunSource(ex.src, fmt.Sprintf("exhibit%d.c", i+1), undefc.Options{Model: ex.model})
+		if res.UB != nil {
+			fmt.Printf("what the checker says:\n  UB %05d [C11 §%s]: %s\n",
+				res.UB.Behavior.Code, res.UB.Behavior.Section, res.UB.Msg)
+		} else {
+			fmt.Printf("what the checker says:\n  defined; exit %d\n", res.ExitCode)
+		}
+		if res.Output != "" {
+			fmt.Printf("  (output before the error: %q)\n", res.Output)
+		}
+		fmt.Println()
+	}
+}

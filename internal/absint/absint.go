@@ -1,0 +1,330 @@
+package absint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/sema"
+	"repro/internal/token"
+	"repro/internal/ub"
+)
+
+// Region is an abstract memory object: one per declared variable, one per
+// heap-allocation site, one per string literal.
+type Region struct {
+	Name     string
+	Size     int64 // -1 if unknown
+	ReadOnly bool
+	Heap     bool
+	Summary  bool // weak (summarized) region: arrays, aggregates, heap
+}
+
+// Val is an abstract value: a numeric interval, a points-to set, or both
+// (joins of mixed values), plus a may-be-uninitialized flag.
+type Val struct {
+	Num       Interval
+	Ptr       map[*Region]Interval // target → byte-offset interval
+	MayNull   bool
+	MayInval  bool // forged/indeterminate pointer
+	MayUninit bool
+}
+
+func num(iv Interval) Val { return Val{Num: iv} }
+
+func ptrTo(r *Region, off Interval) Val {
+	return Val{Num: Bottom(), Ptr: map[*Region]Interval{r: off}}
+}
+
+func uninitVal() Val { return Val{Num: Bottom(), MayUninit: true} }
+
+func topVal() Val { return Val{Num: Top()} }
+
+// isPtr reports whether the value has a pointer part (or may be null).
+func (v Val) isPtr() bool { return len(v.Ptr) > 0 || v.MayNull || v.MayInval }
+
+// join merges two abstract values.
+func (v Val) join(o Val) Val {
+	out := Val{
+		Num:       v.Num.Join(o.Num),
+		MayNull:   v.MayNull || o.MayNull,
+		MayInval:  v.MayInval || o.MayInval,
+		MayUninit: v.MayUninit || o.MayUninit,
+	}
+	if len(v.Ptr) > 0 || len(o.Ptr) > 0 {
+		out.Ptr = map[*Region]Interval{}
+		for r, iv := range v.Ptr {
+			out.Ptr[r] = iv
+		}
+		for r, iv := range o.Ptr {
+			out.Ptr[r] = out.Ptr[r].Join(iv)
+		}
+	}
+	return out
+}
+
+func (v Val) eq(o Val) bool {
+	if !v.Num.Eq(o.Num) || v.MayNull != o.MayNull ||
+		v.MayInval != o.MayInval || v.MayUninit != o.MayUninit {
+		return false
+	}
+	if len(v.Ptr) != len(o.Ptr) {
+		return false
+	}
+	for r, iv := range v.Ptr {
+		if !o.Ptr[r].Eq(iv) {
+			return false
+		}
+	}
+	return true
+}
+
+func (v Val) widen(next Val) Val {
+	out := v.join(next)
+	out.Num = v.Num.Widen(next.Num)
+	for r := range out.Ptr {
+		a, b := v.Ptr[r], next.Ptr[r]
+		out.Ptr[r] = a.Widen(a.Join(b))
+	}
+	return out
+}
+
+// cell is the abstract contents of a region plus its lifecycle state.
+type cell struct {
+	val      Val
+	mayFreed bool
+	freed    bool // definitely freed
+}
+
+// state maps regions to their abstract contents.
+type state struct {
+	cells map[*Region]*cell
+	// unreachable marks dead code (after return/definite error).
+	unreachable bool
+}
+
+func newState() *state { return &state{cells: map[*Region]*cell{}} }
+
+func (st *state) clone() *state {
+	out := &state{cells: make(map[*Region]*cell, len(st.cells)), unreachable: st.unreachable}
+	for r, c := range st.cells {
+		cc := *c
+		out.cells[r] = &cc
+	}
+	return out
+}
+
+func (st *state) get(r *Region) *cell {
+	c, ok := st.cells[r]
+	if !ok {
+		c = &cell{val: uninitVal()}
+		st.cells[r] = c
+	}
+	return c
+}
+
+// write performs a strong update on scalar regions and a weak one on
+// summarized regions.
+func (st *state) write(r *Region, v Val) {
+	c := st.get(r)
+	if r.Summary {
+		c.val = c.val.join(v)
+		return
+	}
+	c.val = v
+}
+
+func joinStates(a, b *state) *state {
+	switch {
+	case a == nil || a.unreachable:
+		return b
+	case b == nil || b.unreachable:
+		return a
+	}
+	out := newState()
+	for r, ca := range a.cells {
+		if cb, ok := b.cells[r]; ok {
+			v := ca.val.join(cb.val)
+			// Initialization is merged optimistically at control joins
+			// (initialized on either branch counts): the precision
+			// heuristic that keeps field-insensitive array summaries
+			// usable. Reads that precede every write still alarm.
+			v.MayUninit = ca.val.MayUninit && cb.val.MayUninit
+			out.cells[r] = &cell{
+				val:      v,
+				mayFreed: ca.mayFreed || cb.mayFreed,
+				freed:    ca.freed && cb.freed,
+			}
+		} else {
+			cc := *ca
+			out.cells[r] = &cc
+		}
+	}
+	for r, cb := range b.cells {
+		if _, ok := a.cells[r]; !ok {
+			cc := *cb
+			out.cells[r] = &cc
+		}
+	}
+	return out
+}
+
+func statesEq(a, b *state) bool {
+	if len(a.cells) != len(b.cells) {
+		return false
+	}
+	for r, ca := range a.cells {
+		cb, ok := b.cells[r]
+		if !ok || !ca.val.eq(cb.val) || ca.mayFreed != cb.mayFreed || ca.freed != cb.freed {
+			return false
+		}
+	}
+	return true
+}
+
+func widenStates(prev, next *state) *state {
+	out := joinStates(prev.clone(), next)
+	for r, c := range out.cells {
+		if pc, ok := prev.cells[r]; ok {
+			c.val = pc.val.widen(c.val)
+		}
+	}
+	return out
+}
+
+// Alarm is a potential undefined behavior the analysis cannot rule out.
+type Alarm struct {
+	Behavior *ub.Behavior
+	Pos      token.Pos
+	Msg      string
+}
+
+func (a Alarm) String() string {
+	return fmt.Sprintf("%s: alarm (UB %05d, C11 §%s): %s",
+		a.Pos, a.Behavior.Code, a.Behavior.Section, a.Msg)
+}
+
+// Result is the outcome of one analysis.
+type Result struct {
+	Alarms []Alarm
+	// Incomplete reports constructs the analysis does not cover (goto,
+	// function pointers through memory, …); verdicts are then advisory.
+	Incomplete bool
+}
+
+// Analyzer runs the abstract interpretation.
+type Analyzer struct {
+	prog  *sema.Program
+	model *ctypes.Model
+
+	varRegions  map[*cast.Symbol]*Region
+	heapRegions map[cast.Node]*Region
+	strRegions  map[*cast.StringLit]*Region
+
+	alarms   map[string]Alarm
+	stack    []*callCtx
+	active   map[*cast.FuncDef]bool // recursion guard
+	budget   int
+	inc      bool
+	maxDepth int
+}
+
+// Analyze abstractly interprets the program from main.
+func Analyze(prog *sema.Program) Result {
+	a := &Analyzer{
+		prog:        prog,
+		model:       prog.Model,
+		varRegions:  map[*cast.Symbol]*Region{},
+		heapRegions: map[cast.Node]*Region{},
+		strRegions:  map[*cast.StringLit]*Region{},
+		alarms:      map[string]Alarm{},
+		active:      map[*cast.FuncDef]bool{},
+		budget:      200000,
+		maxDepth:    32,
+	}
+	st := newState()
+	// Globals: zero-initialized, then initializer plans.
+	for _, d := range prog.Globals {
+		r := a.region(d.Sym)
+		st.write(r, a.zeroOf(d.Type))
+		for _, as := range d.Plan {
+			v := a.convert(a.evalExpr(as.Expr, st), as.Type, d.P)
+			a.storeInit(st, r, v)
+		}
+	}
+	mainFn, ok := prog.Funcs["main"]
+	if !ok {
+		return Result{Incomplete: true}
+	}
+	// main(argc, argv): argc >= 1; argv is an opaque valid array.
+	var mainArgs []Val
+	if len(mainFn.Params) > 0 {
+		argvRegion := &Region{Name: "argv", Size: -1, Summary: true}
+		st.get(argvRegion).val = topVal()
+		mainArgs = []Val{num(Range(1, 1<<20)), ptrTo(argvRegion, Const(0))}
+	}
+	a.analyzeCall(mainFn, mainArgs, st)
+	var out Result
+	for _, al := range a.alarms {
+		out.Alarms = append(out.Alarms, al)
+	}
+	out.Incomplete = a.inc
+	return out
+}
+
+func (a *Analyzer) alarm(b *ub.Behavior, pos token.Pos, format string, args ...any) {
+	key := fmt.Sprintf("%d@%s", b.Code, pos)
+	if _, dup := a.alarms[key]; !dup {
+		a.alarms[key] = Alarm{Behavior: b, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (a *Analyzer) incomplete() { a.inc = true }
+
+func (a *Analyzer) region(sym *cast.Symbol) *Region {
+	if r, ok := a.varRegions[sym]; ok {
+		return r
+	}
+	size := int64(-1)
+	summary := false
+	if sym.Type != nil && sym.Type.IsComplete() {
+		size = a.model.Size(sym.Type)
+		summary = sym.Type.IsAggregate()
+	}
+	r := &Region{Name: sym.Name, Size: size, Summary: summary}
+	a.varRegions[sym] = r
+	return r
+}
+
+func (a *Analyzer) zeroOf(t *ctypes.Type) Val {
+	if t.Kind == ctypes.Ptr {
+		return Val{Num: Bottom(), MayNull: true}
+	}
+	return num(Const(0))
+}
+
+// storeInit writes an initializer value (field-insensitive for aggregates).
+func (a *Analyzer) storeInit(st *state, r *Region, v Val) {
+	c := st.get(r)
+	if r.Summary {
+		zero := num(Const(0))
+		c.val = zero.join(v)
+	} else {
+		c.val = v
+	}
+	c.val.MayUninit = false
+}
+
+// typeRange gives the representable interval of an integer type.
+func (a *Analyzer) typeRange(t *ctypes.Type) Interval {
+	if t == nil || !t.IsInteger() {
+		return Top()
+	}
+	maxv := a.model.IntMax(t)
+	hi := int64(math.MaxInt64)
+	if maxv <= math.MaxInt64 {
+		hi = int64(maxv)
+	}
+	return Range(a.model.IntMin(t), hi)
+}

@@ -1,0 +1,229 @@
+package absint_test
+
+import (
+	"testing"
+
+	undefc "repro"
+	"repro/internal/absint"
+	"repro/internal/ub"
+)
+
+func analyze(t *testing.T, src string) absint.Result {
+	t.Helper()
+	prog, err := undefc.Compile(src, "test.c", undefc.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return absint.Analyze(prog)
+}
+
+func hasAlarm(res absint.Result, b *ub.Behavior) bool {
+	for _, a := range res.Alarms {
+		if a.Behavior == b {
+			return true
+		}
+	}
+	return false
+}
+
+func expectAlarm(t *testing.T, src string, b *ub.Behavior) {
+	t.Helper()
+	res := analyze(t, src)
+	if !hasAlarm(res, b) {
+		t.Errorf("expected alarm %s, got %v (incomplete=%v)", b.Desc, res.Alarms, res.Incomplete)
+	}
+}
+
+func expectClean(t *testing.T, src string) {
+	t.Helper()
+	res := analyze(t, src)
+	if len(res.Alarms) != 0 {
+		t.Errorf("expected no alarms, got %v", res.Alarms)
+	}
+}
+
+func TestAbsDivByZero(t *testing.T) {
+	expectAlarm(t, "int main(void){ int z = 0; return 5 / z; }", ub.DivByZero)
+	expectClean(t, "int main(void){ int z = 5; return 5 / z - 1; }")
+}
+
+func TestAbsDivByMaybeZero(t *testing.T) {
+	// The concrete checker only sees one path; the abstract one covers
+	// both and alarms because SOME covered execution divides by zero.
+	expectAlarm(t, `
+int main(int argc, char **argv) {
+	int d = argc - 1; /* may be 0 */
+	return 100 / d;
+}
+`, ub.DivByZero)
+}
+
+func TestAbsConditionFiltering(t *testing.T) {
+	// The guard eliminates the zero: no alarm.
+	expectClean(t, `
+int main(int argc, char **argv) {
+	int d = argc - 1; /* [0, big] */
+	if (d != 0) {
+		return 100 / d - 100;
+	}
+	return 0;
+}
+`)
+	expectClean(t, `
+int main(int argc, char **argv) {
+	int d = argc - 1;
+	if (d > 0) return 100 / d - 100;
+	return 0;
+}
+`)
+}
+
+func TestAbsOverflow(t *testing.T) {
+	expectAlarm(t, `
+#include <limits.h>
+int main(void){ int x = INT_MAX; return x + 1; }
+`, ub.SignedOverflow)
+	expectClean(t, `
+int main(void){ int x = 100; int y = x + 1; return y - 101; }
+`)
+}
+
+func TestAbsUninit(t *testing.T) {
+	expectAlarm(t, "int main(void){ int x; return x; }", ub.IndeterminateValue)
+	expectClean(t, "int main(void){ int x = 1; return x - 1; }")
+}
+
+func TestAbsNullDeref(t *testing.T) {
+	expectAlarm(t, "int main(void){ int *p = 0; return *p; }", ub.InvalidDeref)
+	expectClean(t, "int main(void){ int x = 0; int *p = &x; return *p; }")
+}
+
+func TestAbsMallocNullGuard(t *testing.T) {
+	// Unguarded malloc deref alarms (the pointer may be null)...
+	expectAlarm(t, `
+#include <stdlib.h>
+int main(void){ int *p = malloc(4); *p = 1; free(p); return 0; }
+`, ub.InvalidDeref)
+	// ...and the guard silences it.
+	expectClean(t, `
+#include <stdlib.h>
+int main(void){ int *p = malloc(4); if (!p) return 1; *p = 1; free(p); return 0; }
+`)
+}
+
+func TestAbsHeapBounds(t *testing.T) {
+	expectAlarm(t, `
+#include <stdlib.h>
+int main(void){
+	char *p = malloc(8);
+	if (!p) return 1;
+	p[8] = 1;
+	free(p);
+	return 0;
+}
+`, ub.PtrArithBounds)
+}
+
+func TestAbsStackBounds(t *testing.T) {
+	expectAlarm(t, `
+int main(void){ int a[4]; int i = 5; a[i] = 1; return 0; }
+`, ub.PtrArithBounds)
+	expectClean(t, `
+int main(void){ int a[4]; for (int i = 0; i < 4; i++) a[i] = i; return a[0]; }
+`)
+}
+
+func TestAbsLoopWidening(t *testing.T) {
+	// The loop index is unbounded before widening; the bound check must
+	// still conclude the loop body stays in range.
+	expectClean(t, `
+int main(void){
+	int s = 0;
+	for (int i = 0; i < 100; i++) s = s > 1000 ? 1000 : s + 1;
+	return 0;
+}
+`)
+	// Unbounded growth with an in-loop overflow possibility alarms.
+	expectAlarm(t, `
+int main(void){
+	int s = 1;
+	for (int i = 0; i < 100; i++) s = s * 2;
+	return 0;
+}
+`, ub.SignedOverflow)
+}
+
+func TestAbsUseAfterFree(t *testing.T) {
+	expectAlarm(t, `
+#include <stdlib.h>
+int main(void){
+	int *p = malloc(4);
+	if (!p) return 1;
+	free(p);
+	return *p;
+}
+`, ub.UseAfterFree)
+}
+
+func TestAbsDoubleFree(t *testing.T) {
+	expectAlarm(t, `
+#include <stdlib.h>
+int main(void){
+	char *p = malloc(4);
+	if (!p) return 1;
+	free(p);
+	free(p);
+	return 0;
+}
+`, ub.BadFree)
+}
+
+func TestAbsBadFreeStack(t *testing.T) {
+	expectAlarm(t, `
+#include <stdlib.h>
+int main(void){ int x; free(&x); return 0; }
+`, ub.BadFree)
+}
+
+func TestAbsStringWrite(t *testing.T) {
+	expectAlarm(t, `
+int main(void){ char *s = "hi"; s[0] = 'H'; return 0; }
+`, ub.ModifyStringLit)
+}
+
+func TestAbsInterprocedural(t *testing.T) {
+	expectAlarm(t, `
+static int source(void) { return 0; }
+int main(void){ return 7 / source(); }
+`, ub.DivByZero)
+	expectClean(t, `
+static int source(void) { return 5; }
+int main(void){ return 7 / source() - 1; }
+`)
+}
+
+func TestAbsRecursionGivesUp(t *testing.T) {
+	res := analyze(t, `
+int f(int n) { return n <= 0 ? 0 : f(n - 1); }
+int main(void){ return f(10); }
+`)
+	if !res.Incomplete {
+		t.Error("recursive programs should be marked incomplete")
+	}
+}
+
+func TestAbsNoFalsePositiveOnSuiteControls(t *testing.T) {
+	// Sequencing UB is invisible to the value domain — accepted, like the
+	// real Value Analysis in the paper's Figure 3.
+	expectClean(t, "int main(void){ int x = 0; return (x = 1) + (x = 2); }")
+}
+
+func TestAbsShift(t *testing.T) {
+	expectAlarm(t, "int main(void){ int n = 32; return 1 << n; }", ub.ShiftTooFar)
+	expectClean(t, "int main(void){ int n = 4; return (1 << n) - 16; }")
+}
+
+func TestAbsVLA(t *testing.T) {
+	expectAlarm(t, "int main(void){ int n = 0; int a[n]; return 0; }", ub.VLANotPositive)
+	expectClean(t, "int main(void){ int n = 3; int a[n]; a[0] = 1; return 0; }")
+}

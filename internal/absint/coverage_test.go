@@ -1,0 +1,208 @@
+package absint_test
+
+import (
+	"testing"
+
+	"repro/internal/ub"
+)
+
+func TestAbsSwitchJoin(t *testing.T) {
+	// The analysis joins all switch entries: d may be 0 on one of them.
+	expectAlarm(t, `
+int main(int argc, char **argv) {
+	int d = 5;
+	switch (argc) {
+	case 1: d = 0; break;
+	case 2: d = 2; break;
+	default: d = 3; break;
+	}
+	return 100 / d;
+}
+`, ub.DivByZero)
+	// When no entry can produce zero, the division is clean.
+	expectClean(t, `
+int main(int argc, char **argv) {
+	int d = 5;
+	switch (argc) {
+	case 1: d = 1; break;
+	case 2: d = 2; break;
+	default: d = 3; break;
+	}
+	return 100 / d - 20;
+}
+`)
+}
+
+func TestAbsSwitchFallthrough(t *testing.T) {
+	// Fallthrough from case 1 reaches the case-2 statements.
+	expectAlarm(t, `
+int main(int argc, char **argv) {
+	int d = 1;
+	switch (argc) {
+	case 1: d = 0; /* falls through */
+	case 2: return 10 / d;
+	default: return 0;
+	}
+}
+`, ub.DivByZero)
+}
+
+func TestAbsTernaryJoin(t *testing.T) {
+	expectAlarm(t, `
+int main(int argc, char **argv) {
+	int d = argc > 1 ? 0 : 2;
+	return 8 / d;
+}
+`, ub.DivByZero)
+	expectClean(t, `
+int main(int argc, char **argv) {
+	int d = argc > 1 ? 4 : 2;
+	return 8 / d - 4;
+}
+`)
+}
+
+func TestAbsCompoundAssign(t *testing.T) {
+	expectAlarm(t, `
+#include <limits.h>
+int main(void) {
+	int x = INT_MAX;
+	x += 1;
+	return 0;
+}
+`, ub.SignedOverflow)
+	expectClean(t, `
+int main(void) {
+	int x = 10;
+	x += 1; x -= 2; x *= 3;
+	return x - 27;
+}
+`)
+}
+
+func TestAbsIncDec(t *testing.T) {
+	expectAlarm(t, `
+#include <limits.h>
+int main(void) {
+	int x = INT_MAX;
+	x++;
+	return 0;
+}
+`, ub.SignedOverflow)
+	expectClean(t, `
+int main(void) {
+	int x = 0;
+	x++; ++x; x--; --x;
+	return x;
+}
+`)
+}
+
+func TestAbsStructFieldWeak(t *testing.T) {
+	// Field-insensitive struct summaries: whole-struct init keeps reads
+	// clean; a genuinely never-written struct alarms.
+	expectClean(t, `
+struct p { int a, b; };
+int main(void) {
+	struct p v = {1, 2};
+	return v.a + v.b - 3;
+}
+`)
+	expectAlarm(t, `
+struct p { int a, b; };
+int main(void) {
+	struct p v;
+	return v.a;
+}
+`, ub.IndeterminateValue)
+}
+
+func TestAbsDoWhile(t *testing.T) {
+	expectClean(t, `
+int main(void) {
+	int i = 0;
+	do { i++; } while (i < 5);
+	return i - 5;
+}
+`)
+}
+
+func TestAbsMemsetBounds(t *testing.T) {
+	expectAlarm(t, `
+#include <string.h>
+int main(void) {
+	char b[4];
+	memset(b, 0, 16);
+	return 0;
+}
+`, ub.NegMallocOverrun)
+	expectClean(t, `
+#include <string.h>
+int main(void) {
+	char b[4];
+	memset(b, 0, sizeof b);
+	return b[0];
+}
+`)
+}
+
+func TestAbsStrcpyIntoSmall(t *testing.T) {
+	expectAlarm(t, `
+#include <string.h>
+int main(void) {
+	char small[4];
+	strcpy(small, "much too long");
+	return 0;
+}
+`, ub.NegMallocOverrun)
+}
+
+func TestAbsGlobalInitialization(t *testing.T) {
+	// Globals are zero-initialized: no uninit alarms, and values known.
+	expectClean(t, `
+int g;
+int h = 7;
+int main(void) { return g + h - 7; }
+`)
+	// A zero-valued global divisor alarms.
+	expectAlarm(t, `
+int g;
+int main(void) { return 5 / g; }
+`, ub.DivByZero)
+}
+
+func TestAbsNestedCalls(t *testing.T) {
+	expectClean(t, `
+static int twice(int x) { return 2 * x; }
+static int quad(int x) { return twice(twice(x)); }
+int main(void) { return quad(5) - 20; }
+`)
+	expectAlarm(t, `
+static int pick(int x) { return x > 0 ? x : 0; }
+int main(int argc, char **argv) { return 7 / pick(argc - 1); }
+`, ub.DivByZero)
+}
+
+func TestAbsWhileFalseBody(t *testing.T) {
+	// A loop whose body never runs leaves the state untouched.
+	expectClean(t, `
+int main(void) {
+	int x = 1;
+	while (0) { x = 0; }
+	return 10 / x - 10;
+}
+`)
+}
+
+func TestAbsUnreachableAfterExit(t *testing.T) {
+	// Code after exit() is dead: the division is never analyzed as
+	// reachable... but alarms raised in dead code would be false
+	// positives, so this must be clean.
+	expectClean(t, `
+#include <stdlib.h>
+int main(void) {
+	exit(0);
+	return 5 / 0;
+}
+`)
+}

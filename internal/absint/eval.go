@@ -1,0 +1,613 @@
+package absint
+
+import (
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/token"
+	"repro/internal/ub"
+)
+
+// loopCtx collects the break/continue states of the enclosing loop.
+type loopCtx struct {
+	breaks []*state
+}
+
+// callCtx is one inlined activation.
+type callCtx struct {
+	fd      *cast.FuncDef
+	retVal  Val
+	retSeen bool
+	loops   []*loopCtx
+}
+
+// analyzeCall inlines a user function call.
+func (a *Analyzer) analyzeCall(fd *cast.FuncDef, args []Val, st *state) Val {
+	if a.active[fd] || len(a.active) > a.maxDepth {
+		// Recursion or very deep inlining: give up on precision.
+		a.incomplete()
+		return topVal()
+	}
+	a.active[fd] = true
+	defer delete(a.active, fd)
+
+	ctx := &callCtx{fd: fd, retVal: Val{Num: Bottom()}}
+	for i, p := range fd.Params {
+		r := a.region(p)
+		v := uninitVal()
+		if i < len(args) {
+			v = args[i]
+		}
+		st.write(r, v)
+	}
+	a.stack = append(a.stack, ctx)
+	out := a.stmt(fd.Body, st)
+	a.stack = a.stack[:len(a.stack)-1]
+	// A return ends the callee, not the caller: execution continues here
+	// unless every path exited the program (exit/abort with no return).
+	if ctx.retSeen || !out.unreachable {
+		st.unreachable = false
+	}
+	if !ctx.retSeen {
+		if fd.Type.Elem.Kind == ctypes.Void || fd.Name == "main" {
+			return num(Const(0))
+		}
+		return topVal()
+	}
+	return ctx.retVal
+}
+
+func (a *Analyzer) cur() *callCtx { return a.stack[len(a.stack)-1] }
+
+// stmt analyzes one statement, mutating st in place and returning it (or an
+// unreachable state after return).
+func (a *Analyzer) stmt(s cast.Stmt, st *state) *state {
+	if st.unreachable {
+		return st
+	}
+	a.budget--
+	if a.budget < 0 {
+		a.incomplete()
+		st.unreachable = true
+		return st
+	}
+	switch s := s.(type) {
+	case *cast.Empty:
+		return st
+	case *cast.ExprStmt:
+		a.evalExpr(s.X, st)
+		return st
+	case *cast.DeclStmt:
+		for _, d := range s.Decls {
+			a.declStmt(d, st)
+		}
+		return st
+	case *cast.Compound:
+		for _, inner := range s.List {
+			st = a.stmt(inner, st)
+			if st.unreachable {
+				return st
+			}
+		}
+		return st
+	case *cast.If:
+		tSt := a.filterCond(s.Cond, st.clone(), true)
+		fSt := a.filterCond(s.Cond, st.clone(), false)
+		a.evalExpr(s.Cond, st) // alarms in the condition itself
+		if tSt != nil {
+			tSt = a.stmt(s.Then, tSt)
+		}
+		if fSt != nil && s.Else != nil {
+			fSt = a.stmt(s.Else, fSt)
+		}
+		return a.mergeBranches(tSt, fSt)
+	case *cast.While:
+		return a.loop(st, nil, s.Cond, nil, s.Body, false)
+	case *cast.DoWhile:
+		return a.loop(st, nil, s.Cond, nil, s.Body, true)
+	case *cast.For:
+		if s.Init != nil {
+			st = a.stmt(s.Init, st)
+		}
+		return a.loop(st, nil, s.Cond, s.Post, s.Body, false)
+	case *cast.Switch:
+		return a.switchStmt(s, st)
+	case *cast.Case:
+		return a.stmt(s.Stmt, st)
+	case *cast.Default:
+		return a.stmt(s.Stmt, st)
+	case *cast.Label:
+		return a.stmt(s.Stmt, st)
+	case *cast.Break:
+		lc := a.curLoop()
+		if lc != nil {
+			lc.breaks = append(lc.breaks, st.clone())
+		}
+		st.unreachable = true
+		return st
+	case *cast.Continue:
+		// Approximated: continue states rejoin at the loop head via the
+		// fixpoint; treat as end-of-iteration.
+		st.unreachable = true
+		return st
+	case *cast.Goto:
+		a.incomplete()
+		st.unreachable = true
+		return st
+	case *cast.Return:
+		ctx := a.cur()
+		if s.X != nil {
+			v := a.evalExpr(s.X, st)
+			if ctx.retSeen {
+				ctx.retVal = ctx.retVal.join(v)
+			} else {
+				ctx.retVal = v
+			}
+		} else if !ctx.retSeen {
+			ctx.retVal = topVal()
+		}
+		ctx.retSeen = true
+		st.unreachable = true
+		return st
+	}
+	a.incomplete()
+	return st
+}
+
+func (a *Analyzer) mergeBranches(t, f *state) *state {
+	switch {
+	case t == nil || t.unreachable:
+		if f == nil {
+			out := newState()
+			out.unreachable = true
+			return out
+		}
+		return f
+	case f == nil || f.unreachable:
+		return t
+	default:
+		return joinStates(t, f)
+	}
+}
+
+func (a *Analyzer) curLoop() *loopCtx {
+	ctx := a.cur()
+	if len(ctx.loops) == 0 {
+		return nil
+	}
+	return ctx.loops[len(ctx.loops)-1]
+}
+
+// loop runs the interval fixpoint with widening after a few unrolls.
+func (a *Analyzer) loop(st *state, init cast.Stmt, cond cast.Expr, post cast.Expr, body cast.Stmt, doFirst bool) *state {
+	ctx := a.cur()
+	lc := &loopCtx{}
+	ctx.loops = append(ctx.loops, lc)
+	defer func() { ctx.loops = ctx.loops[:len(ctx.loops)-1] }()
+
+	initial := st.clone()
+	head := st
+	var exit *state
+	const unroll = 4
+	widened := false
+	for i := 0; i < 64; i++ {
+		var tSt, fSt *state
+		if cond != nil && !(doFirst && i == 0) {
+			tSt = a.filterCond(cond, head.clone(), true)
+			fSt = a.filterCond(cond, head.clone(), false)
+			a.evalExpr(cond, head.clone())
+		} else {
+			tSt = head.clone()
+		}
+		if fSt != nil && !fSt.unreachable {
+			if exit == nil {
+				exit = fSt
+			} else {
+				exit = joinStates(exit, fSt)
+			}
+		}
+		if tSt == nil || tSt.unreachable {
+			break
+		}
+		out := a.stmt(body, tSt)
+		if !out.unreachable && post != nil {
+			a.evalExpr(post, out)
+		}
+		var next *state
+		if out.unreachable {
+			next = head
+		} else {
+			next = joinStates(head.clone(), out)
+		}
+		if i >= unroll {
+			next = widenStates(head, next)
+			widened = true
+		}
+		if statesEq(next, head) {
+			// Stable: one more pass of the false branch already joined.
+			break
+		}
+		head = next
+	}
+	// Narrowing: widening overshoots (e.g. i becomes [0, +inf] in a
+	// bounded loop); decreasing iterations from the stable head recover
+	// the exit bound the condition implies.
+	if widened && cond != nil {
+		for k := 0; k < 2; k++ {
+			tSt := a.filterCond(cond, head.clone(), true)
+			if tSt == nil || tSt.unreachable {
+				break
+			}
+			out := a.stmt(body, tSt)
+			if out.unreachable {
+				break
+			}
+			if post != nil {
+				a.evalExpr(post, out)
+			}
+			narrowed := joinStates(initial.clone(), out)
+			if statesEq(narrowed, head) {
+				break
+			}
+			head = narrowed
+		}
+		exit = a.filterCond(cond, head.clone(), false)
+	}
+	for _, b := range lc.breaks {
+		if exit == nil || exit.unreachable {
+			exit = b
+		} else {
+			exit = joinStates(exit, b)
+		}
+	}
+	if exit == nil {
+		out := newState()
+		out.unreachable = true
+		return out
+	}
+	return exit
+}
+
+func (a *Analyzer) switchStmt(s *cast.Switch, st *state) *state {
+	a.evalExpr(s.Tag, st)
+	ctx := a.cur()
+	lc := &loopCtx{} // collects breaks
+	ctx.loops = append(ctx.loops, lc)
+	defer func() { ctx.loops = ctx.loops[:len(ctx.loops)-1] }()
+
+	// Approximate: analyze the body from every case label (fallthrough is
+	// covered because each analysis continues to the end) and join.
+	var merged *state
+	entries := make([]cast.Stmt, 0, len(s.Cases)+1)
+	for _, c := range s.Cases {
+		entries = append(entries, c)
+	}
+	if s.Dflt != nil {
+		entries = append(entries, s.Dflt)
+	} else {
+		merged = st.clone() // no default: the switch may do nothing
+	}
+	for _, entry := range entries {
+		out := a.stmtFrom(s.Body, entry, st.clone())
+		merged = a.mergeBranches(merged, out)
+	}
+	for _, b := range lc.breaks {
+		merged = a.mergeBranches(merged, b)
+	}
+	if merged == nil {
+		merged = newState()
+		merged.unreachable = true
+	}
+	return merged
+}
+
+// stmtFrom analyzes body starting at the statement `from` (switch entry).
+func (a *Analyzer) stmtFrom(body cast.Stmt, from cast.Stmt, st *state) *state {
+	blk, ok := body.(*cast.Compound)
+	if !ok {
+		return a.stmt(body, st)
+	}
+	started := false
+	for _, inner := range blk.List {
+		if !started {
+			if inner == from || stmtContains(inner, from) {
+				started = true
+			} else {
+				continue
+			}
+		}
+		st = a.stmt(inner, st)
+		if st.unreachable {
+			return st
+		}
+	}
+	if !started {
+		st.unreachable = true
+	}
+	return st
+}
+
+func stmtContains(s, target cast.Stmt) bool {
+	if s == target {
+		return true
+	}
+	switch s := s.(type) {
+	case *cast.Label:
+		return stmtContains(s.Stmt, target)
+	case *cast.Case:
+		return stmtContains(s.Stmt, target)
+	case *cast.Default:
+		return stmtContains(s.Stmt, target)
+	case *cast.Compound:
+		for _, inner := range s.List {
+			if stmtContains(inner, target) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (a *Analyzer) declStmt(d *cast.Decl, st *state) {
+	if d.Sym == nil || d.Sym.Kind != cast.SymObject {
+		return
+	}
+	r := a.region(d.Sym)
+	if d.Type.VLA && d.VLASize != nil {
+		n := a.evalExpr(d.VLASize, st)
+		if !n.Num.IsBottom() && n.Num.Lo <= 0 {
+			a.alarm(ub.VLANotPositive, d.P, "variable length array size may be non-positive (%s)", n.Num)
+		}
+		if c, ok := n.Num.IsConst(); ok && c > 0 && d.Type.Elem.IsComplete() {
+			r.Size = c * a.model.Size(d.Type.Elem)
+		} else {
+			r.Size = -1
+		}
+		r.Summary = true
+		st.write(r, uninitVal())
+		return
+	}
+	if d.Storage == cast.SStatic {
+		st.write(r, a.zeroOf(d.Type))
+	} else {
+		c := st.get(r)
+		c.val = uninitVal()
+		c.freed, c.mayFreed = false, false
+	}
+	if d.Init != nil {
+		for _, as := range d.Plan {
+			v := a.convert(a.evalExpr(as.Expr, st), as.Type, d.P)
+			a.storeInit(st, r, v)
+		}
+		if d.ZeroFill {
+			c := st.get(r)
+			c.val = c.val.join(num(Const(0)))
+			c.val.MayUninit = false
+		}
+	}
+}
+
+// ---------- expressions ----------
+
+func (a *Analyzer) evalExpr(e cast.Expr, st *state) Val {
+	a.budget--
+	if a.budget < 0 {
+		a.incomplete()
+		return topVal()
+	}
+	switch e := e.(type) {
+	case *cast.IntLit:
+		return num(Const(int64(e.Value)))
+	case *cast.FloatLit:
+		return topVal() // floats are not tracked by the interval domain
+	case *cast.StringLit:
+		return ptrTo(a.strRegion(e), Const(0))
+	case *cast.Ident:
+		return a.loadIdent(e, st)
+	case *cast.Unary:
+		return a.evalUnary(e, st)
+	case *cast.Binary:
+		return a.evalBinary(e, st)
+	case *cast.Assign:
+		return a.evalAssign(e, st)
+	case *cast.Cond:
+		a.evalExpr(e.C, st)
+		tSt := a.filterCond(e.C, st.clone(), true)
+		fSt := a.filterCond(e.C, st.clone(), false)
+		var v Val
+		v.Num = Bottom()
+		if tSt != nil && !tSt.unreachable {
+			v = v.join(a.evalExpr(e.Then, tSt))
+		}
+		if fSt != nil && !fSt.unreachable {
+			v = v.join(a.evalExpr(e.Else, fSt))
+		}
+		return v
+	case *cast.Comma:
+		a.evalExpr(e.X, st)
+		return a.evalExpr(e.Y, st)
+	case *cast.Call:
+		return a.evalCall(e, st)
+	case *cast.Index:
+		return a.loadLValue(e, st)
+	case *cast.Member:
+		return a.loadLValue(e, st)
+	case *cast.Cast:
+		v := a.evalExpr(e.X, st)
+		return a.convert(v, e.To, e.P)
+	case *cast.SizeofExpr:
+		t := e.X.Type()
+		if t != nil && t.IsComplete() {
+			return num(Const(a.model.Size(t)))
+		}
+		return num(Range(0, 1<<20))
+	case *cast.SizeofType:
+		if e.IsAlign {
+			return num(Const(a.model.Align(e.Of)))
+		}
+		return num(Const(a.model.Size(e.Of)))
+	case *cast.CompoundLit:
+		r := a.heapRegion(e, "compound literal", a.model.Size(e.Of), false)
+		st.get(r).val = num(Const(0))
+		for _, as := range e.Plan {
+			v := a.evalExpr(as.Expr, st)
+			a.storeInit(st, r, v)
+		}
+		return ptrTo(r, Const(0))
+	}
+	a.incomplete()
+	return topVal()
+}
+
+func (a *Analyzer) strRegion(lit *cast.StringLit) *Region {
+	if r, ok := a.strRegions[lit]; ok {
+		return r
+	}
+	r := &Region{Name: "string literal", Size: int64(len(lit.Value) + 1), ReadOnly: true, Summary: true}
+	a.strRegions[lit] = r
+	return r
+}
+
+func (a *Analyzer) heapRegion(site cast.Node, name string, size int64, heap bool) *Region {
+	if r, ok := a.heapRegions[site]; ok {
+		// Same allocation site reached again (loop): weaken.
+		r.Summary = true
+		if r.Size != size {
+			r.Size = -1
+		}
+		return r
+	}
+	r := &Region{Name: name, Size: size, Heap: heap, Summary: true}
+	a.heapRegions[site] = r
+	return r
+}
+
+// loadIdent reads a variable, decaying arrays/functions to pointers.
+func (a *Analyzer) loadIdent(e *cast.Ident, st *state) Val {
+	sym := e.Sym
+	if sym == nil {
+		return topVal()
+	}
+	if sym.Kind == cast.SymFunc {
+		return topVal() // function designators are opaque to the domain
+	}
+	r := a.region(sym)
+	if sym.Type != nil && (sym.Type.Kind == ctypes.Array) {
+		return ptrTo(r, Const(0))
+	}
+	c := st.get(r)
+	if c.val.MayUninit {
+		a.alarm(ub.IndeterminateValue, e.P, "%q may be used uninitialized", sym.Name)
+	}
+	v := c.val
+	if v.Num.IsBottom() && !v.isPtr() {
+		v.Num = a.typeRange(sym.Type)
+	}
+	return v
+}
+
+// lvalTargets resolves an assignable expression to its target regions and
+// byte offsets.
+func (a *Analyzer) lvalTargets(e cast.Expr, st *state) map[*Region]Interval {
+	switch e := e.(type) {
+	case *cast.Ident:
+		if e.Sym == nil || e.Sym.Kind != cast.SymObject {
+			return nil
+		}
+		return map[*Region]Interval{a.region(e.Sym): Const(0)}
+	case *cast.Unary:
+		if e.Op == cast.UDeref {
+			v := a.evalExpr(e.X, st)
+			return a.derefTargets(v, e.P, e.T, st)
+		}
+	case *cast.Index:
+		base := a.evalExpr(e.X, st)
+		idx := a.evalExpr(e.I, st)
+		esize := int64(1)
+		if e.T != nil && e.T.IsComplete() {
+			esize = a.model.Size(e.T)
+		}
+		shifted := a.ptrAdd(base, idx.Num.Mul(Const(esize)))
+		return a.derefTargets(shifted, e.P, e.T, st)
+	case *cast.Member:
+		if e.Arrow {
+			v := a.evalExpr(e.X, st)
+			return a.derefTargets(v, e.P, e.T, st)
+		}
+		// Field-insensitive: the struct's region.
+		return a.lvalTargets(e.X, st)
+	}
+	a.incomplete()
+	return nil
+}
+
+// derefTargets checks a pointer dereference and returns the target set.
+func (a *Analyzer) derefTargets(v Val, pos token.Pos, t *ctypes.Type, st *state) map[*Region]Interval {
+	if v.MayUninit {
+		a.alarm(ub.IndeterminateValue, pos, "pointer may be uninitialized")
+	}
+	if v.MayNull {
+		a.alarm(ub.InvalidDeref, pos, "pointer may be null")
+	}
+	if v.MayInval {
+		a.alarm(ub.PtrFromInt, pos, "pointer may be invalid")
+	}
+	size := int64(1)
+	if t != nil && t.IsComplete() {
+		size = a.model.Size(t)
+	}
+	for r, off := range v.Ptr {
+		c := st.get(r)
+		if c.freed || c.mayFreed {
+			a.alarm(ub.UseAfterFree, pos, "object %s may have been freed", r.Name)
+		}
+		if r.Size >= 0 && !off.IsBottom() {
+			if off.Lo < 0 || off.Hi > r.Size-size {
+				a.alarm(ub.PtrArithBounds, pos,
+					"access at offset %s may be outside object %s (size %d)", off, r.Name, r.Size)
+			}
+		}
+	}
+	return v.Ptr
+}
+
+// loadLValue evaluates an lvalue expression in a value context.
+func (a *Analyzer) loadLValue(e cast.Expr, st *state) Val {
+	targets := a.lvalTargets(e, st)
+	if len(targets) == 0 {
+		return topVal()
+	}
+	out := Val{Num: Bottom()}
+	for r := range targets {
+		c := st.get(r)
+		if c.val.MayUninit {
+			a.alarm(ub.IndeterminateValue, e.Pos(), "read of possibly uninitialized contents of %s", r.Name)
+		}
+		out = out.join(c.val)
+	}
+	// Array element decay: reading an aggregate summary yields its type
+	// range when numeric info is absent.
+	if out.Num.IsBottom() && !out.isPtr() {
+		out.Num = a.typeRange(e.Type())
+	}
+	out.MayUninit = false // already alarmed
+	return out
+}
+
+func (a *Analyzer) store(targets map[*Region]Interval, v Val, pos token.Pos, st *state) {
+	for r := range targets {
+		if r.ReadOnly {
+			a.alarm(ub.ModifyStringLit, pos, "write into read-only object %s", r.Name)
+			continue
+		}
+		cleaned := v
+		cleaned.MayUninit = v.MayUninit
+		if len(targets) > 1 || r.Summary {
+			c := st.get(r)
+			c.val = c.val.join(cleaned)
+			c.val.MayUninit = c.val.MayUninit && v.MayUninit
+		} else {
+			c := st.get(r)
+			c.val = cleaned
+		}
+	}
+}

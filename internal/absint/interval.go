@@ -1,0 +1,359 @@
+// Package absint implements a sound abstract interpreter for the checked C
+// AST over an interval × points-to domain — the analysis principle behind
+// Frama-C's Value Analysis, which the paper compares against in §5.
+//
+// Where internal/interp follows one concrete execution, this analysis
+// covers *all* executions: branches join, loops run to a widened fixpoint,
+// and every operation that could exhibit undefined behavior on some covered
+// execution raises an alarm. Precision on the closed test programs of the
+// benchmark suites is high (their values are constants, so intervals stay
+// singletons), but over-approximation on the defined control twins is
+// possible — that trade-off is the point of comparing it against the
+// semantics-based checker.
+package absint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a (possibly unbounded) range of int64 values. The canonical
+// empty interval is Bottom(); [math.MinInt64, math.MaxInt64] is Top().
+type Interval struct {
+	Lo, Hi int64
+	empty  bool
+}
+
+// Bottom returns the empty interval.
+func Bottom() Interval { return Interval{empty: true} }
+
+// Top returns the unbounded interval.
+func Top() Interval { return Interval{Lo: math.MinInt64, Hi: math.MaxInt64} }
+
+// Const returns the singleton interval {v}.
+func Const(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Range returns [lo, hi] (normalized to Bottom if lo > hi).
+func Range(lo, hi int64) Interval {
+	if lo > hi {
+		return Bottom()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// IsBottom reports whether the interval is empty.
+func (iv Interval) IsBottom() bool { return iv.empty }
+
+// IsTop reports whether the interval is unbounded on both sides.
+func (iv Interval) IsTop() bool {
+	return !iv.empty && iv.Lo == math.MinInt64 && iv.Hi == math.MaxInt64
+}
+
+// IsConst reports whether the interval is a singleton, and its value.
+func (iv Interval) IsConst() (int64, bool) {
+	if iv.empty || iv.Lo != iv.Hi {
+		return 0, false
+	}
+	return iv.Lo, true
+}
+
+// Contains reports whether v is in the interval.
+func (iv Interval) Contains(v int64) bool { return !iv.empty && iv.Lo <= v && v <= iv.Hi }
+
+// ContainsZero reports whether 0 is a possible value.
+func (iv Interval) ContainsZero() bool { return iv.Contains(0) }
+
+func (iv Interval) String() string {
+	if iv.empty {
+		return "⊥"
+	}
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != math.MinInt64 {
+		lo = fmt.Sprint(iv.Lo)
+	}
+	if iv.Hi != math.MaxInt64 {
+		hi = fmt.Sprint(iv.Hi)
+	}
+	return fmt.Sprintf("[%s, %s]", lo, hi)
+}
+
+// Join returns the least interval containing both.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.empty {
+		return o
+	}
+	if o.empty {
+		return iv
+	}
+	return Interval{Lo: min64(iv.Lo, o.Lo), Hi: max64(iv.Hi, o.Hi)}
+}
+
+// Meet intersects the intervals.
+func (iv Interval) Meet(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	return Range(max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi))
+}
+
+// Widen extrapolates unstable bounds to infinity (the classic interval
+// widening ensuring fixpoint termination).
+func (iv Interval) Widen(next Interval) Interval {
+	if iv.empty {
+		return next
+	}
+	if next.empty {
+		return iv
+	}
+	out := iv
+	if next.Lo < iv.Lo {
+		out.Lo = math.MinInt64
+	}
+	if next.Hi > iv.Hi {
+		out.Hi = math.MaxInt64
+	}
+	return out
+}
+
+// Eq reports interval equality.
+func (iv Interval) Eq(o Interval) bool {
+	if iv.empty || o.empty {
+		return iv.empty == o.empty
+	}
+	return iv.Lo == o.Lo && iv.Hi == o.Hi
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addSat adds with saturation at the int64 rails (the rails mean "unbounded").
+func addSat(a, b int64) int64 {
+	if a > 0 && b > math.MaxInt64-a {
+		return math.MaxInt64
+	}
+	if a < 0 && b < math.MinInt64-a {
+		return math.MinInt64
+	}
+	return a + b
+}
+
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		if (a < 0) != (b < 0) {
+			return math.MinInt64
+		}
+		return math.MaxInt64
+	}
+	p := a * b
+	if p/b != a {
+		if (a < 0) != (b < 0) {
+			return math.MinInt64
+		}
+		return math.MaxInt64
+	}
+	return p
+}
+
+// Add returns the abstract sum.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	return Interval{Lo: addSat(iv.Lo, o.Lo), Hi: addSat(iv.Hi, o.Hi)}
+}
+
+// Sub returns the abstract difference.
+func (iv Interval) Sub(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	return Interval{Lo: addSat(iv.Lo, -o.Hi), Hi: addSat(iv.Hi, -o.Lo)}
+}
+
+// Neg returns the abstract negation.
+func (iv Interval) Neg() Interval {
+	if iv.empty {
+		return Bottom()
+	}
+	lo, hi := -iv.Hi, -iv.Lo
+	if iv.Hi == math.MinInt64 {
+		lo = math.MaxInt64
+	}
+	if iv.Lo == math.MinInt64 {
+		hi = math.MaxInt64
+	}
+	return Interval{Lo: min64(lo, hi), Hi: max64(lo, hi)}
+}
+
+// Mul returns the abstract product.
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	c := []int64{
+		mulSat(iv.Lo, o.Lo), mulSat(iv.Lo, o.Hi),
+		mulSat(iv.Hi, o.Lo), mulSat(iv.Hi, o.Hi),
+	}
+	lo, hi := c[0], c[0]
+	for _, v := range c[1:] {
+		lo, hi = min64(lo, v), max64(hi, v)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Div returns the abstract quotient, assuming the divisor interval has
+// already been refined to exclude zero (the caller alarms on a possible
+// zero first).
+func (iv Interval) Div(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	// Split the divisor around zero.
+	var parts []Interval
+	if pos := o.Meet(Range(1, math.MaxInt64)); !pos.IsBottom() {
+		parts = append(parts, pos)
+	}
+	if neg := o.Meet(Range(math.MinInt64, -1)); !neg.IsBottom() {
+		parts = append(parts, neg)
+	}
+	if len(parts) == 0 {
+		return Bottom()
+	}
+	out := Bottom()
+	for _, p := range parts {
+		c := []int64{
+			safeDiv(iv.Lo, p.Lo), safeDiv(iv.Lo, p.Hi),
+			safeDiv(iv.Hi, p.Lo), safeDiv(iv.Hi, p.Hi),
+		}
+		lo, hi := c[0], c[0]
+		for _, v := range c[1:] {
+			lo, hi = min64(lo, v), max64(hi, v)
+		}
+		out = out.Join(Interval{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+func safeDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 && b == -1 {
+		return math.MaxInt64
+	}
+	return a / b
+}
+
+// Rem conservatively bounds the remainder.
+func (iv Interval) Rem(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	m := max64(abs64(o.Lo), abs64(o.Hi))
+	if m == 0 {
+		return Bottom()
+	}
+	bound := m - 1
+	if bound < 0 {
+		bound = math.MaxInt64
+	}
+	lo := int64(0)
+	if iv.Lo < 0 {
+		lo = -bound
+	}
+	hi := int64(0)
+	if iv.Hi > 0 {
+		hi = bound
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func abs64(a int64) int64 {
+	if a == math.MinInt64 {
+		return math.MaxInt64
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Shl returns the abstract left shift for in-range shift counts.
+func (iv Interval) Shl(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	if c, ok := o.IsConst(); ok && c >= 0 && c < 63 {
+		return Interval{Lo: mulSat(iv.Lo, 1<<uint(c)), Hi: mulSat(iv.Hi, 1<<uint(c))}
+	}
+	return Top()
+}
+
+// Shr returns the abstract right shift for non-negative values.
+func (iv Interval) Shr(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	if c, ok := o.IsConst(); ok && c >= 0 && c < 63 && iv.Lo >= 0 {
+		return Interval{Lo: iv.Lo >> uint(c), Hi: iv.Hi >> uint(c)}
+	}
+	return Top()
+}
+
+// CmpTruth evaluates a comparison abstractly: definitely true, definitely
+// false, or unknown.
+type Truth int
+
+// Truth values.
+const (
+	Unknown Truth = iota
+	True
+	False
+)
+
+// Lt compares abstractly.
+func (iv Interval) Lt(o Interval) Truth {
+	if iv.empty || o.empty {
+		return Unknown
+	}
+	if iv.Hi < o.Lo {
+		return True
+	}
+	if iv.Lo >= o.Hi {
+		return False
+	}
+	return Unknown
+}
+
+// EqTruth compares abstractly for equality.
+func (iv Interval) EqTruth(o Interval) Truth {
+	if iv.empty || o.empty {
+		return Unknown
+	}
+	if a, ok := iv.IsConst(); ok {
+		if b, ok := o.IsConst(); ok {
+			if a == b {
+				return True
+			}
+			return False
+		}
+	}
+	if iv.Meet(o).IsBottom() {
+		return False
+	}
+	return Unknown
+}

@@ -1,0 +1,156 @@
+package absint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// small generates a bounded interval from two arbitrary ints.
+func small(a, b int32) Interval {
+	lo, hi := int64(a), int64(b)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Range(lo, hi)
+}
+
+// TestIntervalSoundness: for random intervals and random members, the
+// abstract operations contain the concrete results.
+func TestIntervalSoundness(t *testing.T) {
+	f := func(a1, a2, b1, b2 int32, pickA, pickB uint8) bool {
+		A, B := small(a1, a2), small(b1, b2)
+		x := A.Lo + int64(pickA)%(A.Hi-A.Lo+1)
+		y := B.Lo + int64(pickB)%(B.Hi-B.Lo+1)
+		if !A.Add(B).Contains(x + y) {
+			return false
+		}
+		if !A.Sub(B).Contains(x - y) {
+			return false
+		}
+		if !A.Mul(B).Contains(x * y) {
+			return false
+		}
+		if y != 0 && !A.Div(B).Contains(x/y) {
+			return false
+		}
+		if y != 0 && !A.Rem(B).Contains(x%y) {
+			return false
+		}
+		if !A.Neg().Contains(-x) {
+			return false
+		}
+		if !A.Join(B).Contains(x) || !A.Join(B).Contains(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalLattice(t *testing.T) {
+	f := func(a1, a2, b1, b2 int32) bool {
+		A, B := small(a1, a2), small(b1, b2)
+		j := A.Join(B)
+		// Join is an upper bound.
+		if !j.Meet(A).Eq(A) || !j.Meet(B).Eq(B) {
+			return false
+		}
+		// Widening is an upper bound of the join.
+		w := A.Widen(B)
+		if !w.Meet(j).Eq(j) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWideningTerminates(t *testing.T) {
+	// Repeated widening against growing inputs reaches a fixpoint fast.
+	cur := Const(0)
+	for i := 0; i < 10; i++ {
+		next := cur.Widen(cur.Join(Range(int64(-i), int64(i*10))))
+		if next.Eq(cur) {
+			return
+		}
+		cur = next
+	}
+	if !cur.IsTop() && !(cur.Lo == math.MinInt64 && cur.Hi == math.MaxInt64) {
+		t.Errorf("widening did not stabilize: %v", cur)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	if !Bottom().IsBottom() {
+		t.Error("Bottom")
+	}
+	if !Top().IsTop() {
+		t.Error("Top")
+	}
+	if v, ok := Const(7).IsConst(); !ok || v != 7 {
+		t.Error("Const")
+	}
+	if Range(5, 3).IsBottom() != true {
+		t.Error("inverted range must be bottom")
+	}
+	if !Range(-3, 4).ContainsZero() {
+		t.Error("ContainsZero")
+	}
+	if Range(1, 4).ContainsZero() {
+		t.Error("ContainsZero false positive")
+	}
+	if Bottom().Join(Const(1)).String() != "[1, 1]" {
+		t.Errorf("join with bottom: %v", Bottom().Join(Const(1)))
+	}
+}
+
+func TestIntervalCompare(t *testing.T) {
+	if Range(0, 3).Lt(Range(5, 9)) != True {
+		t.Error("definitely less")
+	}
+	if Range(5, 9).Lt(Range(0, 3)) != False {
+		t.Error("definitely not less")
+	}
+	if Range(0, 5).Lt(Range(3, 9)) != Unknown {
+		t.Error("overlapping is unknown")
+	}
+	if Const(4).EqTruth(Const(4)) != True {
+		t.Error("equal constants")
+	}
+	if Const(4).EqTruth(Const(5)) != False {
+		t.Error("distinct constants")
+	}
+	if Range(0, 9).EqTruth(Const(5)) != Unknown {
+		t.Error("maybe equal")
+	}
+	if Range(0, 2).EqTruth(Range(5, 7)) != False {
+		t.Error("disjoint cannot be equal")
+	}
+}
+
+func TestDivSplitsAroundZero(t *testing.T) {
+	// 10 / [-2, 2] (excluding 0 handled by caller) must include -10..10.
+	d := Const(10).Div(Range(-2, 2))
+	for _, want := range []int64{-10, -5, 5, 10} {
+		if !d.Contains(want) {
+			t.Errorf("10/[-2,2] missing %d: %v", want, d)
+		}
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	big := Range(math.MaxInt64-10, math.MaxInt64)
+	sum := big.Add(Const(100))
+	if sum.Hi != math.MaxInt64 {
+		t.Errorf("saturating add: %v", sum)
+	}
+	prod := big.Mul(Const(2))
+	if prod.Hi != math.MaxInt64 {
+		t.Errorf("saturating mul: %v", prod)
+	}
+}

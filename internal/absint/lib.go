@@ -1,0 +1,283 @@
+package absint
+
+import (
+	"math"
+
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/token"
+	"repro/internal/ub"
+)
+
+// evalCall dispatches library models and inlines user functions.
+func (a *Analyzer) evalCall(e *cast.Call, st *state) Val {
+	name := ""
+	if id, ok := e.Fn.(*cast.Ident); ok {
+		name = id.Name
+	} else {
+		// Calls through expressions (function pointers): evaluate the
+		// arguments for their side effects and give up on the target.
+		for _, arg := range e.Args {
+			a.evalExpr(arg, st)
+		}
+		a.incomplete()
+		return topVal()
+	}
+	args := make([]Val, len(e.Args))
+	for i, arg := range e.Args {
+		args[i] = a.evalExpr(arg, st)
+	}
+	if fd, ok := a.prog.Funcs[name]; ok {
+		return a.analyzeCall(fd, args, st)
+	}
+	return a.libModel(name, args, e, st)
+}
+
+// libModel abstracts the C library functions the suites use.
+func (a *Analyzer) libModel(name string, args []Val, e *cast.Call, st *state) Val {
+	argN := func(i int) Val {
+		if i < len(args) {
+			return args[i]
+		}
+		return topVal()
+	}
+	switch name {
+	case "malloc":
+		size := int64(-1)
+		if c, ok := argN(0).Num.IsConst(); ok {
+			size = c
+		}
+		r := a.heapRegion(e, "malloc'd object", size, true)
+		c := st.get(r)
+		c.val = uninitVal()
+		c.freed, c.mayFreed = false, false
+		out := ptrTo(r, Const(0))
+		out.MayNull = true // allocation may fail
+		return out
+	case "calloc":
+		size := int64(-1)
+		n, okN := argN(0).Num.IsConst()
+		s, okS := argN(1).Num.IsConst()
+		if okN && okS {
+			size = n * s
+		}
+		r := a.heapRegion(e, "calloc'd object", size, true)
+		c := st.get(r)
+		c.val = num(Const(0))
+		c.freed, c.mayFreed = false, false
+		out := ptrTo(r, Const(0))
+		out.MayNull = true
+		return out
+	case "realloc":
+		old := argN(0)
+		a.freeModel(old, e.P, st, ub.BadRealloc, true)
+		size := int64(-1)
+		if c, ok := argN(1).Num.IsConst(); ok {
+			size = c
+		}
+		r := a.heapRegion(e, "realloc'd object", size, true)
+		c := st.get(r)
+		c.val = topVal()
+		c.val.MayUninit = true
+		c.freed, c.mayFreed = false, false
+		out := ptrTo(r, Const(0))
+		out.MayNull = true
+		return out
+	case "free":
+		a.freeModel(argN(0), e.P, st, ub.BadFree, false)
+		return Val{Num: Bottom()}
+	case "exit", "abort", "__assert_fail":
+		st.unreachable = true
+		return Val{Num: Bottom()}
+	case "abs", "labs":
+		v := argN(0)
+		if e.T != nil && v.Num.Contains(a.model.IntMin(e.T)) {
+			a.alarm(ub.Catalog[129], e.P, "abs() of a possibly most-negative value")
+		}
+		return num(Range(0, math.MaxInt64))
+	case "rand":
+		return num(Range(0, 2147483647))
+	case "srand", "putchar", "puts":
+		return num(Top())
+	case "getchar":
+		return num(Range(-1, 255))
+	case "atoi", "atol":
+		a.checkStringArg(argN(0), e.P, st)
+		return num(a.typeRange(e.T))
+	case "strlen":
+		r := a.checkStringArg(argN(0), e.P, st)
+		if r != nil && r.Size > 0 {
+			return num(Range(0, r.Size-1))
+		}
+		return num(Range(0, math.MaxInt64))
+	case "strcmp", "strncmp", "memcmp":
+		a.checkStringArg(argN(0), e.P, st)
+		a.checkStringArg(argN(1), e.P, st)
+		return num(Range(-1, 1))
+	case "memset":
+		a.checkRegionAccess(argN(0), argN(2).Num, true, e.P, st)
+		a.writeSummary(argN(0), argN(1), st)
+		return argN(0)
+	case "memcpy", "memmove":
+		a.checkRegionAccess(argN(1), argN(2).Num, false, e.P, st)
+		a.checkRegionAccess(argN(0), argN(2).Num, true, e.P, st)
+		a.copySummary(argN(0), argN(1), e.P, st)
+		return argN(0)
+	case "strcpy", "strcat", "strncpy", "strncat":
+		src := a.checkStringArg(argN(1), e.P, st)
+		if src != nil && src.Size >= 0 {
+			a.checkRegionAccess(argN(0), Const(src.Size), true, e.P, st)
+		} else {
+			a.checkRegionAccess(argN(0), Const(1), true, e.P, st)
+		}
+		a.copySummary(argN(0), argN(1), e.P, st)
+		return argN(0)
+	case "strchr", "strrchr", "strstr", "memchr":
+		a.checkStringArg(argN(0), e.P, st)
+		out := argN(0)
+		out.MayNull = true // not found
+		if len(out.Ptr) > 0 {
+			widened := map[*Region]Interval{}
+			for r := range out.Ptr {
+				hi := r.Size
+				if hi < 0 {
+					hi = math.MaxInt64
+				}
+				widened[r] = Range(0, max64(0, hi-1))
+			}
+			out.Ptr = widened
+		}
+		return out
+	case "printf", "fprintf", "sprintf", "snprintf":
+		// Format checking is beyond the value domain; arguments were
+		// already evaluated (so uninitialized uses alarm).
+		for _, v := range args {
+			if v.MayUninit {
+				a.alarm(ub.IndeterminateValue, e.P, "printf argument may be uninitialized")
+			}
+		}
+		return num(Range(0, math.MaxInt64))
+	case "isdigit", "isalpha", "isspace", "isupper", "islower":
+		v := argN(0)
+		if !v.Num.IsBottom() && (v.Num.Lo < -1 || v.Num.Hi > 255) {
+			a.alarm(ub.Catalog[113], e.P, "ctype argument may be out of range (%s)", v.Num)
+		}
+		return num(Range(0, 1))
+	case "toupper", "tolower":
+		return num(Range(0, 255))
+	}
+	a.incomplete()
+	return topVal()
+}
+
+// freeModel checks a free()/realloc() argument and marks targets freed.
+func (a *Analyzer) freeModel(v Val, pos token.Pos, st *state, behavior *ub.Behavior, realloc bool) {
+	if v.MayUninit {
+		a.alarm(ub.IndeterminateValue, pos, "freeing a possibly uninitialized pointer")
+	}
+	if v.MayInval {
+		a.alarm(behavior, pos, "freeing a possibly invalid pointer")
+	}
+	for r, off := range v.Ptr {
+		if !r.Heap {
+			a.alarm(behavior, pos, "freeing a pointer to non-heap object %s", r.Name)
+			continue
+		}
+		if !off.IsBottom() {
+			if z, ok := off.IsConst(); !ok || z != 0 {
+				a.alarm(ub.Catalog[175], pos, "freeing a pointer into the middle of %s (offset %s)", r.Name, off)
+			}
+		}
+		c := st.get(r)
+		if c.freed || c.mayFreed {
+			a.alarm(behavior, pos, "object %s may already have been freed", r.Name)
+		}
+		if len(v.Ptr) == 1 && !v.MayNull {
+			c.freed = true
+		}
+		c.mayFreed = true
+	}
+}
+
+// checkStringArg validates a string argument and returns its single target
+// region if there is exactly one.
+func (a *Analyzer) checkStringArg(v Val, pos token.Pos, st *state) *Region {
+	if v.MayUninit {
+		a.alarm(ub.IndeterminateValue, pos, "string argument may be uninitialized")
+	}
+	if v.MayNull {
+		a.alarm(ub.StrFuncBadPtr, pos, "string argument may be null")
+	}
+	if v.MayInval {
+		a.alarm(ub.StrFuncBadPtr, pos, "string argument may be invalid")
+	}
+	var single *Region
+	for r := range v.Ptr {
+		c := st.get(r)
+		if c.freed || c.mayFreed {
+			a.alarm(ub.UseAfterFree, pos, "string argument may point to freed object %s", r.Name)
+		}
+		if c.val.MayUninit && !r.ReadOnly {
+			a.alarm(ub.IndeterminateValue, pos, "string contents of %s may be uninitialized", r.Name)
+		}
+		if len(v.Ptr) == 1 {
+			single = r
+		}
+	}
+	return single
+}
+
+// checkRegionAccess validates [p, p+n) against the targets of p.
+func (a *Analyzer) checkRegionAccess(v Val, n Interval, write bool, pos token.Pos, st *state) {
+	if v.MayNull {
+		a.alarm(ub.StrFuncBadPtr, pos, "pointer argument may be null")
+	}
+	if v.MayInval {
+		a.alarm(ub.StrFuncBadPtr, pos, "pointer argument may be invalid")
+	}
+	for r, off := range v.Ptr {
+		c := st.get(r)
+		if c.freed || c.mayFreed {
+			a.alarm(ub.UseAfterFree, pos, "argument may point to freed object %s", r.Name)
+		}
+		if write && r.ReadOnly {
+			a.alarm(ub.ModifyStringLit, pos, "library write into read-only object %s", r.Name)
+		}
+		if r.Size >= 0 && !off.IsBottom() && !n.IsBottom() {
+			end := off.Add(n)
+			if off.Lo < 0 || end.Hi > r.Size {
+				a.alarm(ub.NegMallocOverrun, pos,
+					"library access of %s bytes may exceed object %s (size %d)", n, r.Name, r.Size)
+			}
+		}
+	}
+}
+
+// writeSummary joins a stored byte value into the targets.
+func (a *Analyzer) writeSummary(dst, v Val, st *state) {
+	for r := range dst.Ptr {
+		if r.ReadOnly {
+			continue
+		}
+		c := st.get(r)
+		c.val = c.val.join(num(v.Num.Meet(a.typeRange(ctypes.TUChar))))
+		c.val.MayUninit = false
+	}
+}
+
+// copySummary propagates source summaries into destination regions.
+func (a *Analyzer) copySummary(dst, src Val, pos token.Pos, st *state) {
+	var joined Val
+	joined.Num = Bottom()
+	for r := range src.Ptr {
+		joined = joined.join(st.get(r).val)
+	}
+	for r := range dst.Ptr {
+		if r.ReadOnly {
+			continue
+		}
+		c := st.get(r)
+		c.val = c.val.join(joined)
+		c.val.MayUninit = false
+	}
+}

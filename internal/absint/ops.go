@@ -1,0 +1,563 @@
+package absint
+
+import (
+	"math"
+
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/token"
+	"repro/internal/ub"
+)
+
+func (a *Analyzer) evalUnary(e *cast.Unary, st *state) Val {
+	switch e.Op {
+	case cast.UAddr:
+		switch x := e.X.(type) {
+		case *cast.Ident:
+			if x.Sym != nil && x.Sym.Kind == cast.SymObject {
+				return ptrTo(a.region(x.Sym), Const(0))
+			}
+			return topVal()
+		case *cast.Index:
+			base := a.evalExpr(x.X, st)
+			idx := a.evalExpr(x.I, st)
+			esize := int64(1)
+			if x.T != nil && x.T.IsComplete() {
+				esize = a.model.Size(x.T)
+			}
+			return a.ptrAdd(base, idx.Num.Mul(Const(esize)))
+		case *cast.Member:
+			if !x.Arrow {
+				if t := a.lvalTargets(x.X, st); len(t) == 1 {
+					for r := range t {
+						return ptrTo(r, Range(0, max64(0, r.Size-1)))
+					}
+				}
+			}
+			v := topVal()
+			return v
+		case *cast.Unary:
+			if x.Op == cast.UDeref {
+				return a.evalExpr(x.X, st)
+			}
+		}
+		a.incomplete()
+		return topVal()
+	case cast.UDeref:
+		return a.loadLValue(e, st)
+	case cast.UPlus:
+		return a.evalExpr(e.X, st)
+	case cast.UNeg:
+		v := a.evalExpr(e.X, st)
+		out := num(v.Num.Neg())
+		return a.checkIntRange(out, e.T, e.P)
+	case cast.UCompl:
+		a.evalExpr(e.X, st)
+		return num(a.typeRange(e.T))
+	case cast.UNot:
+		v := a.evalExpr(e.X, st)
+		switch a.truth(v) {
+		case True:
+			return num(Const(0))
+		case False:
+			return num(Const(1))
+		}
+		return num(Range(0, 1))
+	case cast.UPreInc, cast.UPreDec, cast.UPostInc, cast.UPostDec:
+		old := a.loadForIncDec(e.X, st)
+		delta := Const(1)
+		if e.Op == cast.UPreDec || e.Op == cast.UPostDec {
+			delta = Const(-1)
+		}
+		var newV Val
+		if old.isPtr() {
+			esize := int64(1)
+			if e.T != nil && e.T.Kind == ctypes.Ptr && e.T.Elem.IsComplete() {
+				esize = a.model.Size(e.T.Elem)
+			}
+			newV = a.ptrAdd(old, delta.Mul(Const(esize)))
+		} else {
+			newV = a.checkIntRange(num(old.Num.Add(delta)), e.T, e.P)
+		}
+		targets := a.lvalTargets(e.X, st)
+		a.store(targets, newV, e.P, st)
+		if e.Op == cast.UPostInc || e.Op == cast.UPostDec {
+			return old
+		}
+		return newV
+	}
+	a.incomplete()
+	return topVal()
+}
+
+func (a *Analyzer) loadForIncDec(e cast.Expr, st *state) Val {
+	if id, ok := e.(*cast.Ident); ok {
+		return a.loadIdent(id, st)
+	}
+	return a.loadLValue(e, st)
+}
+
+// truth evaluates an abstract value as a condition.
+func (a *Analyzer) truth(v Val) Truth {
+	if v.isPtr() {
+		if len(v.Ptr) > 0 && !v.MayNull && !v.MayInval {
+			return True
+		}
+		if len(v.Ptr) == 0 && v.MayNull && !v.MayInval && v.Num.IsBottom() {
+			return False
+		}
+		return Unknown
+	}
+	if v.Num.IsBottom() {
+		return Unknown
+	}
+	if !v.Num.ContainsZero() {
+		return True
+	}
+	if c, ok := v.Num.IsConst(); ok && c == 0 {
+		return False
+	}
+	return Unknown
+}
+
+// checkIntRange alarms on a possible signed overflow and clamps the value
+// to the representable range of t.
+func (a *Analyzer) checkIntRange(v Val, t *ctypes.Type, pos token.Pos) Val {
+	if t == nil || !t.IsInteger() || v.Num.IsBottom() {
+		return v
+	}
+	tr := a.typeRange(t)
+	if t.IsSigned(a.model) && (v.Num.Lo < tr.Lo || v.Num.Hi > tr.Hi) {
+		a.alarm(ub.SignedOverflow, pos,
+			"signed arithmetic may overflow %s (value in %s)", t, v.Num)
+	}
+	v.Num = v.Num.Meet(tr)
+	if v.Num.IsBottom() {
+		v.Num = tr
+	}
+	return v
+}
+
+func (a *Analyzer) evalBinary(e *cast.Binary, st *state) Val {
+	switch e.Op {
+	case cast.BLogAnd, cast.BLogOr:
+		x := a.evalExpr(e.X, st)
+		tx := a.truth(x)
+		if e.Op == cast.BLogAnd && tx == False {
+			return num(Const(0))
+		}
+		if e.Op == cast.BLogOr && tx == True {
+			return num(Const(1))
+		}
+		// Evaluate the RHS under the refined state.
+		sub := a.filterCond(e.X, st.clone(), e.Op == cast.BLogAnd)
+		if sub == nil {
+			sub = st.clone()
+		}
+		y := a.evalExpr(e.Y, sub)
+		ty := a.truth(y)
+		if tx != Unknown && ty != Unknown {
+			both := tx == True && ty == True
+			either := tx == True || ty == True
+			if e.Op == cast.BLogAnd {
+				if both {
+					return num(Const(1))
+				}
+				return num(Const(0))
+			}
+			if either {
+				return num(Const(1))
+			}
+			return num(Const(0))
+		}
+		return num(Range(0, 1))
+	}
+
+	x := a.evalExpr(e.X, st)
+	y := a.evalExpr(e.Y, st)
+	if x.MayUninit || y.MayUninit {
+		a.alarm(ub.IndeterminateValue, e.P, "operand may be uninitialized")
+	}
+	// Pointer arithmetic and comparison.
+	if x.isPtr() || y.isPtr() {
+		return a.ptrBinary(e, x, y)
+	}
+
+	switch e.Op {
+	case cast.BAdd:
+		return a.checkIntRange(num(x.Num.Add(y.Num)), e.T, e.P)
+	case cast.BSub:
+		return a.checkIntRange(num(x.Num.Sub(y.Num)), e.T, e.P)
+	case cast.BMul:
+		return a.checkIntRange(num(x.Num.Mul(y.Num)), e.T, e.P)
+	case cast.BDiv, cast.BRem:
+		if y.Num.ContainsZero() {
+			a.alarm(ub.DivByZero, e.P, "divisor may be zero (%s)", y.Num)
+		}
+		nz := y.Num.Meet(Range(math.MinInt64, -1)).Join(y.Num.Meet(Range(1, math.MaxInt64)))
+		if e.T != nil && e.T.IsSigned(a.model) &&
+			x.Num.Contains(a.model.IntMin(e.T)) && y.Num.Contains(-1) {
+			a.alarm(ub.DivOverflow, e.P, "quotient may overflow (INT_MIN / -1)")
+		}
+		if e.Op == cast.BDiv {
+			return a.clampOnly(num(x.Num.Div(nz)), e.T)
+		}
+		return a.clampOnly(num(x.Num.Rem(nz)), e.T)
+	case cast.BShl, cast.BShr:
+		width := int64(32)
+		if e.T != nil && e.T.IsInteger() {
+			width = a.model.Size(e.T) * 8
+		}
+		if !y.Num.IsBottom() && (y.Num.Lo < 0 || y.Num.Hi >= width) {
+			a.alarm(ub.ShiftTooFar, e.P, "shift count may be out of range (%s for width %d)", y.Num, width)
+		}
+		if e.Op == cast.BShl {
+			if e.T != nil && e.T.IsSigned(a.model) && x.Num.Lo < 0 {
+				a.alarm(ub.ShiftNegLeft, e.P, "left shift of a possibly negative value (%s)", x.Num)
+			}
+			return a.checkIntRange(num(x.Num.Shl(y.Num)), e.T, e.P)
+		}
+		return a.clampOnly(num(x.Num.Shr(y.Num)), e.T)
+	case cast.BLt, cast.BGt, cast.BLe, cast.BGe, cast.BEq, cast.BNe:
+		return num(a.compare(e.Op, x.Num, y.Num))
+	case cast.BAnd, cast.BOr, cast.BXor:
+		if cx, ok := x.Num.IsConst(); ok {
+			if cy, ok := y.Num.IsConst(); ok {
+				switch e.Op {
+				case cast.BAnd:
+					return num(Const(cx & cy))
+				case cast.BOr:
+					return num(Const(cx | cy))
+				default:
+					return num(Const(cx ^ cy))
+				}
+			}
+		}
+		return a.clampOnly(topVal(), e.T)
+	}
+	a.incomplete()
+	return topVal()
+}
+
+func (a *Analyzer) clampOnly(v Val, t *ctypes.Type) Val {
+	if t == nil || !t.IsInteger() || v.Num.IsBottom() {
+		return v
+	}
+	v.Num = v.Num.Meet(a.typeRange(t))
+	if v.Num.IsBottom() {
+		v.Num = a.typeRange(t)
+	}
+	return v
+}
+
+func (a *Analyzer) compare(op cast.BinaryOp, x, y Interval) Interval {
+	var t Truth
+	switch op {
+	case cast.BLt:
+		t = x.Lt(y)
+	case cast.BGe:
+		t = invert(x.Lt(y))
+	case cast.BGt:
+		t = y.Lt(x)
+	case cast.BLe:
+		t = invert(y.Lt(x))
+	case cast.BEq:
+		t = x.EqTruth(y)
+	case cast.BNe:
+		t = invert(x.EqTruth(y))
+	}
+	switch t {
+	case True:
+		return Const(1)
+	case False:
+		return Const(0)
+	}
+	return Range(0, 1)
+}
+
+func invert(t Truth) Truth {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+func (a *Analyzer) ptrBinary(e *cast.Binary, x, y Val) Val {
+	switch e.Op {
+	case cast.BAdd:
+		if x.isPtr() {
+			esize := a.elemSize(e.T)
+			return a.ptrAdd(x, y.Num.Mul(Const(esize)))
+		}
+		esize := a.elemSize(e.T)
+		return a.ptrAdd(y, x.Num.Mul(Const(esize)))
+	case cast.BSub:
+		if x.isPtr() && y.isPtr() {
+			if disjointTargets(x, y) {
+				a.alarm(ub.PtrSubDifferent, e.P, "subtraction of pointers into different objects")
+			}
+			return num(Top())
+		}
+		esize := a.elemSize(e.X.Type())
+		return a.ptrAdd(x, y.Num.Neg().Mul(Const(esize)))
+	case cast.BLt, cast.BGt, cast.BLe, cast.BGe:
+		if disjointTargets(x, y) {
+			a.alarm(ub.PtrCompareDifferent, e.P, "relational comparison of pointers to different objects")
+		}
+		return num(Range(0, 1))
+	case cast.BEq, cast.BNe:
+		return num(Range(0, 1))
+	}
+	return topVal()
+}
+
+func (a *Analyzer) elemSize(t *ctypes.Type) int64 {
+	if t != nil && t.Kind == ctypes.Ptr && t.Elem.IsComplete() {
+		return a.model.Size(t.Elem)
+	}
+	return 1
+}
+
+func disjointTargets(x, y Val) bool {
+	if len(x.Ptr) == 0 || len(y.Ptr) == 0 {
+		return false
+	}
+	for r := range x.Ptr {
+		if _, shared := y.Ptr[r]; shared {
+			return false
+		}
+	}
+	return true
+}
+
+// ptrAdd shifts a pointer value's offsets.
+func (a *Analyzer) ptrAdd(v Val, delta Interval) Val {
+	out := v
+	if len(v.Ptr) > 0 {
+		out.Ptr = map[*Region]Interval{}
+		for r, off := range v.Ptr {
+			out.Ptr[r] = off.Add(delta)
+		}
+	}
+	return out
+}
+
+func (a *Analyzer) evalAssign(e *cast.Assign, st *state) Val {
+	rv := a.evalExpr(e.R, st)
+	if e.HasOp {
+		tmp := &cast.Binary{Op: e.Op, X: e.L, Y: e.R}
+		tmp.P = e.P
+		tmp.T = e.T
+		rv = a.evalBinary(tmp, st)
+	}
+	rv = a.convert(rv, e.T, e.P)
+	targets := a.lvalTargets(e.L, st)
+	a.store(targets, rv, e.P, st)
+	return rv
+}
+
+func (a *Analyzer) convert(v Val, t *ctypes.Type, pos token.Pos) Val {
+	if t == nil {
+		return v
+	}
+	if t.Kind == ctypes.Ptr {
+		if c, ok := v.Num.IsConst(); ok && c == 0 && !v.isPtr() {
+			return Val{Num: Bottom(), MayNull: true}
+		}
+		if !v.isPtr() && !v.Num.IsBottom() {
+			// Integer → pointer: invalid provenance.
+			out := Val{Num: Bottom(), MayInval: true}
+			out.MayUninit = v.MayUninit
+			return out
+		}
+		return v
+	}
+	if t.IsInteger() {
+		if v.isPtr() {
+			return num(Top())
+		}
+		out := v
+		out.Num = v.Num.Meet(a.typeRange(t))
+		if out.Num.IsBottom() {
+			out.Num = a.typeRange(t) // wrapped: unknown within range
+		}
+		return out
+	}
+	return v
+}
+
+// filterCond refines st under cond being wantTrue; returns nil when the
+// branch is infeasible.
+func (a *Analyzer) filterCond(cond cast.Expr, st *state, wantTrue bool) *state {
+	if st == nil {
+		return nil
+	}
+	switch c := cond.(type) {
+	case *cast.Unary:
+		if c.Op == cast.UNot {
+			return a.filterCond(c.X, st, !wantTrue)
+		}
+	case *cast.Binary:
+		switch c.Op {
+		case cast.BLogAnd:
+			if wantTrue {
+				st = a.filterCond(c.X, st, true)
+				return a.filterCond(c.Y, st, true)
+			}
+			return st // !(a && b) gives no simple refinement
+		case cast.BLogOr:
+			if !wantTrue {
+				st = a.filterCond(c.X, st, false)
+				return a.filterCond(c.Y, st, false)
+			}
+			return st
+		case cast.BLt, cast.BGt, cast.BLe, cast.BGe, cast.BEq, cast.BNe:
+			return a.filterCompare(c, st, wantTrue)
+		}
+	}
+	// Truthiness of a scalar: x != 0 (or pointer non-null).
+	v := a.evalExpr(cond, st.clone())
+	t := a.truth(v)
+	if (t == True && !wantTrue) || (t == False && wantTrue) {
+		return nil
+	}
+	// Refine a plain variable.
+	if id, ok := cond.(*cast.Ident); ok && id.Sym != nil && id.Sym.Kind == cast.SymObject {
+		r := a.region(id.Sym)
+		c := st.get(r)
+		if c.val.isPtr() {
+			if wantTrue {
+				c.val.MayNull = false
+			} else {
+				c.val.Ptr = nil
+				c.val.MayNull = true
+				c.val.MayInval = false
+			}
+		} else if !wantTrue {
+			c.val.Num = c.val.Num.Meet(Const(0))
+			if c.val.Num.IsBottom() {
+				return nil
+			}
+		}
+	}
+	return st
+}
+
+// filterCompare refines `x OP k` and `k OP x` where x is a scalar variable.
+func (a *Analyzer) filterCompare(c *cast.Binary, st *state, wantTrue bool) *state {
+	op := c.Op
+	if !wantTrue {
+		op = negateCmp(op)
+	}
+	// Normalize to ident OP interval.
+	if id, ok := c.X.(*cast.Ident); ok {
+		rhs := a.evalExpr(c.Y, st.clone())
+		return a.refineVar(id, op, rhs.Num, st)
+	}
+	if id, ok := c.Y.(*cast.Ident); ok {
+		lhs := a.evalExpr(c.X, st.clone())
+		return a.refineVar(id, flipCmp(op), lhs.Num, st)
+	}
+	// No refinement, but check feasibility.
+	v := a.evalExpr(c, st.clone())
+	t := a.truth(v)
+	if (t == True && !wantTrue) || (t == False && wantTrue) {
+		return nil
+	}
+	return st
+}
+
+func negateCmp(op cast.BinaryOp) cast.BinaryOp {
+	switch op {
+	case cast.BLt:
+		return cast.BGe
+	case cast.BGe:
+		return cast.BLt
+	case cast.BGt:
+		return cast.BLe
+	case cast.BLe:
+		return cast.BGt
+	case cast.BEq:
+		return cast.BNe
+	default:
+		return cast.BEq
+	}
+}
+
+func flipCmp(op cast.BinaryOp) cast.BinaryOp {
+	switch op {
+	case cast.BLt:
+		return cast.BGt
+	case cast.BGt:
+		return cast.BLt
+	case cast.BLe:
+		return cast.BGe
+	case cast.BGe:
+		return cast.BLe
+	}
+	return op
+}
+
+// refineVar meets the variable's interval with the constraint var OP k.
+func (a *Analyzer) refineVar(id *cast.Ident, op cast.BinaryOp, k Interval, st *state) *state {
+	if id.Sym == nil || id.Sym.Kind != cast.SymObject || k.IsBottom() {
+		return st
+	}
+	r := a.region(id.Sym)
+	c := st.get(r)
+	if c.val.isPtr() {
+		// Pointer vs null comparisons.
+		if z, ok := k.IsConst(); ok && z == 0 {
+			if op == cast.BEq {
+				c.val.Ptr = nil
+				c.val.MayNull = true
+			} else if op == cast.BNe {
+				c.val.MayNull = false
+			}
+		}
+		return st
+	}
+	cur := c.val.Num
+	if cur.IsBottom() {
+		cur = a.typeRange(id.Sym.Type)
+	}
+	var constraint Interval
+	switch op {
+	case cast.BLt:
+		constraint = Range(math.MinInt64, addSat(k.Hi, -1))
+	case cast.BLe:
+		constraint = Range(math.MinInt64, k.Hi)
+	case cast.BGt:
+		constraint = Range(addSat(k.Lo, 1), math.MaxInt64)
+	case cast.BGe:
+		constraint = Range(k.Lo, math.MaxInt64)
+	case cast.BEq:
+		constraint = k
+	case cast.BNe:
+		if kv, ok := k.IsConst(); ok {
+			if cv, isC := cur.IsConst(); isC && cv == kv {
+				return nil
+			}
+			if cur.Lo == kv {
+				c.val.Num = Range(kv+1, cur.Hi)
+				return st
+			}
+			if cur.Hi == kv {
+				c.val.Num = Range(cur.Lo, kv-1)
+				return st
+			}
+		}
+		return st
+	default:
+		return st
+	}
+	met := cur.Meet(constraint)
+	if met.IsBottom() {
+		return nil
+	}
+	c.val.Num = met
+	return st
+}

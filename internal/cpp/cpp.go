@@ -1,0 +1,493 @@
+package cpp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Error is a preprocessing error with a source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+// Resolver locates the contents of an #include.
+type Resolver interface {
+	// Resolve returns the contents and canonical name of the included file.
+	// system reports whether the include used <...> rather than "...".
+	// fromDir is the directory of the including file (for "..." includes).
+	Resolve(name string, system bool, fromDir string) (content, path string, err error)
+}
+
+// MapResolver serves includes from an in-memory map of name → contents.
+// Both <name> and "name" forms resolve through the map.
+type MapResolver map[string]string
+
+// Resolve implements Resolver.
+func (m MapResolver) Resolve(name string, system bool, fromDir string) (string, string, error) {
+	if c, ok := m[name]; ok {
+		return c, name, nil
+	}
+	return "", "", fmt.Errorf("include file %q not found", name)
+}
+
+// ChainResolver tries each resolver in turn.
+type ChainResolver []Resolver
+
+// Resolve implements Resolver.
+func (c ChainResolver) Resolve(name string, system bool, fromDir string) (string, string, error) {
+	var firstErr error
+	for _, r := range c {
+		content, path, err := r.Resolve(name, system, fromDir)
+		if err == nil {
+			return content, path, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("include file %q not found", name)
+	}
+	return "", "", firstErr
+}
+
+// FSResolver serves "..." includes from the filesystem relative to the
+// including file's directory.
+type FSResolver struct{}
+
+// Resolve implements Resolver.
+func (FSResolver) Resolve(name string, system bool, fromDir string) (string, string, error) {
+	if system {
+		return "", "", fmt.Errorf("system include %q not found", name)
+	}
+	p := name
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(fromDir, name)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return "", "", err
+	}
+	return string(b), p, nil
+}
+
+// Macro is a preprocessor macro definition.
+type Macro struct {
+	Name     string
+	FuncLike bool
+	Params   []string
+	Variadic bool
+	Body     []ppTok
+}
+
+type condState struct {
+	active     bool // this branch is being emitted
+	everActive bool // some branch of this #if chain was taken
+	parentLive bool // enclosing context is active
+	sawElse    bool
+	line       int
+	file       string
+}
+
+// Preprocessor expands one translation unit.
+type Preprocessor struct {
+	resolver Resolver
+	macros   map[string]*Macro
+	conds    []condState
+	in       []ppTok // token worklist (front = next)
+	out      strings.Builder
+	outFile  string
+	outLine  int
+	depth    int // include nesting depth
+	counter  int // __COUNTER__
+}
+
+const maxIncludeDepth = 40
+
+// New returns a preprocessor resolving includes through r (FSResolver and
+// the built-in libc headers are sensible defaults; see Preprocess).
+func New(r Resolver) *Preprocessor {
+	pp := &Preprocessor{resolver: r, macros: make(map[string]*Macro)}
+	pp.predefine()
+	return pp
+}
+
+// Preprocess runs src (named file) through a fresh preprocessor with the
+// given resolver and returns the expanded text with line markers.
+func Preprocess(src, file string, r Resolver) (string, error) {
+	pp := New(r)
+	return pp.Run(src, file)
+}
+
+func (pp *Preprocessor) predefine() {
+	def := func(name, body string) {
+		sc := newPPScanner(body, "<builtin>")
+		var toks []ppTok
+		for {
+			t := sc.next()
+			if t.kind == ppEOF || t.isPunct("\n") {
+				break
+			}
+			toks = append(toks, t)
+		}
+		pp.macros[name] = &Macro{Name: name, Body: toks}
+	}
+	def("__STDC__", "1")
+	def("__STDC_VERSION__", "201112L")
+	def("__STDC_HOSTED__", "1")
+	def("__KCC__", "1")
+	def("__x86_64__", "1")
+	// Deterministic date/time: reproducibility beats realism here.
+	def("__DATE__", `"Jan  1 2015"`)
+	def("__TIME__", `"00:00:00"`)
+	// __FILE__, __LINE__, __COUNTER__, __func__ handled specially.
+}
+
+// Define adds a command-line style definition ("NAME" or "NAME=VALUE").
+func (pp *Preprocessor) Define(d string) {
+	name, val := d, "1"
+	if i := strings.IndexByte(d, '='); i >= 0 {
+		name, val = d[:i], d[i+1:]
+	}
+	sc := newPPScanner(val, "<cmdline>")
+	var toks []ppTok
+	for {
+		t := sc.next()
+		if t.kind == ppEOF || t.isPunct("\n") {
+			break
+		}
+		toks = append(toks, t)
+	}
+	pp.macros[name] = &Macro{Name: name, Body: toks}
+}
+
+func (pp *Preprocessor) errorf(t ppTok, format string, args ...any) error {
+	return &Error{File: t.file, Line: t.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Run preprocesses src and returns the expanded translation unit.
+func (pp *Preprocessor) Run(src, file string) (string, error) {
+	pp.in = pp.scanFile(src, file)
+	pp.outFile = ""
+	pp.outLine = 0
+	for {
+		if len(pp.in) == 0 {
+			break
+		}
+		t := pp.in[0]
+		if t.kind == ppEOF || t.kind == ppIncludeEnd {
+			if t.kind == ppIncludeEnd {
+				pp.depth--
+			}
+			pp.in = pp.in[1:]
+			continue
+		}
+		if t.isPunct("\n") {
+			pp.in = pp.in[1:]
+			continue
+		}
+		if t.isPunct("#") && t.bol {
+			if err := pp.directive(); err != nil {
+				return "", err
+			}
+			continue
+		}
+		if !pp.active() {
+			pp.skipLine()
+			continue
+		}
+		expanded, err := pp.expandOne()
+		if err != nil {
+			return "", err
+		}
+		for _, e := range expanded {
+			pp.emit(e)
+		}
+	}
+	if len(pp.conds) > 0 {
+		c := pp.conds[len(pp.conds)-1]
+		return "", &Error{File: c.file, Line: c.line, Msg: "unterminated #if"}
+	}
+	pp.out.WriteByte('\n')
+	return pp.out.String(), nil
+}
+
+func (pp *Preprocessor) scanFile(src, file string) []ppTok {
+	sc := newPPScanner(src, file)
+	var toks []ppTok
+	for {
+		t := sc.next()
+		toks = append(toks, t)
+		if t.kind == ppEOF {
+			return toks
+		}
+	}
+}
+
+func (pp *Preprocessor) active() bool {
+	for _, c := range pp.conds {
+		if !c.active || !c.parentLive {
+			return false
+		}
+	}
+	return true
+}
+
+// takeLine removes and returns the tokens up to (not including) the next
+// newline or EOF; the newline itself is consumed.
+func (pp *Preprocessor) takeLine() []ppTok {
+	var line []ppTok
+	for len(pp.in) > 0 {
+		t := pp.in[0]
+		if t.kind == ppIncludeEnd {
+			// Leave the marker for Run to account for.
+			break
+		}
+		pp.in = pp.in[1:]
+		if t.kind == ppEOF || t.isPunct("\n") {
+			break
+		}
+		line = append(line, t)
+	}
+	return line
+}
+
+func (pp *Preprocessor) skipLine() { pp.takeLine() }
+
+// directive handles one preprocessing directive (cursor is at '#').
+func (pp *Preprocessor) directive() error {
+	hash := pp.in[0]
+	pp.in = pp.in[1:]
+	line := pp.takeLine()
+	if len(line) == 0 {
+		return nil // null directive
+	}
+	name := line[0]
+	args := line[1:]
+	if name.kind != ppIdent && name.kind != ppNumber {
+		if !pp.active() {
+			return nil
+		}
+		return pp.errorf(hash, "invalid preprocessing directive")
+	}
+	switch name.text {
+	case "ifdef", "ifndef":
+		live := pp.active()
+		taken := false
+		if len(args) != 1 || args[0].kind != ppIdent {
+			if live {
+				return pp.errorf(name, "#%s expects a single identifier", name.text)
+			}
+		} else {
+			_, defined := pp.macros[args[0].text]
+			taken = defined == (name.text == "ifdef")
+		}
+		pp.conds = append(pp.conds, condState{
+			active: taken, everActive: taken, parentLive: live,
+			line: name.line, file: name.file,
+		})
+		return nil
+	case "if":
+		live := pp.active()
+		taken := false
+		if live {
+			v, err := pp.evalCondition(args, name)
+			if err != nil {
+				return err
+			}
+			taken = v != 0
+		}
+		pp.conds = append(pp.conds, condState{
+			active: taken, everActive: taken, parentLive: live,
+			line: name.line, file: name.file,
+		})
+		return nil
+	case "elif":
+		if len(pp.conds) == 0 {
+			return pp.errorf(name, "#elif without #if")
+		}
+		c := &pp.conds[len(pp.conds)-1]
+		if c.sawElse {
+			return pp.errorf(name, "#elif after #else")
+		}
+		if !c.parentLive || c.everActive {
+			c.active = false
+			return nil
+		}
+		v, err := pp.evalCondition(args, name)
+		if err != nil {
+			return err
+		}
+		c.active = v != 0
+		c.everActive = c.active
+		return nil
+	case "else":
+		if len(pp.conds) == 0 {
+			return pp.errorf(name, "#else without #if")
+		}
+		c := &pp.conds[len(pp.conds)-1]
+		if c.sawElse {
+			return pp.errorf(name, "duplicate #else")
+		}
+		c.sawElse = true
+		c.active = c.parentLive && !c.everActive
+		c.everActive = true
+		return nil
+	case "endif":
+		if len(pp.conds) == 0 {
+			return pp.errorf(name, "#endif without #if")
+		}
+		pp.conds = pp.conds[:len(pp.conds)-1]
+		return nil
+	}
+	if !pp.active() {
+		return nil
+	}
+	switch name.text {
+	case "include":
+		return pp.include(name, args)
+	case "define":
+		return pp.define(name, args)
+	case "undef":
+		if len(args) != 1 || args[0].kind != ppIdent {
+			return pp.errorf(name, "#undef expects a single identifier")
+		}
+		delete(pp.macros, args[0].text)
+		return nil
+	case "error":
+		return pp.errorf(name, "#error %s", tokensText(args))
+	case "warning":
+		fmt.Fprintf(os.Stderr, "%s:%d: warning: %s\n", name.file, name.line, tokensText(args))
+		return nil
+	case "pragma":
+		return nil // all pragmas ignored (including once; headers use guards)
+	case "line":
+		return nil // we own line numbering
+	default:
+		return pp.errorf(name, "unknown preprocessing directive #%s", name.text)
+	}
+}
+
+func tokensText(toks []ppTok) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 && t.ws {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.text)
+	}
+	return b.String()
+}
+
+func (pp *Preprocessor) include(dir ppTok, args []ppTok) error {
+	if pp.depth >= maxIncludeDepth {
+		return pp.errorf(dir, "#include nested too deeply")
+	}
+	var name string
+	system := false
+	switch {
+	case len(args) == 1 && args[0].kind == ppString:
+		var err error
+		name, err = strconv.Unquote(args[0].text)
+		if err != nil {
+			name = strings.Trim(args[0].text, `"`)
+		}
+	case len(args) >= 2 && args[0].isPunct("<"):
+		system = true
+		var b strings.Builder
+		for _, t := range args[1:] {
+			if t.isPunct(">") {
+				break
+			}
+			b.WriteString(t.text)
+		}
+		name = b.String()
+	default:
+		// The operand may itself be a macro.
+		exp, err := pp.expandList(args)
+		if err != nil {
+			return err
+		}
+		if len(exp) == 1 && exp[0].kind == ppString {
+			name, _ = strconv.Unquote(exp[0].text)
+		} else {
+			return pp.errorf(dir, "malformed #include")
+		}
+	}
+	content, path, err := pp.resolver.Resolve(name, system, filepath.Dir(dir.file))
+	if err != nil {
+		return pp.errorf(dir, "%v", err)
+	}
+	toks := pp.scanFile(content, path)
+	// Drop the trailing EOF of the included file, splice its tokens in, and
+	// follow them with an end marker that pops the include depth.
+	if n := len(toks); n > 0 && toks[n-1].kind == ppEOF {
+		toks = toks[:n-1]
+	}
+	pp.depth++
+	spliced := make([]ppTok, 0, len(toks)+1+len(pp.in))
+	spliced = append(spliced, toks...)
+	spliced = append(spliced, ppTok{kind: ppIncludeEnd, file: path, line: 0})
+	spliced = append(spliced, pp.in...)
+	pp.in = spliced
+	return nil
+}
+
+func (pp *Preprocessor) define(dir ppTok, args []ppTok) error {
+	if len(args) == 0 || args[0].kind != ppIdent {
+		return pp.errorf(dir, "#define expects an identifier")
+	}
+	m := &Macro{Name: args[0].text}
+	rest := args[1:]
+	// Function-like only if '(' immediately follows the name (no space).
+	if len(rest) > 0 && rest[0].isPunct("(") && !rest[0].ws {
+		m.FuncLike = true
+		i := 1
+		for i < len(rest) && !rest[i].isPunct(")") {
+			t := rest[i]
+			switch {
+			case t.kind == ppIdent:
+				m.Params = append(m.Params, t.text)
+			case t.isPunct("..."):
+				m.Variadic = true
+			case t.isPunct(","):
+			default:
+				return pp.errorf(dir, "malformed macro parameter list")
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return pp.errorf(dir, "unterminated macro parameter list")
+		}
+		rest = rest[i+1:]
+	}
+	m.Body = append([]ppTok{}, rest...)
+	pp.macros[m.Name] = m
+	return nil
+}
+
+// emit writes one token to the output, inserting newlines or line markers to
+// keep output lines in sync with the token's origin.
+func (pp *Preprocessor) emit(t ppTok) {
+	if t.file != pp.outFile || t.line < pp.outLine || t.line > pp.outLine+8 {
+		if pp.outLine != 0 {
+			pp.out.WriteByte('\n')
+		}
+		fmt.Fprintf(&pp.out, "# %d %q\n", t.line, t.file)
+		pp.outFile = t.file
+		pp.outLine = t.line
+	}
+	for pp.outLine < t.line {
+		pp.out.WriteByte('\n')
+		pp.outLine++
+	}
+	pp.out.WriteByte(' ')
+	pp.out.WriteString(t.text)
+}

@@ -1,0 +1,697 @@
+// Package cprint renders a checked translation unit back to C source.
+//
+// The printer is used for diagnostics (show the program the checker
+// actually understood) and as a correctness oracle: printing a program and
+// re-compiling the output must yield identical behavior (the round-trip
+// property tested against the torture suite).
+package cprint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+)
+
+// Unit renders a whole translation unit.
+func Unit(tu *cast.TranslationUnit) string {
+	p := &printer{}
+	// Tag types must be declared before use: collect struct/union/enum
+	// definitions reachable from declarations, in first-use order.
+	p.emitTagDefs(tu)
+	for _, n := range tu.Order {
+		switch n := n.(type) {
+		case *cast.Decl:
+			p.decl(n, true)
+			p.raw(";\n")
+		case *cast.FuncDef:
+			p.funcDef(n)
+		}
+	}
+	return p.b.String()
+}
+
+// Expr renders one expression.
+func Expr(e cast.Expr) string {
+	p := &printer{}
+	p.expr(e, 0)
+	return p.b.String()
+}
+
+// Stmt renders one statement.
+func Stmt(s cast.Stmt) string {
+	p := &printer{}
+	p.stmt(s)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+	tags   map[*ctypes.Type]bool
+}
+
+func (p *printer) raw(s string) { p.b.WriteString(s) }
+
+func (p *printer) line(s string) {
+	p.raw(strings.Repeat("\t", p.indent))
+	p.raw(s)
+}
+
+// ---------- types ----------
+
+// emitTagDefs prints definitions for tagged aggregates used by the unit.
+func (p *printer) emitTagDefs(tu *cast.TranslationUnit) {
+	p.tags = map[*ctypes.Type]bool{}
+	var walk func(t *ctypes.Type)
+	walk = func(t *ctypes.Type) {
+		if t == nil {
+			return
+		}
+		switch t.Kind {
+		case ctypes.Ptr, ctypes.Array:
+			walk(t.Elem)
+		case ctypes.Func:
+			walk(t.Elem)
+			for _, pr := range t.Params {
+				walk(pr.Type)
+			}
+		case ctypes.Struct, ctypes.Union:
+			if p.tags[t] || t.Incomplete {
+				return
+			}
+			p.tags[t] = true
+			for _, f := range t.Fields {
+				walk(f.Type)
+			}
+			kw := "struct"
+			if t.Kind == ctypes.Union {
+				kw = "union"
+			}
+			tag := t.Tag
+			if tag == "" {
+				return // anonymous: printed inline where used
+			}
+			fmt.Fprintf(&p.b, "%s %s {\n", kw, tag)
+			for _, f := range t.Fields {
+				p.raw("\t")
+				if f.BitField {
+					p.raw(declare(f.Type, f.Name) + fmt.Sprintf(" : %d", f.BitWidth))
+				} else {
+					p.raw(declare(f.Type, f.Name))
+				}
+				p.raw(";\n")
+			}
+			p.raw("};\n")
+		}
+	}
+	for _, n := range tu.Order {
+		switch n := n.(type) {
+		case *cast.Decl:
+			walk(n.Type)
+		case *cast.FuncDef:
+			walk(n.Type)
+			collectStmtTypes(n.Body, walk)
+		}
+	}
+}
+
+func collectStmtTypes(s cast.Stmt, walk func(*ctypes.Type)) {
+	switch s := s.(type) {
+	case *cast.DeclStmt:
+		for _, d := range s.Decls {
+			walk(d.Type)
+		}
+	case *cast.Compound:
+		for _, inner := range s.List {
+			collectStmtTypes(inner, walk)
+		}
+	case *cast.If:
+		collectStmtTypes(s.Then, walk)
+		if s.Else != nil {
+			collectStmtTypes(s.Else, walk)
+		}
+	case *cast.While:
+		collectStmtTypes(s.Body, walk)
+	case *cast.DoWhile:
+		collectStmtTypes(s.Body, walk)
+	case *cast.For:
+		if s.Init != nil {
+			collectStmtTypes(s.Init, walk)
+		}
+		collectStmtTypes(s.Body, walk)
+	case *cast.Switch:
+		collectStmtTypes(s.Body, walk)
+	case *cast.Label:
+		collectStmtTypes(s.Stmt, walk)
+	case *cast.Case:
+		collectStmtTypes(s.Stmt, walk)
+	case *cast.Default:
+		collectStmtTypes(s.Stmt, walk)
+	}
+}
+
+// declare renders a declaration of name with type t using the C inside-out
+// declarator syntax.
+func declare(t *ctypes.Type, name string) string {
+	return strings.TrimRight(declSpec(t)+declarator(t, name), " ")
+}
+
+// declSpec returns the leading specifier (the base type at the core of the
+// declarator spiral).
+func declSpec(t *ctypes.Type) string {
+	base := t
+	for {
+		switch base.Kind {
+		case ctypes.Ptr, ctypes.Array:
+			base = base.Elem
+			continue
+		case ctypes.Func:
+			base = base.Elem
+			continue
+		}
+		break
+	}
+	return typeName(base) + " "
+}
+
+func typeName(t *ctypes.Type) string {
+	qual := ""
+	if t.Qual.Has(ctypes.QConst) {
+		qual = "const "
+	}
+	if t.Qual.Has(ctypes.QVolatile) {
+		qual += "volatile "
+	}
+	switch t.Kind {
+	case ctypes.Struct:
+		if t.Tag != "" {
+			return qual + "struct " + t.Tag
+		}
+		return qual + inlineAggregate(t, "struct")
+	case ctypes.Union:
+		if t.Tag != "" {
+			return qual + "union " + t.Tag
+		}
+		return qual + inlineAggregate(t, "union")
+	case ctypes.Enum:
+		return qual + "int" // enums are int-compatible; constants were folded
+	default:
+		return qual + t.Kind.String()
+	}
+}
+
+func inlineAggregate(t *ctypes.Type, kw string) string {
+	var b strings.Builder
+	b.WriteString(kw + " { ")
+	for _, f := range t.Fields {
+		b.WriteString(declare(f.Type, f.Name))
+		if f.BitField {
+			fmt.Fprintf(&b, " : %d", f.BitWidth)
+		}
+		b.WriteString("; ")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// declarator renders the pointer/array/function spiral around name.
+func declarator(t *ctypes.Type, name string) string {
+	switch t.Kind {
+	case ctypes.Ptr:
+		inner := "*" + name
+		if t.Qual.Has(ctypes.QConst) {
+			inner = "*const " + name
+		}
+		if t.Elem.Kind == ctypes.Array || t.Elem.Kind == ctypes.Func {
+			inner = "(" + inner + ")"
+		}
+		return declarator(t.Elem, inner)
+	case ctypes.Array:
+		n := ""
+		if t.ArrayLen >= 0 && !t.VLA {
+			n = fmt.Sprint(t.ArrayLen)
+		}
+		return declarator(t.Elem, name+"["+n+"]")
+	case ctypes.Func:
+		var ps []string
+		for _, pr := range t.Params {
+			ps = append(ps, declare(pr.Type, pr.Name))
+		}
+		if t.Variadic {
+			ps = append(ps, "...")
+		}
+		if len(ps) == 0 && !t.OldStyle {
+			ps = []string{"void"}
+		}
+		return declarator(t.Elem, name+"("+strings.Join(ps, ", ")+")")
+	default:
+		return name
+	}
+}
+
+// ---------- declarations ----------
+
+func (p *printer) decl(d *cast.Decl, fileScope bool) {
+	prefix := ""
+	switch d.Storage {
+	case cast.SStatic:
+		prefix = "static "
+	case cast.SExtern:
+		prefix = "extern "
+	}
+	if d.Type.Kind == ctypes.Array && d.Type.VLA && d.VLASize != nil {
+		// The variable dimension lives in the declaration, not the type.
+		p.raw(prefix + declSpec(d.Type) + d.Name + "[")
+		p.expr(d.VLASize, 0)
+		p.raw("]")
+		return
+	}
+	p.raw(prefix + declare(d.Type, d.Name))
+	if d.Init != nil {
+		p.raw(" = ")
+		p.initializer(d.Init)
+	}
+}
+
+func (p *printer) initializer(e cast.Expr) {
+	if il, ok := e.(*cast.InitList); ok {
+		p.raw("{")
+		for i, item := range il.Items {
+			if i > 0 {
+				p.raw(", ")
+			}
+			for _, dsg := range item.Designators {
+				if dsg.Field != "" {
+					p.raw("." + dsg.Field)
+				} else {
+					p.raw("[")
+					p.expr(dsg.Index, 0)
+					p.raw("]")
+				}
+			}
+			if len(item.Designators) > 0 {
+				p.raw(" = ")
+			}
+			p.initializer(item.Init)
+		}
+		p.raw("}")
+		return
+	}
+	p.expr(e, precAssign)
+}
+
+func (p *printer) funcDef(f *cast.FuncDef) {
+	var ps []string
+	for _, sym := range f.Params {
+		ps = append(ps, declare(sym.Type, sym.Name))
+	}
+	if len(ps) == 0 {
+		ps = []string{"void"}
+	}
+	ret := f.Type.Elem
+	p.raw(declare(ret, f.Name+"("+strings.Join(ps, ", ")+")"))
+	p.raw(" ")
+	p.stmt(f.Body)
+	p.raw("\n")
+}
+
+// ---------- statements ----------
+
+func (p *printer) stmt(s cast.Stmt) {
+	switch s := s.(type) {
+	case *cast.Empty:
+		p.raw(";\n")
+	case *cast.ExprStmt:
+		p.expr(s.X, 0)
+		p.raw(";\n")
+	case *cast.DeclStmt:
+		for i, d := range s.Decls {
+			if i > 0 {
+				p.line("")
+			}
+			p.decl(d, false)
+			p.raw(";")
+			if i < len(s.Decls)-1 {
+				p.raw("\n")
+			}
+		}
+		p.raw("\n")
+	case *cast.Compound:
+		p.raw("{\n")
+		p.indent++
+		for _, inner := range s.List {
+			p.line("")
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}\n")
+	case *cast.If:
+		p.raw("if (")
+		p.expr(s.Cond, 0)
+		p.raw(") ")
+		p.stmt(s.Then)
+		if s.Else != nil {
+			p.line("else ")
+			p.stmt(s.Else)
+		}
+	case *cast.While:
+		p.raw("while (")
+		p.expr(s.Cond, 0)
+		p.raw(") ")
+		p.stmt(s.Body)
+	case *cast.DoWhile:
+		p.raw("do ")
+		p.stmt(s.Body)
+		p.line("while (")
+		p.expr(s.Cond, 0)
+		p.raw(");\n")
+	case *cast.For:
+		p.raw("for (")
+		switch init := s.Init.(type) {
+		case nil:
+			p.raw(";")
+		case *cast.DeclStmt:
+			// One declaration, several declarators: the specifier prints
+			// once (a for-init cannot be split into statements).
+			for i, d := range init.Decls {
+				if i == 0 {
+					p.raw(declSpec(d.Type))
+				} else {
+					p.raw(", ")
+				}
+				p.raw(declarator(d.Type, d.Name))
+				if d.Init != nil {
+					p.raw(" = ")
+					p.initializer(d.Init)
+				}
+			}
+			p.raw(";")
+		case *cast.ExprStmt:
+			p.expr(init.X, 0)
+			p.raw(";")
+		}
+		p.raw(" ")
+		if s.Cond != nil {
+			p.expr(s.Cond, 0)
+		}
+		p.raw("; ")
+		if s.Post != nil {
+			p.expr(s.Post, 0)
+		}
+		p.raw(") ")
+		p.stmt(s.Body)
+	case *cast.Switch:
+		p.raw("switch (")
+		p.expr(s.Tag, 0)
+		p.raw(") ")
+		p.stmt(s.Body)
+	case *cast.Case:
+		p.raw("case ")
+		p.expr(s.Expr, 0)
+		p.raw(":\n")
+		p.indent++
+		p.line("")
+		p.stmt(s.Stmt)
+		p.indent--
+	case *cast.Default:
+		p.raw("default:\n")
+		p.indent++
+		p.line("")
+		p.stmt(s.Stmt)
+		p.indent--
+	case *cast.Label:
+		p.raw(s.Name + ":\n")
+		p.line("")
+		p.stmt(s.Stmt)
+	case *cast.Goto:
+		p.raw("goto " + s.Name + ";\n")
+	case *cast.Break:
+		p.raw("break;\n")
+	case *cast.Continue:
+		p.raw("continue;\n")
+	case *cast.Return:
+		if s.X == nil {
+			p.raw("return;\n")
+		} else {
+			p.raw("return ")
+			p.expr(s.X, 0)
+			p.raw(";\n")
+		}
+	default:
+		p.raw("/* unprintable statement */;\n")
+	}
+}
+
+// ---------- expressions ----------
+
+// Precedence levels (higher binds tighter), mirroring the parser's.
+const (
+	precComma = iota
+	precAssign
+	precCond
+	precLogOr
+	precLogAnd
+	precBitOr
+	precBitXor
+	precBitAnd
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+)
+
+func binPrecOf(op cast.BinaryOp) int {
+	switch op {
+	case cast.BLogOr:
+		return precLogOr
+	case cast.BLogAnd:
+		return precLogAnd
+	case cast.BOr:
+		return precBitOr
+	case cast.BXor:
+		return precBitXor
+	case cast.BAnd:
+		return precBitAnd
+	case cast.BEq, cast.BNe:
+		return precEq
+	case cast.BLt, cast.BGt, cast.BLe, cast.BGe:
+		return precRel
+	case cast.BShl, cast.BShr:
+		return precShift
+	case cast.BAdd, cast.BSub:
+		return precAdd
+	default:
+		return precMul
+	}
+}
+
+// expr prints e, parenthesizing when its precedence is below min.
+func (p *printer) expr(e cast.Expr, min int) {
+	switch e := e.(type) {
+	case *cast.IntLit:
+		p.intLit(e)
+	case *cast.FloatLit:
+		p.floatLit(e)
+	case *cast.StringLit:
+		p.raw(quoteC(e.Value))
+	case *cast.Ident:
+		p.raw(e.Name)
+	case *cast.Unary:
+		p.unary(e, min)
+	case *cast.Binary:
+		prec := binPrecOf(e.Op)
+		p.paren(prec < min, func() {
+			p.expr(e.X, prec)
+			p.raw(" " + e.Op.String() + " ")
+			p.expr(e.Y, prec+1)
+		})
+	case *cast.Assign:
+		p.paren(precAssign < min, func() {
+			p.expr(e.L, precUnary)
+			if e.HasOp {
+				p.raw(" " + e.Op.String() + "= ")
+			} else {
+				p.raw(" = ")
+			}
+			p.expr(e.R, precAssign)
+		})
+	case *cast.Cond:
+		p.paren(precCond < min, func() {
+			p.expr(e.C, precLogOr)
+			p.raw(" ? ")
+			p.expr(e.Then, precAssign)
+			p.raw(" : ")
+			p.expr(e.Else, precCond)
+		})
+	case *cast.Comma:
+		p.paren(precComma < min, func() {
+			p.expr(e.X, precAssign)
+			p.raw(", ")
+			p.expr(e.Y, precAssign)
+		})
+	case *cast.Call:
+		p.expr(e.Fn, precPostfix)
+		p.raw("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.raw(", ")
+			}
+			p.expr(a, precAssign)
+		}
+		p.raw(")")
+	case *cast.Index:
+		p.expr(e.X, precPostfix)
+		p.raw("[")
+		p.expr(e.I, 0)
+		p.raw("]")
+	case *cast.Member:
+		p.expr(e.X, precPostfix)
+		if e.Arrow {
+			p.raw("->")
+		} else {
+			p.raw(".")
+		}
+		p.raw(e.Name)
+	case *cast.Cast:
+		p.paren(precUnary < min, func() {
+			p.raw("(" + declare(e.To, "") + ")")
+			p.expr(e.X, precUnary)
+		})
+	case *cast.SizeofExpr:
+		p.raw("sizeof(")
+		p.expr(e.X, 0)
+		p.raw(")")
+	case *cast.SizeofType:
+		if e.IsAlign {
+			p.raw("_Alignof(" + declare(e.Of, "") + ")")
+		} else {
+			p.raw("sizeof(" + declare(e.Of, "") + ")")
+		}
+	case *cast.CompoundLit:
+		p.raw("(" + declare(e.Of, "") + ")")
+		p.initializer(e.Init)
+	case *cast.InitList:
+		p.initializer(e)
+	default:
+		p.raw("/*?expr?*/0")
+	}
+}
+
+func (p *printer) paren(need bool, body func()) {
+	if need {
+		p.raw("(")
+	}
+	body()
+	if need {
+		p.raw(")")
+	}
+}
+
+func (p *printer) unary(e *cast.Unary, min int) {
+	switch e.Op {
+	case cast.UPostInc:
+		p.expr(e.X, precPostfix)
+		p.raw("++")
+	case cast.UPostDec:
+		p.expr(e.X, precPostfix)
+		p.raw("--")
+	default:
+		p.paren(precUnary < min, func() {
+			switch e.Op {
+			case cast.UPreInc:
+				p.raw("++")
+			case cast.UPreDec:
+				p.raw("--")
+			default:
+				p.raw(e.Op.String())
+			}
+			// Avoid gluing "- -x" into "--x".
+			if inner, ok := e.X.(*cast.Unary); ok {
+				if (e.Op == cast.UNeg && (inner.Op == cast.UNeg || inner.Op == cast.UPreDec)) ||
+					(e.Op == cast.UPlus && (inner.Op == cast.UPlus || inner.Op == cast.UPreInc)) {
+					p.raw(" ")
+				}
+			}
+			p.expr(e.X, precUnary)
+		})
+	}
+}
+
+func (p *printer) intLit(e *cast.IntLit) {
+	t := e.T
+	v := int64(e.Value)
+	suffix := ""
+	if t != nil {
+		switch t.Kind {
+		case ctypes.UInt:
+			suffix = "u"
+		case ctypes.Long:
+			suffix = "L"
+		case ctypes.ULong:
+			suffix = "uL"
+		case ctypes.LongLong:
+			suffix = "LL"
+		case ctypes.ULongLong:
+			suffix = "uLL"
+		}
+		if !t.IsSigned(nil2LP64()) {
+			fmt.Fprintf(&p.b, "%d%s", uint64(e.Value), suffix)
+			return
+		}
+	}
+	if v < 0 {
+		// Print negative canonical values via arithmetic to stay within
+		// the literal grammar (INT_MIN has no literal form).
+		fmt.Fprintf(&p.b, "(%d - 1)", v+1)
+		return
+	}
+	fmt.Fprintf(&p.b, "%d%s", v, suffix)
+}
+
+func (p *printer) floatLit(e *cast.FloatLit) {
+	s := fmt.Sprintf("%g", e.Value)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	if e.T != nil && e.T.Kind == ctypes.Float {
+		s += "f"
+	}
+	p.raw(s)
+}
+
+func nil2LP64() *ctypes.Model { return ctypes.LP64() }
+
+// quoteC renders bytes as a C string literal.
+func quoteC(b []byte) string {
+	var out strings.Builder
+	out.WriteByte('"')
+	for _, c := range b {
+		switch c {
+		case '"':
+			out.WriteString(`\"`)
+		case '\\':
+			out.WriteString(`\\`)
+		case '\n':
+			out.WriteString(`\n`)
+		case '\t':
+			out.WriteString(`\t`)
+		case '\r':
+			out.WriteString(`\r`)
+		case 0:
+			out.WriteString(`\0`)
+		default:
+			if c < 32 || c > 126 {
+				fmt.Fprintf(&out, `\x%02x`, c)
+			} else {
+				out.WriteByte(c)
+			}
+		}
+	}
+	out.WriteByte('"')
+	return out.String()
+}

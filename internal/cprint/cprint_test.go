@@ -1,0 +1,101 @@
+package cprint_test
+
+import (
+	"strings"
+	"testing"
+
+	undefc "repro"
+	"repro/internal/cprint"
+	"repro/internal/suite"
+	"repro/internal/ub"
+)
+
+// TestRoundTripTorture is the printer's main correctness property: printing
+// every torture program and re-compiling the output must produce identical
+// behavior (exit code and output).
+func TestRoundTripTorture(t *testing.T) {
+	for _, tc := range suite.Torture() {
+		prog, err := undefc.Compile(tc.Source, tc.Name+".c", undefc.Options{})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.Name, err)
+		}
+		printed := cprint.Unit(prog.Unit)
+		res := undefc.RunSource(printed, tc.Name+"_rt.c", undefc.Options{})
+		if res.Err != nil {
+			t.Errorf("%s: round trip failed to run: %v\n--- printed ---\n%s", tc.Name, res.Err, printed)
+			continue
+		}
+		if res.UB != nil {
+			t.Errorf("%s: round trip introduced UB: %v\n--- printed ---\n%s", tc.Name, res.UB, printed)
+			continue
+		}
+		if res.ExitCode != tc.ExitCode || res.Output != tc.Output {
+			t.Errorf("%s: round trip behavior changed: exit %d/%d output %q/%q\n--- printed ---\n%s",
+				tc.Name, res.ExitCode, tc.ExitCode, res.Output, tc.Output, printed)
+		}
+	}
+}
+
+// TestRoundTripPreservesUB: printing an undefined program keeps its
+// undefined behavior detectable.
+func TestRoundTripPreservesUB(t *testing.T) {
+	srcs := []struct {
+		src  string
+		want *ub.Behavior
+	}{
+		{"int main(void){ int x = 0; return (x = 1) + (x = 2); }", ub.UnseqSideEffect},
+		{"int main(void){ int z = 0; return 5 / z; }", ub.DivByZero},
+		{"int main(void){ int a[3] = {1,2,3}; return a[5]; }", ub.PtrArithBounds},
+	}
+	for _, tc := range srcs {
+		prog, err := undefc.Compile(tc.src, "ub.c", undefc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := cprint.Unit(prog.Unit)
+		res := undefc.RunSource(printed, "ub_rt.c", undefc.Options{})
+		if res.UB == nil || res.UB.Behavior != tc.want {
+			t.Errorf("round trip lost the UB: got %v\n--- printed ---\n%s", res.UB, printed)
+		}
+	}
+}
+
+func TestExprPrinting(t *testing.T) {
+	prog, err := undefc.Compile(`
+int main(void) {
+	int a = 1, b = 2, c = 3;
+	return a + b * c - (a + b) * c;
+}
+`, "e.c", undefc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := cprint.Unit(prog.Unit)
+	if !strings.Contains(printed, "a + b * c - (a + b) * c") {
+		t.Errorf("precedence-aware printing failed:\n%s", printed)
+	}
+}
+
+func TestDeclaratorPrinting(t *testing.T) {
+	prog, err := undefc.Compile(`
+int (*fp)(int, char);
+int *arr[3];
+int (*parr)[3];
+const char *msg = "hi\n";
+int main(void) { return 0; }
+`, "d.c", undefc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := cprint.Unit(prog.Unit)
+	for _, want := range []string{
+		"int (*fp)(int, char)",
+		"int *arr[3]",
+		"int (*parr)[3]",
+		`"hi\n"`,
+	} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("missing %q in:\n%s", want, printed)
+		}
+	}
+}

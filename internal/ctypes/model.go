@@ -1,0 +1,376 @@
+package ctypes
+
+import "fmt"
+
+// Model captures the implementation-defined parameters of a C implementation
+// (C11 §3.19.1, §6.2.5). The paper's §2.5.1 shows that whether a program is
+// undefined can depend on these choices, so the checker takes a Model as
+// input rather than hard-coding one.
+type Model struct {
+	Name string
+
+	// Sizes in bytes.
+	SizeShort, SizeInt, SizeLong, SizeLongLong int64
+	SizePtr                                    int64
+	SizeFloat, SizeDouble, SizeLongDouble      int64
+	SizeBool                                   int64
+
+	// CharSigned reports whether plain char behaves as signed char.
+	CharSigned bool
+
+	// MaxAlign caps alignment (every basic type is aligned to min(size,
+	// MaxAlign)).
+	MaxAlign int64
+}
+
+// LP64 is the common 64-bit Unix model (the paper's experiments ran on
+// x86_64): int 4, long 8, pointers 8, char signed.
+func LP64() *Model {
+	return &Model{
+		Name:      "LP64",
+		SizeShort: 2, SizeInt: 4, SizeLong: 8, SizeLongLong: 8,
+		SizePtr:   8,
+		SizeFloat: 4, SizeDouble: 8, SizeLongDouble: 16,
+		SizeBool:   1,
+		CharSigned: true,
+		MaxAlign:   16,
+	}
+}
+
+// ILP32 is the common 32-bit model: int 4, long 4, pointers 4.
+func ILP32() *Model {
+	return &Model{
+		Name:      "ILP32",
+		SizeShort: 2, SizeInt: 4, SizeLong: 4, SizeLongLong: 8,
+		SizePtr:   4,
+		SizeFloat: 4, SizeDouble: 8, SizeLongDouble: 12,
+		SizeBool:   1,
+		CharSigned: true,
+		MaxAlign:   8,
+	}
+}
+
+// Int8 is a deliberately exotic model with 8-byte ints, used to demonstrate
+// the paper's §2.5.1: `int *p = malloc(4); *p = 1000;` is defined under LP64
+// but undefined here.
+func Int8() *Model {
+	return &Model{
+		Name:      "INT8",
+		SizeShort: 2, SizeInt: 8, SizeLong: 8, SizeLongLong: 8,
+		SizePtr:   8,
+		SizeFloat: 4, SizeDouble: 8, SizeLongDouble: 16,
+		SizeBool:   1,
+		CharSigned: true,
+		MaxAlign:   16,
+	}
+}
+
+// Size returns the size of t in bytes under m. It panics for incomplete
+// types; callers must check IsComplete first (the type checker guarantees
+// this for checked programs).
+func (m *Model) Size(t *Type) int64 {
+	switch t.Kind {
+	case Bool:
+		return m.SizeBool
+	case Char, SChar, UChar:
+		return 1
+	case Short, UShort:
+		return m.SizeShort
+	case Int, UInt, Enum:
+		return m.SizeInt
+	case Long, ULong:
+		return m.SizeLong
+	case LongLong, ULongLong:
+		return m.SizeLongLong
+	case Float:
+		return m.SizeFloat
+	case Double:
+		return m.SizeDouble
+	case LongDouble:
+		return m.SizeLongDouble
+	case Ptr:
+		return m.SizePtr
+	case Array:
+		if t.ArrayLen < 0 {
+			panic("ctypes: size of incomplete array type " + t.String())
+		}
+		return t.ArrayLen * m.Size(t.Elem)
+	case Struct, Union:
+		m.layout(t)
+		return t.size
+	}
+	panic("ctypes: size of non-object type " + t.String())
+}
+
+// Align returns the alignment requirement of t in bytes under m.
+func (m *Model) Align(t *Type) int64 {
+	switch t.Kind {
+	case Array:
+		return m.Align(t.Elem)
+	case Struct, Union:
+		m.layout(t)
+		return t.align
+	default:
+		s := m.Size(t)
+		if s > m.MaxAlign {
+			return m.MaxAlign
+		}
+		if s == 0 {
+			return 1
+		}
+		// Round down to a power of two (e.g. 12-byte long double aligns 4).
+		a := int64(1)
+		for a*2 <= s {
+			a *= 2
+		}
+		return a
+	}
+}
+
+// layout computes and caches struct/union member offsets, size, and
+// alignment. Bit-fields are packed into units of their declared type.
+func (m *Model) layout(t *Type) {
+	if t.size != 0 || len(t.Fields) == 0 {
+		if t.Incomplete {
+			panic("ctypes: layout of incomplete type " + t.String())
+		}
+		if t.size != 0 {
+			return
+		}
+	}
+	var size, align int64 = 0, 1
+	if t.Kind == Union {
+		for i := range t.Fields {
+			f := &t.Fields[i]
+			f.Offset = 0
+			fs := m.Size(f.Type)
+			fa := m.Align(f.Type)
+			if fs > size {
+				size = fs
+			}
+			if fa > align {
+				align = fa
+			}
+		}
+	} else {
+		var bitUnitEnd int64 = -1 // byte offset past the current bit-field unit
+		bitPos := 0               // next free bit within the unit
+		for i := range t.Fields {
+			f := &t.Fields[i]
+			fa := m.Align(f.Type)
+			if fa > align {
+				align = fa
+			}
+			if f.BitField {
+				unit := m.Size(f.Type) * 8
+				if f.BitWidth == 0 {
+					// Zero-width: close the current unit.
+					bitUnitEnd = -1
+					bitPos = 0
+					continue
+				}
+				if bitUnitEnd < 0 || int64(bitPos+f.BitWidth) > unit {
+					// Start a new unit.
+					size = roundUp(size, fa)
+					f.Offset = size
+					size += m.Size(f.Type)
+					bitUnitEnd = size
+					bitPos = 0
+				} else {
+					f.Offset = bitUnitEnd - m.Size(f.Type)
+				}
+				f.BitOff = bitPos
+				bitPos += f.BitWidth
+				continue
+			}
+			bitUnitEnd = -1
+			bitPos = 0
+			size = roundUp(size, fa)
+			f.Offset = size
+			size += m.Size(f.Type)
+		}
+	}
+	size = roundUp(size, align)
+	if size == 0 {
+		size = 1 // empty structs are a GNU extension; give them size 1
+	}
+	t.size = size
+	t.align = align
+}
+
+// FieldByName resolves a struct/union member, forcing member-offset layout
+// first (offsets are computed lazily). Use this instead of Type.FieldByName
+// whenever offsets matter.
+func (m *Model) FieldByName(t *Type, name string) (Field, bool) {
+	if (t.Kind == Struct || t.Kind == Union) && !t.Incomplete {
+		m.Size(t)
+	}
+	return t.FieldByName(name)
+}
+
+func roundUp(n, align int64) int64 {
+	if align <= 1 {
+		return n
+	}
+	return (n + align - 1) / align * align
+}
+
+// Rank returns the integer conversion rank (C11 §6.3.1.1) of an integer
+// type. Higher rank wins in the usual arithmetic conversions.
+func Rank(k Kind) int {
+	switch k {
+	case Bool:
+		return 1
+	case Char, SChar, UChar:
+		return 2
+	case Short, UShort:
+		return 3
+	case Int, UInt, Enum:
+		return 4
+	case Long, ULong:
+		return 5
+	case LongLong, ULongLong:
+		return 6
+	}
+	return 0
+}
+
+// unsignedOf maps a signed integer kind to its unsigned counterpart.
+func unsignedOf(k Kind) Kind {
+	switch k {
+	case Char, SChar:
+		return UChar
+	case Short:
+		return UShort
+	case Int, Enum:
+		return UInt
+	case Long:
+		return ULong
+	case LongLong:
+		return ULongLong
+	}
+	return k
+}
+
+// Promote applies the integer promotions (C11 §6.3.1.1:2) to t under m.
+func (m *Model) Promote(t *Type) *Type {
+	if !t.IsInteger() {
+		return t.Unqualified()
+	}
+	if Rank(t.Kind) > Rank(Int) {
+		return Basic(t.Kind).Unqualified()
+	}
+	// Types of rank <= int promote to int if int can represent all values,
+	// else unsigned int.
+	switch t.Kind {
+	case UInt:
+		return TUInt
+	case UShort:
+		if m.SizeShort >= m.SizeInt {
+			return TUInt
+		}
+	case UChar, Bool:
+		// always fits in int (sizes 1 < SizeInt in all our models)
+	case Char:
+		if !m.CharSigned && 1 >= m.SizeInt {
+			return TUInt
+		}
+	}
+	return TInt
+}
+
+// UsualArith applies the usual arithmetic conversions (C11 §6.3.1.8) to a
+// pair of arithmetic types, returning the common type.
+func (m *Model) UsualArith(a, b *Type) *Type {
+	if a.Kind == LongDouble || b.Kind == LongDouble {
+		return TLongDouble
+	}
+	if a.Kind == Double || b.Kind == Double {
+		return TDouble
+	}
+	if a.Kind == Float || b.Kind == Float {
+		return TFloat
+	}
+	pa, pb := m.Promote(a), m.Promote(b)
+	if pa.Kind == pb.Kind {
+		return pa
+	}
+	sa, sb := pa.IsSigned(m), pb.IsSigned(m)
+	ra, rb := Rank(pa.Kind), Rank(pb.Kind)
+	switch {
+	case sa == sb:
+		if ra >= rb {
+			return pa
+		}
+		return pb
+	case !sa && ra >= rb:
+		return pa
+	case !sb && rb >= ra:
+		return pb
+	case sa && m.Size(pa) > m.Size(pb):
+		return pa
+	case sb && m.Size(pb) > m.Size(pa):
+		return pb
+	case sa:
+		return Basic(unsignedOf(pa.Kind))
+	default:
+		return Basic(unsignedOf(pb.Kind))
+	}
+}
+
+// IntMin returns the minimum value of integer type t under m.
+func (m *Model) IntMin(t *Type) int64 {
+	if !t.IsSigned(m) {
+		return 0
+	}
+	bits := m.Size(t) * 8
+	return -(1 << (bits - 1))
+}
+
+// IntMax returns the maximum value of integer type t under m, as uint64 so
+// that ULLONG_MAX is representable.
+func (m *Model) IntMax(t *Type) uint64 {
+	bits := uint(m.Size(t)) * 8
+	if t.Kind == Bool {
+		return 1
+	}
+	if t.IsSigned(m) {
+		return 1<<(bits-1) - 1
+	}
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<bits - 1
+}
+
+// InRange reports whether the signed value v is representable in integer
+// type t under m.
+func (m *Model) InRange(t *Type, v int64) bool {
+	if t.IsSigned(m) {
+		return v >= m.IntMin(t) && (v < 0 || uint64(v) <= m.IntMax(t))
+	}
+	return v >= 0 && uint64(v) <= m.IntMax(t)
+}
+
+// Wrap truncates the two's-complement bit pattern v to type t's width and
+// reinterprets it according to t's signedness, returning the canonical
+// 64-bit representation (sign-extended for signed types).
+func (m *Model) Wrap(t *Type, v uint64) uint64 {
+	bits := uint(m.Size(t)) * 8
+	if t.Kind == Bool {
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	if bits >= 64 {
+		return v
+	}
+	v &= 1<<bits - 1
+	if t.IsSigned(m) && v&(1<<(bits-1)) != 0 {
+		v |= ^uint64(0) << bits
+	}
+	return v
+}
+
+func (m *Model) String() string { return fmt.Sprintf("Model(%s)", m.Name) }

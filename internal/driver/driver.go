@@ -1,0 +1,53 @@
+// Package driver ties the frontend together: preprocess, parse, and
+// type-check a C translation unit into a runnable sema.Program.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/cheaders"
+	"repro/internal/cpp"
+	"repro/internal/ctypes"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// Options configure compilation.
+type Options struct {
+	// Model selects the implementation-defined parameters (default LP64).
+	Model *ctypes.Model
+	// Includes resolves #include beyond the built-in libc headers.
+	Includes cpp.Resolver
+	// Defines are command-line style macro definitions ("NAME=VALUE").
+	Defines []string
+}
+
+// Compile preprocesses, parses, and type-checks one C source file.
+func Compile(src, file string, opts Options) (*sema.Program, error) {
+	model := opts.Model
+	if model == nil {
+		model = ctypes.LP64()
+	}
+	resolvers := cpp.ChainResolver{cheaders.Resolver()}
+	if opts.Includes != nil {
+		resolvers = append(resolvers, opts.Includes)
+	}
+	resolvers = append(resolvers, cpp.FSResolver{})
+	pp := cpp.New(resolvers)
+	for _, d := range opts.Defines {
+		pp.Define(d)
+	}
+	expanded, err := pp.Run(src, file)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: %w", err)
+	}
+	tu, err := parser.Parse(expanded, file, model)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	prog, err := sema.Check(tu, model)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	return prog, nil
+}

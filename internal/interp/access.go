@@ -1,0 +1,447 @@
+package interp
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/mem"
+	"repro/internal/spec"
+	"repro/internal/token"
+	"repro/internal/ub"
+)
+
+// lvalue designates an object region: [base+off, base+off+sizeof(t)),
+// accessed as type t. Bit-fields carry their bit position within the unit.
+type lvalue struct {
+	base             mem.ObjID
+	off              int64
+	t                *ctypes.Type
+	bit              bool
+	bitOff, bitWidth int
+}
+
+// object resolves the lvalue's object, diagnosing dead and bogus bases.
+// This is the shared liveness side condition of the paper's deref-safest
+// rule (§4.1.2); which violations are *reported* depends on the profile —
+// unreported ones fall back to the de-facto behavior (crash, or access to
+// the retained bytes of the dead object).
+func (in *Interp) object(lv lvalue, pos token.Pos, forWrite bool) (*mem.Object, error) {
+	if lv.base == mem.NullBase {
+		return nil, in.ubError(ub.InvalidDeref, pos, "Dereferencing a null pointer")
+	}
+	if lv.base == mem.InvalidBase {
+		if in.prof.ForgedPtr {
+			return nil, in.ubError(ub.PtrFromInt, pos, "Using a pointer forged from an integer")
+		}
+		return nil, &CrashError{Signal: "SIGSEGV", Detail: "access through a forged pointer"}
+	}
+	o, ok := in.store.Obj(lv.base)
+	if !ok {
+		return nil, in.ubError(ub.InvalidDeref, pos, "Dereferencing an invalid pointer")
+	}
+	if !o.Live {
+		if o.Kind == mem.ObjHeap {
+			if in.prof.HeapLife {
+				return nil, in.ubError(ub.UseAfterFree, pos,
+					"Accessing memory that has been freed")
+			}
+		} else if in.prof.StackLife {
+			return nil, in.ubError(ub.OutsideLifetime, pos,
+				"Referring to an object (%s) outside of its lifetime", o.Name)
+		}
+		// Fallback: the storage may still hold the old bytes.
+		return o, nil
+	}
+	if o.Kind == mem.ObjFunc {
+		return nil, in.ubError(ub.InvalidDeref, pos, "Accessing a function designator as an object")
+	}
+	return o, nil
+}
+
+// checkBounds verifies [off, off+n) lies within the object: the side
+// condition O < Len of the paper's deref-safest rule. When the profile does
+// not watch this object kind, oob is reported to the caller, which applies
+// fallback semantics (reads yield zeroes, writes vanish — the neighboring
+// stack memory of a real execution).
+func (in *Interp) checkBounds(o *mem.Object, lv lvalue, n int64, pos token.Pos) (uerr *ub.Error, oob bool) {
+	if lv.off >= 0 && lv.off+n <= o.Size {
+		return nil, false
+	}
+	watched := in.prof.StackBounds
+	if o.Kind == mem.ObjHeap {
+		watched = in.prof.HeapBounds
+	}
+	if !watched {
+		return nil, true
+	}
+	if lv.off == o.Size {
+		return in.ubError(ub.PtrDerefOnePast, pos,
+			"Dereferencing a pointer one past the end of an object (%s)", o.Name), true
+	}
+	b := ub.PtrArithBounds
+	if o.Kind == mem.ObjHeap {
+		b = ub.NegMallocOverrun
+	}
+	return in.ubError(b, pos,
+		"Accessing outside the bounds of object %s (offset %d, size %d of %d)",
+		o.Name, lv.off, n, o.Size), true
+}
+
+// checkAlias enforces the effective-type rule (C11 §6.5:7): an object's
+// stored value may be accessed only by an allowed lvalue type. Heap objects
+// have no declared type and are exempt.
+func (in *Interp) checkAlias(o *mem.Object, lv lvalue, pos token.Pos) *ub.Error {
+	if !in.prof.Alias || o.DeclType == nil || lv.t == nil {
+		return nil
+	}
+	if lv.t.Kind == ctypes.Struct || lv.t.Kind == ctypes.Union || lv.t.Kind == ctypes.Array {
+		return nil // aggregate copies are byte-wise; members checked per access
+	}
+	if !ctypes.AliasAllowed(lv.t, o.DeclType) {
+		return in.ubError(ub.BadAlias, pos,
+			"Accessing an object with declared type %s through an lvalue of type %s",
+			o.DeclType, lv.t)
+	}
+	return nil
+}
+
+// checkVolatile enforces C11 §6.7.3:6: an object defined volatile may not
+// be referred to through a non-volatile lvalue.
+func (in *Interp) checkVolatile(lv lvalue, n int64, pos token.Pos) *ub.Error {
+	if !in.prof.Volatile {
+		return nil
+	}
+	if lv.t != nil && lv.t.Qual.Has(ctypes.QVolatile) {
+		return nil
+	}
+	for i := lv.off; i < lv.off+n; i++ {
+		if _, ok := in.volatileLocs[mem.Loc{Obj: lv.base, Off: i}]; ok {
+			return in.ubError(ub.VolatileNonvolatile, pos,
+				"Referring to a volatile object through a non-volatile lvalue")
+		}
+	}
+	return nil
+}
+
+// noteRead records a read in the sequence-point state and checks it against
+// pending unsequenced writes: the paper's readByte rule (§4.2.1).
+func (in *Interp) noteRead(base mem.ObjID, off, n int64, pos token.Pos) *ub.Error {
+	if !in.prof.Seq {
+		return nil
+	}
+	s := in.curSeq()
+	for i := off; i < off+n; i++ {
+		loc := mem.Loc{Obj: base, Off: i}
+		if _, written := s.written[loc]; written {
+			return in.ubError(ub.UnseqValueComp, pos,
+				"Unsequenced side effect on scalar object with value computation using the same object")
+		}
+		s.read[loc] = struct{}{}
+	}
+	return nil
+}
+
+// noteWrite records a write and checks it against pending unsequenced
+// writes: the paper's writeByte rule (§4.2.1). Reads that determined the
+// value being stored are permitted by C99/C11; following the paper, we
+// check only the written set here and catch read-write conflicts in
+// noteRead.
+func (in *Interp) noteWrite(base mem.ObjID, off, n int64, pos token.Pos) *ub.Error {
+	if !in.prof.Seq {
+		return nil
+	}
+	s := in.curSeq()
+	for i := off; i < off+n; i++ {
+		loc := mem.Loc{Obj: base, Off: i}
+		if _, written := s.written[loc]; written {
+			return in.ubError(ub.UnseqSideEffect, pos,
+				"Unsequenced side effect on scalar object with side effect of same object")
+		}
+	}
+	for i := off; i < off+n; i++ {
+		s.written[mem.Loc{Obj: base, Off: i}] = struct{}{}
+	}
+	return nil
+}
+
+// read performs a checked, typed load: the deref-safest rule of §4.1.2 plus
+// the §4.2/§4.3 checks.
+func (in *Interp) read(lv lvalue, pos token.Pos) (mem.Value, error) {
+	if len(in.opts.Monitors) > 0 {
+		size := int64(0)
+		if lv.t != nil && lv.t.IsComplete() {
+			size = in.model.Size(lv.t)
+		}
+		if err := in.observe(spec.Event{Kind: spec.EvRead, Pos: pos,
+			Obj: lv.base, Off: lv.off, Size: size, Type: lv.t}); err != nil {
+			return nil, err
+		}
+	}
+	if lv.t.Kind == ctypes.Void {
+		// Reading a void lvalue produces the (nonexistent) void value;
+		// any *use* of it is UB and is flagged at the use site.
+		return mem.Void{}, nil
+	}
+	o, err := in.object(lv, pos, false)
+	if err != nil {
+		return nil, err
+	}
+	n := in.model.Size(lv.t)
+	uerr, oob := in.checkBounds(o, lv, n, pos)
+	if uerr != nil {
+		return nil, uerr
+	}
+	if uerr := in.checkVolatile(lv, n, pos); uerr != nil {
+		return nil, uerr
+	}
+	if uerr := in.checkAlias(o, lv, pos); uerr != nil {
+		return nil, uerr
+	}
+	if uerr := in.noteRead(lv.base, lv.off, n, pos); uerr != nil {
+		return nil, uerr
+	}
+	var data []mem.Byte
+	if oob {
+		// Unchecked out-of-bounds read: the adjacent memory of a real
+		// stack frame — concretely, zero bytes.
+		data = make([]mem.Byte, n)
+		for i := range data {
+			data[i] = mem.Concrete{B: 0}
+		}
+	} else {
+		data = o.Data[lv.off : lv.off+n]
+	}
+	return in.decode(o, lv, data, pos)
+}
+
+// decode interprets raw bytes as a value of lv.t, applying the profile's
+// indeterminate-value and type-punning policies.
+func (in *Interp) decode(o *mem.Object, lv lvalue, data []mem.Byte, pos token.Pos) (mem.Value, error) {
+	t := lv.t
+	switch {
+	case t.Kind == ctypes.Ptr:
+		p, res := mem.DecodePtr(in.model, t, data)
+		switch res {
+		case mem.PtrOK:
+			return p, nil
+		case mem.PtrIndeterminate:
+			if in.prof.UninitPtr {
+				return nil, in.indeterminate(o, pos)
+			}
+			return mem.Ptr{T: t, Base: mem.InvalidBase}, nil
+		case mem.PtrFromBytes:
+			// Concrete non-pointer bytes read as a pointer: provenance is
+			// gone; produce an invalid pointer, undefined when used.
+			return mem.Ptr{T: t, Base: mem.InvalidBase}, nil
+		default: // PtrTorn
+			if in.prof.UninitPtr {
+				return nil, in.ubError(ub.TrapRepresentation, pos,
+					"Reading an object containing a partially overwritten pointer")
+			}
+			return mem.Ptr{T: t, Base: mem.InvalidBase}, nil
+		}
+	case t.IsFloat():
+		f, res := mem.DecodeFloat(in.model, t, data)
+		switch res {
+		case mem.DecodeOK:
+			return mem.Float{T: t, F: f}, nil
+		case mem.DecodeIndeterminate:
+			if in.prof.Uninit {
+				return nil, in.indeterminate(o, pos)
+			}
+			return mem.Float{T: t, F: 0}, nil
+		default:
+			if in.prof.Alias {
+				return nil, in.ubError(ub.BadAlias, pos,
+					"Reading pointer bytes through a floating lvalue")
+			}
+			f, _ := mem.DecodeFloat(in.model, t, in.concretize(data))
+			return mem.Float{T: t, F: f}, nil
+		}
+	case t.IsInteger():
+		if lv.bit {
+			return in.readBitField(o, lv, data, pos)
+		}
+		bits, res := mem.DecodeInt(in.model, t, data)
+		switch res {
+		case mem.DecodeOK:
+			return mem.Int{T: t.Unqualified(), Bits: bits}, nil
+		case mem.DecodeIndeterminate:
+			// Character-typed lvalues may copy indeterminate bytes
+			// (§4.3.3, C11 §6.2.6.1:3-4); any other use is UB.
+			if t.IsCharTy() && len(data) == 1 {
+				return RawByte{T: t.Unqualified(), B: data[0]}, nil
+			}
+			if in.prof.Uninit {
+				return nil, in.indeterminate(o, pos)
+			}
+			bits, _ := mem.DecodeInt(in.model, t, in.concretize(data))
+			return mem.Int{T: t.Unqualified(), Bits: bits}, nil
+		default: // pointer bytes
+			if t.IsCharTy() && len(data) == 1 {
+				// Byte-wise pointer copying (§4.3.2).
+				return RawByte{T: t.Unqualified(), B: data[0]}, nil
+			}
+			if in.prof.Alias {
+				return nil, in.ubError(ub.BadAlias, pos,
+					"Reading bytes of a pointer through an integer lvalue of type %s", t)
+			}
+			bits, _ := mem.DecodeInt(in.model, t, in.concretize(data))
+			return mem.Int{T: t.Unqualified(), Bits: bits}, nil
+		}
+	case t.IsAggregate():
+		cp := make([]mem.Byte, len(data))
+		copy(cp, data)
+		return mem.Bytes{T: t, Data: cp}, nil
+	}
+	return nil, in.ubError(ub.InvalidDeref, pos, "Reading a value of unsupported type %s", t)
+}
+
+// concretize renders bytes as the concrete octets a real execution would
+// see: pointer fragments become bytes of the synthetic address,
+// indeterminate bytes become zero. Used only under reduced profiles.
+func (in *Interp) concretize(data []mem.Byte) []mem.Byte {
+	out := make([]mem.Byte, len(data))
+	for i, b := range data {
+		switch b := b.(type) {
+		case mem.Concrete:
+			out[i] = b
+		case mem.PtrFrag:
+			out[i] = mem.Concrete{B: uint8(synthAddr(b.P) >> (8 * uint(b.Idx)))}
+		default:
+			out[i] = mem.Concrete{B: 0}
+		}
+	}
+	return out
+}
+
+func (in *Interp) indeterminate(o *mem.Object, pos token.Pos) *ub.Error {
+	if o.Kind == mem.ObjHeap {
+		return in.ubError(ub.IndeterminateValue, pos,
+			"Reading uninitialized heap memory")
+	}
+	return in.ubError(ub.IndeterminateValue, pos,
+		"Reading the indeterminate value of uninitialized object %s", o.Name)
+}
+
+func (in *Interp) readBitField(o *mem.Object, lv lvalue, data []mem.Byte, pos token.Pos) (mem.Value, error) {
+	bits, res := mem.DecodeInt(in.model, lv.t.Unqualified(), data)
+	if res == mem.DecodeIndeterminate {
+		if in.prof.Uninit {
+			return nil, in.indeterminate(o, pos)
+		}
+		bits = 0
+	} else if res != mem.DecodeOK {
+		if in.prof.Alias {
+			return nil, in.ubError(ub.BadAlias, pos, "Reading pointer bytes through a bit-field")
+		}
+		bits, _ = mem.DecodeInt(in.model, lv.t.Unqualified(), in.concretize(data))
+	}
+	width := uint(lv.bitWidth)
+	v := bits >> uint(lv.bitOff)
+	v &= 1<<width - 1
+	if lv.t.IsSigned(in.model) && v&(1<<(width-1)) != 0 {
+		v |= ^uint64(0) << width
+	}
+	return mem.Int{T: lv.t.Unqualified(), Bits: in.model.Wrap(lv.t, v)}, nil
+}
+
+// write performs a checked, typed store.
+func (in *Interp) write(lv lvalue, v mem.Value, pos token.Pos) error {
+	if len(in.opts.Monitors) > 0 {
+		size := int64(0)
+		if lv.t != nil && lv.t.IsComplete() {
+			size = in.model.Size(lv.t)
+		}
+		if err := in.observe(spec.Event{Kind: spec.EvWrite, Pos: pos,
+			Obj: lv.base, Off: lv.off, Size: size, Type: lv.t}); err != nil {
+			return err
+		}
+	}
+	o, err := in.object(lv, pos, true)
+	if err != nil {
+		return err
+	}
+	n := in.model.Size(lv.t)
+	uerr, oob := in.checkBounds(o, lv, n, pos)
+	if uerr != nil {
+		return uerr
+	}
+	// §6.4.5:7: modifying a string literal.
+	if o.Kind == mem.ObjString && in.prof.StringLit {
+		return in.ubError(ub.ModifyStringLit, pos, "Attempting to modify a string literal")
+	}
+	// §6.7.3:6 via the notWritable set (§4.2.2).
+	if in.prof.Const && in.store.IsNotWritable(lv.base, lv.off, n) {
+		return in.ubError(ub.ModifyConst, pos,
+			"Modifying an object defined with a const-qualified type")
+	}
+	if uerr := in.checkVolatile(lv, n, pos); uerr != nil {
+		return uerr
+	}
+	if uerr := in.checkAlias(o, lv, pos); uerr != nil {
+		return uerr
+	}
+	if uerr := in.noteWrite(lv.base, lv.off, n, pos); uerr != nil {
+		return uerr
+	}
+	if oob {
+		return nil // unchecked out-of-bounds write: vanishes into the frame
+	}
+	if lv.bit {
+		return in.writeBitField(o, lv, v, pos)
+	}
+	data := in.encode(v, lv.t)
+	copy(o.Data[lv.off:lv.off+n], data)
+	return nil
+}
+
+func (in *Interp) writeBitField(o *mem.Object, lv lvalue, v mem.Value, pos token.Pos) error {
+	iv, ok := v.(mem.Int)
+	if !ok {
+		return in.ubError(ub.BadAlias, pos, "Storing a non-integer into a bit-field")
+	}
+	n := in.model.Size(lv.t)
+	// Read-modify-write the unit; indeterminate other bits become zero
+	// (a benign over-approximation).
+	unit := o.Data[lv.off : lv.off+n]
+	bits, res := mem.DecodeInt(in.model, lv.t.Unqualified(), unit)
+	if res != mem.DecodeOK {
+		bits = 0
+	}
+	width := uint(lv.bitWidth)
+	maskBody := uint64(1)<<width - 1
+	mask := maskBody << uint(lv.bitOff)
+	bits = bits&^mask | (iv.Bits&maskBody)<<uint(lv.bitOff)
+	copy(o.Data[lv.off:lv.off+n], mem.EncodeInt(in.model, lv.t.Unqualified(), bits))
+	return nil
+}
+
+// checkPtrUsable diagnoses *use* of pointer values whose referent's
+// lifetime has ended (C11 §6.2.4:2) — comparisons, arithmetic, dereference.
+func (in *Interp) checkPtrUsable(p mem.Ptr, pos token.Pos) *ub.Error {
+	if p.IsNull() {
+		return nil
+	}
+	if p.Base == mem.InvalidBase {
+		if in.prof.ForgedPtr {
+			return in.ubError(ub.PtrFromInt, pos, "Using a pointer forged from an integer")
+		}
+		return nil
+	}
+	o, ok := in.store.Obj(p.Base)
+	if !ok {
+		return in.ubError(ub.InvalidDeref, pos, "Using an invalid pointer")
+	}
+	if !o.Live {
+		if o.Kind == mem.ObjHeap {
+			if in.prof.HeapLife {
+				return in.ubError(ub.UseAfterFree, pos, "Using a pointer to freed memory")
+			}
+			return nil
+		}
+		if in.prof.StackLife {
+			return in.ubError(ub.DanglingPointer, pos,
+				"Using the value of a pointer to an object (%s) whose lifetime has ended", o.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,425 @@
+package interp_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	undefc "repro"
+	"repro/internal/ctypes"
+	"repro/internal/ub"
+)
+
+// ---------- implementation-defined models ----------
+
+func TestILP32Sizes(t *testing.T) {
+	src := `
+int main(void) {
+	return (int)(sizeof(int) * 100 + sizeof(long) * 10 + sizeof(void*));
+}
+`
+	res := undefc.RunSource(src, "t.c", undefc.Options{})
+	if res.ExitCode != 488 { // LP64: 4*100 + 8*10 + 8
+		t.Errorf("LP64 exit = %d, want 488", res.ExitCode)
+	}
+	res = undefc.RunSource(src, "t.c", undefc.Options{Model: ctypes.ILP32()})
+	if res.ExitCode != 444 { // ILP32: 4*100 + 4*10 + 4
+		t.Errorf("ILP32 exit = %d, want 444", res.ExitCode)
+	}
+}
+
+func TestILP32LongWrap(t *testing.T) {
+	// long is 4 bytes under ILP32: 2^31-1 is LONG_MAX there.
+	src := `
+int main(void) {
+	long x = 2147483647L;
+	x = x + 1;
+	return 0;
+}
+`
+	res := undefc.RunSource(src, "t.c", undefc.Options{Model: ctypes.ILP32()})
+	if res.UB == nil || res.UB.Behavior != ub.SignedOverflow {
+		t.Errorf("ILP32: want overflow, got %v", res.UB)
+	}
+	res = undefc.RunSource(src, "t.c", undefc.Options{})
+	if res.UB != nil {
+		t.Errorf("LP64: long addition is fine, got %v", res.UB)
+	}
+}
+
+// ---------- control flow corner cases ----------
+
+func TestGotoIntoLoop(t *testing.T) {
+	expectOK(t, `
+int main(void) {
+	int i = 3, n = 0;
+	goto inside;
+	for (i = 0; i < 3; i++) {
+inside:
+		n += 10;
+	}
+	return n; /* enters at i=3 → body once, cond fails? i=3: body, post i=4, cond false → n=10 */
+}
+`, 10, "")
+}
+
+func TestGotoBackwardLoop(t *testing.T) {
+	expectOK(t, `
+int main(void) {
+	int n = 0;
+again:
+	n++;
+	if (n < 4) goto again;
+	return n;
+}
+`, 4, "")
+}
+
+func TestGotoOutOfNestedLoops(t *testing.T) {
+	expectOK(t, `
+int main(void) {
+	int n = 0;
+	for (int i = 0; i < 10; i++) {
+		for (int j = 0; j < 10; j++) {
+			n = i * 10 + j;
+			if (i == 2 && j == 3) goto done;
+		}
+	}
+done:
+	return n; /* 23 */
+}
+`, 23, "")
+}
+
+func TestGotoSkipsInitializer(t *testing.T) {
+	// Jumping over a declaration: the object exists but is indeterminate.
+	res := undefc.RunSource(`
+int main(void) {
+	goto skip;
+	int x = 5;
+skip:
+	return x;
+}
+`, "t.c", undefc.Options{})
+	if res.UB == nil || res.UB.Behavior != ub.IndeterminateValue {
+		t.Errorf("want indeterminate read, got %v (exit %d)", res.UB, res.ExitCode)
+	}
+}
+
+func TestSwitchInsideLoop(t *testing.T) {
+	expectOK(t, `
+int main(void) {
+	int n = 0;
+	for (int i = 0; i < 6; i++) {
+		switch (i & 1) {
+		case 0: n += 1; continue;
+		case 1: n += 10; break;
+		}
+		n += 100; /* after break: runs for odd i */
+	}
+	return n % 256; /* 3*1 + 3*(10+100) = 333 → 77 mod 256 */
+}
+`, 77, "")
+}
+
+func TestDoWhileBreakContinue(t *testing.T) {
+	expectOK(t, `
+int main(void) {
+	int i = 0, n = 0;
+	do {
+		i++;
+		if (i == 2) continue;
+		if (i == 5) break;
+		n += i;
+	} while (i < 10);
+	return n; /* 1 + 3 + 4 = 8 */
+}
+`, 8, "")
+}
+
+func TestNestedBlockLifetimes(t *testing.T) {
+	// Each loop iteration re-enters the block: x is fresh (indeterminate)
+	// every time; writing before reading keeps it defined.
+	expectOK(t, `
+int main(void) {
+	int total = 0;
+	for (int i = 0; i < 3; i++) {
+		int x;
+		x = i;
+		total += x;
+	}
+	return total;
+}
+`, 3, "")
+}
+
+// ---------- property-based: interpreter vs Go reference ----------
+
+// TestIntArithmeticAgainstGo feeds random operands through C programs and
+// checks the interpreter agrees with Go's arithmetic where C is defined.
+func TestIntArithmeticAgainstGo(t *testing.T) {
+	ops := []struct {
+		c   string
+		go_ func(a, b int32) (int32, bool) // result, defined
+	}{
+		{"+", func(a, b int32) (int32, bool) {
+			r := int64(a) + int64(b)
+			return int32(r), r >= -2147483648 && r <= 2147483647
+		}},
+		{"-", func(a, b int32) (int32, bool) {
+			r := int64(a) - int64(b)
+			return int32(r), r >= -2147483648 && r <= 2147483647
+		}},
+		{"*", func(a, b int32) (int32, bool) {
+			r := int64(a) * int64(b)
+			return int32(r), r >= -2147483648 && r <= 2147483647
+		}},
+		{"/", func(a, b int32) (int32, bool) {
+			if b == 0 || (a == -2147483648 && b == -1) {
+				return 0, false
+			}
+			return a / b, true
+		}},
+		{"%", func(a, b int32) (int32, bool) {
+			if b == 0 || (a == -2147483648 && b == -1) {
+				return 0, false
+			}
+			return a % b, true
+		}},
+	}
+	check := func(a, b int32, pick uint8) bool {
+		op := ops[int(pick)%len(ops)]
+		want, defined := op.go_(a, b)
+		src := fmt.Sprintf(`
+#include <stdio.h>
+int main(void) {
+	int a = %d, b = %d;
+	printf("%%d\n", a %s b);
+	return 0;
+}
+`, a, b, op.c)
+		res := undefc.RunSource(src, "prop.c", undefc.Options{})
+		if !defined {
+			return res.UB != nil // must be flagged
+		}
+		if res.UB != nil || res.Err != nil {
+			return false
+		}
+		return res.Output == fmt.Sprintf("%d\n", want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnsignedWrapAgainstGo: unsigned arithmetic always matches Go's
+// wrapping uint32 arithmetic and is never UB.
+func TestUnsignedWrapAgainstGo(t *testing.T) {
+	check := func(a, b uint32, pick uint8) bool {
+		var want uint32
+		var op string
+		switch pick % 4 {
+		case 0:
+			op, want = "+", a+b
+		case 1:
+			op, want = "-", a-b
+		case 2:
+			op, want = "*", a*b
+		case 3:
+			op, want = "^", a^b
+		}
+		src := fmt.Sprintf(`
+#include <stdio.h>
+int main(void) {
+	unsigned a = %du, b = %du;
+	printf("%%u\n", a %s b);
+	return 0;
+}
+`, a, b, op)
+		res := undefc.RunSource(src, "prop.c", undefc.Options{})
+		return res.UB == nil && res.Err == nil && res.Output == fmt.Sprintf("%d\n", want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---------- strings and library edges ----------
+
+func TestSprintf(t *testing.T) {
+	expectOK(t, `
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+	char buf[32];
+	int n = sprintf(buf, "x=%d y=%s", 42, "hi");
+	printf("%s|%d\n", buf, n);
+	return 0;
+}
+`, 0, "x=42 y=hi|9\n")
+}
+
+func TestSnprintfTruncates(t *testing.T) {
+	expectOK(t, `
+#include <stdio.h>
+int main(void) {
+	char buf[8];
+	int would = snprintf(buf, sizeof buf, "%d", 123456789);
+	printf("%s %d\n", buf, would);
+	return 0;
+}
+`, 0, "1234567 9\n")
+}
+
+func TestStrtokLikeLoop(t *testing.T) {
+	expectOK(t, `
+#include <string.h>
+#include <stdio.h>
+int main(void) {
+	const char *s = "a,bb,ccc";
+	int count = 0, len = 0;
+	const char *p = s;
+	while (*p) {
+		const char *q = strchr(p, ',');
+		if (!q) q = p + strlen(p);
+		count++;
+		len += (int)(q - p);
+		p = *q ? q + 1 : q;
+	}
+	printf("%d %d\n", count, len);
+	return 0;
+}
+`, 0, "3 6\n")
+}
+
+func TestMemFunctions(t *testing.T) {
+	expectOK(t, `
+#include <string.h>
+int main(void) {
+	char a[8], b[8];
+	memset(a, 7, 8);
+	memcpy(b, a, 8);
+	if (memcmp(a, b, 8) != 0) return 1;
+	b[3] = 8;
+	if (memcmp(a, b, 8) >= 0) return 2;
+	char *found = memchr(b, 8, 8);
+	if (!found || found != b + 3) return 3;
+	return 0;
+}
+`, 0, "")
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	res := undefc.RunSource(`
+int forever(int n) { return forever(n + 1); }
+int main(void) { return forever(0); }
+`, "t.c", undefc.Options{})
+	if res.UB != nil {
+		t.Errorf("stack exhaustion is not UB detection: %v", res.UB)
+	}
+	if res.Err == nil {
+		t.Error("expected a depth-budget error")
+	}
+}
+
+func TestHeapLimit(t *testing.T) {
+	// Exhausting the heap makes malloc return NULL — a defined outcome.
+	expectOK(t, `
+#include <stdlib.h>
+int main(void) {
+	for (int i = 0; i < 100000; i++) {
+		void *p = malloc(256 * 1024);
+		if (!p) return 42;
+	}
+	return 0;
+}
+`, 42, "")
+}
+
+// ---------- sequence points ----------
+
+func TestSequencePointsPrecision(t *testing.T) {
+	// Function calls contain sequence points: these are all defined.
+	expectOK(t, `
+int g = 0;
+int set(int v) { g = v; return v; }
+int main(void) {
+	int x = set(1) && set(2) ? g : -1; /* && sequences */
+	int y = (set(3), set(4));          /* comma sequences */
+	for (int i = 0; i < 2; i++) { g = i; } /* loop iterations sequence */
+	return x * 10 + y - g - 23;        /* 2*10 + 4 - 1 = 23 */
+}
+`, 0, "")
+}
+
+func TestUnseqThroughPointers(t *testing.T) {
+	// The same scalar written twice through different lvalues.
+	res := undefc.RunSource(`
+int main(void) {
+	int x = 0;
+	int *p = &x;
+	return (*p = 1) + (x = 2);
+}
+`, "t.c", undefc.Options{})
+	if res.UB == nil || res.UB.Behavior != ub.UnseqSideEffect {
+		t.Errorf("aliased unsequenced writes: got %v", res.UB)
+	}
+}
+
+func TestDistinctObjectsNotUnsequenced(t *testing.T) {
+	expectOK(t, `
+int main(void) {
+	int x = 0, y = 0;
+	return (x = 1) + (y = 2) - 3;
+}
+`, 0, "")
+}
+
+// ---------- aggregate semantics ----------
+
+func TestStructArgumentCopy(t *testing.T) {
+	expectOK(t, `
+struct big { int a[4]; };
+static int sum(struct big b) { b.a[0] = 99; return b.a[0] + b.a[1]; }
+int main(void) {
+	struct big x = {{1, 2, 3, 4}};
+	int r = sum(x);
+	return r * 100 + x.a[0]; /* callee copy: r=101, x untouched: 1 */
+}
+`, 10101, "")
+}
+
+func TestUnionSharedBytes(t *testing.T) {
+	expectOK(t, `
+union u { unsigned short h[2]; unsigned int w; };
+int main(void) {
+	union u v;
+	v.w = 0x00020001u;
+	return v.h[0] * 10 + v.h[1]; /* little endian: 1*10 + 2 */
+}
+`, 12, "")
+}
+
+func TestArrayOfStructs(t *testing.T) {
+	expectOK(t, `
+struct kv { int k; int v; };
+int main(void) {
+	struct kv t[3] = {{1, 10}, {2, 20}, {3, 30}};
+	int sum = 0;
+	for (int i = 0; i < 3; i++) sum += t[i].k * t[i].v;
+	return sum - 140; /* 10+40+90=140 */
+}
+`, 0, "")
+}
+
+func TestPointerToStructMember(t *testing.T) {
+	expectOK(t, `
+struct s { int a; int b; };
+int main(void) {
+	struct s v = {1, 2};
+	int *pb = &v.b;
+	*pb = 7;
+	return v.b;
+}
+`, 7, "")
+}

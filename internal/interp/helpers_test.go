@@ -1,0 +1,16 @@
+package interp_test
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/interp"
+)
+
+func modelInt8() *ctypes.Model { return ctypes.Int8() }
+
+func rightToLeft() interp.Options {
+	return interp.Options{Sched: interp.RightToLeft{}}
+}
+
+func maxSteps(n int64) interp.Options {
+	return interp.Options{MaxSteps: n}
+}

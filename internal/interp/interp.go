@@ -1,0 +1,484 @@
+// Package interp executes checked C programs under the paper's executable
+// semantics, detecting undefined behavior as it runs (the reproduction of
+// kcc's dynamic semantics).
+//
+// The interpreter's state is organized as the configuration of Figure 1:
+// a computation (the Go call stack of eval/exec), a global environment
+// (genv), memory (mem.Store), the locsWrittenTo/locsRead sequence-point
+// sets, the notWritable const set, and a call stack of local environments.
+// Every semantic rule that the paper arms with side conditions (§4.1),
+// extra state (§4.2), or symbolic values (§4.3) has its counterpart here,
+// annotated with the C11 subclause it enforces.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/mem"
+	"repro/internal/sema"
+	"repro/internal/spec"
+	"repro/internal/token"
+	"repro/internal/ub"
+)
+
+// Options configure an execution.
+type Options struct {
+	// Out receives the program's standard output.
+	Out io.Writer
+	// Sched decides evaluation order for unsequenced operands; nil means
+	// left-to-right.
+	Sched Scheduler
+	// MaxSteps bounds execution (0 = default). Exceeding it yields
+	// ErrBudget, which is NOT a UB verdict (§2.6: undefinedness guarded by
+	// nontermination is undecidable; a budget only says "we gave up").
+	MaxSteps int64
+	// MaxCallDepth bounds recursion.
+	MaxCallDepth int
+	// Profile selects which undefined behaviors are detected (nil means
+	// the full kcc profile). See Profile for the baseline-tool profiles.
+	Profile *Profile
+	// Monitors are declarative negative specifications (§4.5.2) checked
+	// against the machine's next actions, independent of the Profile.
+	Monitors spec.Set
+	// Args are the program's command-line arguments (argv[0] is the
+	// program name and is prepended automatically).
+	Args []string
+}
+
+// ErrBudget reports that execution exceeded its step or depth budget.
+type BudgetError struct{ Msg string }
+
+func (e *BudgetError) Error() string { return "budget exhausted: " + e.Msg }
+
+// ExitError reports a voluntary program exit (exit() or abort()).
+type ExitError struct {
+	Code    int
+	Aborted bool
+}
+
+func (e *ExitError) Error() string {
+	if e.Aborted {
+		return "program aborted"
+	}
+	return fmt.Sprintf("program exited with status %d", e.Code)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	ExitCode int
+	UB       *ub.Error // non-nil if undefined behavior was detected
+	Err      error     // non-UB failure (budget, internal limit)
+	Output   string    // captured stdout when Options.Out was nil
+}
+
+// Interp executes one program.
+type Interp struct {
+	prog  *sema.Program
+	model *ctypes.Model
+	store *mem.Store
+	out   io.Writer
+	sched Scheduler
+	opts  Options
+
+	globals map[*cast.Symbol]mem.ObjID
+	statics map[*cast.Decl]mem.ObjID // static locals, allocated once
+	strLits map[*cast.StringLit]mem.ObjID
+	funcObj map[string]mem.ObjID
+	objFunc map[mem.ObjID]string
+
+	prof *Profile
+
+	frames []*frame
+	seq    []*seqState // one per function activation
+
+	volatileLocs map[mem.Loc]struct{}
+
+	steps    int64
+	maxSteps int64
+	rngState uint64 // rand()
+
+	outBuf *strings.Builder // captures output when opts.Out == nil
+}
+
+// frame is one function activation: the paper's `local` cell.
+type frame struct {
+	fn     *cast.FuncDef
+	locals map[*cast.Symbol]mem.ObjID
+	// blockStack tracks objects allocated per lexical block so their
+	// lifetime ends at block exit (C11 §6.2.4).
+	blockStack [][]mem.ObjID
+}
+
+// seqState is the sequence-point state of one activation: the paper's
+// locsWrittenTo cell (§4.2.1) plus the read set used for the
+// write-after-read direction of C11 §6.5:2.
+type seqState struct {
+	written map[mem.Loc]struct{}
+	read    map[mem.Loc]struct{}
+}
+
+func newSeqState() *seqState {
+	return &seqState{written: make(map[mem.Loc]struct{}), read: make(map[mem.Loc]struct{})}
+}
+
+// New prepares an interpreter for prog.
+func New(prog *sema.Program, opts Options) *Interp {
+	in := &Interp{
+		prog:         prog,
+		model:        prog.Model,
+		store:        mem.NewStore(),
+		opts:         opts,
+		globals:      make(map[*cast.Symbol]mem.ObjID),
+		statics:      make(map[*cast.Decl]mem.ObjID),
+		strLits:      make(map[*cast.StringLit]mem.ObjID),
+		funcObj:      make(map[string]mem.ObjID),
+		objFunc:      make(map[mem.ObjID]string),
+		volatileLocs: make(map[mem.Loc]struct{}),
+		rngState:     0x2545F4914F6CDD1D,
+	}
+	in.out = opts.Out
+	if in.out == nil {
+		in.outBuf = &strings.Builder{}
+		in.out = in.outBuf
+	}
+	in.sched = opts.Sched
+	if in.sched == nil {
+		in.sched = LeftToRight{}
+	}
+	in.prof = opts.Profile
+	if in.prof == nil {
+		in.prof = KCCProfile()
+	}
+	in.maxSteps = opts.MaxSteps
+	if in.maxSteps == 0 {
+		in.maxSteps = 50_000_000
+	}
+	if in.opts.MaxCallDepth == 0 {
+		in.opts.MaxCallDepth = 5000
+	}
+	return in
+}
+
+// Run executes the program: global initialization, then main().
+func Run(prog *sema.Program, opts Options) Result {
+	in := New(prog, opts)
+	code, err := in.Execute()
+	res := Result{ExitCode: code}
+	if in.outBuf != nil {
+		res.Output = in.outBuf.String()
+	}
+	switch e := err.(type) {
+	case nil:
+	case *ub.Error:
+		res.UB = e
+	case *ExitError:
+		res.ExitCode = e.Code
+	default:
+		res.Err = err
+	}
+	return res
+}
+
+// Execute initializes globals and calls main.
+func (in *Interp) Execute() (int, error) {
+	if err := in.initGlobals(); err != nil {
+		return in.exitCode(err)
+	}
+	mainFn, ok := in.prog.Funcs["main"]
+	if !ok {
+		return 1, fmt.Errorf("program has no main function")
+	}
+	// Build argv.
+	args, err := in.buildArgs(mainFn)
+	if err != nil {
+		return in.exitCode(err)
+	}
+	in.seq = append(in.seq, newSeqState())
+	v, err := in.callUser(mainFn, args, mainFn.P)
+	if err != nil {
+		return in.exitCode(err)
+	}
+	switch v := v.(type) {
+	case mem.Int:
+		return int(int32(v.Bits)), nil
+	default:
+		return 0, nil
+	}
+}
+
+func (in *Interp) exitCode(err error) (int, error) {
+	if e, ok := err.(*ExitError); ok {
+		return e.Code, nil
+	}
+	return 1, err
+}
+
+func (in *Interp) buildArgs(mainFn *cast.FuncDef) ([]mem.Value, error) {
+	if len(mainFn.Params) == 0 {
+		return nil, nil
+	}
+	argv := append([]string{"a.out"}, in.opts.Args...)
+	argc := mem.Int{T: ctypes.TInt, Bits: uint64(len(argv))}
+	// argv array: (len+1) pointers, NULL-terminated.
+	ptrTy := ctypes.PointerTo(ctypes.PointerTo(ctypes.TChar))
+	arr, err := in.store.Alloc(mem.ObjStatic, int64(len(argv)+1)*in.model.SizePtr, "argv", nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range argv {
+		so, err := in.store.Alloc(mem.ObjStatic, int64(len(a)+1), fmt.Sprintf("argv[%d]", i), nil)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < len(a); j++ {
+			so.Data[j] = mem.Concrete{B: a[j]}
+		}
+		so.Data[len(a)] = mem.Concrete{B: 0}
+		p := mem.Ptr{T: ctypes.PointerTo(ctypes.TChar), Base: so.ID, Off: 0}
+		copy(arr.Data[int64(i)*in.model.SizePtr:], mem.EncodePtr(in.model, p))
+	}
+	copy(arr.Data[int64(len(argv))*in.model.SizePtr:], mem.EncodePtr(in.model, mem.Ptr{T: ctypes.PointerTo(ctypes.TChar), Base: mem.NullBase}))
+	argvVal := mem.Ptr{T: ptrTy, Base: arr.ID, Off: 0}
+	out := []mem.Value{argc, argvVal}
+	return out[:len(mainFn.Params)], nil
+}
+
+// step charges one unit of the execution budget.
+func (in *Interp) step(pos token.Pos) error {
+	in.steps++
+	if in.steps > in.maxSteps {
+		return &BudgetError{Msg: fmt.Sprintf("exceeded %d steps at %s", in.maxSteps, pos)}
+	}
+	return nil
+}
+
+// Steps reports how many steps the last execution used.
+func (in *Interp) Steps() int64 { return in.steps }
+
+// curFrame returns the active function frame.
+func (in *Interp) curFrame() *frame { return in.frames[len(in.frames)-1] }
+
+func (in *Interp) curSeq() *seqState { return in.seq[len(in.seq)-1] }
+
+// seqPoint clears the sequence-point sets: the paper's rule
+// ⟨seqPoint ⇒ ·⟩k ⟨S ⇒ ·⟩locsWrittenTo (§4.2.1).
+func (in *Interp) seqPoint() {
+	s := in.curSeq()
+	if len(s.written) > 0 {
+		s.written = make(map[mem.Loc]struct{})
+	}
+	if len(s.read) > 0 {
+		s.read = make(map[mem.Loc]struct{})
+	}
+	if len(in.opts.Monitors) > 0 {
+		in.opts.Monitors.Observe(spec.Event{Kind: spec.EvSeqPoint})
+	}
+}
+
+// observe publishes a next action to the declarative monitors (§4.5.2) and
+// returns their veto, if any.
+func (in *Interp) observe(ev spec.Event) error {
+	if len(in.opts.Monitors) == 0 {
+		return nil
+	}
+	if err := in.opts.Monitors.Observe(ev); err != nil {
+		err.Func = in.funcName()
+		return err
+	}
+	return nil
+}
+
+// funcName reports the current function for diagnostics.
+func (in *Interp) funcName() string {
+	if len(in.frames) == 0 {
+		return "<startup>"
+	}
+	return in.curFrame().fn.Name
+}
+
+// ubError constructs the checker's verdict value.
+func (in *Interp) ubError(b *ub.Behavior, pos token.Pos, format string, args ...any) *ub.Error {
+	return ub.New(b, pos, in.funcName(), format, args...)
+}
+
+// ---------- global initialization ----------
+
+func (in *Interp) initGlobals() error {
+	// Allocate function designator objects first (forward references).
+	for name, sym := range in.prog.Symbols {
+		if sym.Kind == cast.SymFunc {
+			o := in.store.AllocFunc(name)
+			in.funcObj[name] = o.ID
+			in.objFunc[o.ID] = name
+		}
+	}
+	// Allocate all global objects (zero-initialized), then run
+	// initializers in source order.
+	for _, d := range in.prog.Globals {
+		if _, done := in.globals[d.Sym]; done {
+			continue
+		}
+		if !d.Type.IsComplete() {
+			return fmt.Errorf("%s: global %q has incomplete type %s", d.P, d.Name, d.Type)
+		}
+		size := in.model.Size(d.Type)
+		o, err := in.store.Alloc(mem.ObjStatic, size, d.Name, d.Type)
+		if err != nil {
+			return err
+		}
+		o.Zero(0, size) // static storage duration ⇒ zero-initialized
+		in.globals[d.Sym] = o.ID
+		in.markQualRanges(o.ID, 0, d.Type)
+	}
+	in.seq = append(in.seq, newSeqState())
+	defer func() { in.seq = in.seq[:len(in.seq)-1] }()
+	for _, d := range in.prog.Globals {
+		if len(d.Plan) == 0 {
+			continue
+		}
+		id := in.globals[d.Sym]
+		if err := in.runInitPlan(id, d.Type, d.Plan, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// markQualRanges records const (notWritable, §4.2.2) and volatile byte
+// ranges of a newly created object, walking its type.
+func (in *Interp) markQualRanges(obj mem.ObjID, off int64, t *ctypes.Type) {
+	if t.Qual.Has(ctypes.QConst) {
+		in.store.MarkNotWritable(obj, off, in.model.Size(t))
+	}
+	if t.Qual.Has(ctypes.QVolatile) {
+		for i := off; i < off+in.model.Size(t); i++ {
+			in.volatileLocs[mem.Loc{Obj: obj, Off: i}] = struct{}{}
+		}
+	}
+	switch t.Kind {
+	case ctypes.Array:
+		if t.ArrayLen > 0 {
+			es := in.model.Size(t.Elem)
+			for i := int64(0); i < t.ArrayLen; i++ {
+				in.markQualRanges(obj, off+i*es, t.Elem)
+			}
+		}
+	case ctypes.Struct:
+		in.model.Size(t) // force layout
+		for _, f := range t.Fields {
+			in.markQualRanges(obj, off+f.Offset, f.Type)
+		}
+	case ctypes.Union:
+		in.model.Size(t)
+		for _, f := range t.Fields {
+			in.markQualRanges(obj, off+f.Offset, f.Type)
+		}
+	}
+}
+
+// runInitPlan applies a resolved initialization plan to an object.
+// ignoreConst is true for the object's own initialization (initializing a
+// const object is allowed; §4.2.2's notWritable only guards later writes) —
+// we therefore write bytes directly rather than through the checked path
+// when the target is const.
+func (in *Interp) runInitPlan(obj mem.ObjID, objType *ctypes.Type, plan []cast.InitAssign, zeroFirst bool) error {
+	if zeroFirst {
+		if o, ok := in.store.Obj(obj); ok {
+			o.Zero(0, o.Size)
+		}
+	}
+	for _, as := range plan {
+		if err := in.initAssign(obj, as); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) initAssign(obj mem.ObjID, as cast.InitAssign) error {
+	o, ok := in.store.Obj(obj)
+	if !ok {
+		return fmt.Errorf("initializer for unknown object")
+	}
+	// String literal into char array.
+	if lit, isStr := as.Expr.(*cast.StringLit); isStr && as.Type.Kind == ctypes.Array {
+		n := as.Type.ArrayLen
+		for i := int64(0); i < n && as.Offset+i < o.Size; i++ {
+			var b byte
+			if i < int64(len(lit.Value)) {
+				b = lit.Value[i]
+			}
+			o.Data[as.Offset+i] = mem.Concrete{B: b}
+		}
+		return nil
+	}
+	v, err := in.eval(as.Expr)
+	if err != nil {
+		return err
+	}
+	v, err = in.convert(v, as.Type, as.Expr.Pos())
+	if err != nil {
+		return err
+	}
+	in.storeRaw(o, as.Offset, as.Type, v)
+	return nil
+}
+
+// storeRaw writes a value's representation without the UB checks (used only
+// for initialization, which is always allowed).
+func (in *Interp) storeRaw(o *mem.Object, off int64, t *ctypes.Type, v mem.Value) {
+	data := in.encode(v, t)
+	for i, b := range data {
+		if off+int64(i) < o.Size {
+			o.Data[off+int64(i)] = b
+		}
+	}
+}
+
+// encode renders a value as bytes of type t.
+func (in *Interp) encode(v mem.Value, t *ctypes.Type) []mem.Byte {
+	switch v := v.(type) {
+	case mem.Int:
+		return mem.EncodeInt(in.model, t, v.Bits)
+	case mem.Float:
+		return mem.EncodeFloat(in.model, t, v.F)
+	case mem.Ptr:
+		return mem.EncodePtr(in.model, v)
+	case mem.Bytes:
+		out := make([]mem.Byte, len(v.Data))
+		copy(out, v.Data)
+		return out
+	case RawByte:
+		return []mem.Byte{v.B}
+	}
+	return nil
+}
+
+// RawByte and noReturn are defined in the mem package (they are values);
+// aliases keep the interpreter code readable.
+type RawByte = mem.RawByte
+
+type noReturn = mem.NoReturn
+
+// stringLitObj returns (allocating on demand) the object for a string
+// literal; the object is read-only (§6.4.5:7).
+func (in *Interp) stringLitObj(lit *cast.StringLit) (mem.ObjID, error) {
+	if id, ok := in.strLits[lit]; ok {
+		return id, nil
+	}
+	size := int64(len(lit.Value) + 1)
+	o, err := in.store.Alloc(mem.ObjString, size, "string literal", lit.T)
+	if err != nil {
+		return 0, err
+	}
+	for i, b := range lit.Value {
+		o.Data[i] = mem.Concrete{B: b}
+	}
+	o.Data[len(lit.Value)] = mem.Concrete{B: 0}
+	in.strLits[lit] = o.ID
+	return o.ID, nil
+}

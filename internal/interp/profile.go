@@ -1,0 +1,133 @@
+package interp
+
+// Profile selects which undefined behaviors the abstract machine *detects*.
+// Where a check is disabled, execution continues with the de-facto x86-64
+// semantics real programs exhibit (wrap on overflow, masked shifts, crash
+// on division by zero, addressable stack neighborhoods, …).
+//
+// The full profile is the paper's kcc. The reduced profiles model the
+// detection principles of the baseline tools of §5: a binary-instrumentation
+// memory checker sees memory errors but "does not try to detect division by
+// zero or integer overflow"; a pointer-metadata checker sees pointer errors
+// but "was not designed to detect division by zero, uninitialized memory, or
+// integer overflow"; a value analysis sees value-domain errors but not
+// sequencing, effective types, or const-ness.
+type Profile struct {
+	Name string
+
+	// Arithmetic.
+	DivZero   bool // division/remainder by zero (crash when unchecked)
+	Overflow  bool // signed overflow in + - * and negation (wrap when unchecked)
+	Shift     bool // §6.5.7 shift conditions (mask/wrap when unchecked)
+	FloatConv bool // float→int out of range (saturate when unchecked)
+
+	// Sequencing and qualification.
+	Seq       bool // unsequenced side effects (§6.5:2)
+	Const     bool // writes through the notWritable set (§6.7.3:6)
+	StringLit bool // writes to string literals (§6.4.5:7)
+	Volatile  bool // volatile through non-volatile lvalue
+	Alias     bool // effective-type rule (§6.5:7)
+
+	// Indeterminate values.
+	Uninit    bool // use of indeterminate non-pointer values
+	UninitPtr bool // indeterminate or torn bytes used as a pointer
+
+	// Memory.
+	HeapBounds  bool // out-of-bounds heap access
+	StackBounds bool // out-of-bounds stack/static access
+	HeapLife    bool // use after free
+	StackLife   bool // dangling stack/block pointers
+	BadFree     bool // free() misuse
+	Misaligned  bool // misaligned pointer conversions
+	ForgedPtr   bool // pointers conjured from integers
+	VoidDeref   bool // dereferencing void pointers
+	PtrCompare  bool // relational compare/subtract across objects
+
+	// Functions.
+	CallMismatch bool // wrong argument count/types, incompatible fn ptr
+	NoReturn     bool // using the value of a call that returned none
+
+	// Declarations.
+	VLASize bool // non-positive VLA sizes
+}
+
+// KCCProfile detects everything — the paper's semantics-based checker.
+func KCCProfile() *Profile {
+	return &Profile{
+		Name:    "kcc",
+		DivZero: true, Overflow: true, Shift: true, FloatConv: true,
+		Seq: true, Const: true, StringLit: true, Volatile: true, Alias: true,
+		Uninit: true, UninitPtr: true,
+		HeapBounds: true, StackBounds: true, HeapLife: true, StackLife: true,
+		BadFree: true, Misaligned: true, ForgedPtr: true, VoidDeref: true,
+		PtrCompare: true, CallMismatch: true, NoReturn: true, VLASize: true,
+	}
+}
+
+// MemcheckProfile models a Valgrind-style dynamic binary instrumentation
+// checker: shadow memory gives it heap bounds, lifetime, bad free, and
+// definedness (uninitialized value) tracking, but the stack is one
+// addressable blob, and purely arithmetic or type-level UB is invisible at
+// the instruction level.
+func MemcheckProfile() *Profile {
+	return &Profile{
+		Name:       "memcheck",
+		Uninit:     true,
+		UninitPtr:  true,
+		HeapBounds: true,
+		HeapLife:   true,
+		BadFree:    true,
+		ForgedPtr:  true,
+		StringLit:  true, // .rodata writes fault and are reported
+	}
+}
+
+// CheckPointerProfile models a pointer-metadata instrumentation tool
+// (SemanticDesigns' CheckPointer): every pointer carries bounds and
+// lifetime metadata, so stack and heap pointer errors and call mismatches
+// are caught; values that are not pointers are not tracked at all.
+func CheckPointerProfile() *Profile {
+	return &Profile{
+		Name:         "checkptr",
+		UninitPtr:    true, // uninitialized *pointers* have no metadata
+		HeapBounds:   true,
+		StackBounds:  true,
+		HeapLife:     true,
+		StackLife:    true,
+		BadFree:      true,
+		ForgedPtr:    true,
+		Misaligned:   false,
+		PtrCompare:   true,
+		CallMismatch: true,
+		StringLit:    true,
+	}
+}
+
+// ValueAnalysisProfile models an abstract-interpretation value analysis run
+// as a C interpreter (the mode Frama-C's plugin was run in, §5.1.2
+// footnote): every value-domain error is precise — division by zero,
+// overflow, bounds, uninitialized reads — but evaluation-order sequencing,
+// effective types, and const-ness are outside the abstraction.
+func ValueAnalysisProfile() *Profile {
+	return &Profile{
+		Name:    "value-analysis",
+		DivZero: true, Overflow: true, Shift: true, FloatConv: true,
+		Uninit: true, UninitPtr: true,
+		HeapBounds: true, StackBounds: true, HeapLife: true, StackLife: true,
+		BadFree: true, ForgedPtr: true, PtrCompare: true,
+		CallMismatch: true, VLASize: true, NoReturn: false,
+	}
+}
+
+// CrashError models a hardware fault (SIGFPE, SIGSEGV) under fallback
+// semantics. A crash is not a diagnosis: the paper's Figure 2 scores
+// Valgrind at 0% on division by zero precisely because the program merely
+// dies (or worse, doesn't).
+type CrashError struct {
+	Signal string
+	Detail string
+}
+
+func (e *CrashError) Error() string {
+	return "program crashed with " + e.Signal + ": " + e.Detail
+}

@@ -1,0 +1,72 @@
+package interp
+
+// Scheduler decides the order in which unsequenced operands are evaluated
+// (C's evaluation order is almost completely unspecified, §2.5.2). At each
+// choice point the interpreter asks Pick(n) for an index among the n
+// not-yet-evaluated operands.
+//
+// A deterministic run uses LeftToRight; the search driver (internal/search)
+// uses Trace to enumerate every ordering.
+type Scheduler interface {
+	Pick(n int) int
+}
+
+// LeftToRight always evaluates the leftmost remaining operand — the order
+// almost every real compiler happens to use for simple expressions.
+type LeftToRight struct{}
+
+// Pick implements Scheduler.
+func (LeftToRight) Pick(n int) int { return 0 }
+
+// RightToLeft evaluates operands right to left (the order the paper's
+// CompCert anecdote exercises in §2.5.2).
+type RightToLeft struct{}
+
+// Pick implements Scheduler.
+func (RightToLeft) Pick(n int) int { return n - 1 }
+
+// Choice records one decision: the branching factor and the index taken.
+type Choice struct {
+	N      int
+	Picked int
+}
+
+// Trace replays a decision prefix and then defaults to leftmost, logging
+// every decision so a search can enumerate the decision tree.
+type Trace struct {
+	Prefix []int
+	Log    []Choice
+	pos    int
+}
+
+// Pick implements Scheduler.
+func (t *Trace) Pick(n int) int {
+	c := 0
+	if t.pos < len(t.Prefix) {
+		c = t.Prefix[t.pos]
+	}
+	if c >= n || c < 0 {
+		c = 0
+	}
+	t.Log = append(t.Log, Choice{N: n, Picked: c})
+	t.pos++
+	return c
+}
+
+// order asks the scheduler for a complete evaluation order of n operands.
+func order(s Scheduler, n int) []int {
+	if n == 1 {
+		return []int{0}
+	}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	out := make([]int, 0, n)
+	for len(remaining) > 0 {
+		k := s.Pick(len(remaining))
+		out = append(out, remaining[k])
+		remaining = append(remaining[:k], remaining[k+1:]...)
+	}
+	return out
+}

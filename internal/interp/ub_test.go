@@ -1,0 +1,547 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	undefc "repro"
+	"repro/internal/ub"
+)
+
+// ---------- the paper's own examples ----------
+
+// TestPaperNullDeref is the first example of §2.3: *(char*)NULL.
+func TestPaperNullDeref(t *testing.T) {
+	expectUB(t, `
+#include <stdio.h>
+int main(void){
+	*(char*)NULL;
+	return 0;
+}
+`, ub.InvalidDeref)
+}
+
+// TestPaperUnsequenced is the (x=1)+(x=2) example of §2.3 — the kcc
+// transcript in §3.2 reports it as Error 00016.
+func TestPaperUnsequenced(t *testing.T) {
+	src := `
+int main(void){
+	int x = 0;
+	return (x = 1) + (x = 2);
+}
+`
+	expectUB(t, src, ub.UnseqSideEffect)
+	// And the report must match the paper's format.
+	res := undefc.RunSource(src, "unseq.c", undefc.Options{})
+	rep := res.UB.Report()
+	for _, want := range []string{"Error: 00016", "Function: main", "Line: 4"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestPaperDivByZeroLoop is the §2.4 loop-hoisting example; our semantics
+// reports the division by zero when it is reached.
+func TestPaperDivByZeroLoop(t *testing.T) {
+	expectUB(t, `
+#include <stdio.h>
+int main(void){
+	int r = 0, d = 0;
+	for (int i = 0; i < 5; i++) {
+		printf("%d\n", i);
+		r += 5 / d;
+	}
+	return r;
+}
+`, ub.DivByZero)
+}
+
+// TestPaperMallocModel is §2.5.1: defined under 4-byte int, undefined under
+// the 8-byte-int model.
+func TestPaperMallocModel(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int main(void) {
+	int *p = malloc(4);
+	if (p) { *p = 1000; }
+	return 0;
+}
+`
+	expectOK(t, src, 0, "")
+	res := undefc.RunSource(src, "t.c", undefc.Options{Model: modelInt8()})
+	if res.UB == nil {
+		t.Fatal("expected UB under the 8-byte-int model")
+	}
+	if res.UB.Behavior != ub.NegMallocOverrun {
+		t.Errorf("got %v", res.UB)
+	}
+}
+
+// TestPaperPointerCompare is the §4.3.1 example: &a < &b is undefined, but
+// comparing addresses of members of the same struct is defined.
+func TestPaperPointerCompare(t *testing.T) {
+	expectUB(t, `
+int main(void) {
+	int a, b;
+	if (&a < &b) { return 1; }
+	return 0;
+}
+`, ub.PtrCompareDifferent)
+	expectOK(t, `
+int main(void) {
+	struct { int a; int b; } s;
+	if (&s.a < &s.b) { return 1; }
+	return 0;
+}
+`, 1, "")
+}
+
+// TestPaperPartialPointerCopy is §4.3.2: using a pointer before all of its
+// bytes have been copied is undefined.
+func TestPaperPartialPointerCopy(t *testing.T) {
+	expectUB(t, `
+int main(void) {
+	int x = 5, y = 6;
+	int *p = &x, *q = &y;
+	char *a = (char*)&p, *b = (char*)&q;
+	a[0] = b[0]; a[1] = b[1]; a[2] = b[2];
+	/* only 3 of 8 bytes copied */
+	return *p;
+}
+`, ub.TrapRepresentation)
+}
+
+// TestPaperConstLaundering is §4.2.2: strchr strips const, but writing
+// through the result is still undefined.
+func TestPaperConstLaundering(t *testing.T) {
+	expectUB(t, `
+#include <string.h>
+int main(void) {
+	const char p[] = "hello";
+	char *q = strchr(p, p[0]); /* removes const */
+	*q = 'H';
+	return 0;
+}
+`, ub.ModifyConst)
+}
+
+// TestPaperSetDenom is §2.5.2: defined left-to-right, undefined
+// right-to-left. The search driver explores both; here we pin each order.
+func TestPaperSetDenom(t *testing.T) {
+	src := `
+int d = 5;
+int setDenom(int x){
+	return d = x;
+}
+int main(void) {
+	return (10/d) + setDenom(0);
+}
+`
+	res := undefc.RunSource(src, "t.c", undefc.Options{})
+	if res.UB != nil {
+		t.Fatalf("left-to-right should be defined, got %v", res.UB)
+	}
+	if res.ExitCode != 2 { // 10/5 + 0
+		t.Errorf("exit = %d, want 2", res.ExitCode)
+	}
+	res = undefc.RunSource(src, "t.c", undefc.Options{Exec: rightToLeft()})
+	if res.UB == nil {
+		t.Fatal("right-to-left should divide by zero")
+	}
+	if res.UB.Behavior != ub.DivByZero {
+		t.Errorf("got %v", res.UB)
+	}
+}
+
+// ---------- one test per major detection class ----------
+
+func TestUBDivByZero(t *testing.T) {
+	expectUB(t, "int main(void){ int z = 0; return 5 / z; }", ub.DivByZero)
+	expectUB(t, "int main(void){ int z = 0; return 5 % z; }", ub.DivByZero)
+	// 5/0 discarded by the semicolon is still caught (the §4.1.1 point:
+	// the erroneous computation itself has no semantics).
+	expectUB(t, "int main(void){ int z = 0; 5/z; return 0; }", ub.DivByZero)
+}
+
+func TestUBDivOverflow(t *testing.T) {
+	expectUB(t, `
+#include <limits.h>
+int main(void){ int a = INT_MIN, b = -1; return a / b; }
+`, ub.DivOverflow)
+}
+
+func TestUBSignedOverflow(t *testing.T) {
+	expectUB(t, `
+#include <limits.h>
+int main(void){ int x = INT_MAX; return x + 1; }
+`, ub.SignedOverflow)
+	expectUB(t, `
+#include <limits.h>
+int main(void){ int x = INT_MIN; return -x; }
+`, ub.SignedOverflow)
+	expectUB(t, `
+#include <limits.h>
+int main(void){ int x = INT_MAX; x++; return 0; }
+`, ub.SignedOverflow)
+	// The x+1 < x idiom from §2.3: always UB when it would "work".
+	expectUB(t, `
+#include <limits.h>
+int main(void){ int x = INT_MAX; if (x + 1 < x) return 1; return 0; }
+`, ub.SignedOverflow)
+}
+
+func TestUBShifts(t *testing.T) {
+	expectUB(t, "int main(void){ int n = 32; return 1 << n; }", ub.ShiftTooFar)
+	expectUB(t, "int main(void){ int n = -1; return 1 << n; }", ub.ShiftTooFar)
+	expectUB(t, "int main(void){ int x = -1; return x << 2; }", ub.ShiftNegLeft)
+	expectUB(t, `
+#include <limits.h>
+int main(void){ int x = INT_MAX; return x << 1; }
+`, ub.ShiftOverflow)
+	expectOK(t, "int main(void){ unsigned x = 0x80000000u; return (int)((x << 1) >> 31); }", 0, "")
+}
+
+func TestUBUninitialized(t *testing.T) {
+	expectUB(t, "int main(void){ int x; return x; }", ub.IndeterminateValue)
+	expectUB(t, "int main(void){ int x; int y = x + 1; return 0; }", ub.IndeterminateValue)
+	expectUB(t, `
+#include <stdlib.h>
+int main(void){ int *p = malloc(4); int v = *p; free(p); return v; }
+`, ub.IndeterminateValue)
+}
+
+func TestUBNullDeref(t *testing.T) {
+	expectUB(t, "int main(void){ int *p = 0; return *p; }", ub.InvalidDeref)
+	expectUB(t, "int main(void){ int *p = 0; *p = 5; return 0; }", ub.InvalidDeref)
+}
+
+func TestUBOutOfBounds(t *testing.T) {
+	expectUB(t, "int main(void){ int a[3]; a[0]=a[1]=a[2]=0; return a[3]; }", ub.PtrDerefOnePast)
+	expectUB(t, "int main(void){ int a[3] = {1,2,3}; return a[5]; }", ub.PtrArithBounds)
+	expectUB(t, "int main(void){ int a[3] = {1,2,3}; int *p = a; p = p + 4; return 0; }", ub.PtrArithBounds)
+	// One-past-the-end is fine to form, not to dereference.
+	expectOK(t, "int main(void){ int a[3] = {1,2,3}; int *p = a + 3; return p - a; }", 3, "")
+}
+
+func TestUBUseAfterFree(t *testing.T) {
+	expectUB(t, `
+#include <stdlib.h>
+int main(void){
+	int *p = malloc(sizeof(int));
+	*p = 5;
+	free(p);
+	return *p;
+}
+`, ub.UseAfterFree)
+}
+
+func TestUBDoubleFree(t *testing.T) {
+	expectUB(t, `
+#include <stdlib.h>
+int main(void){
+	int *p = malloc(4);
+	free(p);
+	free(p);
+	return 0;
+}
+`, ub.BadFree)
+}
+
+func TestUBBadFree(t *testing.T) {
+	expectUB(t, `
+#include <stdlib.h>
+int main(void){
+	int x;
+	free(&x); /* not from malloc */
+	return 0;
+}
+`, ub.BadFree)
+}
+
+func TestUBFreeMiddle(t *testing.T) {
+	res := undefc.RunSource(`
+#include <stdlib.h>
+int main(void){
+	char *p = malloc(10);
+	free(p + 2);
+	return 0;
+}
+`, "t.c", undefc.Options{})
+	if res.UB == nil {
+		t.Fatal("expected UB for free of interior pointer")
+	}
+}
+
+func TestUBDanglingStack(t *testing.T) {
+	expectUB(t, `
+int *leak(void) { int local = 5; return &local; }
+int main(void){ int *p = leak(); return *p; }
+`, ub.DanglingPointer)
+}
+
+func TestUBDanglingBlock(t *testing.T) {
+	expectUB(t, `
+int main(void){
+	int *p;
+	{ int x = 5; p = &x; }
+	return *p;
+}
+`, ub.DanglingPointer)
+}
+
+func TestUBModifyStringLiteral(t *testing.T) {
+	expectUB(t, `
+int main(void){
+	char *s = "hello";
+	s[0] = 'H';
+	return 0;
+}
+`, ub.ModifyStringLit)
+}
+
+func TestUBModifyConst(t *testing.T) {
+	expectUB(t, `
+int main(void){
+	const int c = 5;
+	int *p = (int*)&c;
+	*p = 6;
+	return 0;
+}
+`, ub.ModifyConst)
+}
+
+func TestUBPtrSubDifferent(t *testing.T) {
+	expectUB(t, `
+int main(void){
+	int a[3], b[3];
+	return (int)(&a[0] - &b[0]);
+}
+`, ub.PtrSubDifferent)
+}
+
+func TestUBStrictAliasing(t *testing.T) {
+	expectUB(t, `
+int main(void){
+	int i = 5;
+	float *fp = (float*)&i;
+	float f = *fp;
+	return 0;
+}
+`, ub.BadAlias)
+	// Character access is always allowed.
+	expectOK(t, `
+int main(void){
+	int i = 5;
+	char *cp = (char*)&i;
+	return cp[0];
+}
+`, 5, "")
+	// Corresponding unsigned type is allowed.
+	expectOK(t, `
+int main(void){
+	int i = -1;
+	unsigned *up = (unsigned*)&i;
+	return *up == 4294967295u;
+}
+`, 1, "")
+}
+
+func TestUBFloatConversion(t *testing.T) {
+	expectUB(t, `
+int main(void){
+	double d = 1e20;
+	int x = (int)d;
+	return 0;
+}
+`, ub.FloatConvRange)
+}
+
+func TestUBUnsequencedIncrement(t *testing.T) {
+	// i = i++ : write from assignment unsequenced with write from ++.
+	expectUB(t, "int main(void){ int i = 0; i = i++; return i; }", ub.UnseqSideEffect)
+	// i++ + i++: the second read of i sees the first unsequenced write.
+	expectUB(t, "int main(void){ int i = 0; return i++ + i++; }", ub.UnseqValueComp)
+	// x + x++ : value computation unsequenced with side effect —
+	// detected on some evaluation order.
+	expectUB(t, "int main(void){ int x = 1; return x++ + x; }", ub.UnseqValueComp)
+	// But sequenced uses are fine.
+	expectOK(t, "int main(void){ int i = 0; i = i + 1; i += 1; return i; }", 2, "")
+	expectOK(t, "int main(void){ int i = 0; int j = (i++, i++); return j; }", 1, "")
+}
+
+func TestUBVLASize(t *testing.T) {
+	expectUB(t, `
+int main(void){
+	int n = 0;
+	int a[n];
+	return 0;
+}
+`, ub.VLANotPositive)
+	expectUB(t, `
+int main(void){
+	int n = -3;
+	int a[n];
+	return 0;
+}
+`, ub.VLANotPositive)
+}
+
+func TestUBCallMismatch(t *testing.T) {
+	// Old-style declaration, wrong argument count at the definition.
+	expectUB(t, `
+int f();
+int g(void) { return f(1, 2, 3); }
+int f(int a, int b) { return a + b; }
+int main(void) { return g(); }
+`, ub.BadCallNoProto)
+}
+
+func TestUBBadFuncPtrCall(t *testing.T) {
+	expectUB(t, `
+int f(int x) { return x; }
+int main(void) {
+	int (*fp)(void) = (int(*)(void))f;
+	return fp();
+}
+`, ub.BadFuncPtrCall)
+}
+
+func TestUBNoReturnValue(t *testing.T) {
+	expectUB(t, `
+int f(int x) { if (x > 0) return 1; }
+int main(void) { return f(-1); }
+`, ub.NoReturnValue)
+	// Not using the value is fine.
+	expectOK(t, `
+int f(int x) { if (x > 0) return 1; }
+int main(void) { f(-1); return 0; }
+`, 0, "")
+}
+
+func TestUBVoidDeref(t *testing.T) {
+	expectUB(t, `
+int main(void) {
+	int x = 5;
+	void *p = &x;
+	*p;
+	return 0;
+}
+`, ub.DerefVoid)
+}
+
+func TestUBPrintfMismatch(t *testing.T) {
+	expectUB(t, `
+#include <stdio.h>
+int main(void) {
+	printf("%s\n", 42);
+	return 0;
+}
+`, ub.BadFormat)
+	expectUB(t, `
+#include <stdio.h>
+int main(void) {
+	printf("%d %d\n", 1);
+	return 0;
+}
+`, ub.Catalog[148])
+}
+
+func TestUBMemcpyOverlap(t *testing.T) {
+	expectUB(t, `
+#include <string.h>
+int main(void) {
+	char buf[16] = "abcdefghijklmno";
+	memcpy(buf + 1, buf, 8);
+	return 0;
+}
+`, ub.MemcpyOverlap)
+	expectOK(t, `
+#include <string.h>
+int main(void) {
+	char buf[16] = "abcdefghijklmno";
+	memmove(buf + 1, buf, 8);
+	return buf[1] == 'a' ? 0 : 1;
+}
+`, 0, "")
+}
+
+func TestUBNonTerminatedString(t *testing.T) {
+	expectUB(t, `
+#include <string.h>
+int main(void) {
+	char buf[4] = {'a', 'b', 'c', 'd'}; /* no NUL */
+	return (int)strlen(buf);
+}
+`, ub.StrFuncBadPtr)
+}
+
+func TestUBMisalignedPointer(t *testing.T) {
+	expectUB(t, `
+int main(void) {
+	char buf[8];
+	int *p = (int*)(buf + 1);
+	return 0;
+}
+`, ub.MisalignedPtr)
+}
+
+func TestUBIntToPtr(t *testing.T) {
+	expectUB(t, `
+int main(void) {
+	int *p = (int*)12345678;
+	return *p;
+}
+`, ub.PtrFromInt)
+}
+
+func TestUBStaticZeroArray(t *testing.T) {
+	res := undefc.RunSource("int a[0]; int main(void){ return 0; }", "t.c", undefc.Options{})
+	if res.UB == nil || res.UB.Behavior != ub.ArrayNotPositive {
+		t.Fatalf("got %v", res.UB)
+	}
+}
+
+func TestBudgetIsNotUB(t *testing.T) {
+	// §2.6: a program that loops forever before the UB gets a budget
+	// error, not a UB verdict — detecting it is undecidable.
+	res := undefc.RunSource(`
+int main(void) {
+	while (1) { }
+	return 5 / 0;
+}
+`, "t.c", undefc.Options{Exec: maxSteps(100000)})
+	if res.UB != nil {
+		t.Fatalf("budget exhaustion must not be a UB verdict, got %v", res.UB)
+	}
+	if res.Err == nil {
+		t.Fatal("expected a budget error")
+	}
+}
+
+// TestControlTwinsAccepted: the defined control versions of the suite must
+// be accepted — "without such tests, a tool could simply say all programs
+// were undefined" (§5.2.2).
+func TestControlTwinsAccepted(t *testing.T) {
+	controls := []string{
+		"int main(void){ int z = 1; return 5 / z - 5; }",
+		"int main(void){ int x = 0; x = 1; x = 2; return x - 2; }",
+		"int main(void){ int a[3] = {1,2,3}; return a[2] - 3; }",
+		"#include <stdlib.h>\nint main(void){ int *p = malloc(4); if (!p) return 1; *p = 5; int v = *p; free(p); return v - 5; }",
+		"int main(void){ int x = 5; return x - 5; }",
+		"#include <string.h>\nint main(void){ char b[8]; strcpy(b, \"hi\"); return (int)strlen(b) - 2; }",
+	}
+	for _, src := range controls {
+		res := undefc.RunSource(src, "control.c", undefc.Options{})
+		if res.Err != nil {
+			t.Errorf("control failed to run: %v\n%s", res.Err, src)
+			continue
+		}
+		if res.UB != nil {
+			t.Errorf("false positive on control: %v\n%s", res.UB, src)
+		}
+		if res.ExitCode != 0 {
+			t.Errorf("control exit = %d\n%s", res.ExitCode, src)
+		}
+	}
+}

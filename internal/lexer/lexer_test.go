@@ -1,0 +1,245 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokens(src, "test.c")
+	if err != nil {
+		t.Fatalf("Tokens(%q): %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, "int main(void) { return 0; }")
+	want := []token.Kind{
+		token.KwInt, token.Ident, token.LParen, token.KwVoid, token.RParen,
+		token.LBrace, token.KwReturn, token.IntLit, token.Semi, token.RBrace,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPunctuators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"a <<= b", []token.Kind{token.Ident, token.ShlAssign, token.Ident}},
+		{"a >>= b", []token.Kind{token.Ident, token.ShrAssign, token.Ident}},
+		{"...", []token.Kind{token.Ellipsis}},
+		{"a->b", []token.Kind{token.Ident, token.Arrow, token.Ident}},
+		{"a--b", []token.Kind{token.Ident, token.Dec, token.Ident}},
+		{"a- -b", []token.Kind{token.Ident, token.Minus, token.Minus, token.Ident}},
+		{"a<b>c", []token.Kind{token.Ident, token.Lt, token.Ident, token.Gt, token.Ident}},
+		{"x&&y||z", []token.Kind{token.Ident, token.AndAnd, token.Ident, token.OrOr, token.Ident}},
+		{"p?q:r", []token.Kind{token.Ident, token.Question, token.Ident, token.Colon, token.Ident}},
+	}
+	for _, tt := range tests {
+		got := kinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Errorf("%q: got %v, want %v", tt.src, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q token %d: got %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a /* comment */ b // line\nc")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	if _, err := Tokens("a /* oops", "t.c"); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokens("int x;\nint y;", "f.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[3].Pos.Line != 2 || toks[3].Pos.Col != 1 {
+		t.Errorf("fourth token at %v, want 2:1", toks[3].Pos)
+	}
+	if toks[0].Pos.File != "f.c" {
+		t.Errorf("file = %q, want f.c", toks[0].Pos.File)
+	}
+}
+
+func TestLineMarker(t *testing.T) {
+	src := "# 10 \"orig.c\"\nint x;"
+	toks, err := Tokens(src, "pp.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.File != "orig.c" || toks[0].Pos.Line != 10 {
+		t.Errorf("position after line marker = %v, want orig.c:10", toks[0].Pos)
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"0", token.IntLit},
+		{"123", token.IntLit},
+		{"0x1F", token.IntLit},
+		{"017", token.IntLit},
+		{"42u", token.IntLit},
+		{"42UL", token.IntLit},
+		{"42llu", token.IntLit},
+		{"1.5", token.FloatLit},
+		{"1e3", token.FloatLit},
+		{".5", token.FloatLit},
+		{"1.", token.FloatLit},
+		{"2.5e-3", token.FloatLit},
+		{"1.5f", token.FloatLit},
+		{"0x1p4", token.FloatLit},
+	}
+	for _, tt := range tests {
+		toks, err := Tokens(tt.src, "t.c")
+		if err != nil {
+			t.Errorf("%q: %v", tt.src, err)
+			continue
+		}
+		if len(toks) != 1 || toks[0].Kind != tt.kind {
+			t.Errorf("%q: got %v, want single %v", tt.src, toks, tt.kind)
+		}
+		if toks[0].Text != tt.src {
+			t.Errorf("%q: text = %q", tt.src, toks[0].Text)
+		}
+	}
+}
+
+func TestCharAndStringLiterals(t *testing.T) {
+	toks, err := Tokens(`'a' '\n' '\'' "hi" "a\"b" L"wide" L'w'`, "t.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Kind{
+		token.CharLit, token.CharLit, token.CharLit,
+		token.StringLit, token.StringLit, token.StringLit, token.CharLit,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(want))
+	}
+	for i := range want {
+		if toks[i].Kind != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, want[i])
+		}
+	}
+}
+
+func TestParseIntLit(t *testing.T) {
+	tests := []struct {
+		text     string
+		value    uint64
+		unsigned bool
+		longs    int
+		base     int
+	}{
+		{"0", 0, false, 0, 8},
+		{"42", 42, false, 0, 10},
+		{"0x2A", 42, false, 0, 16},
+		{"052", 42, false, 0, 8},
+		{"42u", 42, true, 0, 10},
+		{"42UL", 42, true, 1, 10},
+		{"42LLU", 42, true, 2, 10},
+		{"18446744073709551615u", 1<<64 - 1, true, 0, 10},
+	}
+	for _, tt := range tests {
+		v, err := ParseIntLit(tt.text)
+		if err != nil {
+			t.Errorf("%q: %v", tt.text, err)
+			continue
+		}
+		if v.Value != tt.value || v.Unsigned != tt.unsigned || v.Longs != tt.longs {
+			t.Errorf("%q: got %+v", tt.text, v)
+		}
+	}
+}
+
+func TestParseIntLitErrors(t *testing.T) {
+	for _, s := range []string{"42uu", "42lll", "0x", ""} {
+		if _, err := ParseIntLit(s); err == nil {
+			t.Errorf("%q: expected error", s)
+		}
+	}
+}
+
+func TestParseCharLit(t *testing.T) {
+	tests := []struct {
+		text string
+		want int64
+	}{
+		{"'a'", 'a'},
+		{`'\n'`, '\n'},
+		{`'\0'`, 0},
+		{`'\x41'`, 'A'},
+		{`'\377'`, -1}, // char is signed in our default model
+		{"L'w'", 'w'},
+		{"'ab'", 'a'<<8 | 'b'},
+	}
+	for _, tt := range tests {
+		v, _, err := ParseCharLit(tt.text)
+		if err != nil {
+			t.Errorf("%q: %v", tt.text, err)
+			continue
+		}
+		if v != tt.want {
+			t.Errorf("%q: got %d, want %d", tt.text, v, tt.want)
+		}
+	}
+}
+
+func TestDecodeString(t *testing.T) {
+	b, wide, err := DecodeString(`"a\tb\0"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide {
+		t.Error("not wide")
+	}
+	if string(b) != "a\tb\x00" {
+		t.Errorf("got %q", b)
+	}
+	_, wide, err = DecodeString(`L"w"`)
+	if err != nil || !wide {
+		t.Errorf("wide string: %v wide=%v", err, wide)
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	if _, err := Tokens("123abc", "t.c"); err == nil {
+		t.Error("expected error for 123abc")
+	}
+}

@@ -1,0 +1,221 @@
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IntLitValue is the decoded form of an integer constant token.
+type IntLitValue struct {
+	Value    uint64
+	Unsigned bool // had a u/U suffix
+	Longs    int  // number of l/L suffixes (0, 1, or 2)
+	Base     int  // 8, 10, or 16
+}
+
+// ParseIntLit decodes the text of a token.IntLit.
+func ParseIntLit(text string) (IntLitValue, error) {
+	var v IntLitValue
+	s := text
+	for {
+		if len(s) == 0 {
+			return v, fmt.Errorf("empty integer constant")
+		}
+		c := s[len(s)-1]
+		if c == 'u' || c == 'U' {
+			if v.Unsigned {
+				return v, fmt.Errorf("duplicate unsigned suffix in %q", text)
+			}
+			v.Unsigned = true
+			s = s[:len(s)-1]
+			continue
+		}
+		if c == 'l' || c == 'L' {
+			v.Longs++
+			if v.Longs > 2 {
+				return v, fmt.Errorf("too many long suffixes in %q", text)
+			}
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	v.Base = 10
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v.Base = 16
+		s = s[2:]
+	case len(s) > 1 && s[0] == '0':
+		v.Base = 8
+		s = s[1:]
+	}
+	if s == "" {
+		if v.Base != 8 {
+			return v, fmt.Errorf("malformed integer constant %q", text)
+		}
+		s = "0" // "0" itself, with its leading digit stripped as the base-8 prefix
+	}
+	n, err := strconv.ParseUint(s, v.Base, 64)
+	if err != nil {
+		return v, fmt.Errorf("malformed integer constant %q: %v", text, err)
+	}
+	v.Value = n
+	return v, nil
+}
+
+// FloatLitValue is the decoded form of a floating constant token.
+type FloatLitValue struct {
+	Value  float64
+	IsF    bool // float suffix
+	IsLong bool // long double suffix
+}
+
+// ParseFloatLit decodes the text of a token.FloatLit.
+func ParseFloatLit(text string) (FloatLitValue, error) {
+	var v FloatLitValue
+	s := text
+	for len(s) > 0 {
+		c := s[len(s)-1]
+		if c == 'f' || c == 'F' {
+			v.IsF = true
+			s = s[:len(s)-1]
+			continue
+		}
+		if c == 'l' || c == 'L' {
+			v.IsLong = true
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return v, fmt.Errorf("malformed floating constant %q: %v", text, err)
+	}
+	v.Value = f
+	return v, nil
+}
+
+// ParseCharLit decodes the text of a token.CharLit (including quotes and
+// optional L prefix) into its integer value and whether it is wide.
+func ParseCharLit(text string) (value int64, wide bool, err error) {
+	s := text
+	if strings.HasPrefix(s, "L") {
+		wide = true
+		s = s[1:]
+	}
+	if len(s) < 3 || s[0] != '\'' || s[len(s)-1] != '\'' {
+		return 0, wide, fmt.Errorf("malformed character constant %q", text)
+	}
+	body := s[1 : len(s)-1]
+	vals, err := decodeEscapes(body)
+	if err != nil {
+		return 0, wide, fmt.Errorf("in %q: %v", text, err)
+	}
+	if len(vals) == 0 {
+		return 0, wide, fmt.Errorf("empty character constant %q", text)
+	}
+	// Multi-character constants have an implementation-defined value; we use
+	// the common "bytes big-endian into an int" encoding.
+	var v int64
+	for _, b := range vals {
+		v = v<<8 | int64(b&0xff)
+	}
+	if len(vals) == 1 {
+		// A single character is a plain (possibly signed) char value.
+		v = int64(int8(vals[0]))
+	}
+	return v, wide, nil
+}
+
+// DecodeString decodes the text of a token.StringLit (quotes and optional L
+// prefix included) into its byte contents, without the NUL terminator.
+func DecodeString(text string) (bytes []byte, wide bool, err error) {
+	s := text
+	if strings.HasPrefix(s, "L") {
+		wide = true
+		s = s[1:]
+	}
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, wide, fmt.Errorf("malformed string literal %q", text)
+	}
+	vals, err := decodeEscapes(s[1 : len(s)-1])
+	if err != nil {
+		return nil, wide, fmt.Errorf("in string literal: %v", err)
+	}
+	out := make([]byte, len(vals))
+	for i, v := range vals {
+		out[i] = byte(v)
+	}
+	return out, wide, nil
+}
+
+// decodeEscapes decodes C escape sequences in body, returning one value per
+// source character.
+func decodeEscapes(body string) ([]uint32, error) {
+	var out []uint32
+	for i := 0; i < len(body); {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, uint32(c))
+			i++
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("trailing backslash")
+		}
+		e := body[i]
+		i++
+		switch e {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case 'a':
+			out = append(out, 7)
+		case 'b':
+			out = append(out, 8)
+		case 'f':
+			out = append(out, 12)
+		case 'v':
+			out = append(out, 11)
+		case '0', '1', '2', '3', '4', '5', '6', '7':
+			v := uint32(e - '0')
+			for n := 1; n < 3 && i < len(body) && body[i] >= '0' && body[i] <= '7'; n++ {
+				v = v*8 + uint32(body[i]-'0')
+				i++
+			}
+			out = append(out, v)
+		case 'x':
+			if i >= len(body) || !isHexDigit(body[i]) {
+				return nil, fmt.Errorf(`\x with no hex digits`)
+			}
+			var v uint32
+			for i < len(body) && isHexDigit(body[i]) {
+				v = v*16 + uint32(hexVal(body[i]))
+				i++
+			}
+			out = append(out, v)
+		case '\\', '\'', '"', '?':
+			out = append(out, uint32(e))
+		default:
+			return nil, fmt.Errorf("unknown escape sequence \\%c", e)
+		}
+	}
+	return out, nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

@@ -1,0 +1,226 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctypes"
+)
+
+var m = ctypes.LP64()
+
+func TestIntRoundTrip(t *testing.T) {
+	types := []*ctypes.Type{
+		ctypes.TChar, ctypes.TUChar, ctypes.TShort, ctypes.TUShort,
+		ctypes.TInt, ctypes.TUInt, ctypes.TLong, ctypes.TULong,
+		ctypes.TLongLong, ctypes.TULongLong,
+	}
+	f := func(raw uint64, pick uint8) bool {
+		ty := types[int(pick)%len(types)]
+		want := m.Wrap(ty, raw)
+		enc := EncodeInt(m, ty, want)
+		if int64(len(enc)) != m.Size(ty) {
+			return false
+		}
+		got, res := DecodeInt(m, ty, enc)
+		return res == DecodeOK && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		enc := EncodeFloat(m, ctypes.TDouble, x)
+		got, res := DecodeFloat(m, ctypes.TDouble, enc)
+		return res == DecodeOK && (got == x || got != got && x != x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// float truncates.
+	enc := EncodeFloat(m, ctypes.TFloat, 1.5)
+	if len(enc) != 4 {
+		t.Fatalf("float encoding is %d bytes", len(enc))
+	}
+	got, res := DecodeFloat(m, ctypes.TFloat, enc)
+	if res != DecodeOK || got != 1.5 {
+		t.Errorf("float round trip: %v %v", got, res)
+	}
+}
+
+func TestPtrRoundTrip(t *testing.T) {
+	pt := ctypes.PointerTo(ctypes.TInt)
+	p := Ptr{T: pt, Base: 7, Off: 12}
+	enc := EncodePtr(m, p)
+	if len(enc) != 8 {
+		t.Fatalf("pointer is %d bytes", len(enc))
+	}
+	got, res := DecodePtr(m, pt, enc)
+	if res != PtrOK || got != p {
+		t.Errorf("round trip: %v %v", got, res)
+	}
+}
+
+// TestPtrPartialReassembly checks the §4.3.2 property: a pointer can only
+// be reconstituted from ALL of its bytes, in order.
+func TestPtrPartialReassembly(t *testing.T) {
+	pt := ctypes.PointerTo(ctypes.TInt)
+	p := Ptr{T: pt, Base: 7, Off: 12}
+	q := Ptr{T: pt, Base: 9, Off: 0}
+	pe, qe := EncodePtr(m, p), EncodePtr(m, q)
+
+	// Mixed fragments: torn.
+	mixed := append(append([]Byte{}, pe[:4]...), qe[4:]...)
+	if _, res := DecodePtr(m, pt, mixed); res != PtrTorn {
+		t.Errorf("mixed fragments decoded: %v", res)
+	}
+	// Out of order: torn.
+	swapped := append([]Byte{}, pe...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, res := DecodePtr(m, pt, swapped); res != PtrTorn {
+		t.Errorf("out-of-order fragments decoded: %v", res)
+	}
+	// One byte replaced by an unknown: indeterminate.
+	withUnknown := append([]Byte{}, pe...)
+	withUnknown[3] = Unknown{ID: 1}
+	if _, res := DecodePtr(m, pt, withUnknown); res != PtrIndeterminate {
+		t.Errorf("unknown byte decoded: %v", res)
+	}
+}
+
+func TestNullPtrEncoding(t *testing.T) {
+	pt := ctypes.PointerTo(ctypes.TChar)
+	null := Ptr{T: pt, Base: NullBase}
+	enc := EncodePtr(m, null)
+	for _, b := range enc {
+		c, ok := b.(Concrete)
+		if !ok || c.B != 0 {
+			t.Fatalf("null pointer encoding has non-zero byte %v", b)
+		}
+	}
+	got, res := DecodePtr(m, pt, enc)
+	if res != PtrOK || !got.IsNull() {
+		t.Errorf("null decode: %v %v", got, res)
+	}
+}
+
+func TestForgedPtr(t *testing.T) {
+	pt := ctypes.PointerTo(ctypes.TInt)
+	forged := EncodeInt(m, ctypes.TULong, 0xdeadbeef)
+	if _, res := DecodePtr(m, pt, forged); res != PtrFromBytes {
+		t.Errorf("forged pointer: %v", res)
+	}
+}
+
+func TestIndeterminateRead(t *testing.T) {
+	s := NewStore()
+	o, err := s.Alloc(ObjAuto, 4, "x", ctypes.TInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, res := DecodeInt(m, ctypes.TInt, o.Data); res != DecodeIndeterminate {
+		t.Errorf("fresh object readable: %v", res)
+	}
+	o.Zero(0, 4)
+	v, res := DecodeInt(m, ctypes.TInt, o.Data)
+	if res != DecodeOK || v != 0 {
+		t.Errorf("zeroed read: %d %v", v, res)
+	}
+}
+
+func TestPointerBytesAsInt(t *testing.T) {
+	p := Ptr{T: ctypes.PointerTo(ctypes.TInt), Base: 3, Off: 0}
+	enc := EncodePtr(m, p)
+	if _, res := DecodeInt(m, ctypes.TULong, enc); res != DecodePointerBytes {
+		t.Errorf("pointer bytes read as integer: %v", res)
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	s := NewStore()
+	o, err := s.Alloc(ObjHeap, 16, "malloc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Live {
+		t.Error("fresh object must be live")
+	}
+	if s.LiveBytes() != 16 {
+		t.Errorf("live bytes = %d", s.LiveBytes())
+	}
+	s.Kill(o.ID)
+	if o.Live {
+		t.Error("killed object must be dead")
+	}
+	if s.LiveBytes() != 0 {
+		t.Errorf("live bytes after kill = %d", s.LiveBytes())
+	}
+	// Dead objects are still findable (dangling diagnosis).
+	if _, ok := s.Obj(o.ID); !ok {
+		t.Error("dead object should remain identifiable")
+	}
+	// Double kill is a no-op.
+	s.Kill(o.ID)
+	if s.LiveBytes() != 0 {
+		t.Error("double kill changed accounting")
+	}
+}
+
+func TestNotWritable(t *testing.T) {
+	s := NewStore()
+	o, _ := s.Alloc(ObjStatic, 8, "c", nil)
+	s.MarkNotWritable(o.ID, 0, 4)
+	if !s.IsNotWritable(o.ID, 2, 2) {
+		t.Error("const range not detected")
+	}
+	if s.IsNotWritable(o.ID, 4, 4) {
+		t.Error("non-const range flagged")
+	}
+	if !s.IsNotWritable(o.ID, 3, 2) {
+		t.Error("overlapping range not detected")
+	}
+}
+
+func TestAllocLimits(t *testing.T) {
+	s := NewStore()
+	s.MaxBytes = 100
+	if _, err := s.Alloc(ObjHeap, 101, "big", nil); err == nil {
+		t.Error("expected limit error")
+	}
+	if _, err := s.Alloc(ObjHeap, -1, "neg", nil); err == nil {
+		t.Error("expected error for negative size")
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+		ok   bool
+	}{
+		{Int{T: ctypes.TInt, Bits: 0}, false, true},
+		{Int{T: ctypes.TInt, Bits: 5}, true, true},
+		{Float{T: ctypes.TDouble, F: 0}, false, true},
+		{Float{T: ctypes.TDouble, F: 0.1}, true, true},
+		{Ptr{T: ctypes.PointerTo(ctypes.TInt), Base: NullBase}, false, true},
+		{Ptr{T: ctypes.PointerTo(ctypes.TInt), Base: 3}, true, true},
+		{Void{}, false, false},
+	}
+	for _, c := range cases {
+		got, ok := IsTruthy(c.v)
+		if got != c.want || ok != c.ok {
+			t.Errorf("IsTruthy(%v) = %v,%v", c.v, got, ok)
+		}
+	}
+}
+
+func TestUnknownBytesDistinct(t *testing.T) {
+	s := NewStore()
+	a := s.FreshUnknown().(Unknown)
+	b := s.FreshUnknown().(Unknown)
+	if a.ID == b.ID {
+		t.Error("unknown bytes must be distinguishable")
+	}
+}

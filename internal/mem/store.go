@@ -1,0 +1,176 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/ctypes"
+)
+
+// ObjKind classifies an object's storage duration and provenance.
+type ObjKind int
+
+// Object kinds.
+const (
+	ObjStatic ObjKind = iota // file-scope and static-local objects
+	ObjAuto                  // block-scope automatic objects
+	ObjHeap                  // malloc/calloc/realloc results
+	ObjFunc                  // function designators
+	ObjString                // string literals
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjStatic:
+		return "static"
+	case ObjAuto:
+		return "auto"
+	case ObjHeap:
+		return "heap"
+	case ObjFunc:
+		return "function"
+	case ObjString:
+		return "string literal"
+	}
+	return "object"
+}
+
+// Object is one allocated object: the memory cell entry B ↦ obj(Len, bytes).
+type Object struct {
+	ID   ObjID
+	Kind ObjKind
+	Size int64
+	Data []Byte
+
+	// Live is false once the object's lifetime has ended (scope exit,
+	// free); the bytes are retained so dangling uses can be diagnosed.
+	Live bool
+
+	// Name is the declared name (diagnostics), FuncName the designated
+	// function for ObjFunc.
+	Name     string
+	FuncName string
+
+	// DeclType is the object's declared/effective type (for the
+	// strict-aliasing check, C11 §6.5:7); nil for heap objects until a
+	// value is stored (we then leave it nil — heap memory takes the type
+	// of what is stored per access, checked shallowly).
+	DeclType *ctypes.Type
+}
+
+// Loc is one byte location (the elements of locsWrittenTo / notWritable).
+type Loc struct {
+	Obj ObjID
+	Off int64
+}
+
+// Store is the memory: a map from base addresses to objects, plus the
+// notWritable set of const locations (paper §4.2.2).
+type Store struct {
+	objs        map[ObjID]*Object
+	next        ObjID
+	unknownSeq  int64
+	notWritable map[Loc]struct{}
+
+	// Limits (failure injection / runaway guards).
+	MaxObjects int
+	MaxBytes   int64
+	liveBytes  int64
+}
+
+// NewStore returns an empty memory.
+func NewStore() *Store {
+	return &Store{
+		objs:        make(map[ObjID]*Object),
+		next:        1,
+		notWritable: make(map[Loc]struct{}),
+		MaxObjects:  1 << 20,
+		MaxBytes:    1 << 24, // 16 MiB of C bytes (each costs ~16x in Go)
+	}
+}
+
+// ErrLimit is returned when an allocation exceeds the store's limits.
+var ErrLimit = fmt.Errorf("memory limit exceeded")
+
+// Alloc creates a new live object of size bytes, all indeterminate.
+func (s *Store) Alloc(kind ObjKind, size int64, name string, declType *ctypes.Type) (*Object, error) {
+	if len(s.objs) >= s.MaxObjects || s.liveBytes+size > s.MaxBytes || size < 0 {
+		return nil, ErrLimit
+	}
+	o := &Object{
+		ID:       s.next,
+		Kind:     kind,
+		Size:     size,
+		Data:     make([]Byte, size),
+		Live:     true,
+		Name:     name,
+		DeclType: declType,
+	}
+	for i := range o.Data {
+		s.unknownSeq++
+		o.Data[i] = Unknown{ID: s.unknownSeq}
+	}
+	s.next++
+	s.objs[o.ID] = o
+	s.liveBytes += size
+	return o, nil
+}
+
+// AllocFunc creates the designator object for a function.
+func (s *Store) AllocFunc(name string) *Object {
+	o := &Object{ID: s.next, Kind: ObjFunc, Size: 0, Live: true, Name: name, FuncName: name}
+	s.next++
+	s.objs[o.ID] = o
+	return o
+}
+
+// Obj looks up an object by base. It returns objects whose lifetime has
+// ended too — callers decide whether that is an error.
+func (s *Store) Obj(id ObjID) (*Object, bool) {
+	o, ok := s.objs[id]
+	return o, ok
+}
+
+// Kill ends an object's lifetime, retaining its identity for dangling-use
+// diagnosis.
+func (s *Store) Kill(id ObjID) {
+	if o, ok := s.objs[id]; ok && o.Live {
+		o.Live = false
+		s.liveBytes -= o.Size
+	}
+}
+
+// Zero fills [off, off+n) with concrete zero bytes.
+func (o *Object) Zero(off, n int64) {
+	for i := off; i < off+n && i < o.Size; i++ {
+		o.Data[i] = Concrete{B: 0}
+	}
+}
+
+// MarkNotWritable records [off, off+n) of obj as const (paper §4.2.2).
+func (s *Store) MarkNotWritable(obj ObjID, off, n int64) {
+	for i := off; i < off+n; i++ {
+		s.notWritable[Loc{Obj: obj, Off: i}] = struct{}{}
+	}
+}
+
+// IsNotWritable reports whether any byte of [off, off+n) is const.
+func (s *Store) IsNotWritable(obj ObjID, off, n int64) bool {
+	for i := off; i < off+n; i++ {
+		if _, ok := s.notWritable[Loc{Obj: obj, Off: i}]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// FreshUnknown returns a new indeterminate byte.
+func (s *Store) FreshUnknown() Byte {
+	s.unknownSeq++
+	return Unknown{ID: s.unknownSeq}
+}
+
+// NumObjects reports how many objects (live or dead) the store tracks.
+func (s *Store) NumObjects() int { return len(s.objs) }
+
+// LiveBytes reports the total size of live objects.
+func (s *Store) LiveBytes() int64 { return s.liveBytes }

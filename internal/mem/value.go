@@ -1,0 +1,317 @@
+// Package mem implements the symbolic memory model of the paper's §4.3 and
+// the runtime values that inhabit it.
+//
+// Pointers are symbolic base/offset pairs sym(B)+O — never raw integers —
+// so relational comparison of pointers into different objects has no
+// semantics (§4.3.1). Memory is a map from object bases to byte arrays;
+// a byte is either a concrete octet, a pointer fragment subObject(p, i)
+// (§4.3.2), or an indeterminate unknown byte (§4.3.3).
+package mem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctypes"
+)
+
+// ObjID identifies an allocated object (the paper's base address B).
+type ObjID int64
+
+// NullBase is the base of the null pointer.
+const NullBase ObjID = 0
+
+// InvalidBase marks pointers forged from integers (provenance lost).
+const InvalidBase ObjID = -1
+
+// Value is a C runtime value.
+type Value interface {
+	// CType returns the value's C type.
+	CType() *ctypes.Type
+	isValue()
+}
+
+// Int is an integer value. Bits holds the canonical 64-bit representation:
+// sign-extended two's complement for signed types, zero-extended otherwise
+// (see ctypes.Model.Wrap).
+type Int struct {
+	T    *ctypes.Type
+	Bits uint64
+}
+
+// CType implements Value.
+func (v Int) CType() *ctypes.Type { return v.T }
+func (v Int) isValue()            {}
+
+// Signed returns the value interpreted as signed.
+func (v Int) Signed() int64 { return int64(v.Bits) }
+
+func (v Int) String() string { return fmt.Sprintf("%d:%s", int64(v.Bits), v.T) }
+
+// MakeInt wraps raw into t's range under m and returns the Int.
+func MakeInt(m *ctypes.Model, t *ctypes.Type, raw uint64) Int {
+	return Int{T: t, Bits: m.Wrap(t, raw)}
+}
+
+// Float is a real floating value.
+type Float struct {
+	T *ctypes.Type
+	F float64
+}
+
+// CType implements Value.
+func (v Float) CType() *ctypes.Type { return v.T }
+func (v Float) isValue()            {}
+
+func (v Float) String() string { return fmt.Sprintf("%g:%s", v.F, v.T) }
+
+// Ptr is a symbolic pointer sym(Base)+Off of pointer type T.
+// Base == NullBase is the null pointer; Base == InvalidBase is a pointer
+// whose provenance was destroyed (e.g. conjured from an integer).
+type Ptr struct {
+	T    *ctypes.Type // the pointer type (Ptr kind), not the pointee
+	Base ObjID
+	Off  int64
+}
+
+// CType implements Value.
+func (v Ptr) CType() *ctypes.Type { return v.T }
+func (v Ptr) isValue()            {}
+
+// IsNull reports whether v is a null pointer.
+func (v Ptr) IsNull() bool { return v.Base == NullBase }
+
+func (v Ptr) String() string {
+	if v.IsNull() {
+		return "NULL:" + v.T.String()
+	}
+	return fmt.Sprintf("sym(%d)+%d:%s", v.Base, v.Off, v.T)
+}
+
+// Bytes is an aggregate (struct/union/array) rvalue: its object
+// representation.
+type Bytes struct {
+	T    *ctypes.Type
+	Data []Byte
+}
+
+// CType implements Value.
+func (v Bytes) CType() *ctypes.Type { return v.T }
+func (v Bytes) isValue()            {}
+
+// RawByte is the value read through a character lvalue from a byte that is
+// not a concrete octet (a pointer fragment or an indeterminate byte). It
+// can be copied but not used in arithmetic — the paper's §4.3.2/§4.3.3
+// mechanism for byte-wise copying of pointers and indeterminate memory.
+type RawByte struct {
+	T *ctypes.Type
+	B Byte
+}
+
+// CType implements Value.
+func (v RawByte) CType() *ctypes.Type { return v.T }
+func (v RawByte) isValue()            {}
+
+// NoReturn is the "value" of a call to a function that fell off its end (or
+// executed `return;`) while having a non-void return type. Using it is UB
+// (C11 §6.9.1:12); discarding it is fine.
+type NoReturn struct{ T *ctypes.Type }
+
+// CType implements Value.
+func (v NoReturn) CType() *ctypes.Type { return v.T }
+func (v NoReturn) isValue()            {}
+
+// Void is the value of a void expression — it has no value; any use is UB
+// (C11 §6.3.2.2).
+type Void struct{}
+
+// CType implements Value.
+func (Void) CType() *ctypes.Type { return ctypes.TVoid }
+func (Void) isValue()            {}
+
+// IsTruthy reports whether a scalar value compares unequal to zero.
+// The second result is false when the value has no truth value (unknown,
+// void, aggregate).
+func IsTruthy(v Value) (bool, bool) {
+	switch v := v.(type) {
+	case Int:
+		return v.Bits != 0, true
+	case Float:
+		return v.F != 0, true
+	case Ptr:
+		return !v.IsNull(), true
+	}
+	return false, false
+}
+
+// ---------- bytes ----------
+
+// Byte is one byte of the object representation.
+type Byte interface{ isByte() }
+
+// Concrete is an ordinary octet.
+type Concrete struct{ B uint8 }
+
+func (Concrete) isByte() {}
+
+// PtrFrag is byte Idx of the representation of pointer P — the paper's
+// subObject(p, i). A pointer can only be reconstituted from all of its
+// fragments, in order (§4.3.2).
+type PtrFrag struct {
+	P   Ptr
+	Idx int
+}
+
+func (PtrFrag) isByte() {}
+
+// Unknown is an indeterminate byte — the paper's unknown(N). ID
+// distinguishes independent indeterminate values.
+type Unknown struct{ ID int64 }
+
+func (Unknown) isByte() {}
+
+// ---------- encoding ----------
+
+// EncodeInt renders an integer value as size little-endian concrete bytes.
+func EncodeInt(m *ctypes.Model, t *ctypes.Type, bits uint64) []Byte {
+	n := m.Size(t)
+	out := make([]Byte, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = Concrete{B: uint8(bits >> (8 * i))}
+	}
+	return out
+}
+
+// DecodeIntResult describes why a decode failed.
+type DecodeIntResult int
+
+// Decode outcomes.
+const (
+	DecodeOK            DecodeIntResult = iota
+	DecodeIndeterminate                 // contains Unknown bytes
+	DecodePointerBytes                  // contains pointer fragments
+)
+
+// DecodeInt reads size little-endian bytes as an integer of type t.
+func DecodeInt(m *ctypes.Model, t *ctypes.Type, data []Byte) (uint64, DecodeIntResult) {
+	var bits uint64
+	for i, b := range data {
+		switch b := b.(type) {
+		case Concrete:
+			bits |= uint64(b.B) << (8 * i)
+		case Unknown:
+			return 0, DecodeIndeterminate
+		case PtrFrag:
+			return 0, DecodePointerBytes
+		}
+	}
+	return m.Wrap(t, bits), DecodeOK
+}
+
+// EncodeFloat renders a floating value as concrete bytes.
+func EncodeFloat(m *ctypes.Model, t *ctypes.Type, f float64) []Byte {
+	switch m.Size(t) {
+	case 4:
+		return EncodeInt(m, ctypes.TUInt, uint64(math.Float32bits(float32(f))))
+	default:
+		b := EncodeInt(m, ctypes.TULongLong, math.Float64bits(f))
+		// long double: pad to the model's size with zero bytes.
+		for int64(len(b)) < m.Size(t) {
+			b = append(b, Concrete{B: 0})
+		}
+		return b
+	}
+}
+
+// DecodeFloat reads bytes as a floating value of type t.
+func DecodeFloat(m *ctypes.Model, t *ctypes.Type, data []Byte) (float64, DecodeIntResult) {
+	switch m.Size(t) {
+	case 4:
+		bits, res := DecodeInt(m, ctypes.TUInt, data)
+		if res != DecodeOK {
+			return 0, res
+		}
+		return float64(math.Float32frombits(uint32(bits))), DecodeOK
+	default:
+		bits, res := DecodeInt(m, ctypes.TULongLong, data[:8])
+		if res != DecodeOK {
+			return 0, res
+		}
+		for _, b := range data[8:] {
+			if _, ok := b.(Concrete); !ok {
+				return 0, DecodeIndeterminate
+			}
+		}
+		return math.Float64frombits(bits), DecodeOK
+	}
+}
+
+// EncodePtr splits a pointer into fragments (the paper's subObject bytes).
+// A null pointer is encoded as all-zero concrete bytes so that
+// memset(&p, 0, sizeof p) produces a null pointer, as on real hardware.
+func EncodePtr(m *ctypes.Model, p Ptr) []Byte {
+	n := m.SizePtr
+	out := make([]Byte, n)
+	if p.IsNull() {
+		for i := range out {
+			out[i] = Concrete{B: 0}
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = PtrFrag{P: p, Idx: i}
+	}
+	return out
+}
+
+// DecodePtrResult describes the outcome of reassembling a pointer.
+type DecodePtrResult int
+
+// Pointer decode outcomes.
+const (
+	PtrOK            DecodePtrResult = iota
+	PtrIndeterminate                 // unknown bytes present
+	PtrFromBytes                     // arbitrary concrete bytes (forged pointer)
+	PtrTorn                          // fragments of different pointers, or out of order
+)
+
+// DecodePtr reassembles a pointer of type t from its bytes. Only a complete,
+// in-order set of fragments of a single pointer yields the pointer back
+// (§4.3.2: "this allows the reconstruction of the original pointer, but
+// only if given all the bytes"). All-zero concrete bytes yield null.
+func DecodePtr(m *ctypes.Model, t *ctypes.Type, data []Byte) (Ptr, DecodePtrResult) {
+	if len(data) == 0 {
+		return Ptr{}, PtrTorn
+	}
+	if first, ok := data[0].(PtrFrag); ok {
+		for i, b := range data {
+			if _, unk := b.(Unknown); unk {
+				return Ptr{}, PtrIndeterminate
+			}
+			f, ok := b.(PtrFrag)
+			if !ok || f.Idx != i || f.P != first.P {
+				return Ptr{}, PtrTorn
+			}
+		}
+		p := first.P
+		p.T = t
+		return p, PtrOK
+	}
+	allZero := true
+	for _, b := range data {
+		switch b := b.(type) {
+		case Concrete:
+			if b.B != 0 {
+				allZero = false
+			}
+		case Unknown:
+			return Ptr{}, PtrIndeterminate
+		case PtrFrag:
+			return Ptr{}, PtrTorn
+		}
+	}
+	if allZero {
+		return Ptr{T: t, Base: NullBase}, PtrOK
+	}
+	return Ptr{}, PtrFromBytes
+}

@@ -1,0 +1,380 @@
+// Package parser implements a recursive-descent parser for C99/C11
+// translation units (the freestanding language subset plus the library
+// declarations our headers provide).
+//
+// C's grammar is not context-free: `T * x;` parses differently depending on
+// whether T names a type. The parser therefore tracks declarations —
+// typedef names, enum constants, and ordinary identifiers that shadow them —
+// in a scope stack, and resolves struct/union/enum tags while parsing.
+// Expression types are NOT computed here; that is internal/sema's job.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/lexer"
+	"repro/internal/token"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// nameKind classifies what an identifier currently means in scope.
+type nameKind int
+
+const (
+	nameOrdinary nameKind = iota // object, function, parameter
+	nameTypedef
+	nameEnumConst
+)
+
+type nameInfo struct {
+	kind nameKind
+	typ  *ctypes.Type // typedef target
+	val  int64        // enum constant value
+}
+
+// scope is one level of the declaration environment.
+type scope struct {
+	names map[string]nameInfo
+	tags  map[string]*ctypes.Type // struct/union/enum tags
+}
+
+// Parser parses one translation unit.
+type Parser struct {
+	toks   []token.Token
+	pos    int
+	model  *ctypes.Model
+	scopes []*scope
+	file   string
+	// pendingVLA holds the size expression of the most recently parsed
+	// declarator's variable array dimension; consumers take and clear it.
+	pendingVLA cast.Expr
+}
+
+// New returns a parser over preprocessed source text.
+func New(src, file string, model *ctypes.Model) (*Parser, error) {
+	toks, err := lexer.Tokens(src, file)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, model: model, file: file}
+	p.pushScope()
+	return p, nil
+}
+
+// Parse parses src (already preprocessed) into a translation unit.
+func Parse(src, file string, model *ctypes.Model) (*cast.TranslationUnit, error) {
+	p, err := New(src, file, model)
+	if err != nil {
+		return nil, err
+	}
+	return p.TranslationUnit()
+}
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------- token cursor ----------
+
+func (p *Parser) cur() token.Token {
+	if p.pos >= len(p.toks) {
+		last := token.Pos{File: p.file, Line: 1, Col: 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return token.Token{Kind: token.EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peek(n int) token.Token {
+	if p.pos+n >= len(p.toks) {
+		return token.Token{Kind: token.EOF}
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() token.Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) (token.Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errorf(t.Pos, "expected %v, found %v", k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// ---------- scopes ----------
+
+func (p *Parser) pushScope() {
+	p.scopes = append(p.scopes, &scope{
+		names: make(map[string]nameInfo),
+		tags:  make(map[string]*ctypes.Type),
+	})
+}
+
+func (p *Parser) popScope() { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *Parser) declareName(name string, info nameInfo) {
+	p.scopes[len(p.scopes)-1].names[name] = info
+}
+
+func (p *Parser) lookupName(name string) (nameInfo, bool) {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if info, ok := p.scopes[i].names[name]; ok {
+			return info, true
+		}
+	}
+	return nameInfo{}, false
+}
+
+// lookupTag finds a struct/union/enum tag in any enclosing scope.
+func (p *Parser) lookupTag(tag string) (*ctypes.Type, bool) {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if t, ok := p.scopes[i].tags[tag]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// lookupTagLocal finds a tag in the innermost scope only.
+func (p *Parser) lookupTagLocal(tag string) (*ctypes.Type, bool) {
+	t, ok := p.scopes[len(p.scopes)-1].tags[tag]
+	return t, ok
+}
+
+func (p *Parser) declareTag(tag string, t *ctypes.Type) {
+	p.scopes[len(p.scopes)-1].tags[tag] = t
+}
+
+// isTypeName reports whether the identifier currently names a type.
+func (p *Parser) isTypeName(name string) bool {
+	info, ok := p.lookupName(name)
+	return ok && info.kind == nameTypedef
+}
+
+// startsTypeName reports whether the current token can begin a
+// type-specifier sequence (used to disambiguate casts, sizeof, and
+// declarations from expressions).
+func (p *Parser) startsTypeName(t token.Token) bool {
+	switch t.Kind {
+	case token.KwVoid, token.KwChar, token.KwShort, token.KwInt, token.KwLong,
+		token.KwFloat, token.KwDouble, token.KwSigned, token.KwUnsigned,
+		token.KwBool, token.KwComplex, token.KwStruct, token.KwUnion,
+		token.KwEnum, token.KwConst, token.KwVolatile, token.KwRestrict,
+		token.KwAlignas:
+		return true
+	case token.Ident:
+		return p.isTypeName(t.Text)
+	}
+	return false
+}
+
+// startsDecl reports whether the current token can begin a declaration.
+func (p *Parser) startsDecl(t token.Token) bool {
+	switch t.Kind {
+	case token.KwTypedef, token.KwExtern, token.KwStatic, token.KwAuto,
+		token.KwRegister, token.KwInline, token.KwNoreturn, token.KwStaticAssert:
+		return true
+	}
+	return p.startsTypeName(t)
+}
+
+// ---------- translation unit ----------
+
+// TranslationUnit parses until EOF.
+func (p *Parser) TranslationUnit() (*cast.TranslationUnit, error) {
+	tu := &cast.TranslationUnit{File: p.file}
+	for !p.at(token.EOF) {
+		if p.accept(token.Semi) {
+			continue // stray semicolons at file scope (common extension)
+		}
+		if p.at(token.KwStaticAssert) {
+			if err := p.staticAssert(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		n, err := p.externalDecl()
+		if err != nil {
+			return nil, err
+		}
+		switch n := n.(type) {
+		case *cast.FuncDef:
+			tu.Funcs = append(tu.Funcs, n)
+			tu.Order = append(tu.Order, n)
+		case []*cast.Decl:
+			for _, d := range n {
+				tu.Decls = append(tu.Decls, d)
+				tu.Order = append(tu.Order, d)
+			}
+		}
+	}
+	return tu, nil
+}
+
+// externalDecl parses a function definition or a declaration.
+// It returns *cast.FuncDef or []*cast.Decl.
+func (p *Parser) externalDecl() (any, error) {
+	spec, err := p.declSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	// `struct S { ... };` — declaration with no declarator.
+	if p.accept(token.Semi) {
+		return []*cast.Decl(nil), nil
+	}
+	// First declarator.
+	name, ty, namePos, err := p.declarator(spec.typ)
+	if err != nil {
+		return nil, err
+	}
+	// Function definition: declarator is a function type followed by '{'.
+	if ty.Kind == ctypes.Func && p.at(token.LBrace) {
+		return p.functionDef(name, ty, namePos, spec)
+	}
+	decls, err := p.finishDeclaration(spec, name, ty, namePos)
+	if err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+// functionDef parses the body of a function definition whose declarator has
+// been consumed.
+func (p *Parser) functionDef(name string, ty *ctypes.Type, pos token.Pos, spec declSpec) (*cast.FuncDef, error) {
+	if spec.storage == cast.STypedef {
+		return nil, p.errorf(pos, "typedef with function body")
+	}
+	fd := &cast.FuncDef{Name: name, Type: ty, P: pos}
+	// Register the function name in the current (file) scope so the body
+	// can refer to it (recursion).
+	p.declareName(name, nameInfo{kind: nameOrdinary})
+	p.pushScope()
+	for _, param := range ty.Params {
+		if param.Name != "" {
+			p.declareName(param.Name, nameInfo{kind: nameOrdinary})
+		}
+		sym := &cast.Symbol{Name: param.Name, Type: param.Type, Kind: cast.SymObject, Pos: pos}
+		fd.Params = append(fd.Params, sym)
+	}
+	body, err := p.compound()
+	if err != nil {
+		return nil, err
+	}
+	p.popScope()
+	fd.Body = body
+	return fd, nil
+}
+
+// finishDeclaration parses the remainder of a declaration after its first
+// declarator: optional initializer, more declarators, and the semicolon.
+func (p *Parser) finishDeclaration(spec declSpec, name string, ty *ctypes.Type, pos token.Pos) ([]*cast.Decl, error) {
+	var decls []*cast.Decl
+	for {
+		d := &cast.Decl{Name: name, Type: ty, Storage: spec.storage, P: pos}
+		d.VLASize = p.pendingVLA
+		p.pendingVLA = nil
+		p.registerDecl(spec, name, ty)
+		if p.accept(token.Assign) {
+			if spec.storage == cast.STypedef {
+				return nil, p.errorf(pos, "typedef cannot be initialized")
+			}
+			init, err := p.initializer()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		if spec.storage != cast.STypedef {
+			decls = append(decls, d)
+		}
+		if !p.accept(token.Comma) {
+			break
+		}
+		var err error
+		name, ty, pos, err = p.declarator(spec.typ)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+// registerDecl records what the declarator's name means for later parsing.
+func (p *Parser) registerDecl(spec declSpec, name string, ty *ctypes.Type) {
+	if name == "" {
+		return
+	}
+	if spec.storage == cast.STypedef {
+		p.declareName(name, nameInfo{kind: nameTypedef, typ: ty})
+	} else {
+		p.declareName(name, nameInfo{kind: nameOrdinary})
+	}
+}
+
+// staticAssert parses _Static_assert(expr, "msg"); and checks it.
+func (p *Parser) staticAssert() error {
+	pos := p.next().Pos // _Static_assert
+	if _, err := p.expect(token.LParen); err != nil {
+		return err
+	}
+	cond, err := p.condExpr()
+	if err != nil {
+		return err
+	}
+	msg := ""
+	if p.accept(token.Comma) {
+		t, err := p.expect(token.StringLit)
+		if err != nil {
+			return err
+		}
+		b, _, err := lexer.DecodeString(t.Text)
+		if err != nil {
+			return err
+		}
+		msg = string(b)
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return err
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return err
+	}
+	v, err := p.constEval(cond)
+	if err != nil {
+		return p.errorf(pos, "_Static_assert with non-constant expression: %v", err)
+	}
+	if v == 0 {
+		return p.errorf(pos, "static assertion failed: %s", msg)
+	}
+	return nil
+}

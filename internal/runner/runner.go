@@ -1,0 +1,253 @@
+// Package runner executes the benchmark suites against the analysis tools
+// and renders the paper's evaluation artifacts: Figure 2 (the Juliet class
+// table) and Figure 3 (the static/dynamic averages on the authors' own
+// suite).
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/suite"
+	"repro/internal/tools"
+	"repro/internal/ub"
+)
+
+// ToolScore aggregates one tool's results over a set of cases.
+type ToolScore struct {
+	Flagged        int // bad cases reported
+	BadTotal       int
+	FalsePositives int // good cases reported
+	GoodTotal      int
+	Crashed        int
+	Inconclusive   int
+	TotalTime      time.Duration
+	Runs           int
+}
+
+// Pct is the paper's "% passed": the percentage of undefined tests the tool
+// reported.
+func (s ToolScore) Pct() float64 {
+	if s.BadTotal == 0 {
+		return 0
+	}
+	return 100 * float64(s.Flagged) / float64(s.BadTotal)
+}
+
+// MeanTime is the average wall time per test.
+func (s ToolScore) MeanTime() time.Duration {
+	if s.Runs == 0 {
+		return 0
+	}
+	return s.TotalTime / time.Duration(s.Runs)
+}
+
+// Figure2 is the Juliet comparison: rows are defect classes, columns tools.
+type Figure2 struct {
+	Classes []string
+	Tests   map[string]int                  // bad tests per class
+	Scores  map[string]map[string]ToolScore // class → tool → score
+	Tools   []string
+	Overall map[string]ToolScore
+}
+
+// RunJuliet evaluates the tools on the Juliet-style suite.
+func RunJuliet(s *suite.Suite, ts []tools.Tool) *Figure2 {
+	fig := &Figure2{
+		Classes: suite.JulietClasses,
+		Tests:   map[string]int{},
+		Scores:  map[string]map[string]ToolScore{},
+		Overall: map[string]ToolScore{},
+	}
+	for _, t := range ts {
+		fig.Tools = append(fig.Tools, t.Name())
+	}
+	for _, class := range fig.Classes {
+		fig.Scores[class] = map[string]ToolScore{}
+	}
+	for _, c := range s.Cases {
+		if c.Bad {
+			fig.Tests[c.Class]++
+		}
+		for _, t := range ts {
+			rep := t.Analyze(c.Source, c.Name+".c")
+			sc := fig.Scores[c.Class][t.Name()]
+			ov := fig.Overall[t.Name()]
+			score(&sc, c.Bad, rep)
+			score(&ov, c.Bad, rep)
+			fig.Scores[c.Class][t.Name()] = sc
+			fig.Overall[t.Name()] = ov
+		}
+	}
+	return fig
+}
+
+func score(sc *ToolScore, bad bool, rep tools.Report) {
+	sc.Runs++
+	sc.TotalTime += rep.Duration
+	if bad {
+		sc.BadTotal++
+		if rep.Verdict == tools.Flagged {
+			sc.Flagged++
+		}
+	} else {
+		sc.GoodTotal++
+		if rep.Verdict == tools.Flagged {
+			sc.FalsePositives++
+		}
+	}
+	switch rep.Verdict {
+	case tools.Crashed:
+		sc.Crashed++
+	case tools.Inconclusive:
+		sc.Inconclusive++
+	}
+}
+
+// Render prints the Figure-2 table in the paper's layout.
+func (f *Figure2) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2. Comparison of analysis tools on the Juliet-style suite\n\n")
+	fmt.Fprintf(&b, "%-28s %9s", "Undefined Behavior", "No. Tests")
+	for _, tn := range f.Tools {
+		fmt.Fprintf(&b, " %12s", tn)
+	}
+	b.WriteString("\n")
+	for _, class := range f.Classes {
+		fmt.Fprintf(&b, "%-28s %9d", class, f.Tests[class])
+		for _, tn := range f.Tools {
+			fmt.Fprintf(&b, " %12.1f", f.Scores[class][tn].Pct())
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\nMean time per test:")
+	for _, tn := range f.Tools {
+		fmt.Fprintf(&b, "  %s %.2fms", tn, float64(f.Overall[tn].MeanTime().Microseconds())/1000)
+	}
+	b.WriteString("\nFalse positives on paired defined tests:")
+	for _, tn := range f.Tools {
+		fmt.Fprintf(&b, "  %s %d", tn, f.Overall[tn].FalsePositives)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure3 is the own-suite comparison: per tool, the average detection rate
+// across behaviors, static and dynamic separately ("averages are across
+// undefined behaviors, and no behavior is weighted more than another").
+type Figure3 struct {
+	Tools      []string
+	Static     map[string]float64
+	Dynamic    map[string]float64
+	NumStatic  int
+	NumDynamic int
+	FalsePos   map[string]int
+}
+
+// RunOwn evaluates the tools on the paper's own suite.
+func RunOwn(s *suite.Suite, ts []tools.Tool) *Figure3 {
+	fig := &Figure3{
+		Static:   map[string]float64{},
+		Dynamic:  map[string]float64{},
+		FalsePos: map[string]int{},
+	}
+	for _, t := range ts {
+		fig.Tools = append(fig.Tools, t.Name())
+	}
+	// behavior → tool → (flagged, total) over bad tests.
+	type tally struct{ flagged, total int }
+	perBehavior := map[*ub.Behavior]map[string]*tally{}
+	static := map[*ub.Behavior]bool{}
+	for _, c := range s.Cases {
+		if c.Behavior == nil {
+			continue
+		}
+		if _, ok := perBehavior[c.Behavior]; !ok {
+			perBehavior[c.Behavior] = map[string]*tally{}
+			for _, t := range ts {
+				perBehavior[c.Behavior][t.Name()] = &tally{}
+			}
+			static[c.Behavior] = c.Static
+		}
+		for _, t := range ts {
+			rep := t.Analyze(c.Source, c.Name+".c")
+			if c.Bad {
+				tl := perBehavior[c.Behavior][t.Name()]
+				tl.total++
+				if rep.Verdict == tools.Flagged {
+					tl.flagged++
+				}
+			} else if rep.Verdict == tools.Flagged {
+				fig.FalsePos[t.Name()]++
+			}
+		}
+	}
+	// Average per behavior, equally weighted.
+	for _, t := range ts {
+		var stSum, dySum float64
+		var stN, dyN int
+		for beh, byTool := range perBehavior {
+			tl := byTool[t.Name()]
+			if tl.total == 0 {
+				continue
+			}
+			rate := 100 * float64(tl.flagged) / float64(tl.total)
+			if static[beh] {
+				stSum += rate
+				stN++
+			} else {
+				dySum += rate
+				dyN++
+			}
+		}
+		if stN > 0 {
+			fig.Static[t.Name()] = stSum / float64(stN)
+		}
+		if dyN > 0 {
+			fig.Dynamic[t.Name()] = dySum / float64(dyN)
+		}
+		fig.NumStatic, fig.NumDynamic = stN, dyN
+	}
+	return fig
+}
+
+// Render prints the Figure-3 table in the paper's layout.
+func (f *Figure3) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3. Comparison of analysis tools on the authors' own suite\n")
+	fmt.Fprintf(&b, "(averages across %d static and %d dynamic behaviors, equally weighted)\n\n",
+		f.NumStatic, f.NumDynamic)
+	fmt.Fprintf(&b, "%-14s %18s %19s\n", "Tools", "Static (% Passed)", "Dynamic (% Passed)")
+	for _, tn := range f.Tools {
+		fmt.Fprintf(&b, "%-14s %18.1f %19.1f\n", tn, f.Static[tn], f.Dynamic[tn])
+	}
+	b.WriteString("\nFalse positives on paired defined tests:")
+	for _, tn := range f.Tools {
+		fmt.Fprintf(&b, "  %s %d", tn, f.FalsePos[tn])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CatalogSummary renders the §5.2.1 classification counts.
+func CatalogSummary() string {
+	c := ub.Count()
+	var b strings.Builder
+	b.WriteString("Classification of undefined behaviors (paper §5.2.1)\n\n")
+	fmt.Fprintf(&b, "  total undefined behaviors: %d\n", c.Total)
+	fmt.Fprintf(&b, "  statically detectable:     %d\n", c.Static)
+	fmt.Fprintf(&b, "  only dynamically:          %d\n", c.Dynamic)
+	fmt.Fprintf(&b, "  core language:             %d\n", c.Core)
+	fmt.Fprintf(&b, "  library:                   %d\n", c.Library)
+	fmt.Fprintf(&b, "  dynamic, core, portable:   %d\n", c.CoreDynamicPortable)
+	return b.String()
+}
+
+// SortedBehaviors lists catalog entries sorted by code (for -catalog).
+func SortedBehaviors() []*ub.Behavior {
+	out := append([]*ub.Behavior{}, ub.Catalog...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

@@ -1,0 +1,132 @@
+// Package search explores the unspecified evaluation orders of a C program
+// (paper §2.5.2): "any tool seeking to identify all undefined behaviors
+// must search all possible evaluation strategies."
+//
+// The interpreter consults a Scheduler at every unsequenced choice point;
+// this driver enumerates the resulting decision tree depth-first, replaying
+// decision prefixes. Each leaf is one complete evaluation order; the
+// outcomes (exit codes, outputs, UB verdicts) are collected and
+// deduplicated.
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/sema"
+	"repro/internal/ub"
+)
+
+// Outcome is one observed program behavior.
+type Outcome struct {
+	ExitCode int
+	Output   string
+	UB       *ub.Error
+	Err      error
+	// Trace is the decision prefix that produced this outcome.
+	Trace []int
+}
+
+// Key canonicalizes the outcome for deduplication.
+func (o Outcome) Key() string {
+	switch {
+	case o.UB != nil:
+		return fmt.Sprintf("UB:%d:%s", o.UB.Behavior.Code, o.UB.Msg)
+	case o.Err != nil:
+		return "ERR:" + o.Err.Error()
+	default:
+		return fmt.Sprintf("OK:%d:%s", o.ExitCode, o.Output)
+	}
+}
+
+// Options bound the exploration.
+type Options struct {
+	// MaxRuns caps the number of executions (0 = 10000).
+	MaxRuns int
+	// MaxSteps bounds each single execution.
+	MaxSteps int64
+	// StopAtFirstUB ends the search as soon as any UB is found.
+	StopAtFirstUB bool
+}
+
+// Result aggregates a search.
+type Result struct {
+	// Outcomes are the distinct behaviors observed, in discovery order.
+	Outcomes []Outcome
+	// Runs is the number of executions performed.
+	Runs int
+	// Exhausted reports whether the whole decision tree was covered.
+	Exhausted bool
+}
+
+// UB returns the first undefined behavior among the outcomes, if any.
+func (r *Result) UB() *ub.Error {
+	for _, o := range r.Outcomes {
+		if o.UB != nil {
+			return o.UB
+		}
+	}
+	return nil
+}
+
+// Deterministic reports whether every explored order produced the same
+// behavior.
+func (r *Result) Deterministic() bool { return len(r.Outcomes) <= 1 }
+
+// Explore runs prog under every evaluation order (up to the budget).
+func Explore(prog *sema.Program, opts Options) Result {
+	maxRuns := opts.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 10000
+	}
+	var res Result
+	seen := make(map[string]bool)
+
+	// DFS over decision prefixes. The stack invariant: prefix is the next
+	// decision sequence to force; after a run we extend/backtrack based on
+	// the logged branching factors.
+	prefix := []int{}
+	for {
+		if res.Runs >= maxRuns {
+			return res
+		}
+		tr := &interp.Trace{Prefix: append([]int{}, prefix...)}
+		runRes := interp.Run(prog, interp.Options{Sched: tr, MaxSteps: opts.MaxSteps})
+		res.Runs++
+
+		out := Outcome{
+			ExitCode: runRes.ExitCode,
+			Output:   runRes.Output,
+			UB:       runRes.UB,
+			Err:      runRes.Err,
+			Trace:    append([]int{}, prefix...),
+		}
+		if k := out.Key(); !seen[k] {
+			seen[k] = true
+			res.Outcomes = append(res.Outcomes, out)
+			if out.UB != nil && opts.StopAtFirstUB {
+				return res
+			}
+		}
+
+		// Compute the next prefix: find the deepest decision that can be
+		// incremented.
+		log := tr.Log
+		next := make([]int, 0, len(log))
+		for _, c := range log {
+			next = append(next, c.Picked)
+		}
+		i := len(next) - 1
+		for i >= 0 {
+			if next[i]+1 < log[i].N {
+				break
+			}
+			i--
+		}
+		if i < 0 {
+			res.Exhausted = true
+			return res
+		}
+		prefix = append(next[:i:i], next[i]+1)
+	}
+}

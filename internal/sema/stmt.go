@@ -1,0 +1,305 @@
+package sema
+
+import (
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/ub"
+)
+
+func (c *checker) stmts(list []cast.Stmt) error {
+	for _, s := range list {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s cast.Stmt) error {
+	switch s := s.(type) {
+	case *cast.Empty:
+		return nil
+	case *cast.ExprStmt:
+		_, err := c.expr(s.X)
+		return err
+	case *cast.DeclStmt:
+		for _, d := range s.Decls {
+			if err := c.localDecl(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *cast.Compound:
+		c.pushScope()
+		err := c.stmts(s.List)
+		c.popScope()
+		return err
+	case *cast.If:
+		if _, err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if !value(s.Cond).IsScalar() {
+			return c.errorf(s.Cond.Pos(), "if condition is not scalar (%s)", s.Cond.Type())
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+	case *cast.While:
+		if _, err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if !value(s.Cond).IsScalar() {
+			return c.errorf(s.Cond.Pos(), "while condition is not scalar")
+		}
+		c.loopDepth++
+		err := c.stmt(s.Body)
+		c.loopDepth--
+		return err
+	case *cast.DoWhile:
+		c.loopDepth++
+		if err := c.stmt(s.Body); err != nil {
+			c.loopDepth--
+			return err
+		}
+		c.loopDepth--
+		if _, err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if !value(s.Cond).IsScalar() {
+			return c.errorf(s.Cond.Pos(), "do-while condition is not scalar")
+		}
+		return nil
+	case *cast.For:
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if _, err := c.expr(s.Cond); err != nil {
+				return err
+			}
+			if !value(s.Cond).IsScalar() {
+				return c.errorf(s.Cond.Pos(), "for condition is not scalar")
+			}
+		}
+		if s.Post != nil {
+			if _, err := c.expr(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		err := c.stmt(s.Body)
+		c.loopDepth--
+		return err
+	case *cast.Switch:
+		if _, err := c.expr(s.Tag); err != nil {
+			return err
+		}
+		if !value(s.Tag).IsInteger() {
+			return c.errorf(s.Tag.Pos(), "switch expression is not an integer")
+		}
+		c.switches = append(c.switches, s)
+		c.loopDepth++ // allow break
+		err := c.stmt(s.Body)
+		c.loopDepth--
+		c.switches = c.switches[:len(c.switches)-1]
+		if err != nil {
+			return err
+		}
+		// Duplicate case check.
+		seen := make(map[int64]bool, len(s.Cases))
+		for _, cs := range s.Cases {
+			if seen[cs.Value] {
+				return c.errorf(cs.P, "duplicate case value %d", cs.Value)
+			}
+			seen[cs.Value] = true
+		}
+		return nil
+	case *cast.Case:
+		if len(c.switches) == 0 {
+			return c.errorf(s.P, "case label outside switch")
+		}
+		if _, err := c.expr(s.Expr); err != nil {
+			return err
+		}
+		v, err := c.foldInt(s.Expr)
+		if err != nil {
+			return c.errorf(s.P, "case label is not constant: %v", err)
+		}
+		s.Value = v
+		sw := c.switches[len(c.switches)-1]
+		sw.Cases = append(sw.Cases, s)
+		return c.stmt(s.Stmt)
+	case *cast.Default:
+		if len(c.switches) == 0 {
+			return c.errorf(s.P, "default label outside switch")
+		}
+		sw := c.switches[len(c.switches)-1]
+		if sw.Dflt != nil {
+			return c.errorf(s.P, "multiple default labels in one switch")
+		}
+		sw.Dflt = s
+		return c.stmt(s.Stmt)
+	case *cast.Label:
+		if _, dup := c.labels[s.Name]; dup {
+			return c.errorf(s.P, "duplicate label %q", s.Name)
+		}
+		c.labels[s.Name] = s
+		return c.stmt(s.Stmt)
+	case *cast.Goto:
+		c.gotos = append(c.gotos, s)
+		return nil
+	case *cast.Break:
+		if c.loopDepth == 0 {
+			return c.errorf(s.P, "break outside loop or switch")
+		}
+		return nil
+	case *cast.Continue:
+		if c.loopDepth == 0 {
+			return c.errorf(s.P, "continue outside loop")
+		}
+		return nil
+	case *cast.Return:
+		ret := c.curFunc.Type.Elem
+		if s.X == nil {
+			c.sawPlainReturn = true
+			if ret.Kind != ctypes.Void {
+				// C11 §6.9.1:12 — only undefined if the caller uses the
+				// value; statically flagged per the paper's classification.
+				c.staticUB(ub.ReturnNoValue, s.P,
+					"Return without a value in function %q returning %s", c.curFunc.Name, ret)
+			}
+			return nil
+		}
+		c.sawReturnValue = true
+		if _, err := c.expr(s.X); err != nil {
+			return err
+		}
+		if ret.Kind == ctypes.Void {
+			return nil // flagged at function end
+		}
+		return c.checkAssignable(ret, s.X, s.P)
+	}
+	return c.errorf(s.Pos(), "unhandled statement %T", s)
+}
+
+// foldInt evaluates an integer constant expression on the checked AST (case
+// labels and similar contexts).
+func (c *checker) foldInt(e cast.Expr) (int64, error) {
+	switch e := e.(type) {
+	case *cast.IntLit:
+		return int64(e.Value), nil
+	case *cast.Unary:
+		x, err := c.foldInt(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case cast.UNeg:
+			return -x, nil
+		case cast.UPlus:
+			return x, nil
+		case cast.UCompl:
+			return ^x, nil
+		case cast.UNot:
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *cast.Binary:
+		x, err := c.foldInt(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := c.foldInt(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch e.Op {
+		case cast.BAdd:
+			return x + y, nil
+		case cast.BSub:
+			return x - y, nil
+		case cast.BMul:
+			return x * y, nil
+		case cast.BDiv:
+			if y == 0 {
+				return 0, c.errorf(e.P, "division by zero in constant")
+			}
+			return x / y, nil
+		case cast.BRem:
+			if y == 0 {
+				return 0, c.errorf(e.P, "remainder by zero in constant")
+			}
+			return x % y, nil
+		case cast.BShl:
+			return x << (uint64(y) & 63), nil
+		case cast.BShr:
+			return x >> (uint64(y) & 63), nil
+		case cast.BAnd:
+			return x & y, nil
+		case cast.BOr:
+			return x | y, nil
+		case cast.BXor:
+			return x ^ y, nil
+		case cast.BEq:
+			return b2i(x == y), nil
+		case cast.BNe:
+			return b2i(x != y), nil
+		case cast.BLt:
+			return b2i(x < y), nil
+		case cast.BGt:
+			return b2i(x > y), nil
+		case cast.BLe:
+			return b2i(x <= y), nil
+		case cast.BGe:
+			return b2i(x >= y), nil
+		case cast.BLogAnd:
+			return b2i(x != 0 && y != 0), nil
+		case cast.BLogOr:
+			return b2i(x != 0 || y != 0), nil
+		}
+	case *cast.Cond:
+		cv, err := c.foldInt(e.C)
+		if err != nil {
+			return 0, err
+		}
+		if cv != 0 {
+			return c.foldInt(e.Then)
+		}
+		return c.foldInt(e.Else)
+	case *cast.Cast:
+		if e.To.IsInteger() {
+			x, err := c.foldInt(e.X)
+			if err != nil {
+				return 0, err
+			}
+			return int64(c.model.Wrap(e.To, uint64(x))), nil
+		}
+	case *cast.SizeofType:
+		if e.IsAlign {
+			return c.model.Align(e.Of), nil
+		}
+		return c.model.Size(e.Of), nil
+	case *cast.SizeofExpr:
+		t := e.X.Type()
+		if t != nil && t.IsComplete() {
+			return c.model.Size(t), nil
+		}
+	}
+	return 0, c.errorf(e.Pos(), "not an integer constant expression")
+}

@@ -1,0 +1,189 @@
+// Package spec implements the paper's §4.5.2: declarative negative
+// specifications ("axioms") layered on top of the positive semantics.
+//
+// The paper proposes writing properties like
+//
+//	¬⟨* (NULL : ptrType(T)) ···⟩k
+//
+// — "it is never the case that the next action is dereferencing a null
+// pointer" — and notes the technique is untested ("we know of no semantic
+// framework incorporating them"). Here the abstract machine publishes its
+// next actions as events, and monitors match configuration patterns over
+// them. A monitor's match is a UB verdict, independent of the machine's own
+// built-in checks — so the positive rules stay clean (the §4.5 goal) and
+// the negative axioms live outside them.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/ctypes"
+	"repro/internal/mem"
+	"repro/internal/token"
+	"repro/internal/ub"
+)
+
+// EventKind classifies the next action of the machine.
+type EventKind int
+
+// Event kinds.
+const (
+	EvDeref    EventKind = iota // about to dereference Ptr as Type
+	EvRead                      // about to read [Obj+Off, +Size) as Type
+	EvWrite                     // about to write [Obj+Off, +Size) as Type
+	EvCall                      // about to call function Name
+	EvSeqPoint                  // crossing a sequence point
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvDeref:
+		return "deref"
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	case EvCall:
+		return "call"
+	case EvSeqPoint:
+		return "seq-point"
+	}
+	return "event"
+}
+
+// Event is one observable action of the abstract machine — the redex at the
+// head of the k cell, in the paper's terms.
+type Event struct {
+	Kind EventKind
+	Pos  token.Pos
+
+	// Deref events.
+	Ptr mem.Ptr
+
+	// Read/write events.
+	Obj  mem.ObjID
+	Off  int64
+	Size int64
+
+	// Deref/read/write: the lvalue type.
+	Type *ctypes.Type
+
+	// Call events.
+	Name string
+}
+
+// Monitor observes events and may veto them with a UB verdict.
+type Monitor interface {
+	// Name identifies the axiom in reports.
+	Name() string
+	// Observe returns a non-nil error to reject the action.
+	Observe(ev Event) *ub.Error
+}
+
+// ---------- the paper's example axioms ----------
+
+// NeverDerefNull is ¬⟨* (NULL : ptrType(T)) ···⟩k.
+func NeverDerefNull() Monitor {
+	return MonitorFunc("never-deref-null", func(ev Event) *ub.Error {
+		if ev.Kind == EvDeref && ev.Ptr.IsNull() {
+			return ub.New(ub.InvalidDeref, ev.Pos, "",
+				"axiom ¬⟨*(NULL : ptrType(T))⟩ violated: dereferencing a null pointer")
+		}
+		return nil
+	})
+}
+
+// NeverDerefVoid is ¬⟨* (L : ptrType(void)) ···⟩k.
+func NeverDerefVoid() Monitor {
+	return MonitorFunc("never-deref-void", func(ev Event) *ub.Error {
+		if ev.Kind == EvDeref && ev.Type != nil && ev.Type.Kind == ctypes.Void {
+			return ub.New(ub.DerefVoid, ev.Pos, "",
+				"axiom ¬⟨*(L : ptrType(void))⟩ violated: dereferencing a void pointer")
+		}
+		return nil
+	})
+}
+
+// NoUnseqConflict is the paper's read-write overlap axiom:
+//
+//	¬(⟨read(L,T) ···⟩k ⟨write(L′,T′,V) ···⟩k) when overlaps((L,T), (L′,T′))
+//
+// realized over the events between two sequence points.
+func NoUnseqConflict() Monitor {
+	return &unseqMonitor{written: map[mem.Loc]token.Pos{}}
+}
+
+type unseqMonitor struct {
+	written map[mem.Loc]token.Pos
+}
+
+func (m *unseqMonitor) Name() string { return "no-unsequenced-conflict" }
+
+func (m *unseqMonitor) Observe(ev Event) *ub.Error {
+	switch ev.Kind {
+	case EvSeqPoint:
+		if len(m.written) > 0 {
+			m.written = map[mem.Loc]token.Pos{}
+		}
+	case EvWrite:
+		for i := int64(0); i < ev.Size; i++ {
+			loc := mem.Loc{Obj: ev.Obj, Off: ev.Off + i}
+			if _, clash := m.written[loc]; clash {
+				return ub.New(ub.UnseqSideEffect, ev.Pos, "",
+					"axiom violated: overlapping unsequenced writes")
+			}
+		}
+		for i := int64(0); i < ev.Size; i++ {
+			m.written[mem.Loc{Obj: ev.Obj, Off: ev.Off + i}] = ev.Pos
+		}
+	case EvRead:
+		for i := int64(0); i < ev.Size; i++ {
+			loc := mem.Loc{Obj: ev.Obj, Off: ev.Off + i}
+			if _, clash := m.written[loc]; clash {
+				return ub.New(ub.UnseqValueComp, ev.Pos, "",
+					"axiom violated: read overlaps an unsequenced write")
+			}
+		}
+	}
+	return nil
+}
+
+// NeverCall forbids reaching a function at all (useful for encoding
+// "library function F must not be reachable" policies).
+func NeverCall(name string, behavior *ub.Behavior) Monitor {
+	return MonitorFunc("never-call-"+name, func(ev Event) *ub.Error {
+		if ev.Kind == EvCall && ev.Name == name {
+			return ub.New(behavior, ev.Pos, "",
+				"axiom violated: call to forbidden function %q", name)
+		}
+		return nil
+	})
+}
+
+// MonitorFunc adapts a function to the Monitor interface.
+func MonitorFunc(name string, f func(Event) *ub.Error) Monitor {
+	return funcMonitor{name: name, f: f}
+}
+
+type funcMonitor struct {
+	name string
+	f    func(Event) *ub.Error
+}
+
+func (m funcMonitor) Name() string { return m.name }
+
+func (m funcMonitor) Observe(ev Event) *ub.Error { return m.f(ev) }
+
+// Set is an ordered collection of monitors.
+type Set []Monitor
+
+// Observe feeds the event to each monitor, returning the first veto.
+func (s Set) Observe(ev Event) *ub.Error {
+	for _, m := range s {
+		if err := m.Observe(ev); err != nil {
+			err.Msg = fmt.Sprintf("[%s] %s", m.Name(), err.Msg)
+			return err
+		}
+	}
+	return nil
+}

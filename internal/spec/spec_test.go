@@ -1,0 +1,124 @@
+package spec_test
+
+import (
+	"strings"
+	"testing"
+
+	undefc "repro"
+	"repro/internal/interp"
+	"repro/internal/spec"
+	"repro/internal/ub"
+)
+
+// runWith executes src with the given monitors and an OTHERWISE PERMISSIVE
+// profile: this demonstrates the §4.5.2 point that declarative axioms can
+// capture undefined behavior without touching the positive rules.
+func runWith(t *testing.T, src string, monitors ...spec.Monitor) undefc.Result {
+	t.Helper()
+	// A profile with the relevant built-in checks off, so that ONLY the
+	// monitor can catch the behavior.
+	permissive := &interp.Profile{Name: "permissive"}
+	res := undefc.RunSource(src, "spec.c", undefc.Options{
+		Exec: interp.Options{Profile: permissive, Monitors: spec.Set(monitors)},
+	})
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	return res
+}
+
+func TestNeverDerefNullAxiom(t *testing.T) {
+	src := `
+int main(void){
+	char *p = 0;
+	char c = *p;
+	(void)c;
+	return 0;
+}
+`
+	// Without the axiom (and with null checks off in the machine), the
+	// deref still hits the machine's null handling — so check the axiom
+	// fires FIRST by matching its message.
+	res := runWith(t, src, spec.NeverDerefNull())
+	if res.UB == nil {
+		t.Fatal("axiom did not fire")
+	}
+	if !strings.Contains(res.UB.Msg, "never-deref-null") {
+		t.Errorf("expected the axiom's veto, got %v", res.UB)
+	}
+}
+
+func TestNeverDerefVoidAxiom(t *testing.T) {
+	src := `
+int main(void){
+	int x = 5;
+	void *p = &x;
+	*p;
+	return 0;
+}
+`
+	res := runWith(t, src, spec.NeverDerefVoid())
+	if res.UB == nil || !strings.Contains(res.UB.Msg, "never-deref-void") {
+		t.Errorf("expected void-deref axiom, got %v", res.UB)
+	}
+}
+
+func TestUnseqAxiom(t *testing.T) {
+	// The machine's own Seq checking is off in the permissive profile;
+	// only the declarative axiom sees the conflict.
+	src := `
+int main(void){
+	int x = 0;
+	return (x = 1) + (x = 2);
+}
+`
+	res := runWith(t, src, spec.NoUnseqConflict())
+	if res.UB == nil || res.UB.Behavior != ub.UnseqSideEffect {
+		t.Errorf("expected unsequenced-write axiom, got %v", res.UB)
+	}
+	// And the axiom respects sequence points: a defined program passes.
+	ok := runWith(t, `
+int main(void){
+	int x = 0;
+	x = 1;
+	x = 2;
+	return x - 2;
+}
+`, spec.NoUnseqConflict())
+	if ok.UB != nil {
+		t.Errorf("false positive: %v", ok.UB)
+	}
+}
+
+func TestNeverCallAxiom(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int main(void){
+	void *p = malloc(4);
+	free(p);
+	return 0;
+}
+`
+	res := runWith(t, src, spec.NeverCall("malloc", ub.NullLibArg))
+	if res.UB == nil || !strings.Contains(res.UB.Msg, "never-call-malloc") {
+		t.Errorf("expected the call axiom, got %v", res.UB)
+	}
+	ok := runWith(t, "int main(void){ return 0; }", spec.NeverCall("malloc", ub.NullLibArg))
+	if ok.UB != nil {
+		t.Errorf("false positive: %v", ok.UB)
+	}
+}
+
+func TestAxiomsComposeWithFullProfile(t *testing.T) {
+	// Monitors also run alongside the full checker without changing
+	// defined programs.
+	res := undefc.RunSource(`
+#include <stdio.h>
+int main(void){ printf("ok\n"); return 0; }
+`, "c.c", undefc.Options{Exec: interp.Options{
+		Monitors: spec.Set{spec.NeverDerefNull(), spec.NeverDerefVoid(), spec.NoUnseqConflict()},
+	}})
+	if res.UB != nil || res.Err != nil || res.Output != "ok\n" {
+		t.Errorf("defined program disturbed: %v %v %q", res.UB, res.Err, res.Output)
+	}
+}

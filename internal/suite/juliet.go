@@ -1,0 +1,217 @@
+package suite
+
+import (
+	"fmt"
+
+	"repro/internal/ub"
+)
+
+// The six defect classes of the extracted Juliet benchmark (Figure 2).
+const (
+	ClassInvalidPtr = "Use of invalid pointer"
+	ClassDivZero    = "Division by zero"
+	ClassBadFree    = "Bad argument to free()"
+	ClassUninit     = "Uninitialized memory"
+	ClassBadCall    = "Bad function call"
+	ClassOverflow   = "Integer overflow"
+)
+
+// JulietClasses lists the classes in the paper's row order.
+var JulietClasses = []string{
+	ClassInvalidPtr, ClassDivZero, ClassBadFree,
+	ClassUninit, ClassBadCall, ClassOverflow,
+}
+
+// julietDefects are the defect templates; the NIST suite's discriminating
+// content per test is (class × defect kind × flow variant × good/bad), which
+// is what we regenerate. The mix of heap- and stack-based pointer defects
+// mirrors the CWEs of the original (CWE-122 heap overflows dominate).
+var julietDefects = []defect{
+	// --- Use of invalid pointer ---
+	{
+		class: ClassInvalidPtr, name: "null_deref", behavior: ub.InvalidDeref,
+		bad:  "int *p = 0;\n*p = 5;",
+		good: "int v = 0;\nint *p = &v;\n*p = 5;",
+	},
+	{
+		class: ClassInvalidPtr, name: "heap_read_overflow", behavior: ub.NegMallocOverrun,
+		bad:  "char *p = malloc(8);\nif (!p) return;\nmemset(p, 'A', 8);\nchar c = p[8];\n(void)c;\nfree(p);",
+		good: "char *p = malloc(8);\nif (!p) return;\nmemset(p, 'A', 8);\nchar c = p[7];\n(void)c;\nfree(p);",
+	},
+	{
+		class: ClassInvalidPtr, name: "heap_write_overflow", behavior: ub.NegMallocOverrun,
+		bad:  "int *p = malloc(4 * sizeof(int));\nif (!p) return;\nfor (int i = 0; i <= 4; i++) p[i] = i;\nfree(p);",
+		good: "int *p = malloc(4 * sizeof(int));\nif (!p) return;\nfor (int i = 0; i < 4; i++) p[i] = i;\nfree(p);",
+	},
+	{
+		class: ClassInvalidPtr, name: "use_after_free_read", behavior: ub.UseAfterFree,
+		bad:  "int *p = malloc(sizeof(int));\nif (!p) return;\n*p = 7;\nfree(p);\nint v = *p;\n(void)v;",
+		good: "int *p = malloc(sizeof(int));\nif (!p) return;\n*p = 7;\nint v = *p;\n(void)v;\nfree(p);",
+	},
+	{
+		class: ClassInvalidPtr, name: "heap_ptr_arith_far", behavior: ub.PtrArithBounds,
+		bad:  "char *p = malloc(16);\nif (!p) return;\np = p + 100;\n*p = 1;\nfree(p - 100);",
+		good: "char *p = malloc(16);\nif (!p) return;\np = p + 15;\n*p = 1;\nfree(p - 15);",
+	},
+	{
+		class: ClassInvalidPtr, name: "stack_write_overflow", behavior: ub.PtrArithBounds,
+		bad:  "int a[4];\nfor (int i = 0; i <= 4; i++) a[i] = i;\n(void)a[0];",
+		good: "int a[4];\nfor (int i = 0; i < 4; i++) a[i] = i;\n(void)a[0];",
+	},
+	{
+		class: ClassInvalidPtr, name: "return_stack_address", behavior: ub.DanglingPointer,
+		decls: "static int *grab(void) { int local = 9; int *p = &local; return p; }\nstatic int *grab_ok(void) { static int kept = 9; return &kept; }",
+		bad:   "int *p = grab();\nint v = *p;\n(void)v;",
+		good:  "int *p = grab_ok();\nint v = *p;\n(void)v;",
+	},
+	{
+		class: ClassInvalidPtr, name: "one_past_deref", behavior: ub.PtrDerefOnePast,
+		bad:  "int a[4] = {1, 2, 3, 4};\nint *p = a + 4;\nint v = *p;\n(void)v;",
+		good: "int a[4] = {1, 2, 3, 4};\nint *p = a + 3;\nint v = *p;\n(void)v;",
+	},
+	{
+		class: ClassInvalidPtr, name: "loop_off_by_one_write", behavior: ub.PtrDerefOnePast,
+		bad:  "int a[8];\nint *p = a;\nfor (int i = 0; i <= 8; i++) *(p + i) = i;\n(void)a;",
+		good: "int a[8];\nint *p = a;\nfor (int i = 0; i < 8; i++) *(p + i) = i;\n(void)a;",
+	},
+	{
+		class: ClassInvalidPtr, name: "strcpy_heap_overflow", behavior: ub.NegMallocOverrun,
+		bad:  "char *p = malloc(4);\nif (!p) return;\nstrcpy(p, \"a very long string\");\nfree(p);",
+		good: "char *p = malloc(32);\nif (!p) return;\nstrcpy(p, \"a very long string\");\nfree(p);",
+	},
+	{
+		class: ClassInvalidPtr, name: "tainted_index", behavior: ub.NegMallocOverrun,
+		decls: "static int bad_index(void) { return 12; }\nstatic int good_index(void) { return 3; }",
+		bad:   "int *p = malloc(8 * sizeof(int));\nif (!p) return;\np[bad_index()] = 1;\nfree(p);",
+		good:  "int *p = malloc(8 * sizeof(int));\nif (!p) return;\np[good_index()] = 1;\nfree(p);",
+	},
+	{
+		class: ClassInvalidPtr, name: "negative_heap_index", behavior: ub.NegMallocOverrun,
+		bad:  "int *p = malloc(4 * sizeof(int));\nif (!p) return;\nint i = -1;\np[1] = 0;\np[i] = 5;\nfree(p);",
+		good: "int *p = malloc(4 * sizeof(int));\nif (!p) return;\nint i = 1;\np[1] = 0;\np[i] = 5;\nfree(p);",
+	},
+	// --- Division by zero ---
+	{
+		class: ClassDivZero, name: "div_int", behavior: ub.DivByZero,
+		bad:  "int d = 0;\nint r = 100 / d;\n(void)r;",
+		good: "int d = 4;\nint r = 100 / d;\n(void)r;",
+	},
+	{
+		class: ClassDivZero, name: "mod_dataflow", behavior: ub.DivByZero,
+		decls: "static int source_zero(void) { return 0; }\nstatic int source_five(void) { return 5; }",
+		bad:   "int d = source_zero();\nint r = 100 % d;\n(void)r;",
+		good:  "int d = source_five();\nint r = 100 % d;\n(void)r;",
+	},
+	// --- Bad argument to free() ---
+	{
+		class: ClassBadFree, name: "free_stack", behavior: ub.BadFree,
+		bad:  "int x = 5;\nint *p = &x;\nfree(p);",
+		good: "int *p = malloc(sizeof(int));\nif (!p) return;\n*p = 5;\nfree(p);",
+	},
+	{
+		class: ClassBadFree, name: "double_free", behavior: ub.BadFree,
+		bad:  "char *p = malloc(8);\nif (!p) return;\nfree(p);\nfree(p);",
+		good: "char *p = malloc(8);\nif (!p) return;\nfree(p);",
+	},
+	{
+		class: ClassBadFree, name: "free_middle", behavior: ub.BadFree,
+		bad:  "char *p = malloc(8);\nif (!p) return;\nfree(p + 2);",
+		good: "char *p = malloc(8);\nif (!p) return;\nfree(p);",
+	},
+	// --- Uninitialized memory ---
+	{
+		class: ClassUninit, name: "uninit_int", behavior: ub.IndeterminateValue,
+		bad:  "int x;\nint y = x + 1;\n(void)y;",
+		good: "int x = 1;\nint y = x + 1;\n(void)y;",
+	},
+	{
+		class: ClassUninit, name: "uninit_array_elem", behavior: ub.IndeterminateValue,
+		bad:  "int a[4];\na[0] = 1;\na[1] = 2;\nint s = a[0] + a[3];\n(void)s;",
+		good: "int a[4] = {1, 2, 3, 4};\nint s = a[0] + a[3];\n(void)s;",
+	},
+	{
+		class: ClassUninit, name: "uninit_heap", behavior: ub.IndeterminateValue,
+		bad:  "int *p = malloc(4 * sizeof(int));\nif (!p) return;\nint v = p[2];\n(void)v;\nfree(p);",
+		good: "int *p = calloc(4, sizeof(int));\nif (!p) return;\nint v = p[2];\n(void)v;\nfree(p);",
+	},
+	{
+		class: ClassUninit, name: "uninit_struct_field", behavior: ub.IndeterminateValue,
+		decls: "struct pair { int a; int b; };",
+		bad:   "struct pair p;\np.a = 1;\nint v = p.b;\n(void)v;",
+		good:  "struct pair p = {1, 2};\nint v = p.b;\n(void)v;",
+	},
+	{
+		class: ClassUninit, name: "uninit_pointer", behavior: ub.IndeterminateValue,
+		bad:  "int *p;\nint v = *p;\n(void)v;",
+		good: "int x = 3;\nint *p = &x;\nint v = *p;\n(void)v;",
+	},
+	// --- Bad function call ---
+	{
+		class: ClassBadCall, name: "wrong_arg_count", behavior: ub.BadCallNoProto,
+		decls: "int victim();\nstatic int call_bad(void) { return victim(1); }\nstatic int call_good(void) { return victim(1, 2); }\nint victim(int a, int b) { return a + b; }",
+		bad:   "int v = call_bad();\n(void)v;",
+		good:  "int v = call_good();\n(void)v;",
+	},
+	{
+		class: ClassBadCall, name: "wrong_fnptr_type", behavior: ub.BadFuncPtrCall,
+		decls: "static int takes_two(int a, int b) { return a + b; }",
+		bad:   "int (*fp)(int) = (int (*)(int))takes_two;\nint v = fp(1);\n(void)v;",
+		good:  "int (*fp)(int, int) = takes_two;\nint v = fp(1, 2);\n(void)v;",
+	},
+	// --- Integer overflow ---
+	{
+		class: ClassOverflow, name: "add_overflow", behavior: ub.SignedOverflow,
+		bad:  "int x = INT_MAX;\nint y = x + 1;\n(void)y;",
+		good: "int x = INT_MAX - 1;\nint y = x + 1;\n(void)y;",
+	},
+	{
+		class: ClassOverflow, name: "mul_overflow", behavior: ub.SignedOverflow,
+		bad:  "int x = 0x10000;\nint y = x * 0x10000;\n(void)y;",
+		good: "int x = 0x100;\nint y = x * 0x100;\n(void)y;",
+	},
+	{
+		class: ClassOverflow, name: "negate_min", behavior: ub.SignedOverflow,
+		bad:  "int x = INT_MIN;\nint y = -x;\n(void)y;",
+		good: "int x = INT_MIN + 1;\nint y = -x;\n(void)y;",
+	},
+}
+
+// Juliet generates the Juliet-style benchmark: every defect × every flow
+// variant, in bad and good form.
+func Juliet() *Suite {
+	s := &Suite{Name: "juliet"}
+	for _, d := range julietDefects {
+		for _, v := range variants {
+			base := fmt.Sprintf("%s__%s_%s", classSlug(d.class), d.name, v.id)
+			s.Cases = append(s.Cases,
+				Case{
+					Name: base + "_bad", Source: render(d, v, true),
+					Bad: true, Class: d.class, Behavior: d.behavior,
+				},
+				Case{
+					Name: base + "_good", Source: render(d, v, false),
+					Bad: false, Class: d.class, Behavior: d.behavior,
+				},
+			)
+		}
+	}
+	return s
+}
+
+func classSlug(class string) string {
+	switch class {
+	case ClassInvalidPtr:
+		return "ptr"
+	case ClassDivZero:
+		return "div"
+	case ClassBadFree:
+		return "free"
+	case ClassUninit:
+		return "uninit"
+	case ClassBadCall:
+		return "call"
+	case ClassOverflow:
+		return "ovf"
+	}
+	return "other"
+}

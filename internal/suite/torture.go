@@ -1,0 +1,368 @@
+package suite
+
+// TortureCase is a defined program with its expected behavior — evidence
+// that the positive semantics is right, so the checker's detections are not
+// vacuous (the role the GCC torture tests played for the sister paper,
+// which passed 99.2% of them).
+type TortureCase struct {
+	Name     string
+	Source   string
+	ExitCode int
+	Output   string
+}
+
+// Torture returns the defined-program regression suite.
+func Torture() []TortureCase {
+	return tortureCases
+}
+
+var tortureCases = []TortureCase{
+	{
+		Name: "collatz",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int n = 27, steps = 0;
+	while (n != 1) {
+		n = n % 2 ? 3 * n + 1 : n / 2;
+		steps++;
+	}
+	printf("%d\n", steps);
+	return 0;
+}
+`,
+		Output: "111\n",
+	},
+	{
+		Name: "sieve",
+		Source: `
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+	char composite[100];
+	memset(composite, 0, sizeof composite);
+	int count = 0;
+	for (int i = 2; i < 100; i++) {
+		if (!composite[i]) {
+			count++;
+			for (int j = 2 * i; j < 100; j += i) composite[j] = 1;
+		}
+	}
+	printf("%d primes\n", count);
+	return 0;
+}
+`,
+		Output: "25 primes\n",
+	},
+	{
+		Name: "string_reverse",
+		Source: `
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+	char s[] = "undefined";
+	int n = (int)strlen(s);
+	for (int i = 0, j = n - 1; i < j; i++, j--) {
+		char t = s[i]; s[i] = s[j]; s[j] = t;
+	}
+	puts(s);
+	return 0;
+}
+`,
+		Output: "denifednu\n",
+	},
+	{
+		Name: "linked_list",
+		Source: `
+#include <stdio.h>
+#include <stdlib.h>
+struct node { int v; struct node *next; };
+int main(void) {
+	struct node *head = 0;
+	for (int i = 5; i >= 1; i--) {
+		struct node *n = malloc(sizeof *n);
+		if (!n) return 1;
+		n->v = i;
+		n->next = head;
+		head = n;
+	}
+	int sum = 0;
+	for (struct node *p = head; p; p = p->next) sum += p->v;
+	while (head) {
+		struct node *next = head->next;
+		free(head);
+		head = next;
+	}
+	printf("%d\n", sum);
+	return 0;
+}
+`,
+		Output: "15\n",
+	},
+	{
+		Name: "matrix_multiply",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int a[2][2] = {{1, 2}, {3, 4}};
+	int b[2][2] = {{5, 6}, {7, 8}};
+	int c[2][2] = {0};
+	for (int i = 0; i < 2; i++)
+		for (int j = 0; j < 2; j++)
+			for (int k = 0; k < 2; k++)
+				c[i][j] += a[i][k] * b[k][j];
+	printf("%d %d %d %d\n", c[0][0], c[0][1], c[1][0], c[1][1]);
+	return 0;
+}
+`,
+		Output: "19 22 43 50\n",
+	},
+	{
+		Name: "union_punning_allowed",
+		Source: `
+#include <stdio.h>
+union conv { unsigned int i; unsigned char b[4]; };
+int main(void) {
+	union conv c;
+	c.i = 0x11223344u;
+	printf("%x %x %x %x\n", c.b[0], c.b[1], c.b[2], c.b[3]);
+	return 0;
+}
+`,
+		Output: "44 33 22 11\n",
+	},
+	{
+		Name: "recursion_ackermann",
+		Source: `
+#include <stdio.h>
+int ack(int m, int n) {
+	if (m == 0) return n + 1;
+	if (n == 0) return ack(m - 1, 1);
+	return ack(m - 1, ack(m, n - 1));
+}
+int main(void) {
+	printf("%d\n", ack(2, 3));
+	return 0;
+}
+`,
+		Output: "9\n",
+	},
+	{
+		Name: "function_pointer_table",
+		Source: `
+#include <stdio.h>
+static int add(int a, int b) { return a + b; }
+static int sub(int a, int b) { return a - b; }
+static int mul(int a, int b) { return a * b; }
+int main(void) {
+	int (*ops[3])(int, int) = {add, sub, mul};
+	int r = 0;
+	for (int i = 0; i < 3; i++) r += ops[i](10, 3);
+	printf("%d\n", r); /* 13 + 7 + 30 */
+	return 0;
+}
+`,
+		Output: "50\n",
+	},
+	{
+		Name: "qsort_strings",
+		Source: `
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+	const char *words[4] = {"delta", "alpha", "charlie", "bravo"};
+	for (int i = 0; i < 4; i++)
+		for (int j = i + 1; j < 4; j++)
+			if (strcmp(words[i], words[j]) > 0) {
+				const char *t = words[i];
+				words[i] = words[j];
+				words[j] = t;
+			}
+	for (int i = 0; i < 4; i++) printf("%s ", words[i]);
+	printf("\n");
+	return 0;
+}
+`,
+		Output: "alpha bravo charlie delta \n",
+	},
+	{
+		Name: "bit_tricks",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	unsigned x = 0xF0F0F0F0u;
+	unsigned count = 0;
+	while (x) { count += x & 1u; x >>= 1; }
+	printf("%u\n", count);
+	return 0;
+}
+`,
+		Output: "16\n",
+	},
+	{
+		Name: "short_circuit_guard",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int *p = 0;
+	/* The guard makes the dereference unreachable: defined. */
+	if (p != 0 && *p == 42) printf("forty-two\n");
+	else printf("guarded\n");
+	return 0;
+}
+`,
+		Output: "guarded\n",
+	},
+	{
+		Name: "goto_state_machine",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int n = 0;
+s0:	n++;
+	if (n < 3) goto s0;
+	goto s2;
+s1:	n += 100; /* unreachable */
+s2:	printf("%d\n", n);
+	return 0;
+}
+`,
+		Output: "3\n",
+	},
+	{
+		Name: "struct_return_chain",
+		Source: `
+#include <stdio.h>
+struct vec { int x, y, z; };
+static struct vec add(struct vec a, struct vec b) {
+	struct vec r = {a.x + b.x, a.y + b.y, a.z + b.z};
+	return r;
+}
+int main(void) {
+	struct vec a = {1, 2, 3}, b = {4, 5, 6};
+	struct vec c = add(add(a, b), a);
+	printf("%d %d %d\n", c.x, c.y, c.z);
+	return 0;
+}
+`,
+		Output: "6 9 12\n",
+	},
+	{
+		Name: "const_correct_read",
+		Source: `
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+	const char msg[] = "read-only is fine";
+	char buf[32];
+	strcpy(buf, msg);      /* reading const is defined */
+	buf[0] = 'R';          /* writing the copy is defined */
+	puts(buf);
+	return 0;
+}
+`,
+		Output: "Read-only is fine\n",
+	},
+	{
+		Name: "sizeof_arithmetic",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int a[12];
+	printf("%d\n", (int)(sizeof a / sizeof a[0]));
+	return 0;
+}
+`,
+		Output: "12\n",
+	},
+	{
+		Name: "char_signedness",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	char c = (char)200; /* implementation-defined, not undefined */
+	printf("%d\n", (int)c); /* signed char: -56 */
+	return 0;
+}
+`,
+		Output: "-56\n",
+	},
+	{
+		Name: "string_builder",
+		Source: `
+#include <stdio.h>
+#include <string.h>
+#include <stdlib.h>
+int main(void) {
+	char *buf = malloc(64);
+	if (!buf) return 1;
+	buf[0] = 0;
+	const char *parts[3] = {"a", "bb", "ccc"};
+	for (int i = 0; i < 3; i++) {
+		strcat(buf, parts[i]);
+		strcat(buf, "-");
+	}
+	printf("%s %d\n", buf, (int)strlen(buf));
+	free(buf);
+	return 0;
+}
+`,
+		Output: "a-bb-ccc- 9\n",
+	},
+	{
+		Name: "nested_switch_loops",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int total = 0;
+	for (int i = 0; i < 6; i++) {
+		switch (i % 3) {
+		case 0: total += 1; break;
+		case 1: total += 10; break;
+		default: total += 100; break;
+		}
+	}
+	printf("%d\n", total);
+	return 0;
+}
+`,
+		Output: "222\n",
+	},
+	{
+		Name: "compound_literals",
+		Source: `
+#include <stdio.h>
+struct p { int x, y; };
+static int norm1(struct p v) { return v.x + v.y; }
+int main(void) {
+	printf("%d\n", norm1((struct p){3, 4}));
+	return 0;
+}
+`,
+		Output: "7\n",
+	},
+	{
+		Name: "static_counter_semantics",
+		Source: `
+#include <stdio.h>
+static int next(void) { static int n = 100; return n++; }
+int main(void) {
+	next(); next();
+	printf("%d\n", next());
+	return 0;
+}
+`,
+		Output: "102\n",
+	},
+	{
+		Name: "exact_output_formats",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	printf("[%5d][%-5d][%05d][%x][%o][%c]\n", 42, 42, 42, 255, 8, 'q');
+	return 0;
+}
+`,
+		Output: "[   42][42   ][00042][ff][10][q]\n",
+	},
+}

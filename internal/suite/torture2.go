@@ -1,0 +1,324 @@
+package suite
+
+// A second tranche of defined-program regressions, exercising the corners
+// of the positive semantics: promotion rules, pointer algebra, designated
+// initializers, bit-fields, and library behavior.
+var tortureCases2 = []TortureCase{
+	{
+		Name: "integer_promotions",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	unsigned char uc = 200;
+	signed char sc = -56;
+	/* Both promote to int: arithmetic is signed and exact. */
+	printf("%d %d %d\n", uc + uc, sc * 2, uc + sc);
+	unsigned short us = 65535;
+	printf("%d\n", us + 1); /* promotes to int: 65536, no wrap */
+	return 0;
+}
+`,
+		Output: "400 -112 144\n65536\n",
+	},
+	{
+		Name: "usual_arith_conversions",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int i = -1;
+	unsigned u = 1;
+	/* i converts to unsigned: UINT_MAX > 1. */
+	printf("%d\n", i > (int)u ? 0 : (unsigned)i > u ? 1 : 2);
+	long l = -1;
+	unsigned long ul = 1;
+	printf("%d\n", (unsigned long)l > ul ? 1 : 0);
+	return 0;
+}
+`,
+		Output: "1\n1\n",
+	},
+	{
+		Name: "ternary_chain",
+		Source: `
+#include <stdio.h>
+static const char *grade(int score) {
+	return score >= 90 ? "A" : score >= 80 ? "B" : score >= 70 ? "C" : "F";
+}
+int main(void) {
+	printf("%s%s%s%s\n", grade(95), grade(85), grade(72), grade(10));
+	return 0;
+}
+`,
+		Output: "ABCF\n",
+	},
+	{
+		Name: "designated_initializers",
+		Source: `
+#include <stdio.h>
+struct config { int width, height, depth; };
+int main(void) {
+	struct config c = {.depth = 3, .width = 640};
+	int sparse[8] = {[7] = 70, [2] = 20};
+	printf("%d %d %d %d %d %d\n",
+		c.width, c.height, c.depth, sparse[0], sparse[2], sparse[7]);
+	return 0;
+}
+`,
+		Output: "640 0 3 0 20 70\n",
+	},
+	{
+		Name: "bitfield_packing",
+		Source: `
+#include <stdio.h>
+struct packed { unsigned a : 4; unsigned b : 4; unsigned c : 8; };
+int main(void) {
+	struct packed p;
+	p.a = 15; p.b = 10; p.c = 255;
+	p.a = p.a - 1;
+	printf("%u %u %u %d\n", p.a, p.b, p.c, (int)sizeof(struct packed));
+	return 0;
+}
+`,
+		Output: "14 10 255 4\n",
+	},
+	{
+		Name: "pointer_algebra",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int a[10];
+	for (int i = 0; i < 10; i++) a[i] = i * i;
+	int *lo = &a[2], *hi = &a[7];
+	printf("%d %d %d\n", (int)(hi - lo), *(lo + 3), hi[-1]);
+	int *mid = lo + (hi - lo) / 2;
+	printf("%d\n", *mid);
+	return 0;
+}
+`,
+		Output: "5 25 36\n16\n",
+	},
+	{
+		Name: "string_algorithms",
+		Source: `
+#include <stdio.h>
+#include <string.h>
+static int palindrome(const char *s) {
+	int i = 0, j = (int)strlen(s) - 1;
+	while (i < j) {
+		if (s[i] != s[j]) return 0;
+		i++; j--;
+	}
+	return 1;
+}
+int main(void) {
+	printf("%d%d%d\n", palindrome("racecar"), palindrome("abc"), palindrome(""));
+	return 0;
+}
+`,
+		Output: "101\n",
+	},
+	{
+		Name: "two_dim_initialization",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int grid[3][4] = {{1}, {0, 2}, {0, 0, 3}};
+	int trace = 0;
+	for (int i = 0; i < 3; i++) trace += grid[i][i];
+	printf("%d\n", trace);
+	return 0;
+}
+`,
+		Output: "6\n",
+	},
+	{
+		Name: "enum_arithmetic",
+		Source: `
+#include <stdio.h>
+enum flag { F_READ = 1, F_WRITE = 2, F_EXEC = 4 };
+int main(void) {
+	int perms = F_READ | F_EXEC;
+	printf("%d %d %d\n", perms & F_READ ? 1 : 0,
+		perms & F_WRITE ? 1 : 0, perms & F_EXEC ? 1 : 0);
+	return 0;
+}
+`,
+		Output: "1 0 1\n",
+	},
+	{
+		Name: "mutual_recursion",
+		Source: `
+#include <stdio.h>
+static int isEven(int n);
+static int isOdd(int n) { return n == 0 ? 0 : isEven(n - 1); }
+static int isEven(int n) { return n == 0 ? 1 : isOdd(n - 1); }
+int main(void) {
+	printf("%d%d%d%d\n", isEven(10), isOdd(10), isEven(7), isOdd(7));
+	return 0;
+}
+`,
+		Output: "1001\n",
+	},
+	{
+		Name: "shadowing_scopes",
+		Source: `
+#include <stdio.h>
+int x = 1;
+int main(void) {
+	printf("%d", x);
+	int x = 2;
+	printf("%d", x);
+	{
+		int x = 3;
+		printf("%d", x);
+	}
+	printf("%d\n", x);
+	return 0;
+}
+`,
+		Output: "1232\n",
+	},
+	{
+		Name: "const_propagation",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	const int base = 100;
+	const int *view = &base; /* reading through const is fine */
+	int copy = *view + base;
+	printf("%d\n", copy);
+	return 0;
+}
+`,
+		Output: "200\n",
+	},
+	{
+		Name: "realloc_growth",
+		Source: `
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+	int *v = malloc(2 * sizeof(int));
+	if (!v) return 1;
+	v[0] = 10; v[1] = 20;
+	v = realloc(v, 4 * sizeof(int));
+	if (!v) return 1;
+	v[2] = 30; v[3] = 40;
+	int sum = v[0] + v[1] + v[2] + v[3];
+	free(v);
+	printf("%d\n", sum);
+	return 0;
+}
+`,
+		Output: "100\n",
+	},
+	{
+		Name: "char_classification",
+		Source: `
+#include <stdio.h>
+#include <ctype.h>
+int main(void) {
+	const char *s = "a1 B!";
+	int alpha = 0, digit = 0, space = 0, upper = 0;
+	for (const char *p = s; *p; p++) {
+		if (isalpha(*p)) alpha++;
+		if (isdigit(*p)) digit++;
+		if (isspace(*p)) space++;
+		if (isupper(*p)) upper++;
+	}
+	printf("%d %d %d %d\n", alpha, digit, space, upper);
+	return 0;
+}
+`,
+		Output: "2 1 1 1\n",
+	},
+	{
+		Name: "fibonacci_iterative_vs_recursive",
+		Source: `
+#include <stdio.h>
+static int fibR(int n) { return n < 2 ? n : fibR(n-1) + fibR(n-2); }
+static int fibI(int n) {
+	int a = 0, b = 1;
+	while (n-- > 0) { int t = a + b; a = b; b = t; }
+	return a;
+}
+int main(void) {
+	for (int i = 0; i < 12; i++) {
+		if (fibR(i) != fibI(i)) { printf("mismatch at %d\n", i); return 1; }
+	}
+	printf("%d\n", fibI(11));
+	return 0;
+}
+`,
+		Output: "89\n",
+	},
+	{
+		Name: "do_while_once",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int n = 100;
+	do { printf("ran\n"); } while (n < 10);
+	return 0;
+}
+`,
+		Output: "ran\n",
+	},
+	{
+		Name: "comma_in_for",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int sum = 0;
+	for (int i = 0, j = 10; i < j; i++, j--) sum++;
+	printf("%d\n", sum);
+	return 0;
+}
+`,
+		Output: "5\n",
+	},
+	{
+		Name: "void_pointer_roundtrip",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	int x = 77;
+	void *vp = &x;     /* int* → void* */
+	int *ip = vp;      /* void* → int* : identity round trip */
+	printf("%d\n", *ip);
+	return 0;
+}
+`,
+		Output: "77\n",
+	},
+	{
+		Name: "negative_modulo_semantics",
+		Source: `
+#include <stdio.h>
+int main(void) {
+	/* C99 truncates toward zero. */
+	printf("%d %d %d %d\n", -7 / 2, -7 % 2, 7 / -2, 7 % -2);
+	return 0;
+}
+`,
+		Output: "-3 -1 -3 1\n",
+	},
+	{
+		Name: "sizeof_no_evaluation",
+		Source: `
+#include <stdio.h>
+int calls = 0;
+static int bump(void) { calls++; return 1; }
+int main(void) {
+	unsigned long s = sizeof(bump()); /* operand NOT evaluated */
+	printf("%d %d\n", calls, (int)s);
+	return 0;
+}
+`,
+		Output: "0 4\n",
+	},
+}
+
+func init() {
+	tortureCases = append(tortureCases, tortureCases2...)
+}

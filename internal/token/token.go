@@ -1,0 +1,203 @@
+// Package token defines the lexical tokens of C99/C11 and source positions
+// used throughout the frontend.
+package token
+
+import "fmt"
+
+// Pos is a source position: file, 1-based line, 1-based column.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "<unknown>"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keywords and punctuators follow C11 §6.4.1 and §6.4.6.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit    // 123, 0x1F, 017, with U/L suffixes
+	FloatLit  // 1.5, 1e3, 0x1p4, with F/L suffixes
+	CharLit   // 'a', L'a'
+	StringLit // "abc", L"abc"
+
+	// Keywords.
+	KwAuto
+	KwBreak
+	KwCase
+	KwChar
+	KwConst
+	KwContinue
+	KwDefault
+	KwDo
+	KwDouble
+	KwElse
+	KwEnum
+	KwExtern
+	KwFloat
+	KwFor
+	KwGoto
+	KwIf
+	KwInline
+	KwInt
+	KwLong
+	KwRegister
+	KwRestrict
+	KwReturn
+	KwShort
+	KwSigned
+	KwSizeof
+	KwStatic
+	KwStruct
+	KwSwitch
+	KwTypedef
+	KwUnion
+	KwUnsigned
+	KwVoid
+	KwVolatile
+	KwWhile
+	KwBool         // _Bool
+	KwComplex      // _Complex
+	KwAlignas      // _Alignas
+	KwAlignof      // _Alignof
+	KwNoreturn     // _Noreturn
+	KwStaticAssert // _Static_assert
+	KwGeneric      // _Generic
+
+	// Punctuators.
+	LBracket // [
+	RBracket // ]
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	Dot      // .
+	Arrow    // ->
+	Inc      // ++
+	Dec      // --
+	Amp      // &
+	Star     // *
+	Plus     // +
+	Minus    // -
+	Tilde    // ~
+	Not      // !
+	Slash    // /
+	Percent  // %
+	Shl      // <<
+	Shr      // >>
+	Lt       // <
+	Gt       // >
+	Le       // <=
+	Ge       // >=
+	EqEq     // ==
+	NotEq    // !=
+	Caret    // ^
+	Pipe     // |
+	AndAnd   // &&
+	OrOr     // ||
+	Question // ?
+	Colon    // :
+	Semi     // ;
+	Ellipsis // ...
+	Assign   // =
+	MulAssign
+	DivAssign
+	ModAssign
+	AddAssign
+	SubAssign
+	ShlAssign
+	ShrAssign
+	AndAssign
+	XorAssign
+	OrAssign
+	Comma // ,
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer constant",
+	FloatLit: "floating constant", CharLit: "character constant",
+	StringLit: "string literal",
+
+	KwAuto: "auto", KwBreak: "break", KwCase: "case", KwChar: "char",
+	KwConst: "const", KwContinue: "continue", KwDefault: "default",
+	KwDo: "do", KwDouble: "double", KwElse: "else", KwEnum: "enum",
+	KwExtern: "extern", KwFloat: "float", KwFor: "for", KwGoto: "goto",
+	KwIf: "if", KwInline: "inline", KwInt: "int", KwLong: "long",
+	KwRegister: "register", KwRestrict: "restrict", KwReturn: "return",
+	KwShort: "short", KwSigned: "signed", KwSizeof: "sizeof",
+	KwStatic: "static", KwStruct: "struct", KwSwitch: "switch",
+	KwTypedef: "typedef", KwUnion: "union", KwUnsigned: "unsigned",
+	KwVoid: "void", KwVolatile: "volatile", KwWhile: "while",
+	KwBool: "_Bool", KwComplex: "_Complex", KwAlignas: "_Alignas",
+	KwAlignof: "_Alignof", KwNoreturn: "_Noreturn",
+	KwStaticAssert: "_Static_assert", KwGeneric: "_Generic",
+
+	LBracket: "[", RBracket: "]", LParen: "(", RParen: ")",
+	LBrace: "{", RBrace: "}", Dot: ".", Arrow: "->", Inc: "++", Dec: "--",
+	Amp: "&", Star: "*", Plus: "+", Minus: "-", Tilde: "~", Not: "!",
+	Slash: "/", Percent: "%", Shl: "<<", Shr: ">>", Lt: "<", Gt: ">",
+	Le: "<=", Ge: ">=", EqEq: "==", NotEq: "!=", Caret: "^", Pipe: "|",
+	AndAnd: "&&", OrOr: "||", Question: "?", Colon: ":", Semi: ";",
+	Ellipsis: "...", Assign: "=", MulAssign: "*=", DivAssign: "/=",
+	ModAssign: "%=", AddAssign: "+=", SubAssign: "-=", ShlAssign: "<<=",
+	ShrAssign: ">>=", AndAssign: "&=", XorAssign: "^=", OrAssign: "|=",
+	Comma: ",",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"auto": KwAuto, "break": KwBreak, "case": KwCase, "char": KwChar,
+	"const": KwConst, "continue": KwContinue, "default": KwDefault,
+	"do": KwDo, "double": KwDouble, "else": KwElse, "enum": KwEnum,
+	"extern": KwExtern, "float": KwFloat, "for": KwFor, "goto": KwGoto,
+	"if": KwIf, "inline": KwInline, "int": KwInt, "long": KwLong,
+	"register": KwRegister, "restrict": KwRestrict, "return": KwReturn,
+	"short": KwShort, "signed": KwSigned, "sizeof": KwSizeof,
+	"static": KwStatic, "struct": KwStruct, "switch": KwSwitch,
+	"typedef": KwTypedef, "union": KwUnion, "unsigned": KwUnsigned,
+	"void": KwVoid, "volatile": KwVolatile, "while": KwWhile,
+	"_Bool": KwBool, "_Complex": KwComplex, "_Alignas": KwAlignas,
+	"_Alignof": KwAlignof, "_Noreturn": KwNoreturn,
+	"_Static_assert": KwStaticAssert, "_Generic": KwGeneric,
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // exact source spelling (for Ident and literals)
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, FloatLit, CharLit, StringLit:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Is reports whether the token has kind k.
+func (t Token) Is(k Kind) bool { return t.Kind == k }

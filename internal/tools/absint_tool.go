@@ -1,0 +1,48 @@
+package tools
+
+import (
+	"time"
+
+	"repro/internal/absint"
+	"repro/internal/driver"
+)
+
+// aiTool is the abstract-interpretation Value Analysis: instead of running
+// the program (the "C interpreter mode" the paper's Frama-C comparison
+// used, modeled by ValueAnalysis), it covers all executions with an
+// interval × points-to domain and flags every alarm. Sound on what it
+// models, it may also alarm on defined programs — the classic trade-off
+// the ablation in bench_test.go quantifies.
+type aiTool struct {
+	cfg Config
+}
+
+// ValueAnalysisAI returns the abstract-interpretation variant of the value
+// analysis.
+func ValueAnalysisAI(cfg Config) Tool { return &aiTool{cfg: cfg} }
+
+// Name implements Tool.
+func (t *aiTool) Name() string { return "V. Analysis (AI)" }
+
+// Analyze implements Tool.
+func (t *aiTool) Analyze(src, file string) Report {
+	start := time.Now()
+	prog, err := driver.Compile(src, file, driver.Options{Model: t.cfg.Model})
+	if err != nil {
+		return Report{Verdict: Inconclusive, Detail: "compile: " + err.Error(), Duration: time.Since(start)}
+	}
+	res := absint.Analyze(prog)
+	rep := Report{Duration: time.Since(start)}
+	if len(res.Alarms) > 0 {
+		rep.Verdict = Flagged
+		rep.Detail = res.Alarms[0].String()
+		return rep
+	}
+	if res.Incomplete {
+		rep.Verdict = Inconclusive
+		rep.Detail = "analysis incomplete (unsupported construct)"
+		return rep
+	}
+	rep.Verdict = Accepted
+	return rep
+}

@@ -1,0 +1,59 @@
+package tools
+
+import (
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/search"
+)
+
+// searchTool is kcc in search mode: instead of one evaluation order, it
+// explores all of them (paper §2.5.2 — "any tool seeking to identify all
+// undefined behaviors must search all possible evaluation strategies").
+type searchTool struct {
+	cfg     Config
+	maxRuns int
+}
+
+// KCCSearch returns the order-searching variant of the semantics-based
+// checker.
+func KCCSearch(cfg Config) Tool {
+	return &searchTool{cfg: cfg, maxRuns: 256}
+}
+
+// Name implements Tool.
+func (t *searchTool) Name() string { return "kcc -search" }
+
+// Analyze implements Tool.
+func (t *searchTool) Analyze(src, file string) Report {
+	start := time.Now()
+	prog, err := driver.Compile(src, file, driver.Options{Model: t.cfg.Model})
+	if err != nil {
+		return Report{Verdict: Inconclusive, Detail: "compile: " + err.Error(), Duration: time.Since(start)}
+	}
+	if len(prog.StaticUB) > 0 {
+		return Report{Verdict: Flagged, UB: prog.StaticUB[0],
+			Detail: prog.StaticUB[0].Error(), Duration: time.Since(start)}
+	}
+	res := search.Explore(prog, search.Options{
+		MaxRuns:       t.maxRuns,
+		MaxSteps:      t.cfg.maxSteps(),
+		StopAtFirstUB: true,
+	})
+	rep := Report{Duration: time.Since(start)}
+	if u := res.UB(); u != nil {
+		rep.Verdict = Flagged
+		rep.UB = u
+		rep.Detail = u.Error()
+		return rep
+	}
+	for _, o := range res.Outcomes {
+		if o.Err != nil {
+			rep.Verdict = Inconclusive
+			rep.Detail = o.Err.Error()
+			return rep
+		}
+	}
+	rep.Verdict = Accepted
+	return rep
+}

@@ -1,0 +1,150 @@
+// Package tools defines the analysis tools compared in the paper's §5:
+// the semantics-based checker (kcc) and reimplementations of the detection
+// principles of Valgrind, CheckPointer, and Frama-C's Value Analysis.
+//
+// Every tool analyzes one self-contained C program and renders a Verdict.
+// All four are dynamic analyses (as the paper notes, "all of the tools we
+// tested can be considered dynamic analysis tools"): they share the
+// abstract machine of internal/interp and differ in their check Profile —
+// which mirrors reality, where the tools share the x86 machine and differ
+// in what their instrumentation can see.
+package tools
+
+import (
+	"time"
+
+	"repro/internal/ctypes"
+	"repro/internal/driver"
+	"repro/internal/interp"
+	"repro/internal/ub"
+)
+
+// Verdict classifies a tool's result on one program.
+type Verdict int
+
+// Verdicts.
+const (
+	// Accepted: the tool ran the program and reported nothing.
+	Accepted Verdict = iota
+	// Flagged: the tool reported undefined behavior.
+	Flagged
+	// Crashed: the program died (SIGFPE/SIGSEGV) without a diagnosis —
+	// not a detection (Figure 2 scores Valgrind 0% on division by zero).
+	Crashed
+	// Inconclusive: compile failure, budget exhaustion, or other
+	// non-verdict.
+	Inconclusive
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Accepted:
+		return "accepted"
+	case Flagged:
+		return "flagged"
+	case Crashed:
+		return "crashed"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Report is a tool's result on one program.
+type Report struct {
+	Verdict  Verdict
+	UB       *ub.Error // when Flagged
+	Detail   string
+	ExitCode int
+	Duration time.Duration
+}
+
+// Tool analyzes C programs.
+type Tool interface {
+	Name() string
+	Analyze(src, file string) Report
+}
+
+// Config bounds tool executions.
+type Config struct {
+	Model    *ctypes.Model
+	MaxSteps int64
+}
+
+func (c Config) maxSteps() int64 {
+	if c.MaxSteps == 0 {
+		return 20_000_000
+	}
+	return c.MaxSteps
+}
+
+// profileTool runs programs on the shared abstract machine under a
+// detection profile.
+type profileTool struct {
+	name string
+	prof *interp.Profile
+	cfg  Config
+	// staticChecks reports the frontend's statically detected UB (only
+	// the semantics-based tool does translation-time checking).
+	staticChecks bool
+}
+
+// Name implements Tool.
+func (t *profileTool) Name() string { return t.name }
+
+// Analyze implements Tool.
+func (t *profileTool) Analyze(src, file string) Report {
+	start := time.Now()
+	done := func(r Report) Report {
+		r.Duration = time.Since(start)
+		return r
+	}
+	prog, err := driver.Compile(src, file, driver.Options{Model: t.cfg.Model})
+	if err != nil {
+		return done(Report{Verdict: Inconclusive, Detail: "compile: " + err.Error()})
+	}
+	if t.staticChecks && len(prog.StaticUB) > 0 {
+		return done(Report{Verdict: Flagged, UB: prog.StaticUB[0], Detail: prog.StaticUB[0].Error()})
+	}
+	res := interp.Run(prog, interp.Options{
+		Profile:  t.prof,
+		MaxSteps: t.cfg.maxSteps(),
+	})
+	switch {
+	case res.UB != nil:
+		return done(Report{Verdict: Flagged, UB: res.UB, Detail: res.UB.Error(), ExitCode: res.ExitCode})
+	case res.Err != nil:
+		if _, crashed := res.Err.(*interp.CrashError); crashed {
+			return done(Report{Verdict: Crashed, Detail: res.Err.Error()})
+		}
+		return done(Report{Verdict: Inconclusive, Detail: res.Err.Error()})
+	default:
+		return done(Report{Verdict: Accepted, ExitCode: res.ExitCode})
+	}
+}
+
+// KCC is the semantics-based undefinedness checker: the full profile plus
+// translation-time static checks.
+func KCC(cfg Config) Tool {
+	return &profileTool{name: "kcc", prof: interp.KCCProfile(), cfg: cfg, staticChecks: true}
+}
+
+// Memcheck models a Valgrind-style binary-instrumentation memory checker.
+func Memcheck(cfg Config) Tool {
+	return &profileTool{name: "Valgrind", prof: interp.MemcheckProfile(), cfg: cfg}
+}
+
+// CheckPointer models a pointer-metadata instrumentation checker.
+func CheckPointer(cfg Config) Tool {
+	return &profileTool{name: "CheckPointer", prof: interp.CheckPointerProfile(), cfg: cfg}
+}
+
+// ValueAnalysis models an abstract-interpretation value analysis run in C
+// interpreter mode.
+func ValueAnalysis(cfg Config) Tool {
+	return &profileTool{name: "V. Analysis", prof: interp.ValueAnalysisProfile(), cfg: cfg}
+}
+
+// All returns the four tools of Figure 2/3, in the paper's column order.
+func All(cfg Config) []Tool {
+	return []Tool{Memcheck(cfg), CheckPointer(cfg), ValueAnalysis(cfg), KCC(cfg)}
+}

@@ -1,0 +1,322 @@
+package ub
+
+// Named behaviors referenced by the checker and the test suites. Each is an
+// entry in Catalog below; codes come from catalog position.
+var (
+	// Lexical / translation.
+	NonsigChars     = &Behavior{Section: "6.4.2.1:6", Desc: "identifiers differ only in nonsignificant characters", Static: true}
+	ModifyStringLit = &Behavior{Section: "6.4.5:7", Desc: "attempt to modify a string literal"}
+
+	// Lifetimes and values.
+	OutsideLifetime    = &Behavior{Section: "6.2.4:2", Desc: "object referred to outside of its lifetime"}
+	DanglingPointer    = &Behavior{Section: "6.2.4:2", Desc: "value of a pointer to an object whose lifetime has ended is used"}
+	IndeterminateValue = &Behavior{Section: "6.3.2.1:2", Desc: "lvalue designating an object of automatic storage duration with indeterminate value is used"}
+	TrapRepresentation = &Behavior{Section: "6.2.6.1:5", Desc: "trap representation is read by an lvalue expression without character type"}
+
+	// Conversions.
+	FloatConvRange = &Behavior{Section: "6.3.1.4:1", Desc: "conversion of real floating value to integer type out of range"}
+	FloatDemote    = &Behavior{Section: "6.3.1.5:1", Desc: "demotion of real floating value to smaller type out of range"}
+	VoidValueUsed  = &Behavior{Section: "6.3.2.2:1", Desc: "value of a void expression is used", Static: true}
+	MisalignedPtr  = &Behavior{Section: "6.3.2.3:7", Desc: "conversion to a pointer type with stricter alignment yields a misaligned pointer that is used", ImplSpecific: true}
+	BadFuncPtrCall = &Behavior{Section: "6.3.2.3:8", Desc: "function called through a pointer of incompatible type"}
+	PtrFromInt     = &Behavior{Section: "6.3.2.3:5", Desc: "integer converted to pointer yields invalid pointer that is used", ImplSpecific: true}
+
+	// Expressions.
+	UnseqSideEffect = &Behavior{Section: "6.5:2", Desc: "unsequenced side effect on scalar object with side effect of same object"}
+	UnseqValueComp  = &Behavior{Section: "6.5:2", Desc: "unsequenced side effect on scalar object with value computation using the same object"}
+	SignedOverflow  = &Behavior{Section: "6.5:5", Desc: "exceptional condition during expression evaluation (signed overflow)"}
+	BadAlias        = &Behavior{Section: "6.5:7", Desc: "object accessed through lvalue of incompatible (non-allowed) type"}
+
+	BadCallNoProto = &Behavior{Section: "6.5.2.2:6", Desc: "call to function without prototype with wrong number or types of arguments"}
+	BadCallArgs    = &Behavior{Section: "6.5.2.2:9", Desc: "function called with arguments incompatible with its definition"}
+
+	InvalidDeref    = &Behavior{Section: "6.5.3.2:4", Desc: "invalid pointer (null, void, or dead) dereferenced"}
+	DerefVoid       = &Behavior{Section: "6.5.3.2:4", Desc: "unary * applied to pointer to void and the result used"}
+	DivByZero       = &Behavior{Section: "6.5.5:5", Desc: "division or remainder by zero"}
+	DivOverflow     = &Behavior{Section: "6.5.5:6", Desc: "quotient of division not representable (INT_MIN / -1)"}
+	PtrArithBounds  = &Behavior{Section: "6.5.6:8", Desc: "pointer arithmetic produces result outside the array object (or one past its end)"}
+	PtrDerefOnePast = &Behavior{Section: "6.5.6:8", Desc: "one-past-the-end pointer dereferenced"}
+	PtrSubDifferent = &Behavior{Section: "6.5.6:9", Desc: "subtraction of pointers that do not point into the same array object"}
+	PtrSubTooBig    = &Behavior{Section: "6.5.6:9", Desc: "pointer subtraction result not representable in ptrdiff_t"}
+	ShiftTooFar     = &Behavior{Section: "6.5.7:3", Desc: "shift count negative or >= width of promoted operand"}
+	ShiftNegLeft    = &Behavior{Section: "6.5.7:4", Desc: "left shift of a negative value"}
+	ShiftOverflow   = &Behavior{Section: "6.5.7:4", Desc: "left shift overflow of signed type"}
+
+	PtrCompareDifferent = &Behavior{Section: "6.5.8:5", Desc: "relational comparison of pointers to different objects"}
+	OverlapAssign       = &Behavior{Section: "6.5.16.1:3", Desc: "assignment between overlapping objects with incompatible types"}
+
+	// Declarations.
+	ModifyConst         = &Behavior{Section: "6.7.3:6", Desc: "object defined const modified through non-const lvalue"}
+	VolatileNonvolatile = &Behavior{Section: "6.7.3:6", Desc: "object defined volatile referred to through non-volatile lvalue"}
+	QualifiedFuncType   = &Behavior{Section: "6.7.3:9", Desc: "function type specified with type qualifiers", Static: true}
+	ArrayNotPositive    = &Behavior{Section: "6.7.6.2:1", Desc: "array declared with non-positive constant size", Static: true}
+	VLANotPositive      = &Behavior{Section: "6.7.6.2:5", Desc: "variable length array with non-positive size"}
+	FlexArrayInit       = &Behavior{Section: "6.7.2.1:3", Desc: "structure with flexible array member used improperly", Static: true}
+
+	// Statements.
+	GotoIntoVLAScope = &Behavior{Section: "6.8.6.1:1", Desc: "jump into the scope of a variably modified declaration", Static: true}
+	NoReturnValue    = &Behavior{Section: "6.9.1:12", Desc: "value of a function call used but the function returned without a value"}
+	ReturnVoidValue  = &Behavior{Section: "6.8.6.4:1", Desc: "return statement with expression in void function (value used)", Static: true}
+	ReturnNoValue    = &Behavior{Section: "6.8.6.4:1", Desc: "return without expression in value-returning function (and value used)", Static: true}
+
+	// Preprocessor.
+	PasteInvalid = &Behavior{Section: "6.10.3.3:3", Desc: "## paste does not produce a valid preprocessing token", Static: true}
+
+	// Library.
+	BadFormat        = &Behavior{Section: "7.21.6.1:9", Desc: "printf-family conversion specification mismatched with argument", Library: true}
+	UseAfterFree     = &Behavior{Section: "7.22.3:1", Desc: "pointer to deallocated memory used", Library: true}
+	BadFree          = &Behavior{Section: "7.22.3.3:2", Desc: "free() of a pointer not obtained from an allocation function, or already freed", Library: true}
+	BadRealloc       = &Behavior{Section: "7.22.3.5:3", Desc: "realloc() of a pointer not obtained from an allocation function, or already freed", Library: true}
+	StrFuncBadPtr    = &Behavior{Section: "7.24.1:2", Desc: "invalid or null pointer passed to string handling function", Library: true}
+	MemcpyOverlap    = &Behavior{Section: "7.24.2.1:2", Desc: "memcpy between overlapping objects", Library: true}
+	StrcpyOverlap    = &Behavior{Section: "7.24.2.3:2", Desc: "strcpy between overlapping objects", Library: true}
+	BadVaArg         = &Behavior{Section: "7.16.1.1:2", Desc: "va_arg with type incompatible with the actual next argument", Library: true}
+	NullLibArg       = &Behavior{Section: "7.1.4:1", Desc: "library function called with invalid argument (null pointer, out of domain)", Library: true}
+	NegMallocOverrun = &Behavior{Section: "7.22.3:1", Desc: "access beyond the size of an allocated object", Library: true}
+)
+
+// Catalog lists the undefined behaviors of C11 following the paper's
+// classification: 221 behaviors, 92 statically detectable, 129 only
+// dynamically detectable. Entries are ordered roughly by defining
+// subclause; Code = position (UnseqSideEffect is deliberately placed at
+// code 16, matching the kcc transcript in §3.2 of the paper).
+var Catalog = []*Behavior{
+	// --- Translation and environment (§4, §5). (1-10)
+	{Section: "4:2", Desc: "a \"shall\" requirement outside a constraint is violated", Static: true},
+	{Section: "5.1.1.2:1", Desc: "non-empty source file does not end in an unescaped newline", Static: true},
+	{Section: "5.1.1.2:1", Desc: "line splicing produces a character sequence matching a universal character name", Static: true},
+	{Section: "5.1.1.2:1", Desc: "unmatched ' or \" on a logical source line", Static: true},
+	{Section: "5.1.2.2.1:2", Desc: "main declared with a type not allowed by the implementation", Static: true, ImplSpecific: true},
+	{Section: "5.2.1:3", Desc: "character not in the basic source character set appears outside literals and comments", Static: true},
+	OutsideLifetime,    // 7
+	DanglingPointer,    // 8
+	IndeterminateValue, // 9
+	TrapRepresentation, // 10
+	// --- Types and conversions (§6.2, §6.3). (11-25)
+	{Section: "6.2.6.1:6", Desc: "trap representation produced by modifying part of an object", ImplSpecific: true},
+	{Section: "6.2.7:2", Desc: "incompatible declarations of the same object or function are both used", Static: true},
+	{Section: "6.2.2:7", Desc: "identifier appears with both internal and external linkage in the same translation unit", Static: true},
+	FloatConvRange,  // 14
+	FloatDemote,     // 15
+	UnseqSideEffect, // 16  (kcc's "Error: 00016")
+	UnseqValueComp,  // 17
+	VoidValueUsed,   // 18
+	{Section: "6.3.2.1:2", Desc: "lvalue of incomplete type used in a context requiring its value", Static: true},
+	MisalignedPtr,  // 20
+	BadFuncPtrCall, // 21
+	PtrFromInt,     // 22
+	{Section: "6.3.2.1:4", Desc: "address of array with register storage class used", Static: true},
+	NonsigChars, // 24
+	{Section: "6.4.2.2:2", Desc: "program defines or undefines __func__ or declares it explicitly", Static: true},
+	// --- Lexical elements (§6.4). (26-30)
+	{Section: "6.4.3:2", Desc: "universal character name designates a member of the basic character set", Static: true},
+	{Section: "6.4.4.4:9", Desc: "character constant contains an invalid escape sequence", Static: true},
+	ModifyStringLit, // 28
+	{Section: "6.4.5:5", Desc: "adjacent string literals with incompatible encoding prefixes concatenated", Static: true},
+	{Section: "6.4.7:3", Desc: "invalid character sequence between < and > in a header name", Static: true},
+	// --- Expressions (§6.5). (31-50)
+	SignedOverflow, // 31
+	BadAlias,       // 32
+	{Section: "6.5.1.1:2", Desc: "_Generic selection with no compatible association and no default", Static: true},
+	BadCallNoProto, // 34
+	BadCallArgs,    // 35
+	{Section: "6.5.2.2:9", Desc: "function defined with old-style declarator called with incompatible arguments"},
+	InvalidDeref,        // 37
+	DerefVoid,           // 38
+	DivByZero,           // 39
+	DivOverflow,         // 40
+	PtrArithBounds,      // 41
+	PtrDerefOnePast,     // 42
+	PtrSubDifferent,     // 43
+	PtrSubTooBig,        // 44
+	ShiftTooFar,         // 45
+	ShiftNegLeft,        // 46
+	ShiftOverflow,       // 47
+	PtrCompareDifferent, // 48
+	OverlapAssign,       // 49
+	{Section: "6.5.2.3:5", Desc: "member of atomic structure or union accessed"},
+	// --- Constant expressions, declarations (§6.6-§6.7). (51-75)
+	{Section: "6.6:4", Desc: "constant expression in an initializer is not a valid constant expression form", Static: true},
+	{Section: "6.6:17", Desc: "cast or arithmetic on pointer constants outside allowed forms in constant expressions", Static: true},
+	{Section: "6.7:3", Desc: "identifier with no linkage declared twice in the same scope", Static: true},
+	{Section: "6.7.1:5", Desc: "function declared at block scope with storage class other than extern", Static: true},
+	{Section: "6.7.2.1:16", Desc: "flexible array member accessed beyond the allocated size"},
+	{Section: "6.7.2.1:3", Desc: "structure with flexible array member declared where not permitted", Static: true},
+	FlexArrayInit, // 57
+	{Section: "6.7.2.2:4", Desc: "enumeration constant value not representable as int", Static: true},
+	{Section: "6.7.2.3:1", Desc: "distinct tag declarations used interchangeably", Static: true},
+	{Section: "6.7.2:2", Desc: "invalid combination of type specifiers", Static: true},
+	{Section: "6.7.4:6", Desc: "inline function with external linkage defines a modifiable object with static storage", Static: true},
+	{Section: "6.7.4:3", Desc: "inline definition references identifier with internal linkage", Static: true},
+	{Section: "6.7.5:2", Desc: "restrict-qualified pointer accessed through a non-derived alias"},
+	ModifyConst,         // 64
+	VolatileNonvolatile, // 65
+	QualifiedFuncType,   // 66
+	{Section: "6.7.3:9", Desc: "two qualified versions of a type used as incompatible", Static: true},
+	{Section: "6.7.6.1:2", Desc: "pointer declarator with invalid qualifier placement", Static: true},
+	ArrayNotPositive, // 69
+	VLANotPositive,   // 70
+	{Section: "6.7.6.2:2", Desc: "array declarator with static or qualifiers outside function parameter", Static: true},
+	{Section: "6.7.6.3:15", Desc: "parameter type in definition incompatible with prototype", Static: true},
+	{Section: "6.7.9:2", Desc: "initializer attempts to provide a value for an object not contained within the entity", Static: true},
+	{Section: "6.7.9:10", Desc: "static-duration object initialized with a non-constant expression", Static: true},
+	{Section: "6.7.9:23", Desc: "initializer for aggregate with unknown content", Static: true},
+	// --- Statements (§6.8). (76-85)
+	GotoIntoVLAScope, // 76
+	{Section: "6.8.4.2:2", Desc: "switch jumps into the scope of a variably modified declaration", Static: true},
+	{Section: "6.8.5:6", Desc: "iteration statement declared const-like assumed terminating but loops forever", ImplSpecific: true},
+	ReturnVoidValue, // 79
+	ReturnNoValue,   // 80
+	{Section: "6.9.1:3", Desc: "function defined with invalid storage class", Static: true},
+	{Section: "6.9.2:3", Desc: "tentative definition with internal linkage has incomplete type", Static: true},
+	{Section: "6.9:3", Desc: "external identifier used but no external definition exists", Static: true},
+	{Section: "6.9:5", Desc: "more than one external definition of an identifier", Static: true},
+	{Section: "6.5.2.2:11", Desc: "recursive call through mutually incompatible function declarations"},
+	// --- Functions and program structure. (86-90)
+	{Section: "6.9.1:9", Desc: "parameter of function definition adjusted to incomplete type", Static: true},
+	{Section: "6.9.1:12", Desc: "} of a value-returning function reached and the value of the call used"},
+	NoReturnValue, // 88
+	{Section: "7.22.4.4:2", Desc: "exit() called more than once, or after quick_exit", Library: true},
+	{Section: "7.22.4.7:2", Desc: "longjmp to a function that has already returned", Library: true},
+	// --- Preprocessor (§6.10). (91-100)
+	{Section: "6.10.1:4", Desc: "#if expression token sequence does not match the required grammar", Static: true},
+	{Section: "6.10.2:4", Desc: "#include directive does not match one of the two header forms", Static: true},
+	{Section: "6.10.3:11", Desc: "macro argument list contains preprocessing directives", Static: true},
+	{Section: "6.10.3.1:1", Desc: "macro argument would contain unterminated comment or literal after expansion", Static: true},
+	{Section: "6.10.3.2:2", Desc: "# operator result is not a valid string literal", Static: true},
+	PasteInvalid, // 96
+	{Section: "6.10.8:4", Desc: "program defines or undefines a predefined macro or the identifier defined", Static: true},
+	{Section: "6.10.6:1", Desc: "non-STDC #pragma causes translation failure effects", Static: true, ImplSpecific: true},
+	{Section: "6.10.2:6", Desc: "#include nesting exceeds implementation limits", Static: true, ImplSpecific: true},
+	{Section: "6.10.4:3", Desc: "#line directive sets line number to zero or above 2147483647", Static: true},
+	// --- Floating environment, misc core. (101-110)
+	{Section: "6.5:8", Desc: "floating expression contracted in a way that changes observable trapping", ImplSpecific: true},
+	{Section: "7.6.1:2", Desc: "FENV_ACCESS off while accessing the floating-point environment", Library: true},
+	{Section: "6.10.8.3:1", Desc: "__STDC_IEC_559__ defined but semantics violated", Static: true, ImplSpecific: true},
+	{Section: "6.7.2.1:8", Desc: "bit-field member accessed as if it had a different width", ImplSpecific: true},
+	{Section: "6.2.6.2:4", Desc: "arithmetic operation produces a negative zero the implementation cannot represent", ImplSpecific: true},
+	{Section: "6.3.1.1:2", Desc: "object with automatic storage read during its own initialization"},
+	{Section: "6.5.2.5:17", Desc: "compound literal of automatic storage used after its block terminates"},
+	{Section: "6.5.16:3", Desc: "assignment result used after the assigned object was modified again unsequenced"},
+	{Section: "6.2.4:7", Desc: "VLA object referred to after leaving its scope"},
+	{Section: "6.5.3.4:2", Desc: "sizeof applied to an expression that designates a dead object"},
+	// --- Library: diagnostics, character handling (§7.2-7.4). (111-120)
+	{Section: "7.2.1.1:2", Desc: "assert() macro argument with side effects relied on when NDEBUG is set", Library: true, Static: true},
+	{Section: "7.1.4:1", Desc: "macro definition of a library function suppressed in invalid ways", Library: true, Static: true},
+	NullLibArg, // 113
+	{Section: "7.4:1", Desc: "ctype function called with value not representable as unsigned char or EOF", Library: true},
+	{Section: "7.4:1", Desc: "ctype function called with negative char value", Library: true},
+	{Section: "7.1.2:4", Desc: "standard header included inside an external declaration", Library: true, Static: true},
+	{Section: "7.1.3:2", Desc: "program declares or defines a reserved identifier", Library: true, Static: true},
+	{Section: "7.1.4:2", Desc: "library function pointer compared beyond equality", Library: true, Static: true},
+	{Section: "7.5:2", Desc: "errno redeclared by the program", Library: true, Static: true},
+	{Section: "7.5:3", Desc: "errno value used after library call that is not documented to set it", Library: true},
+	// --- Library: floating point, math (§7.6, §7.12). (121-130)
+	{Section: "7.6.2:1", Desc: "floating-point exception flags manipulated inconsistently", Library: true},
+	{Section: "7.12:1", Desc: "math function called with argument outside its domain and the result used", Library: true},
+	{Section: "7.12.1:4", Desc: "math function result overflows and the program relies on a specific value", Library: true},
+	{Section: "7.12.14:1", Desc: "comparison macro applied to operands of invalid types", Library: true, Static: true},
+	{Section: "7.17:3", Desc: "atomic object accessed with inconsistent memory order", Library: true},
+	{Section: "7.18:1", Desc: "_Bool lvalue manipulated to hold a value other than 0 or 1", Library: true, ImplSpecific: true},
+	{Section: "7.20.1.1:3", Desc: "exact-width integer typedef used on implementation that lacks it", Library: true, Static: true},
+	{Section: "7.20.6.1:2", Desc: "imaxabs() of the most negative value", Library: true},
+	{Section: "7.8.2.2:3", Desc: "imaxdiv() with zero divisor", Library: true},
+	{Section: "7.20.6.1:1", Desc: "abs() of the most negative value", Library: true},
+	// --- Library: setjmp, signals (§7.13, §7.14). (131-140)
+	{Section: "7.13.1.1:4", Desc: "setjmp used outside an allowed context", Library: true, Static: true},
+	{Section: "7.13.2.1:2", Desc: "longjmp with corrupted or expired jmp_buf", Library: true},
+	{Section: "7.13.2.1:3", Desc: "non-volatile automatic object read after longjmp modified it", Library: true},
+	{Section: "7.14.1.1:3", Desc: "signal handler calls a non-async-signal-safe function", Library: true},
+	{Section: "7.14.1.1:5", Desc: "signal handler refers to an object with static storage that is not volatile sig_atomic_t", Library: true},
+	{Section: "7.14.2.1:7", Desc: "raise() called inside a signal handler re-entering itself", Library: true},
+	{Section: "7.16.1.1:3", Desc: "va_arg called when no further arguments exist", Library: true},
+	BadVaArg, // 138
+	{Section: "7.16.1.4:4", Desc: "va_start or va_copy without matching va_end", Library: true, Static: true},
+	{Section: "7.16.1:3", Desc: "va_list used after va_end, or passed and used after callee's va_end", Library: true},
+	// --- Library: stdio (§7.21). (141-165)
+	{Section: "7.21.2:2", Desc: "stream operation on a file after it was closed", Library: true},
+	{Section: "7.21.3:4", Desc: "output to a stream followed by input without an intervening flush or positioning", Library: true},
+	{Section: "7.21.4.1:2", Desc: "remove() of an open file relied on", Library: true, ImplSpecific: true},
+	{Section: "7.21.4.2:2", Desc: "rename() with names invalid for the host system", Library: true, ImplSpecific: true},
+	{Section: "7.21.5.3:6", Desc: "fopen mode string invalid", Library: true, Static: true},
+	{Section: "7.21.6.1:2", Desc: "printf format string not a valid multibyte sequence", Library: true, Static: true},
+	{Section: "7.21.6.1:4", Desc: "printf field width or precision argument has wrong type", Library: true, Static: true},
+	{Section: "7.21.6.1:8", Desc: "printf # or 0 flag with invalid conversion", Library: true, Static: true},
+	{Section: "7.21.6.1:9", Desc: "printf with insufficient arguments for the format", Library: true, Static: true},
+	BadFormat, // 150
+	{Section: "7.21.6.2:10", Desc: "scanf conversion specification mismatched with argument pointer type", Library: true, Static: true},
+	{Section: "7.21.6.2:13", Desc: "scanf %s without a bound overruns the receiving array", Library: true, Static: true},
+	{Section: "7.21.6.1:9", Desc: "printf %s with non-nul-terminated argument", Library: true},
+	{Section: "7.21.6.1:9", Desc: "printf %n with const-qualified or invalid pointer", Library: true, Static: true},
+	{Section: "7.21.7.2:2", Desc: "gets() overruns the receiving array", Library: true, Static: true},
+	{Section: "7.21.7.10:2", Desc: "ungetc pushed-back character relied on after repositioning", Library: true},
+	{Section: "7.21.9.2:4", Desc: "fseek on a text stream with invalid offset", Library: true},
+	{Section: "7.21.9.4:2", Desc: "ftell/fsetpos position used across stream states", Library: true},
+	{Section: "7.21.5.6:2", Desc: "setvbuf buffer used after it is deallocated", Library: true},
+	{Section: "7.21.5.6:3", Desc: "setvbuf called after stream operations", Library: true, Static: true},
+	{Section: "7.21.6.3:2", Desc: "printf called with a null format pointer", Library: true, Static: true},
+	{Section: "7.21.1:7", Desc: "FILE object copied and the copy used", Library: true, Static: true},
+	{Section: "7.21.3:5", Desc: "file position indicator used on a stream where it is indeterminate", Library: true},
+	{Section: "7.21.6.1:15", Desc: "printf conversion result exceeds implementation line limits", Library: true, ImplSpecific: true},
+	{Section: "7.21.7.6:2", Desc: "fputs with non-nul-terminated string", Library: true},
+	// --- Library: stdlib (§7.22). (166-185)
+	{Section: "7.22.1.1:2", Desc: "atof/atoi family with unrepresentable value", Library: true},
+	{Section: "7.22.1.3:10", Desc: "strtod endptr invalid pointer write", Library: true},
+	{Section: "7.22.1.4:9", Desc: "strtol family with invalid base", Library: true, Static: true},
+	{Section: "7.22.2.2:2", Desc: "srand sequence relied on across implementations", Library: true, ImplSpecific: true},
+	{Section: "7.22.3.1:3", Desc: "aligned_alloc with invalid alignment", Library: true, Static: true},
+	{Section: "7.22.3:1", Desc: "allocation function result accessed beyond the requested size", Library: true},
+	NegMallocOverrun, // 172
+	{Section: "7.22.3.4:2", Desc: "malloc(0) result dereferenced", Library: true},
+	{Section: "7.22.3:1", Desc: "allocated object read before any value was stored (indeterminate)", Library: true},
+	{Section: "7.22.3.5:2", Desc: "realloc'd region accessed through the old pointer", Library: true},
+	{Section: "7.22.3.3:2", Desc: "free() of a pointer into the middle of an allocated object", Library: true},
+	BadFree,      // 177
+	UseAfterFree, // 178
+	BadRealloc,   // 179
+	{Section: "7.22.4.1:2", Desc: "abort/exit handler registered with atexit longjmps out", Library: true, Static: true},
+	{Section: "7.22.4.6:2", Desc: "getenv result string modified", Library: true},
+	{Section: "7.22.5.1:4", Desc: "bsearch on an array not sorted by the comparison function", Library: true},
+	StrFuncBadPtr, // 183
+	MemcpyOverlap, // 184
+	StrcpyOverlap, // 185
+	// --- Library: string handling (§7.24). (186-200)
+	{Section: "7.24.1:2", Desc: "string function accesses past the end of its array argument", Library: true},
+	{Section: "7.24.2.2:2", Desc: "memmove size exceeds either object", Library: true},
+	{Section: "7.24.2.3:2", Desc: "strcpy destination too small for source", Library: true},
+	{Section: "7.24.2.4:2", Desc: "strncpy with overlapping objects", Library: true},
+	{Section: "7.24.3.1:2", Desc: "strcat destination lacks space for the result", Library: true},
+	{Section: "7.24.3.2:2", Desc: "strncat with overlapping objects", Library: true},
+	{Section: "7.24.4.1:2", Desc: "memcmp on uninitialized or partially initialized buffers relied on", Library: true},
+	{Section: "7.24.5.8:2", Desc: "strtok with null pointer on first call", Library: true, Static: true},
+	{Section: "7.24.6.1:2", Desc: "memset size exceeds the object", Library: true},
+	{Section: "7.24.5.1:2", Desc: "memchr size exceeds the object", Library: true},
+	{Section: "7.24.2.1:2", Desc: "memcpy size exceeds either object", Library: true},
+	{Section: "7.24.5.7:2", Desc: "strstr with non-nul-terminated arguments", Library: true},
+	{Section: "7.24.5.3:2", Desc: "strcspn with non-nul-terminated arguments", Library: true},
+	{Section: "7.24.6.2:2", Desc: "strerror result string modified", Library: true},
+	{Section: "7.24.5.4:2", Desc: "strpbrk with non-nul-terminated arguments", Library: true},
+	// --- Library: time, locale, wide chars (§7.11, §7.27-7.29). (201-215)
+	{Section: "7.11.1.1:6", Desc: "setlocale result string modified", Library: true},
+	{Section: "7.11.2.1:4", Desc: "localeconv result structure modified", Library: true},
+	{Section: "7.27.3.1:2", Desc: "asctime with out-of-range tm fields", Library: true},
+	{Section: "7.27.3:1", Desc: "static result of time functions used after a subsequent call", Library: true},
+	{Section: "7.28:1", Desc: "wide character function with invalid mbstate_t", Library: true},
+	{Section: "7.29.3.1:3", Desc: "mbstowcs with invalid multibyte sequence and the result used", Library: true},
+	{Section: "7.28.1:2", Desc: "wide string function given non-terminated wide string", Library: true},
+	{Section: "7.21.3:9", Desc: "byte and wide operations mixed on a stream without reorientation", Library: true, Static: true},
+	{Section: "7.22.8:2", Desc: "multibyte conversion with shift state from a different sequence", Library: true},
+	{Section: "7.27.2.1:2", Desc: "clock_t arithmetic assumed meaningful across processes", Library: true, ImplSpecific: true},
+	{Section: "7.24.5.8:3", Desc: "strtok called from multiple threads without synchronization", Library: true, Static: true},
+	{Section: "7.26.5:1", Desc: "thread object used after thrd_join or thrd_detach", Library: true},
+	{Section: "7.26.4.4:2", Desc: "mutex unlocked by a thread that does not hold it", Library: true},
+	{Section: "7.26.1:3", Desc: "thread storage accessed after the thread terminated", Library: true},
+	{Section: "7.17.7.5:2", Desc: "atomic flag operations on an uninitialized atomic_flag", Library: true},
+	// --- Remaining core-language entries from Annex J.2. (216-221)
+	{Section: "6.5.2.2:7", Desc: "variadic function called without a visible prototype", Static: true},
+	{Section: "6.5.2.2:8", Desc: "function call argument count modified by default promotions mismatches", Static: true},
+	{Section: "6.7.6.3:20", Desc: "parameter list ends in an incomplete declarator", Static: true},
+	{Section: "6.9.1:7", Desc: "old-style function definition with identifier list but no declarations", Static: true},
+	{Section: "6.10.3:10", Desc: "function-like macro invoked with too few closing parentheses at end of file", Static: true},
+	{Section: "6.7.9:22", Desc: "array of unknown size initialized with an empty braced list", Static: true},
+}

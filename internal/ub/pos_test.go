@@ -1,0 +1,7 @@
+package ub
+
+import "repro/internal/token"
+
+func pos(file string, line int) token.Pos {
+	return token.Pos{File: file, Line: line, Col: 1}
+}

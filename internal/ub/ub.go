@@ -1,0 +1,118 @@
+// Package ub catalogs the undefined behaviors of C11 and defines the error
+// value the checker reports when one is detected.
+//
+// The catalog reproduces the classification of §5.2.1 of "Defining the
+// Undefinedness of C": each behavior carries its defining subclause in the
+// C11 standard (committee draft N1570), whether it is statically or only
+// dynamically detectable, whether it belongs to the core language or the
+// library, and whether its undefinedness depends on implementation-specific
+// choices. The paper counts 221 undefined behaviors, of which 92 are
+// statically detectable and 129 only dynamically; the catalog reflects that
+// classification (asserted by TestPaperCounts).
+package ub
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// Behavior is one cataloged undefined behavior. Code is assigned from the
+// behavior's position in Catalog (1-based) at package initialization.
+type Behavior struct {
+	Code    int    // stable numeric error code (paper: "Error: 00016")
+	Section string // C11 subclause, e.g. "6.5:2"
+	Desc    string
+	Static  bool // detectable by static analysis of the source alone
+	Library bool // arises from library clauses (§7) rather than the language
+	// ImplSpecific marks behaviors whose undefinedness depends on
+	// implementation-defined or unspecified choices (paper §2.5).
+	ImplSpecific bool
+}
+
+func (b *Behavior) String() string {
+	return fmt.Sprintf("UB %05d [C11 §%s] %s", b.Code, b.Section, b.Desc)
+}
+
+// Error is a detected undefined behavior, the checker's main result type.
+type Error struct {
+	Behavior *Behavior
+	Msg      string // instance-specific detail
+	Pos      token.Pos
+	Func     string // enclosing function, if known
+}
+
+// New returns an *Error for behavior b at pos inside function fn.
+func New(b *Behavior, pos token.Pos, fn, format string, args ...any) *Error {
+	return &Error{Behavior: b, Msg: fmt.Sprintf(format, args...), Pos: pos, Func: fn}
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: undefined behavior (UB %05d, C11 §%s): %s",
+		e.Pos, e.Behavior.Code, e.Behavior.Section, e.Msg)
+}
+
+// Report renders the error in the kcc style shown in §3.2 of the paper.
+func (e *Error) Report() string {
+	return fmt.Sprintf(`ERROR! KCC encountered an error.
+===============================================
+Error: %05d
+Description: %s.
+===============================================
+Function: %s
+File: %s
+Line: %d
+`, e.Behavior.Code, e.Msg, e.Func, e.Pos.File, e.Pos.Line)
+}
+
+// Lookup returns the catalog entry with the given code.
+func Lookup(code int) (*Behavior, bool) {
+	if code < 1 || code > len(Catalog) {
+		return nil, false
+	}
+	return Catalog[code-1], true
+}
+
+// CountSummary summarizes the catalog the way the paper reports it (§5.2.1).
+type CountSummary struct {
+	Total, Static, Dynamic int
+	Core, Library          int
+	// CoreDynamicPortable counts dynamic, non-library behaviors that are
+	// not implementation-specific — the paper's "42 dynamically undefined
+	// behaviors relating to the non-library part of the language that are
+	// not also implementation-specific" (§5.2.2).
+	CoreDynamicPortable int
+}
+
+// Count tallies the catalog.
+func Count() CountSummary {
+	var c CountSummary
+	for _, b := range Catalog {
+		c.Total++
+		if b.Static {
+			c.Static++
+		} else {
+			c.Dynamic++
+		}
+		if b.Library {
+			c.Library++
+		} else {
+			c.Core++
+			if !b.Static && !b.ImplSpecific {
+				c.CoreDynamicPortable++
+			}
+		}
+	}
+	return c
+}
+
+func init() {
+	seen := make(map[*Behavior]bool, len(Catalog))
+	for i, b := range Catalog {
+		if seen[b] {
+			panic(fmt.Sprintf("ub: duplicate catalog entry at %d: %s", i+1, b.Desc))
+		}
+		seen[b] = true
+		b.Code = i + 1
+	}
+}

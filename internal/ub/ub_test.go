@@ -1,0 +1,83 @@
+package ub
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperCounts pins the catalog to the classification reported in §5.2.1
+// of the paper: 221 undefined behaviors, 92 statically detectable, 129 only
+// dynamically detectable, and 42 dynamic non-library behaviors that are not
+// implementation-specific.
+func TestPaperCounts(t *testing.T) {
+	c := Count()
+	if c.Total != 221 {
+		t.Errorf("total = %d, want 221", c.Total)
+	}
+	if c.Static != 92 {
+		t.Errorf("static = %d, want 92", c.Static)
+	}
+	if c.Dynamic != 129 {
+		t.Errorf("dynamic = %d, want 129", c.Dynamic)
+	}
+	if c.CoreDynamicPortable != 42 {
+		t.Errorf("core dynamic portable = %d, want 42", c.CoreDynamicPortable)
+	}
+}
+
+func TestCodesAssigned(t *testing.T) {
+	for i, b := range Catalog {
+		if b.Code != i+1 {
+			t.Fatalf("entry %d has code %d", i, b.Code)
+		}
+		if b.Section == "" || b.Desc == "" {
+			t.Errorf("entry %d incomplete: %+v", i, b)
+		}
+	}
+}
+
+func TestUnsequencedIsError16(t *testing.T) {
+	// The paper's §3.2 kcc transcript reports "Error: 00016" for an
+	// unsequenced side effect; keep our code aligned with it.
+	if UnseqSideEffect.Code != 16 {
+		t.Errorf("UnseqSideEffect.Code = %d, want 16", UnseqSideEffect.Code)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	b, ok := Lookup(16)
+	if !ok || b != UnseqSideEffect {
+		t.Errorf("Lookup(16) = %v, %v", b, ok)
+	}
+	if _, ok := Lookup(0); ok {
+		t.Error("Lookup(0) should fail")
+	}
+	if _, ok := Lookup(len(Catalog) + 1); ok {
+		t.Error("Lookup out of range should fail")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	e := New(UnseqSideEffect, pos("unseq.c", 3), "main",
+		"Unsequenced side effect on scalar object with side effect of same object")
+	r := e.Report()
+	for _, want := range []string{
+		"ERROR! KCC encountered an error.",
+		"Error: 00016",
+		"Unsequenced side effect on scalar object",
+		"Function: main",
+		"Line: 3",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	e := New(DivByZero, pos("d.c", 7), "f", "division by zero")
+	s := e.Error()
+	if !strings.Contains(s, "6.5.5") || !strings.Contains(s, "d.c:7") {
+		t.Errorf("Error() = %q", s)
+	}
+}
