@@ -1,0 +1,23 @@
+# Tier-1: the build and full test suite (the seed gate).
+.PHONY: test
+test:
+	go build ./... && go test ./...
+
+# Tier-1.5: concurrency hygiene for the parallel suite-execution engine —
+# vet everything, then run the worker-pool, compile-cache, and shared-
+# program packages under the race detector.
+.PHONY: check
+check: test
+	go vet ./...
+	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/...
+
+# Regenerate the paper's evaluation figures (parallel by default; see -j).
+.PHONY: figures
+figures:
+	go run ./cmd/ubsuite -suite juliet
+	go run ./cmd/ubsuite -suite own
+	go run ./cmd/ubsuite -catalog
+
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem

@@ -9,9 +9,11 @@
 package undefc_test
 
 import (
+	"fmt"
 	"testing"
 
 	undefc "repro"
+	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/runner"
 	"repro/internal/search"
@@ -27,6 +29,25 @@ func BenchmarkFigure2(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fig := runner.RunJuliet(s, ts)
+		if fig.Overall["kcc"].Flagged == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure2Parallel regenerates the same table on the worker-pool
+// executor with all CPUs. Compare against BenchmarkFigure2 (the
+// single-worker baseline): the §5.1.2 point is that the case×tool matrix
+// is embarrassingly parallel once the frontend pass is shared.
+func BenchmarkFigure2Parallel(b *testing.B) {
+	s := suite.Juliet()
+	ts := tools.All(tools.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := runner.RunJulietOpts(s, ts, runner.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if fig.Overall["kcc"].Flagged == 0 {
 			b.Fatal("empty figure")
 		}
@@ -123,6 +144,41 @@ func BenchmarkCompile(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCompileCache measures the two paths through the shared compile
+// cache: "miss" is a real frontend pass plus insertion (every key fresh),
+// "hit" returns the already-compiled immutable program.
+func BenchmarkCompileCache(b *testing.B) {
+	src := suite.Torture()[3].Source // the linked-list program
+	b.Run("miss", func(b *testing.B) {
+		c := driver.NewCache()
+		for i := 0; i < b.N; i++ {
+			// A unique define per iteration makes every lookup a miss.
+			_, err := c.Compile(src, "bench.c", driver.Options{Defines: []string{fmt.Sprintf("I=%d", i)}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := c.Stats(); st.Hits != 0 || st.Misses != int64(b.N) {
+			b.Fatalf("stats = %+v, want all misses", st)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		c := driver.NewCache()
+		if _, err := c.Compile(src, "bench.c", driver.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Compile(src, "bench.c", driver.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := c.Stats(); st.Misses != 1 || st.Hits != int64(b.N) {
+			b.Fatalf("stats = %+v, want 1 miss and all hits", st)
+		}
+	})
 }
 
 // BenchmarkDetectUnsequenced measures the cost of one end-to-end detection

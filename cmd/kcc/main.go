@@ -17,12 +17,16 @@
 //	-search  explore all evaluation orders (§2.5.2) instead of one run
 //	-print-config  print the configuration cell tree (Figure 1) and exit
 //	-catalog print the undefined behavior catalog and exit
+//	-batch   analyze every file argument and print one verdict per file
+//	-j N     worker count for -batch (0 = all CPUs)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"repro/internal/ctypes"
 	"repro/internal/driver"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/sema"
 	"repro/internal/spec"
+	"repro/internal/tools"
 	"repro/internal/ub"
 )
 
@@ -41,6 +46,8 @@ func main() {
 	catalog := flag.Bool("catalog", false, "print the undefined behavior catalog")
 	maxSteps := flag.Int64("max-steps", 0, "execution step budget (0 = default)")
 	axioms := flag.Bool("axioms", false, "also enforce the §4.5.2 declarative axioms")
+	batch := flag.Bool("batch", false, "analyze every file argument, one verdict per file")
+	jobs := flag.Int("j", 0, "parallel workers for -batch (0 = all CPUs)")
 	flag.Parse()
 
 	if *catalog {
@@ -66,6 +73,9 @@ func main() {
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: kcc [flags] file.c [args...]")
 		os.Exit(2)
+	}
+	if *batch {
+		os.Exit(runBatch(flag.Args(), model, *maxSteps, *jobs))
 	}
 	file := flag.Arg(0)
 	src, err := os.ReadFile(file)
@@ -121,6 +131,66 @@ func main() {
 		os.Exit(1)
 	}
 	os.Exit(res.ExitCode)
+}
+
+// runBatch analyzes every file on a worker pool sharing one compile
+// cache (identical translation units are compiled once), printing one
+// verdict line per file in argument order. Returns the exit code: 1 when
+// any file is flagged, crashed, inconclusive, or unreadable.
+func runBatch(files []string, model *ctypes.Model, maxSteps int64, jobs int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	kcc := tools.KCC(tools.Config{Model: model, MaxSteps: maxSteps})
+	cache := driver.NewCache()
+	reports := make([]tools.Report, len(files))
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				src, err := os.ReadFile(files[i])
+				if err != nil {
+					reports[i] = tools.Report{Verdict: tools.Inconclusive, Detail: err.Error()}
+					continue
+				}
+				prog, err := cache.Compile(string(src), files[i], driver.Options{Model: model})
+				if err != nil {
+					reports[i] = tools.Report{Verdict: tools.Inconclusive, Detail: err.Error()}
+					continue
+				}
+				reports[i] = kcc.AnalyzeProgram(prog, files[i])
+			}
+		}()
+	}
+	for i := range files {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	exit := 0
+	flagged := 0
+	for i, rep := range reports {
+		switch rep.Verdict {
+		case tools.Accepted:
+			fmt.Printf("%s: ok (exit %d)\n", files[i], rep.ExitCode)
+		case tools.Flagged:
+			flagged++
+			exit = 1
+			fmt.Printf("%s: undefined — %s\n", files[i], rep.Detail)
+		default:
+			exit = 1
+			fmt.Printf("%s: %s — %s\n", files[i], rep.Verdict, rep.Detail)
+		}
+	}
+	st := cache.Stats()
+	fmt.Printf("%d files, %d undefined (%d compiles, %d cache hits)\n",
+		len(files), flagged, st.Misses, st.Hits)
+	return exit
 }
 
 func runSearch(prog *sema.Program) {

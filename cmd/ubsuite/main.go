@@ -4,6 +4,9 @@
 //	ubsuite -suite own      # Figure 3: static/dynamic averages
 //	ubsuite -suite torture  # positive-semantics regression (pass rate)
 //	ubsuite -catalog        # §5.2.1 classification counts
+//
+// Suite runs execute the case×tool matrix on a worker pool with a shared
+// compile cache; -j sets the worker count (default: all CPUs).
 package main
 
 import (
@@ -22,6 +25,7 @@ func main() {
 	suiteFlag := flag.String("suite", "juliet", "suite to run: juliet, own, or torture")
 	catalog := flag.Bool("catalog", false, "print the §5.2.1 classification counts")
 	timing := flag.Bool("time", true, "include per-tool timing")
+	jobs := flag.Int("j", 0, "parallel workers for the case×tool matrix (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *catalog {
@@ -30,12 +34,17 @@ func main() {
 	}
 
 	cfg := tools.Config{}
+	opts := runner.Options{Parallelism: *jobs}
 	switch *suiteFlag {
 	case "juliet":
 		s := suite.Juliet()
 		fmt.Printf("generated %d test cases (%d undefined + %d defined controls)\n\n",
 			len(s.Cases), s.BadCount(), len(s.Cases)-s.BadCount())
-		fig := runner.RunJuliet(s, tools.All(cfg))
+		fig, err := runner.RunJulietOpts(s, tools.All(cfg), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
+			os.Exit(1)
+		}
 		out := fig.Render()
 		if !*timing {
 			out = stripTiming(out)
@@ -45,7 +54,11 @@ func main() {
 		s := suite.Own()
 		fmt.Printf("generated %d test cases covering %d behaviors (%d undefined + %d defined controls)\n\n",
 			len(s.Cases), suite.Behaviors(s), s.BadCount(), len(s.Cases)-s.BadCount())
-		fig := runner.RunOwn(s, tools.All(cfg))
+		fig, err := runner.RunOwnOpts(s, tools.All(cfg), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Print(fig.Render())
 	case "torture":
 		pass, fail := 0, 0
@@ -75,6 +88,9 @@ func stripTiming(s string) string {
 	var out []byte
 	for _, line := range splitLines(s) {
 		if len(line) >= 9 && line[:9] == "Mean time" {
+			continue
+		}
+		if len(line) >= 8 && line[:8] == "Frontend" {
 			continue
 		}
 		out = append(out, line...)

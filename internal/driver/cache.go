@@ -1,0 +1,123 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ctypes"
+	"repro/internal/sema"
+)
+
+// Cache is a concurrency-safe compile cache with single-flight
+// deduplication: concurrent callers compiling the same translation unit
+// block on one frontend pass and share the resulting immutable
+// *sema.Program (see the immutability contract on sema.Program).
+//
+// Entries are keyed by (source hash, model, defines). The source hash
+// covers the file name too, since diagnostics embed it. Failed compiles
+// are cached as well — within one cache lifetime a broken translation
+// unit is compiled (and fails) exactly once, no matter how many tools ask
+// for it. Options.Includes is NOT part of the key: callers must use a
+// consistent include resolver for the lifetime of a cache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+
+	// Counters, guarded by mu. A lookup that finds an entry counts as a
+	// hit even when the compile is still in flight (the caller shares it
+	// rather than redoing it, which is the point).
+	hits, misses, errors int64
+	compileTime          time.Duration
+}
+
+type cacheKey struct {
+	srcHash [sha256.Size]byte
+	model   ctypes.Model
+	defines string
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when prog/err are set
+	prog *sema.Program
+	err  error
+}
+
+// NewCache returns an empty compile cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// CacheStats is a snapshot of a cache's counters.
+type CacheStats struct {
+	Hits   int64 // lookups served from an existing (possibly in-flight) entry
+	Misses int64 // lookups that triggered a frontend pass
+	Errors int64 // misses whose compile failed (each failure counted once)
+	// CompileTime is the total wall time spent inside actual frontend
+	// passes (misses only; waiting on another caller's compile is free).
+	CompileTime time.Duration
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Errors: c.errors, CompileTime: c.compileTime}
+}
+
+// Len reports the number of cached translation units (including failures
+// and in-flight compiles).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Compile is the caching equivalent of the package-level Compile: the
+// first caller for a key runs the frontend; concurrent and later callers
+// share its result.
+func (c *Cache) Compile(src, file string, opts Options) (*sema.Program, error) {
+	k := makeKey(src, file, opts)
+
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.prog, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[k] = e
+	c.misses++
+	c.mu.Unlock()
+
+	start := time.Now()
+	e.prog, e.err = Compile(src, file, opts)
+	elapsed := time.Since(start)
+	close(e.done)
+
+	c.mu.Lock()
+	c.compileTime += elapsed
+	if e.err != nil {
+		c.errors++
+	}
+	c.mu.Unlock()
+	return e.prog, e.err
+}
+
+func makeKey(src, file string, opts Options) cacheKey {
+	h := sha256.New()
+	h.Write([]byte(file))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	var k cacheKey
+	h.Sum(k.srcHash[:0])
+	model := opts.Model
+	if model == nil {
+		model = ctypes.LP64()
+	}
+	k.model = *model
+	k.defines = strings.Join(opts.Defines, "\x1f")
+	return k
+}

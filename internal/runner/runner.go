@@ -2,18 +2,136 @@
 // and renders the paper's evaluation artifacts: Figure 2 (the Juliet class
 // table) and Figure 3 (the static/dynamic averages on the authors' own
 // suite).
+//
+// Execution is organized as a worker pool over the case×tool matrix
+// backed by a shared compile cache (driver.Cache), so every translation
+// unit runs through the frontend once per suite run no matter how many
+// tools analyze it, and the embarrassing parallelism of the matrix is
+// exploited up to Options.Parallelism workers. Aggregation is performed
+// after execution, in case order, so results are independent of worker
+// scheduling: a parallel run produces the same figure as a sequential
+// one, byte for byte (modulo wall-clock timings).
 package runner
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/ctypes"
+	"repro/internal/driver"
 	"repro/internal/suite"
 	"repro/internal/tools"
 	"repro/internal/ub"
 )
+
+// Options configure suite execution.
+type Options struct {
+	// Parallelism is the worker count; <= 0 means runtime.GOMAXPROCS(0).
+	Parallelism int
+	// Context cancels the run; nil means context.Background(). A canceled
+	// run returns the context error and a nil figure.
+	Context context.Context
+	// Cache is the shared compile cache; nil allocates a fresh one for
+	// the run. Passing a cache across runs shares frontend work between
+	// suites compiled under the same model and defines.
+	Cache *driver.Cache
+	// Model is the implementation-defined model for the shared frontend
+	// pass (nil = LP64). It must match the model the tools were
+	// configured with, since they analyze the shared program as-is.
+	Model *ctypes.Model
+	// Defines are extra macro definitions for the frontend pass.
+	Defines []string
+}
+
+func (o Options) workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// FrontendStats accounts for the shared frontend work of one run.
+type FrontendStats struct {
+	Compiles  int           // actual frontend passes (cache misses)
+	CacheHits int           // analyses served by an already-compiled unit
+	Errors    int           // translation units that failed to compile
+	Time      time.Duration // total wall time inside the frontend
+}
+
+// runMatrix executes every (case, tool) pair of the suite on a worker
+// pool and returns the report matrix indexed [case][tool], plus the
+// frontend accounting attributable to this run.
+func runMatrix(s *suite.Suite, ts []tools.Tool, opts Options) ([][]tools.Report, FrontendStats, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = driver.NewCache()
+	}
+	copts := driver.Options{Model: opts.Model, Defines: opts.Defines}
+	before := cache.Stats()
+
+	reports := make([][]tools.Report, len(s.Cases))
+	for i := range reports {
+		reports[i] = make([]tools.Report, len(ts))
+	}
+
+	type item struct{ ci, ti int }
+	work := make(chan item)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				c := &s.Cases[it.ci]
+				reports[it.ci][it.ti] = analyzeShared(cache, ts[it.ti], c, copts)
+			}
+		}()
+	}
+	var err error
+feed:
+	for ci := range s.Cases {
+		for ti := range ts {
+			select {
+			case work <- item{ci, ti}:
+			case <-ctx.Done():
+				err = ctx.Err()
+				break feed
+			}
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	after := cache.Stats()
+	fs := FrontendStats{
+		Compiles:  int(after.Misses - before.Misses),
+		CacheHits: int(after.Hits - before.Hits),
+		Errors:    int(after.Errors - before.Errors),
+		Time:      after.CompileTime - before.CompileTime,
+	}
+	return reports, fs, err
+}
+
+// analyzeShared compiles through the cache (one frontend pass per case,
+// shared across tools and workers) and runs the tool's fast path. The
+// report carries only the tool's own RunDuration — the shared compile is
+// accounted once, in FrontendStats, not once per tool.
+func analyzeShared(cache *driver.Cache, t tools.Tool, c *suite.Case, copts driver.Options) tools.Report {
+	prog, err := cache.Compile(c.Source, c.Name+".c", copts)
+	if err != nil {
+		return tools.Report{Verdict: tools.Inconclusive, Detail: "compile: " + err.Error()}
+	}
+	return t.AnalyzeProgram(prog, c.Name+".c")
+}
 
 // ToolScore aggregates one tool's results over a set of cases.
 type ToolScore struct {
@@ -23,9 +141,16 @@ type ToolScore struct {
 	GoodTotal      int
 	Crashed        int
 	Inconclusive   int
-	TotalTime      time.Duration
-	Runs           int
+	// CompileTime is frontend time the tool paid itself (zero under the
+	// shared cache, where compiles are accounted in FrontendStats).
+	CompileTime time.Duration
+	// RunTime is the tool's own analysis time (the §5.1.2 cost).
+	RunTime time.Duration
+	Runs    int
 }
+
+// TotalTime is the wall time attributed to the tool.
+func (s ToolScore) TotalTime() time.Duration { return s.CompileTime + s.RunTime }
 
 // Pct is the paper's "% passed": the percentage of undefined tests the tool
 // reported.
@@ -41,7 +166,7 @@ func (s ToolScore) MeanTime() time.Duration {
 	if s.Runs == 0 {
 		return 0
 	}
-	return s.TotalTime / time.Duration(s.Runs)
+	return s.TotalTime() / time.Duration(s.Runs)
 }
 
 // Figure2 is the Juliet comparison: rows are defect classes, columns tools.
@@ -51,15 +176,29 @@ type Figure2 struct {
 	Scores  map[string]map[string]ToolScore // class → tool → score
 	Tools   []string
 	Overall map[string]ToolScore
+	// Frontend accounts the shared compile work of the run.
+	Frontend FrontendStats
 }
 
-// RunJuliet evaluates the tools on the Juliet-style suite.
+// RunJuliet evaluates the tools on the Juliet-style suite with a single
+// worker (the sequential baseline). Use RunJulietOpts for parallelism.
 func RunJuliet(s *suite.Suite, ts []tools.Tool) *Figure2 {
+	fig, _ := RunJulietOpts(s, ts, Options{Parallelism: 1})
+	return fig
+}
+
+// RunJulietOpts evaluates the tools on the Juliet-style suite under opts.
+func RunJulietOpts(s *suite.Suite, ts []tools.Tool, opts Options) (*Figure2, error) {
+	reports, frontend, err := runMatrix(s, ts, opts)
+	if err != nil {
+		return nil, err
+	}
 	fig := &Figure2{
-		Classes: suite.JulietClasses,
-		Tests:   map[string]int{},
-		Scores:  map[string]map[string]ToolScore{},
-		Overall: map[string]ToolScore{},
+		Classes:  suite.JulietClasses,
+		Tests:    map[string]int{},
+		Scores:   map[string]map[string]ToolScore{},
+		Overall:  map[string]ToolScore{},
+		Frontend: frontend,
 	}
 	for _, t := range ts {
 		fig.Tools = append(fig.Tools, t.Name())
@@ -67,12 +206,13 @@ func RunJuliet(s *suite.Suite, ts []tools.Tool) *Figure2 {
 	for _, class := range fig.Classes {
 		fig.Scores[class] = map[string]ToolScore{}
 	}
-	for _, c := range s.Cases {
+	for ci := range s.Cases {
+		c := &s.Cases[ci]
 		if c.Bad {
 			fig.Tests[c.Class]++
 		}
-		for _, t := range ts {
-			rep := t.Analyze(c.Source, c.Name+".c")
+		for ti, t := range ts {
+			rep := reports[ci][ti]
 			sc := fig.Scores[c.Class][t.Name()]
 			ov := fig.Overall[t.Name()]
 			score(&sc, c.Bad, rep)
@@ -81,12 +221,13 @@ func RunJuliet(s *suite.Suite, ts []tools.Tool) *Figure2 {
 			fig.Overall[t.Name()] = ov
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 func score(sc *ToolScore, bad bool, rep tools.Report) {
 	sc.Runs++
-	sc.TotalTime += rep.Duration
+	sc.CompileTime += rep.CompileDuration
+	sc.RunTime += rep.RunDuration
 	if bad {
 		sc.BadTotal++
 		if rep.Verdict == tools.Flagged {
@@ -126,6 +267,11 @@ func (f *Figure2) Render() string {
 	for _, tn := range f.Tools {
 		fmt.Fprintf(&b, "  %s %.2fms", tn, float64(f.Overall[tn].MeanTime().Microseconds())/1000)
 	}
+	if f.Frontend.Compiles > 0 {
+		mean := f.Frontend.Time / time.Duration(f.Frontend.Compiles)
+		fmt.Fprintf(&b, "\nFrontend (shared): %d compiles, %d cache hits, %.2fms mean compile",
+			f.Frontend.Compiles, f.Frontend.CacheHits, float64(mean.Microseconds())/1000)
+	}
 	b.WriteString("\nFalse positives on paired defined tests:")
 	for _, tn := range f.Tools {
 		fmt.Fprintf(&b, "  %s %d", tn, f.Overall[tn].FalsePositives)
@@ -144,23 +290,41 @@ type Figure3 struct {
 	NumStatic  int
 	NumDynamic int
 	FalsePos   map[string]int
+	// Frontend accounts the shared compile work of the run.
+	Frontend FrontendStats
 }
 
-// RunOwn evaluates the tools on the paper's own suite.
+// RunOwn evaluates the tools on the paper's own suite with a single
+// worker (the sequential baseline). Use RunOwnOpts for parallelism.
 func RunOwn(s *suite.Suite, ts []tools.Tool) *Figure3 {
+	fig, _ := RunOwnOpts(s, ts, Options{Parallelism: 1})
+	return fig
+}
+
+// RunOwnOpts evaluates the tools on the paper's own suite under opts.
+func RunOwnOpts(s *suite.Suite, ts []tools.Tool, opts Options) (*Figure3, error) {
+	reports, frontend, err := runMatrix(s, ts, opts)
+	if err != nil {
+		return nil, err
+	}
 	fig := &Figure3{
 		Static:   map[string]float64{},
 		Dynamic:  map[string]float64{},
 		FalsePos: map[string]int{},
+		Frontend: frontend,
 	}
 	for _, t := range ts {
 		fig.Tools = append(fig.Tools, t.Name())
 	}
-	// behavior → tool → (flagged, total) over bad tests.
+	// behavior → tool → (flagged, total) over bad tests. Behaviors are
+	// kept in first-seen case order so the floating-point averages below
+	// accumulate in a deterministic order.
 	type tally struct{ flagged, total int }
 	perBehavior := map[*ub.Behavior]map[string]*tally{}
 	static := map[*ub.Behavior]bool{}
-	for _, c := range s.Cases {
+	var order []*ub.Behavior
+	for ci := range s.Cases {
+		c := &s.Cases[ci]
 		if c.Behavior == nil {
 			continue
 		}
@@ -170,9 +334,10 @@ func RunOwn(s *suite.Suite, ts []tools.Tool) *Figure3 {
 				perBehavior[c.Behavior][t.Name()] = &tally{}
 			}
 			static[c.Behavior] = c.Static
+			order = append(order, c.Behavior)
 		}
-		for _, t := range ts {
-			rep := t.Analyze(c.Source, c.Name+".c")
+		for ti, t := range ts {
+			rep := reports[ci][ti]
 			if c.Bad {
 				tl := perBehavior[c.Behavior][t.Name()]
 				tl.total++
@@ -188,8 +353,8 @@ func RunOwn(s *suite.Suite, ts []tools.Tool) *Figure3 {
 	for _, t := range ts {
 		var stSum, dySum float64
 		var stN, dyN int
-		for beh, byTool := range perBehavior {
-			tl := byTool[t.Name()]
+		for _, beh := range order {
+			tl := perBehavior[beh][t.Name()]
 			if tl.total == 0 {
 				continue
 			}
@@ -210,7 +375,7 @@ func RunOwn(s *suite.Suite, ts []tools.Tool) *Figure3 {
 		}
 		fig.NumStatic, fig.NumDynamic = stN, dyN
 	}
-	return fig
+	return fig, nil
 }
 
 // Render prints the Figure-3 table in the paper's layout.

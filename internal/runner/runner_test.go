@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -118,5 +120,98 @@ func TestRenderOutputs(t *testing.T) {
 	}
 	if !strings.Contains(CatalogSummary(), "221") {
 		t.Error("catalog summary missing total")
+	}
+}
+
+// zeroTimes clears the wall-clock fields of a Figure2 so two runs can be
+// compared for semantic equality.
+func zeroTimes(f *Figure2) {
+	for _, byTool := range f.Scores {
+		for tn, sc := range byTool {
+			sc.CompileTime, sc.RunTime = 0, 0
+			byTool[tn] = sc
+		}
+	}
+	for tn, sc := range f.Overall {
+		sc.CompileTime, sc.RunTime = 0, 0
+		f.Overall[tn] = sc
+	}
+	f.Frontend.Time = 0
+}
+
+// stripTimingLines removes the wall-clock lines from a rendered figure.
+func stripTimingLines(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "Mean time") || strings.HasPrefix(line, "Frontend") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestParallelDeterminism is the regression test for the worker-pool
+// executor: a run with 8 workers must produce a Figure2 deeply equal to
+// the sequential result (timings aside — those are wall-clock).
+func TestParallelDeterminism(t *testing.T) {
+	s := suite.Juliet()
+	seq := RunJuliet(s, tools.All(tools.Config{}))
+	par, err := RunJulietOpts(s, tools.All(tools.Config{}), Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqOut, parOut := stripTimingLines(seq.Render()), stripTimingLines(par.Render())
+	if seqOut != parOut {
+		t.Errorf("parallel rendering differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seqOut, parOut)
+	}
+	zeroTimes(seq)
+	zeroTimes(par)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel Figure2 not deeply equal to sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestFrontendSharing asserts the compile cache collapses frontend work
+// from one-per-(case×tool) to one-per-case in a Figure-2 run.
+func TestFrontendSharing(t *testing.T) {
+	s := suite.Juliet()
+	ts := tools.All(tools.Config{})
+	fig, err := RunJulietOpts(s, ts, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Frontend.Compiles != len(s.Cases) {
+		t.Errorf("frontend ran %d times, want one per case (%d)", fig.Frontend.Compiles, len(s.Cases))
+	}
+	if want := len(s.Cases) * (len(ts) - 1); fig.Frontend.CacheHits != want {
+		t.Errorf("cache hits = %d, want %d (every tool after the first)", fig.Frontend.CacheHits, want)
+	}
+	// Under the shared cache no tool pays compile time itself.
+	for tn, sc := range fig.Overall {
+		if sc.CompileTime != 0 {
+			t.Errorf("%s was charged %v of compile time under the shared cache", tn, sc.CompileTime)
+		}
+		if sc.RunTime <= 0 {
+			t.Errorf("%s has no run time", tn)
+		}
+	}
+	if fig.Frontend.Time <= 0 {
+		t.Error("no frontend time accounted")
+	}
+}
+
+// TestRunCancellation: a canceled context aborts the run with its error.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fig, err := RunJulietOpts(suite.Juliet(), tools.All(tools.Config{}),
+		Options{Parallelism: 2, Context: ctx})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if fig != nil {
+		t.Error("canceled run returned a figure")
 	}
 }

@@ -29,6 +29,15 @@ type Error struct {
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
 // Program is a checked translation unit ready for interpretation.
+//
+// Immutability contract: once Check returns, a Program — including the
+// AST, symbols, and types it points to — is never written again. The
+// interpreter (interp.Run), the order search (search.Explore), and the
+// abstract interpreter (absint.Analyze) keep all per-run state in their
+// own structures, keyed by AST pointers where needed, and only read the
+// Program. One *Program may therefore be shared freely across concurrent
+// analyses; driver.Cache and the parallel runner rely on this
+// (enforced by tools.TestConcurrentSharedProgram under -race).
 type Program struct {
 	Model   *ctypes.Model
 	Unit    *cast.TranslationUnit

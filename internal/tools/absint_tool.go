@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"repro/internal/absint"
-	"repro/internal/driver"
+	"repro/internal/sema"
 )
 
 // aiTool is the abstract-interpretation Value Analysis: instead of running
@@ -26,13 +26,14 @@ func (t *aiTool) Name() string { return "V. Analysis (AI)" }
 
 // Analyze implements Tool.
 func (t *aiTool) Analyze(src, file string) Report {
+	return compileAndDelegate(t, src, file, t.cfg.Model)
+}
+
+// AnalyzeProgram implements Tool.
+func (t *aiTool) AnalyzeProgram(prog *sema.Program, file string) Report {
 	start := time.Now()
-	prog, err := driver.Compile(src, file, driver.Options{Model: t.cfg.Model})
-	if err != nil {
-		return Report{Verdict: Inconclusive, Detail: "compile: " + err.Error(), Duration: time.Since(start)}
-	}
 	res := absint.Analyze(prog)
-	rep := Report{Duration: time.Since(start)}
+	rep := Report{RunDuration: time.Since(start)}
 	if len(res.Alarms) > 0 {
 		rep.Verdict = Flagged
 		rep.Detail = res.Alarms[0].String()

@@ -1,0 +1,68 @@
+package tools
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/driver"
+)
+
+// TestConcurrentSharedProgram enforces the sema.Program immutability
+// contract: all four profile tools analyze one shared compiled program
+// from many goroutines at once. Run under -race (see `make check`), any
+// write to the shared AST/symbols by an analysis is a test failure; in
+// any mode, verdicts must match a sequential run of the same tools.
+func TestConcurrentSharedProgram(t *testing.T) {
+	srcs := map[string]string{
+		// Exercises globals, heap, strings, calls, and a mid-run UB.
+		"ub.c": `
+#include <stdlib.h>
+#include <string.h>
+int g = 3;
+static int scale(int x) { return x * g; }
+int main(void) {
+	char buf[8];
+	strcpy(buf, "hi");
+	int *p = malloc(2 * sizeof(int));
+	if (!p) return 0;
+	p[0] = scale(7);
+	p[1] = p[0] / (g - 3); /* division by zero */
+	free(p);
+	return (int)strlen(buf);
+}
+`,
+		// A fully defined program (verdict differs per profile vs ub.c).
+		"ok.c": `
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main(void) { return fib(10) - 55; }
+`,
+	}
+	for file, src := range srcs {
+		prog, err := driver.Compile(src, file, driver.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		ts := All(Config{})
+		want := make([]Verdict, len(ts))
+		for i, tl := range ts {
+			want[i] = tl.AnalyzeProgram(prog, file).Verdict
+		}
+
+		const rounds = 8
+		var wg sync.WaitGroup
+		for r := 0; r < rounds; r++ {
+			for i, tl := range ts {
+				wg.Add(1)
+				go func(i int, tl Tool) {
+					defer wg.Done()
+					rep := tl.AnalyzeProgram(prog, file)
+					if rep.Verdict != want[i] {
+						t.Errorf("%s: concurrent %s = %v, sequential %v (%s)",
+							file, tl.Name(), rep.Verdict, want[i], rep.Detail)
+					}
+				}(i, tl)
+			}
+		}
+		wg.Wait()
+	}
+}

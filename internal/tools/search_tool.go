@@ -3,8 +3,8 @@ package tools
 import (
 	"time"
 
-	"repro/internal/driver"
 	"repro/internal/search"
+	"repro/internal/sema"
 )
 
 // searchTool is kcc in search mode: instead of one evaluation order, it
@@ -26,21 +26,22 @@ func (t *searchTool) Name() string { return "kcc -search" }
 
 // Analyze implements Tool.
 func (t *searchTool) Analyze(src, file string) Report {
+	return compileAndDelegate(t, src, file, t.cfg.Model)
+}
+
+// AnalyzeProgram implements Tool.
+func (t *searchTool) AnalyzeProgram(prog *sema.Program, file string) Report {
 	start := time.Now()
-	prog, err := driver.Compile(src, file, driver.Options{Model: t.cfg.Model})
-	if err != nil {
-		return Report{Verdict: Inconclusive, Detail: "compile: " + err.Error(), Duration: time.Since(start)}
-	}
 	if len(prog.StaticUB) > 0 {
 		return Report{Verdict: Flagged, UB: prog.StaticUB[0],
-			Detail: prog.StaticUB[0].Error(), Duration: time.Since(start)}
+			Detail: prog.StaticUB[0].Error(), RunDuration: time.Since(start)}
 	}
 	res := search.Explore(prog, search.Options{
 		MaxRuns:       t.maxRuns,
 		MaxSteps:      t.cfg.maxSteps(),
 		StopAtFirstUB: true,
 	})
-	rep := Report{Duration: time.Since(start)}
+	rep := Report{RunDuration: time.Since(start)}
 	if u := res.UB(); u != nil {
 		rep.Verdict = Flagged
 		rep.UB = u

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ctypes"
 	"repro/internal/driver"
 	"repro/internal/interp"
+	"repro/internal/sema"
 	"repro/internal/ub"
 )
 
@@ -50,18 +51,50 @@ func (v Verdict) String() string {
 }
 
 // Report is a tool's result on one program.
+//
+// Wall time is split so that shared frontend work is never mis-attributed:
+// CompileDuration is the frontend pass this report actually paid for
+// (zero on the AnalyzeProgram fast path, where the caller compiled — once,
+// possibly for several tools), and RunDuration is the tool's own analysis.
 type Report struct {
 	Verdict  Verdict
 	UB       *ub.Error // when Flagged
 	Detail   string
 	ExitCode int
-	Duration time.Duration
+	// CompileDuration is the frontend time this analysis paid itself.
+	CompileDuration time.Duration
+	// RunDuration is the tool's own analysis time (the §5.1.2 cost).
+	RunDuration time.Duration
 }
 
+// TotalDuration is the end-to-end wall time of the analysis.
+func (r Report) TotalDuration() time.Duration { return r.CompileDuration + r.RunDuration }
+
 // Tool analyzes C programs.
+//
+// AnalyzeProgram is the fast path: it analyzes an already-compiled
+// translation unit, so a caller holding one immutable *sema.Program (see
+// the contract on sema.Program) can fan it out to several tools — or
+// several goroutines — paying for the frontend once. Analyze is the
+// self-contained wrapper: compile, then delegate to AnalyzeProgram.
 type Tool interface {
 	Name() string
 	Analyze(src, file string) Report
+	AnalyzeProgram(prog *sema.Program, file string) Report
+}
+
+// compileAndDelegate implements the Analyze contract shared by every tool:
+// run the frontend, charge its cost to CompileDuration, delegate the rest.
+func compileAndDelegate(t Tool, src, file string, model *ctypes.Model) Report {
+	start := time.Now()
+	prog, err := driver.Compile(src, file, driver.Options{Model: model})
+	compile := time.Since(start)
+	if err != nil {
+		return Report{Verdict: Inconclusive, Detail: "compile: " + err.Error(), CompileDuration: compile}
+	}
+	rep := t.AnalyzeProgram(prog, file)
+	rep.CompileDuration = compile
+	return rep
 }
 
 // Config bounds tool executions.
@@ -93,14 +126,15 @@ func (t *profileTool) Name() string { return t.name }
 
 // Analyze implements Tool.
 func (t *profileTool) Analyze(src, file string) Report {
+	return compileAndDelegate(t, src, file, t.cfg.Model)
+}
+
+// AnalyzeProgram implements Tool.
+func (t *profileTool) AnalyzeProgram(prog *sema.Program, file string) Report {
 	start := time.Now()
 	done := func(r Report) Report {
-		r.Duration = time.Since(start)
+		r.RunDuration = time.Since(start)
 		return r
-	}
-	prog, err := driver.Compile(src, file, driver.Options{Model: t.cfg.Model})
-	if err != nil {
-		return done(Report{Verdict: Inconclusive, Detail: "compile: " + err.Error()})
 	}
 	if t.staticChecks && len(prog.StaticUB) > 0 {
 		return done(Report{Verdict: Flagged, UB: prog.StaticUB[0], Detail: prog.StaticUB[0].Error()})
