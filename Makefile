@@ -3,13 +3,21 @@
 test:
 	go build ./... && go test ./...
 
-# Tier-1.5: concurrency hygiene for the parallel suite-execution engine —
-# vet everything, then run the worker-pool, compile-cache, and shared-
-# program packages under the race detector.
+# Tier-1.5: concurrency hygiene and observability gates — vet everything,
+# run the worker-pool, compile-cache, shared-program, and observability
+# packages under the race detector, fail if the nil-observer step path
+# allocates, and smoke-run the observer-overhead benchmark.
 .PHONY: check
 check: test
 	go vet ./...
-	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/...
+	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/... ./internal/obs/...
+	go test ./internal/interp/ -run 'ObserverPathAllocs' -count=1
+	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 100x
+
+# Fuller observability benchmark (reported in EXPERIMENTS.md).
+.PHONY: bench-obs
+bench-obs:
+	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 1s -count 3
 
 # Regenerate the paper's evaluation figures (parallel by default; see -j).
 .PHONY: figures

@@ -19,9 +19,13 @@
 //	-catalog print the undefined behavior catalog and exit
 //	-batch   analyze every file argument and print one verdict per file
 //	-j N     worker count for -batch (0 = all CPUs)
+//	-trace   stream execution events (checks, memory ops, ...) to stderr
+//	-trace-steps   include one trace line per interpreter step (noisy)
+//	-json    emit the canonical undefc.report/v1 report instead of text
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/ctypes"
 	"repro/internal/driver"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/search"
 	"repro/internal/sema"
@@ -48,6 +53,9 @@ func main() {
 	axioms := flag.Bool("axioms", false, "also enforce the §4.5.2 declarative axioms")
 	batch := flag.Bool("batch", false, "analyze every file argument, one verdict per file")
 	jobs := flag.Int("j", 0, "parallel workers for -batch (0 = all CPUs)")
+	traceFlag := flag.Bool("trace", false, "stream execution events to stderr")
+	traceSteps := flag.Bool("trace-steps", false, "with -trace, include per-step events (noisy)")
+	jsonFlag := flag.Bool("json", false, "emit the canonical undefc.report/v1 JSON report")
 	flag.Parse()
 
 	if *catalog {
@@ -70,18 +78,39 @@ func main() {
 		os.Exit(2)
 	}
 
+	budget := interp.Budget{MaxSteps: *maxSteps}
+	var tracer obs.Observer
+	if *traceFlag || *traceSteps {
+		tracer = &obs.Tracer{W: os.Stderr, Steps: *traceSteps}
+	}
+
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: kcc [flags] file.c [args...]")
 		os.Exit(2)
 	}
 	if *batch {
-		os.Exit(runBatch(flag.Args(), model, *maxSteps, *jobs))
+		os.Exit(runBatch(flag.Args(), model, budget, *jobs, tracer, *jsonFlag))
 	}
 	file := flag.Arg(0)
 	src, err := os.ReadFile(file)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *jsonFlag {
+		// The report path runs the kcc analysis tool (metrics on, program
+		// output captured) and emits the canonical single-file report.
+		kcc := tools.KCC(tools.Config{Model: model, Budget: budget, Metrics: true, Observer: tracer})
+		rep := kcc.Analyze(string(src), file)
+		if err := runner.WriteJSON(os.Stdout, runner.FileReportFrom(file, kcc.Name(), rep)); err != nil {
+			fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
+			os.Exit(1)
+		}
+		if rep.Verdict != tools.Accepted {
+			os.Exit(1)
+		}
+		return
 	}
 
 	prog, err := driver.Compile(string(src), file, driver.Options{Model: model})
@@ -111,7 +140,8 @@ func main() {
 
 	opts := interp.Options{
 		Out:      os.Stdout,
-		MaxSteps: *maxSteps,
+		Budget:   budget,
+		Observer: tracer,
 		Args:     flag.Args()[1:],
 	}
 	if *axioms {
@@ -135,15 +165,19 @@ func main() {
 
 // runBatch analyzes every file on a worker pool sharing one compile
 // cache (identical translation units are compiled once), printing one
-// verdict line per file in argument order. Returns the exit code: 1 when
-// any file is flagged, crashed, inconclusive, or unreadable.
-func runBatch(files []string, model *ctypes.Model, maxSteps int64, jobs int) int {
+// verdict line per file in argument order. Metrics are collected into
+// per-worker shards (no cross-CPU contention) and merged at the end.
+// Returns the exit code: 1 when any file is flagged, crashed,
+// inconclusive, or unreadable.
+func runBatch(files []string, model *ctypes.Model, budget interp.Budget, jobs int, tracer obs.Observer, asJSON bool) int {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	kcc := tools.KCC(tools.Config{Model: model, MaxSteps: maxSteps})
+	sharded := obs.NewSharded()
 	cache := driver.NewCache()
+	cache.SetObserver(sharded.Shard())
 	reports := make([]tools.Report, len(files))
+	ctx := context.Background()
 
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -151,6 +185,10 @@ func runBatch(files []string, model *ctypes.Model, maxSteps int64, jobs int) int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One tool (and one metrics shard) per worker: workers never
+			// share a counter cache line.
+			kcc := tools.KCC(tools.Config{Model: model, Budget: budget,
+				Observer: obs.Multi(tracer, sharded.Shard())})
 			for i := range work {
 				src, err := os.ReadFile(files[i])
 				if err != nil {
@@ -162,7 +200,7 @@ func runBatch(files []string, model *ctypes.Model, maxSteps int64, jobs int) int
 					reports[i] = tools.Report{Verdict: tools.Inconclusive, Detail: err.Error()}
 					continue
 				}
-				reports[i] = kcc.AnalyzeProgram(prog, files[i])
+				reports[i] = kcc.AnalyzeProgram(ctx, prog, files[i])
 			}
 		}()
 	}
@@ -171,6 +209,28 @@ func runBatch(files []string, model *ctypes.Model, maxSteps int64, jobs int) int
 	}
 	close(work)
 	wg.Wait()
+
+	if asJSON {
+		out := struct {
+			Schema  string              `json:"schema"`
+			Files   []runner.ToolResult `json:"files"`
+			Names   []string            `json:"names"`
+			Metrics *obs.Snapshot       `json:"metrics"`
+		}{Schema: runner.Schema, Metrics: sharded.Snapshot()}
+		exit := 0
+		for i, rep := range reports {
+			out.Names = append(out.Names, files[i])
+			out.Files = append(out.Files, runner.ToolResultFrom("kcc", rep))
+			if rep.Verdict != tools.Accepted {
+				exit = 1
+			}
+		}
+		if err := runner.WriteJSON(os.Stdout, out); err != nil {
+			fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
+			return 1
+		}
+		return exit
+	}
 
 	exit := 0
 	flagged := 0
@@ -190,6 +250,7 @@ func runBatch(files []string, model *ctypes.Model, maxSteps int64, jobs int) int
 	st := cache.Stats()
 	fmt.Printf("%d files, %d undefined (%d compiles, %d cache hits)\n",
 		len(files), flagged, st.Misses, st.Hits)
+	fmt.Printf("metrics: %s\n", sharded.Snapshot().Summary())
 	return exit
 }
 

@@ -7,6 +7,11 @@
 //
 // Suite runs execute the case×tool matrix on a worker pool with a shared
 // compile cache; -j sets the worker count (default: all CPUs).
+//
+// Observability:
+//
+//	-metrics   collect execution metrics and print a per-tool summary
+//	-json      emit the canonical undefc.report/v1 report (implies -metrics)
 package main
 
 import (
@@ -26,6 +31,8 @@ func main() {
 	catalog := flag.Bool("catalog", false, "print the §5.2.1 classification counts")
 	timing := flag.Bool("time", true, "include per-tool timing")
 	jobs := flag.Int("j", 0, "parallel workers for the case×tool matrix (0 = GOMAXPROCS)")
+	metricsFlag := flag.Bool("metrics", false, "collect execution metrics and print a per-tool summary")
+	jsonFlag := flag.Bool("json", false, "emit the canonical undefc.report/v1 JSON report (implies -metrics)")
 	flag.Parse()
 
 	if *catalog {
@@ -33,33 +40,60 @@ func main() {
 		return
 	}
 
-	cfg := tools.Config{}
+	collect := *jsonFlag || *metricsFlag
+	cfg := tools.Config{Metrics: collect}
 	opts := runner.Options{Parallelism: *jobs}
 	switch *suiteFlag {
 	case "juliet":
 		s := suite.Juliet()
-		fmt.Printf("generated %d test cases (%d undefined + %d defined controls)\n\n",
-			len(s.Cases), s.BadCount(), len(s.Cases)-s.BadCount())
-		fig, err := runner.RunJulietOpts(s, tools.All(cfg), opts)
+		ts := tools.All(cfg)
+		m, err := runner.RunMatrix(s, ts, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
 			os.Exit(1)
 		}
+		if *jsonFlag {
+			if err := runner.WriteJSON(os.Stdout, runner.SuiteReportFrom(s, ts, m)); err != nil {
+				fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Printf("generated %d test cases (%d undefined + %d defined controls)\n\n",
+			len(s.Cases), s.BadCount(), len(s.Cases)-s.BadCount())
+		fig := runner.Figure2From(s, ts, m)
 		out := fig.Render()
 		if !*timing {
 			out = stripTiming(out)
 		}
 		fmt.Print(out)
+		if *metricsFlag {
+			fmt.Printf("\n%s", fig.RenderMetrics())
+		}
 	case "own":
 		s := suite.Own()
-		fmt.Printf("generated %d test cases covering %d behaviors (%d undefined + %d defined controls)\n\n",
-			len(s.Cases), suite.Behaviors(s), s.BadCount(), len(s.Cases)-s.BadCount())
-		fig, err := runner.RunOwnOpts(s, tools.All(cfg), opts)
+		ts := tools.All(cfg)
+		m, err := runner.RunMatrix(s, ts, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
 			os.Exit(1)
 		}
+		if *jsonFlag {
+			if err := runner.WriteJSON(os.Stdout, runner.SuiteReportFrom(s, ts, m)); err != nil {
+				fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Printf("generated %d test cases covering %d behaviors (%d undefined + %d defined controls)\n\n",
+			len(s.Cases), suite.Behaviors(s), s.BadCount(), len(s.Cases)-s.BadCount())
+		fig := runner.Figure3From(s, ts, m)
 		fmt.Print(fig.Render())
+		if *metricsFlag {
+			// Figure 3 has no per-tool metrics view; reuse the Figure-2
+			// aggregation over the same matrix for the footer.
+			fmt.Printf("\n%s", runner.Figure2From(s, ts, m).RenderMetrics())
+		}
 	case "torture":
 		pass, fail := 0, 0
 		for _, tc := range suite.Torture() {

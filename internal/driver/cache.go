@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ctypes"
+	"repro/internal/obs"
 	"repro/internal/sema"
 )
 
@@ -30,6 +31,18 @@ type Cache struct {
 	// rather than redoing it, which is the point).
 	hits, misses, errors int64
 	compileTime          time.Duration
+
+	// observer, when set, receives EvCacheHit/EvCacheMiss per lookup.
+	observer obs.Observer
+}
+
+// SetObserver attaches an observer to the cache: every lookup emits an
+// EvCacheHit or EvCacheMiss event named after the translation unit. Set it
+// before sharing the cache across goroutines.
+func (c *Cache) SetObserver(o obs.Observer) {
+	c.mu.Lock()
+	c.observer = o
+	c.mu.Unlock()
 }
 
 type cacheKey struct {
@@ -83,14 +96,22 @@ func (c *Cache) Compile(src, file string, opts Options) (*sema.Program, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
 		c.hits++
+		o := c.observer
 		c.mu.Unlock()
+		if o != nil {
+			o.Event(&obs.Event{Kind: obs.EvCacheHit, Name: file})
+		}
 		<-e.done
 		return e.prog, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[k] = e
 	c.misses++
+	o := c.observer
 	c.mu.Unlock()
+	if o != nil {
+		o.Event(&obs.Event{Kind: obs.EvCacheMiss, Name: file})
+	}
 
 	start := time.Now()
 	e.prog, e.err = Compile(src, file, opts)

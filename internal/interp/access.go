@@ -3,6 +3,7 @@ package interp
 import (
 	"repro/internal/ctypes"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/token"
 	"repro/internal/ub"
@@ -53,6 +54,7 @@ func (in *Interp) object(lv lvalue, pos token.Pos, forWrite bool) (*mem.Object, 
 	if o.Kind == mem.ObjFunc {
 		return nil, in.ubError(ub.InvalidDeref, pos, "Accessing a function designator as an object")
 	}
+	in.obsCheckPass(ub.InvalidDeref, pos)
 	return o, nil
 }
 
@@ -62,12 +64,15 @@ func (in *Interp) object(lv lvalue, pos token.Pos, forWrite bool) (*mem.Object, 
 // fallback semantics (reads yield zeroes, writes vanish — the neighboring
 // stack memory of a real execution).
 func (in *Interp) checkBounds(o *mem.Object, lv lvalue, n int64, pos token.Pos) (uerr *ub.Error, oob bool) {
-	if lv.off >= 0 && lv.off+n <= o.Size {
-		return nil, false
-	}
 	watched := in.prof.StackBounds
 	if o.Kind == mem.ObjHeap {
 		watched = in.prof.HeapBounds
+	}
+	if lv.off >= 0 && lv.off+n <= o.Size {
+		if watched {
+			in.obsCheckPass(ub.PtrArithBounds, pos)
+		}
+		return nil, false
 	}
 	if !watched {
 		return nil, true
@@ -100,6 +105,7 @@ func (in *Interp) checkAlias(o *mem.Object, lv lvalue, pos token.Pos) *ub.Error 
 			"Accessing an object with declared type %s through an lvalue of type %s",
 			o.DeclType, lv.t)
 	}
+	in.obsCheckPass(ub.BadAlias, pos)
 	return nil
 }
 
@@ -118,6 +124,7 @@ func (in *Interp) checkVolatile(lv lvalue, n int64, pos token.Pos) *ub.Error {
 				"Referring to a volatile object through a non-volatile lvalue")
 		}
 	}
+	in.obsCheckPass(ub.VolatileNonvolatile, pos)
 	return nil
 }
 
@@ -136,6 +143,7 @@ func (in *Interp) noteRead(base mem.ObjID, off, n int64, pos token.Pos) *ub.Erro
 		}
 		s.read[loc] = struct{}{}
 	}
+	in.obsCheckPass(ub.UnseqValueComp, pos)
 	return nil
 }
 
@@ -159,6 +167,7 @@ func (in *Interp) noteWrite(base mem.ObjID, off, n int64, pos token.Pos) *ub.Err
 	for i := off; i < off+n; i++ {
 		s.written[mem.Loc{Obj: base, Off: i}] = struct{}{}
 	}
+	in.obsCheckPass(ub.UnseqSideEffect, pos)
 	return nil
 }
 
@@ -198,6 +207,7 @@ func (in *Interp) read(lv lvalue, pos token.Pos) (mem.Value, error) {
 	if uerr := in.noteRead(lv.base, lv.off, n, pos); uerr != nil {
 		return nil, uerr
 	}
+	in.obsMem(obs.EvRead, o, n, pos)
 	var data []mem.Byte
 	if oob {
 		// Unchecked out-of-bounds read: the adjacent memory of a real
@@ -366,13 +376,19 @@ func (in *Interp) write(lv lvalue, v mem.Value, pos token.Pos) error {
 		return uerr
 	}
 	// §6.4.5:7: modifying a string literal.
-	if o.Kind == mem.ObjString && in.prof.StringLit {
-		return in.ubError(ub.ModifyStringLit, pos, "Attempting to modify a string literal")
+	if in.prof.StringLit {
+		if o.Kind == mem.ObjString {
+			return in.ubError(ub.ModifyStringLit, pos, "Attempting to modify a string literal")
+		}
+		in.obsCheckPass(ub.ModifyStringLit, pos)
 	}
 	// §6.7.3:6 via the notWritable set (§4.2.2).
-	if in.prof.Const && in.store.IsNotWritable(lv.base, lv.off, n) {
-		return in.ubError(ub.ModifyConst, pos,
-			"Modifying an object defined with a const-qualified type")
+	if in.prof.Const {
+		if in.store.IsNotWritable(lv.base, lv.off, n) {
+			return in.ubError(ub.ModifyConst, pos,
+				"Modifying an object defined with a const-qualified type")
+		}
+		in.obsCheckPass(ub.ModifyConst, pos)
 	}
 	if uerr := in.checkVolatile(lv, n, pos); uerr != nil {
 		return uerr
@@ -383,6 +399,7 @@ func (in *Interp) write(lv lvalue, v mem.Value, pos token.Pos) error {
 	if uerr := in.noteWrite(lv.base, lv.off, n, pos); uerr != nil {
 		return uerr
 	}
+	in.obsMem(obs.EvWrite, o, n, pos)
 	if oob {
 		return nil // unchecked out-of-bounds write: vanishes into the frame
 	}

@@ -1,0 +1,40 @@
+package interp
+
+import "fmt"
+
+// Budget bounds one execution. It is the single place the pipeline's
+// resource limits live: tools, the runner, and the CLIs all pass a Budget
+// through interp.Options instead of carrying their own step/depth knobs.
+//
+// The zero value means "defaults": a zero field takes the corresponding
+// DefaultBudget value, so Budget{MaxSteps: 1000} bounds steps and keeps the
+// default call depth.
+type Budget struct {
+	// MaxSteps bounds execution steps. Exceeding it yields a BudgetError,
+	// which is NOT a UB verdict (§2.6: undefinedness guarded by
+	// nontermination is undecidable; a budget only says "we gave up").
+	MaxSteps int64
+	// MaxCallDepth bounds function-call nesting.
+	MaxCallDepth int
+}
+
+// DefaultBudget is the pipeline-wide default execution bound.
+func DefaultBudget() Budget {
+	return Budget{MaxSteps: 50_000_000, MaxCallDepth: 5000}
+}
+
+// WithDefaults fills zero fields from DefaultBudget.
+func (b Budget) WithDefaults() Budget {
+	d := DefaultBudget()
+	if b.MaxSteps == 0 {
+		b.MaxSteps = d.MaxSteps
+	}
+	if b.MaxCallDepth == 0 {
+		b.MaxCallDepth = d.MaxCallDepth
+	}
+	return b
+}
+
+func (b Budget) String() string {
+	return fmt.Sprintf("max %d steps, depth %d", b.MaxSteps, b.MaxCallDepth)
+}

@@ -441,7 +441,7 @@ func (in *Interp) evalBinary(e *cast.Binary) (mem.Value, error) {
 
 	// Other binary operators: operands are unsequenced — ask the scheduler.
 	var xv, yv mem.Value
-	for _, which := range order(in.sched, 2) {
+	for _, which := range in.order(2) {
 		var err error
 		if which == 0 {
 			xv, err = in.eval(e.X)
@@ -530,21 +530,30 @@ func (in *Interp) intArith(op cast.BinaryOp, x, y mem.Int, t *ctypes.Type, pos t
 	switch op {
 	case cast.BAdd:
 		raw = x.Bits + y.Bits
-		if in.prof.Overflow && signed && addOverflows(int64(x.Bits), int64(y.Bits), m.IntMin(t), int64(m.IntMax(t))) {
-			return nil, in.ubError(ub.SignedOverflow, pos,
-				"Signed integer overflow in addition (%d + %d as %s)", int64(x.Bits), int64(y.Bits), t)
+		if in.prof.Overflow && signed {
+			if addOverflows(int64(x.Bits), int64(y.Bits), m.IntMin(t), int64(m.IntMax(t))) {
+				return nil, in.ubError(ub.SignedOverflow, pos,
+					"Signed integer overflow in addition (%d + %d as %s)", int64(x.Bits), int64(y.Bits), t)
+			}
+			in.obsCheckPass(ub.SignedOverflow, pos)
 		}
 	case cast.BSub:
 		raw = x.Bits - y.Bits
-		if in.prof.Overflow && signed && subOverflows(int64(x.Bits), int64(y.Bits), m.IntMin(t), int64(m.IntMax(t))) {
-			return nil, in.ubError(ub.SignedOverflow, pos,
-				"Signed integer overflow in subtraction (%d - %d as %s)", int64(x.Bits), int64(y.Bits), t)
+		if in.prof.Overflow && signed {
+			if subOverflows(int64(x.Bits), int64(y.Bits), m.IntMin(t), int64(m.IntMax(t))) {
+				return nil, in.ubError(ub.SignedOverflow, pos,
+					"Signed integer overflow in subtraction (%d - %d as %s)", int64(x.Bits), int64(y.Bits), t)
+			}
+			in.obsCheckPass(ub.SignedOverflow, pos)
 		}
 	case cast.BMul:
 		raw = x.Bits * y.Bits
-		if in.prof.Overflow && signed && mulOverflows(int64(x.Bits), int64(y.Bits), m.IntMin(t), int64(m.IntMax(t))) {
-			return nil, in.ubError(ub.SignedOverflow, pos,
-				"Signed integer overflow in multiplication (%d * %d as %s)", int64(x.Bits), int64(y.Bits), t)
+		if in.prof.Overflow && signed {
+			if mulOverflows(int64(x.Bits), int64(y.Bits), m.IntMin(t), int64(m.IntMax(t))) {
+				return nil, in.ubError(ub.SignedOverflow, pos,
+					"Signed integer overflow in multiplication (%d * %d as %s)", int64(x.Bits), int64(y.Bits), t)
+			}
+			in.obsCheckPass(ub.SignedOverflow, pos)
 		}
 	case cast.BDiv, cast.BRem:
 		// ⟨I / J ⇒ reportError⟩ when J = 0 (§4.1.1). With the check off,
@@ -555,6 +564,9 @@ func (in *Interp) intArith(op cast.BinaryOp, x, y mem.Int, t *ctypes.Type, pos t
 				return nil, in.ubError(ub.DivByZero, pos, "Division by zero")
 			}
 			return nil, &CrashError{Signal: "SIGFPE", Detail: "integer division by zero"}
+		}
+		if in.prof.DivZero {
+			in.obsCheckPass(ub.DivByZero, pos)
 		}
 		if signed {
 			sx, sy := int64(x.Bits), int64(y.Bits)
@@ -735,6 +747,8 @@ func (in *Interp) shift(op cast.BinaryOp, xv, yv mem.Value, t *ctypes.Type, pos 
 				"Shift count %d is negative or >= the width (%d) of %s", count, width, t)
 		}
 		count &= width - 1 // the x86 shifter masks the count
+	} else if in.prof.Shift {
+		in.obsCheckPass(ub.ShiftTooFar, pos)
 	}
 	signed := t.IsSigned(in.model)
 	if op == cast.BShl {
@@ -748,6 +762,7 @@ func (in *Interp) shift(op cast.BinaryOp, xv, yv mem.Value, t *ctypes.Type, pos 
 				return nil, in.ubError(ub.ShiftOverflow, pos,
 					"Left shift of %d by %d overflows %s", sx, count, t)
 			}
+			in.obsCheckPass(ub.ShiftOverflow, pos)
 		}
 		return mem.MakeInt(in.model, t, x.Bits<<uint(count)), nil
 	}
@@ -763,7 +778,7 @@ func (in *Interp) shift(op cast.BinaryOp, xv, yv mem.Value, t *ctypes.Type, pos 
 // pointer.
 func (in *Interp) evalPtrAdd(xe, ie cast.Expr, pos token.Pos) (mem.Value, error) {
 	var xv, iv mem.Value
-	for _, which := range order(in.sched, 2) {
+	for _, which := range in.order(2) {
 		var err error
 		if which == 0 {
 			xv, err = in.eval(xe)
@@ -984,7 +999,7 @@ func (in *Interp) evalAssign(e *cast.Assign) (mem.Value, error) {
 	// after both.
 	var lv lvalue
 	var rv mem.Value
-	for _, which := range order(in.sched, 2) {
+	for _, which := range in.order(2) {
 		var err error
 		if which == 0 {
 			lv, err = in.lvalOf(e.L)

@@ -669,6 +669,8 @@ func (in *Interp) execDecl(d *cast.Decl) error {
 					"Variable length array %q declared with non-positive size %d", d.Name, n)
 			}
 			n = 0 // fallback: a zero-sized slab of stack
+		} else if in.prof.VLASize {
+			in.obsCheckPass(ub.VLANotPositive, d.P)
 		}
 		esize := in.model.Size(d.Type.Elem)
 		o, err := in.store.Alloc(mem.ObjAuto, n*esize, d.Name, d.Type)
@@ -702,7 +704,7 @@ func (in *Interp) evalCall(e *cast.Call) (mem.Value, error) {
 	// unspecified order (§2.5.2's setDenom example).
 	n := len(e.Args) + 1
 	vals := make([]mem.Value, n)
-	for _, which := range order(in.sched, n) {
+	for _, which := range in.order(n) {
 		var err error
 		if which == 0 {
 			vals[0], err = in.eval(e.Fn)
@@ -747,6 +749,7 @@ func (in *Interp) evalCall(e *cast.Call) (mem.Value, error) {
 	// Builtin library function?
 	if bi, isBuiltin := builtins[name]; isBuiltin {
 		if _, userDefined := in.prog.Funcs[name]; !userDefined {
+			in.obsBuiltin(name, e.P)
 			v, berr := bi(in, args, e)
 			if berr == errSilentOOB {
 				// Unwatched out-of-bounds library access: the operation
@@ -772,10 +775,13 @@ func (in *Interp) evalCall(e *cast.Call) (mem.Value, error) {
 	if callType.Kind == ctypes.Ptr {
 		callType = callType.Elem
 	}
-	if in.prof.CallMismatch && callType.Kind == ctypes.Func && !ctypes.Compatible(callType, fd.Type) {
-		return nil, in.ubError(ub.BadFuncPtrCall, e.P,
-			"Calling function %q through an incompatible type (%s, defined as %s)",
-			name, callType, fd.Type)
+	if in.prof.CallMismatch && callType.Kind == ctypes.Func {
+		if !ctypes.Compatible(callType, fd.Type) {
+			return nil, in.ubError(ub.BadFuncPtrCall, e.P,
+				"Calling function %q through an incompatible type (%s, defined as %s)",
+				name, callType, fd.Type)
+		}
+		in.obsCheckPass(ub.BadFuncPtrCall, e.P)
 	}
 	// Argument count against the actual definition (old-style calls
 	// bypass static checking; C11 §6.5.2.2:6).
@@ -826,7 +832,7 @@ func (in *Interp) evalCall(e *cast.Call) (mem.Value, error) {
 
 // callUser invokes a user-defined function with converted arguments.
 func (in *Interp) callUser(fd *cast.FuncDef, args []mem.Value, pos token.Pos) (mem.Value, error) {
-	if len(in.frames) >= in.opts.MaxCallDepth {
+	if len(in.frames) >= in.budget.MaxCallDepth {
 		return nil, &BudgetError{Msg: "call depth exceeded in " + fd.Name}
 	}
 	f := &frame{fn: fd, locals: make(map[*cast.Symbol]mem.ObjID)}

@@ -1,0 +1,98 @@
+package interp_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	undefc "repro"
+	"repro/internal/interp"
+	"repro/internal/obs"
+)
+
+// TestGoldenEventSequence freezes the exact event stream an observer sees
+// for a three-line undefined program: the interpreter steps through the
+// declaration and the return, evaluates each pass-checked guard on the
+// lvalue conversion of x, reads the (automatic) object, and fires
+// UB 00009 — reading an indeterminate value. If instrumentation points
+// move, get reordered, or are dropped, this diff will show where.
+func TestGoldenEventSequence(t *testing.T) {
+	rec := &obs.Recorder{}
+	src := "int main(void) {\n\tint x;\n\treturn x;\n}\n"
+	res := undefc.RunSource(src, "uninit.c", undefc.Options{
+		Exec: interp.Options{Observer: rec},
+	})
+	if res.UB == nil {
+		t.Fatalf("expected UB, got exit %d (err=%v)", res.ExitCode, res.Err)
+	}
+	want := []string{
+		"step uninit.c:1:20",          // enter main's body
+		"step uninit.c:2:2",           // int x;
+		"seqpoint flush=0",            // end of full declarator
+		"step uninit.c:3:2",           // return statement
+		"step uninit.c:3:9",           // expression x
+		"check pass 00037 §6.5.3.2:4", // deref of invalid pointer
+		"check pass 00041 §6.5.6:8",   // pointer arithmetic bounds
+		"check pass 00065 §6.7.3:6",   // volatile via non-volatile lvalue
+		"check pass 00032 §6.5:7",     // effective-type aliasing
+		"check pass 00017 §6.5:2",     // unsequenced read/write conflict
+		"read auto 4B",                // the 4-byte load of x
+		"check FIRE 00009 §6.3.2.1:2", // indeterminate value → UB
+	}
+	got := rec.Lines()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d:\n%s", len(got), len(want), join(got))
+	}
+	for i, w := range want {
+		if len(got[i]) < len(w) || got[i][:len(w)] != w {
+			t.Errorf("event %d = %q, want prefix %q", i, got[i], w)
+		}
+	}
+}
+
+// TestRecorderCopiesEvents checks the borrowed-pointer contract: the
+// interpreter reuses one scratch Event, so the Recorder must store
+// copies, not pointers into the interpreter.
+func TestRecorderCopiesEvents(t *testing.T) {
+	rec := &obs.Recorder{}
+	undefc.RunSource("int main(void){ int x = 1; return x - 1; }", "ok.c",
+		undefc.Options{Exec: interp.Options{Observer: rec}})
+	kinds := map[obs.EventKind]bool{}
+	for i := range rec.Events {
+		kinds[rec.Events[i].Kind] = true
+	}
+	// If events aliased the scratch slot they would all show the final
+	// kind; a healthy recording has several distinct kinds.
+	if len(kinds) < 3 {
+		t.Fatalf("recorded only %d distinct event kinds: %v", len(kinds), reflect.ValueOf(kinds).MapKeys())
+	}
+}
+
+// TestContextCancelStopsRun drives the satellite requirement that a
+// canceled Options.Context stops an otherwise-unbounded execution and
+// surfaces as a CancelError wrapping the context's error.
+func TestContextCancelStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the run must stop at the first poll
+	res := undefc.RunSource("int main(void){ while (1) { } return 0; }", "spin.c",
+		undefc.Options{Exec: interp.Options{Context: ctx}})
+	if res.UB != nil {
+		t.Fatalf("unexpected UB: %v", res.UB)
+	}
+	var ce *interp.CancelError
+	if !errors.As(res.Err, &ce) {
+		t.Fatalf("err = %v (%T), want *interp.CancelError", res.Err, res.Err)
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("CancelError does not unwrap to context.Canceled: %v", res.Err)
+	}
+}
+
+func join(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += "  " + l + "\n"
+	}
+	return out
+}

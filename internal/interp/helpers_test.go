@@ -12,5 +12,5 @@ func rightToLeft() interp.Options {
 }
 
 func maxSteps(n int64) interp.Options {
-	return interp.Options{MaxSteps: n}
+	return interp.Options{Budget: interp.Budget{MaxSteps: n}}
 }

@@ -12,6 +12,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/cast"
 	"repro/internal/ctypes"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sema"
 	"repro/internal/spec"
 	"repro/internal/token"
@@ -32,12 +34,16 @@ type Options struct {
 	// Sched decides evaluation order for unsequenced operands; nil means
 	// left-to-right.
 	Sched Scheduler
-	// MaxSteps bounds execution (0 = default). Exceeding it yields
-	// ErrBudget, which is NOT a UB verdict (§2.6: undefinedness guarded by
-	// nontermination is undecidable; a budget only says "we gave up").
-	MaxSteps int64
-	// MaxCallDepth bounds recursion.
-	MaxCallDepth int
+	// Budget bounds execution; zero fields take DefaultBudget values.
+	// Exceeding the budget yields a BudgetError, which is NOT a UB verdict.
+	Budget Budget
+	// Context, when non-nil, cancels execution: the step loop polls
+	// Context.Done() and surfaces cancellation as a CancelError.
+	Context context.Context
+	// Observer, when non-nil, receives typed execution events (steps,
+	// memory accesses, sequence points, UB checks, scheduler choices,
+	// builtin calls). Nil costs one predictable branch per event site.
+	Observer obs.Observer
 	// Profile selects which undefined behaviors are detected (nil means
 	// the full kcc profile). See Profile for the baseline-tool profiles.
 	Profile *Profile
@@ -49,10 +55,22 @@ type Options struct {
 	Args []string
 }
 
-// ErrBudget reports that execution exceeded its step or depth budget.
+// BudgetError reports that execution exceeded its step or depth budget.
 type BudgetError struct{ Msg string }
 
 func (e *BudgetError) Error() string { return "budget exhausted: " + e.Msg }
+
+// CancelError reports that Options.Context was canceled mid-execution.
+type CancelError struct {
+	Cause error
+	Pos   token.Pos
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("execution canceled at %s: %v", e.Pos, e.Cause)
+}
+
+func (e *CancelError) Unwrap() error { return e.Cause }
 
 // ExitError reports a voluntary program exit (exit() or abort()).
 type ExitError struct {
@@ -98,8 +116,13 @@ type Interp struct {
 	volatileLocs map[mem.Loc]struct{}
 
 	steps    int64
-	maxSteps int64
+	budget   Budget
 	rngState uint64 // rand()
+
+	obs     obs.Observer    // nil = no events (fast path)
+	obsEv   obs.Event       // scratch event, reused so emission never allocates
+	ctxDone <-chan struct{} // cached Options.Context.Done(); nil = no deadline
+	ctx     context.Context
 
 	outBuf *strings.Builder // captures output when opts.Out == nil
 }
@@ -153,12 +176,11 @@ func New(prog *sema.Program, opts Options) *Interp {
 	if in.prof == nil {
 		in.prof = KCCProfile()
 	}
-	in.maxSteps = opts.MaxSteps
-	if in.maxSteps == 0 {
-		in.maxSteps = 50_000_000
-	}
-	if in.opts.MaxCallDepth == 0 {
-		in.opts.MaxCallDepth = 5000
+	in.budget = opts.Budget.WithDefaults()
+	in.obs = opts.Observer
+	if opts.Context != nil {
+		in.ctx = opts.Context
+		in.ctxDone = opts.Context.Done()
 	}
 	return in
 }
@@ -247,11 +269,24 @@ func (in *Interp) buildArgs(mainFn *cast.FuncDef) ([]mem.Value, error) {
 	return out[:len(mainFn.Params)], nil
 }
 
-// step charges one unit of the execution budget.
+// step charges one unit of the execution budget. The observability hook is
+// a single nil check; the cancellation poll fires every 1024 steps so the
+// hot loop never touches channel state in the common case.
 func (in *Interp) step(pos token.Pos) error {
 	in.steps++
-	if in.steps > in.maxSteps {
-		return &BudgetError{Msg: fmt.Sprintf("exceeded %d steps at %s", in.maxSteps, pos)}
+	if in.steps > in.budget.MaxSteps {
+		return &BudgetError{Msg: fmt.Sprintf("exceeded %d steps at %s", in.budget.MaxSteps, pos)}
+	}
+	if in.ctxDone != nil && in.steps&1023 == 0 {
+		select {
+		case <-in.ctxDone:
+			return &CancelError{Cause: in.ctx.Err(), Pos: pos}
+		default:
+		}
+	}
+	if in.obs != nil {
+		in.obsEv = obs.Event{Kind: obs.EvStep, Pos: pos}
+		in.obs.Event(&in.obsEv)
 	}
 	return nil
 }
@@ -268,6 +303,7 @@ func (in *Interp) curSeq() *seqState { return in.seq[len(in.seq)-1] }
 // ⟨seqPoint ⇒ ·⟩k ⟨S ⇒ ·⟩locsWrittenTo (§4.2.1).
 func (in *Interp) seqPoint() {
 	s := in.curSeq()
+	flushed := len(s.written) + len(s.read)
 	if len(s.written) > 0 {
 		s.written = make(map[mem.Loc]struct{})
 	}
@@ -276,6 +312,10 @@ func (in *Interp) seqPoint() {
 	}
 	if len(in.opts.Monitors) > 0 {
 		in.opts.Monitors.Observe(spec.Event{Kind: spec.EvSeqPoint})
+	}
+	if in.obs != nil {
+		in.obsEv = obs.Event{Kind: obs.EvSeqPoint, Size: int64(flushed)}
+		in.obs.Event(&in.obsEv)
 	}
 }
 
@@ -300,8 +340,14 @@ func (in *Interp) funcName() string {
 	return in.curFrame().fn.Name
 }
 
-// ubError constructs the checker's verdict value.
+// ubError constructs the checker's verdict value. Every fired UB check in
+// the interpreter funnels through here, which makes it the single emission
+// point for fired-check events.
 func (in *Interp) ubError(b *ub.Behavior, pos token.Pos, format string, args ...any) *ub.Error {
+	if in.obs != nil {
+		in.obsEv = obs.Event{Kind: obs.EvCheck, Pos: pos, Behavior: b, Fired: true}
+		in.obs.Event(&in.obsEv)
+	}
 	return ub.New(b, pos, in.funcName(), format, args...)
 }
 

@@ -1,0 +1,181 @@
+package runner
+
+// The export layer: one canonical JSON schema for analysis results, shared
+// by `kcc -json` (single translation unit) and `ubsuite -json` (suite
+// matrix). Everything here is a plain derived view of a MatrixResult or a
+// tools.Report — no execution happens at export time, and every field is a
+// value type so reports round-trip through encoding/json.
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/suite"
+	"repro/internal/tools"
+	"repro/internal/ub"
+)
+
+// Schema identifies the report format. Consumers should reject reports
+// whose schema they do not understand; the version suffix is bumped on any
+// incompatible change.
+const Schema = "undefc.report/v1"
+
+// ToolResult is one tool's verdict on one program.
+type ToolResult struct {
+	Tool    string        `json:"tool"`
+	Verdict tools.Verdict `json:"verdict"`
+	UB      *ub.Error     `json:"ub,omitempty"`
+	Detail  string        `json:"detail,omitempty"`
+	// CompileNS is frontend time the analysis paid itself (zero under a
+	// shared cache); RunNS is the tool's own analysis time.
+	CompileNS int64         `json:"compile_ns,omitempty"`
+	RunNS     int64         `json:"run_ns"`
+	Metrics   *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// CaseReport is the per-case entry of a suite report: one ToolResult per
+// tool, in the suite run's tool order.
+type CaseReport struct {
+	Name string `json:"name"`
+	// Class is the Juliet defect class, when the suite assigns one.
+	Class string `json:"class,omitempty"`
+	// Bad marks a test expected to contain undefined behavior.
+	Bad bool `json:"bad"`
+	// Behavior is the zero-padded code of the expected behavior, when known.
+	Behavior string       `json:"behavior,omitempty"`
+	Results  []ToolResult `json:"results"`
+}
+
+// ToolAggregate is one tool's suite-level rollup.
+type ToolAggregate struct {
+	Tool           string  `json:"tool"`
+	Flagged        int     `json:"flagged"`
+	BadTotal       int     `json:"bad_total"`
+	FalsePositives int     `json:"false_positives"`
+	GoodTotal      int     `json:"good_total"`
+	Crashed        int     `json:"crashed"`
+	Inconclusive   int     `json:"inconclusive"`
+	PctPassed      float64 `json:"pct_passed"`
+	RunNS          int64   `json:"run_ns"`
+	// Metrics is the merged execution-metrics snapshot across the tool's
+	// cases (Config{Metrics: true} only), with per-behavior check counters.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// FrontendJSON accounts the shared frontend work of a suite run.
+type FrontendJSON struct {
+	Compiles  int   `json:"compiles"`
+	CacheHits int   `json:"cache_hits"`
+	Errors    int   `json:"errors,omitempty"`
+	TimeNS    int64 `json:"time_ns"`
+}
+
+// SuiteReport is the canonical machine-readable result of one suite run.
+type SuiteReport struct {
+	Schema    string          `json:"schema"`
+	Suite     string          `json:"suite"`
+	Tools     []string        `json:"tools"`
+	Cases     []CaseReport    `json:"cases"`
+	Aggregate []ToolAggregate `json:"aggregate"`
+	Frontend  FrontendJSON    `json:"frontend"`
+}
+
+// FileReport is the canonical machine-readable result of analyzing one
+// translation unit (kcc -json).
+type FileReport struct {
+	Schema string     `json:"schema"`
+	File   string     `json:"file"`
+	Result ToolResult `json:"result"`
+}
+
+// ToolResultFrom flattens a tools.Report into the wire shape.
+func ToolResultFrom(toolName string, rep tools.Report) ToolResult {
+	return ToolResult{
+		Tool:      toolName,
+		Verdict:   rep.Verdict,
+		UB:        rep.UB,
+		Detail:    rep.Detail,
+		CompileNS: rep.CompileDuration.Nanoseconds(),
+		RunNS:     rep.RunDuration.Nanoseconds(),
+		Metrics:   rep.Metrics,
+	}
+}
+
+// FileReportFrom builds the single-file report of kcc -json.
+func FileReportFrom(file, toolName string, rep tools.Report) *FileReport {
+	return &FileReport{Schema: Schema, File: file, Result: ToolResultFrom(toolName, rep)}
+}
+
+// SuiteReportFrom derives the canonical suite report from an executed
+// matrix. Per-case results keep the matrix order; aggregates merge in case
+// order, so the report is identical whatever the worker scheduling was
+// (timings aside).
+func SuiteReportFrom(s *suite.Suite, ts []tools.Tool, m *MatrixResult) *SuiteReport {
+	rep := &SuiteReport{
+		Schema: Schema,
+		Suite:  s.Name,
+		Frontend: FrontendJSON{
+			Compiles:  m.Frontend.Compiles,
+			CacheHits: m.Frontend.CacheHits,
+			Errors:    m.Frontend.Errors,
+			TimeNS:    m.Frontend.Time.Nanoseconds(),
+		},
+	}
+	for _, t := range ts {
+		rep.Tools = append(rep.Tools, t.Name())
+	}
+	aggs := make([]ToolScore, len(ts))
+	for ci := range s.Cases {
+		c := &s.Cases[ci]
+		cr := CaseReport{Name: c.Name, Class: c.Class, Bad: c.Bad}
+		if c.Behavior != nil {
+			cr.Behavior = obs.CheckKey(c.Behavior.Code)
+		}
+		for ti, t := range ts {
+			r := m.Reports[ci][ti]
+			cr.Results = append(cr.Results, ToolResultFrom(t.Name(), r))
+			score(&aggs[ti], c.Bad, r)
+		}
+		rep.Cases = append(rep.Cases, cr)
+	}
+	for ti, t := range ts {
+		a := aggs[ti]
+		rep.Aggregate = append(rep.Aggregate, ToolAggregate{
+			Tool:           t.Name(),
+			Flagged:        a.Flagged,
+			BadTotal:       a.BadTotal,
+			FalsePositives: a.FalsePositives,
+			GoodTotal:      a.GoodTotal,
+			Crashed:        a.Crashed,
+			Inconclusive:   a.Inconclusive,
+			PctPassed:      a.Pct(),
+			RunNS:          a.RunTime.Nanoseconds(),
+			Metrics:        a.Metrics,
+		})
+	}
+	return rep
+}
+
+// WriteJSON renders any report value as indented JSON plus a trailing
+// newline — the exact bytes the CLIs emit.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// ZeroTimes strips wall-clock fields for byte-stable comparisons in tests
+// and diffs: timings are the only nondeterministic part of a report.
+func (r *SuiteReport) ZeroTimes() {
+	r.Frontend.TimeNS = 0
+	for ci := range r.Cases {
+		for ti := range r.Cases[ci].Results {
+			r.Cases[ci].Results[ti].CompileNS = 0
+			r.Cases[ci].Results[ti].RunNS = 0
+		}
+	}
+	for i := range r.Aggregate {
+		r.Aggregate[i].RunNS = 0
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/ctypes"
 	"repro/internal/driver"
+	"repro/internal/obs"
 	"repro/internal/suite"
 	"repro/internal/tools"
 	"repro/internal/ub"
@@ -63,10 +64,21 @@ type FrontendStats struct {
 	Time      time.Duration // total wall time inside the frontend
 }
 
-// runMatrix executes every (case, tool) pair of the suite on a worker
-// pool and returns the report matrix indexed [case][tool], plus the
-// frontend accounting attributable to this run.
-func runMatrix(s *suite.Suite, ts []tools.Tool, opts Options) ([][]tools.Report, FrontendStats, error) {
+// MatrixResult is the raw outcome of one suite execution: the report
+// matrix indexed [case][tool] plus the frontend accounting of the run. The
+// figures (Figure2From, Figure3From) and the export layer (SuiteReportFrom)
+// are all derived views of one MatrixResult, so a caller that wants both a
+// rendered table and the canonical JSON report runs the matrix once.
+type MatrixResult struct {
+	Reports  [][]tools.Report
+	Frontend FrontendStats
+}
+
+// RunMatrix executes every (case, tool) pair of the suite on a worker
+// pool. Cancellation through Options.Context stops feeding new pairs AND
+// interrupts in-flight interpretations (the tools' AnalyzeProgram honors
+// ctx inside the step loop); a canceled run returns the context error.
+func RunMatrix(s *suite.Suite, ts []tools.Tool, opts Options) (*MatrixResult, error) {
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -92,7 +104,7 @@ func runMatrix(s *suite.Suite, ts []tools.Tool, opts Options) ([][]tools.Report,
 			defer wg.Done()
 			for it := range work {
 				c := &s.Cases[it.ci]
-				reports[it.ci][it.ti] = analyzeShared(cache, ts[it.ti], c, copts)
+				reports[it.ci][it.ti] = analyzeShared(ctx, cache, ts[it.ti], c, copts)
 			}
 		}()
 	}
@@ -118,19 +130,22 @@ feed:
 		Errors:    int(after.Errors - before.Errors),
 		Time:      after.CompileTime - before.CompileTime,
 	}
-	return reports, fs, err
+	if err != nil {
+		return nil, err
+	}
+	return &MatrixResult{Reports: reports, Frontend: fs}, nil
 }
 
 // analyzeShared compiles through the cache (one frontend pass per case,
 // shared across tools and workers) and runs the tool's fast path. The
 // report carries only the tool's own RunDuration — the shared compile is
 // accounted once, in FrontendStats, not once per tool.
-func analyzeShared(cache *driver.Cache, t tools.Tool, c *suite.Case, copts driver.Options) tools.Report {
+func analyzeShared(ctx context.Context, cache *driver.Cache, t tools.Tool, c *suite.Case, copts driver.Options) tools.Report {
 	prog, err := cache.Compile(c.Source, c.Name+".c", copts)
 	if err != nil {
 		return tools.Report{Verdict: tools.Inconclusive, Detail: "compile: " + err.Error()}
 	}
-	return t.AnalyzeProgram(prog, c.Name+".c")
+	return t.AnalyzeProgram(ctx, prog, c.Name+".c")
 }
 
 // ToolScore aggregates one tool's results over a set of cases.
@@ -147,6 +162,12 @@ type ToolScore struct {
 	// RunTime is the tool's own analysis time (the §5.1.2 cost).
 	RunTime time.Duration
 	Runs    int
+	// Metrics is the merged execution-metrics snapshot over the tool's
+	// runs, present only when the tools were configured with
+	// Config{Metrics: true}. Per-case snapshots are merged in case order;
+	// counter addition is commutative, so the merge is deterministic
+	// regardless of worker scheduling.
+	Metrics *obs.Snapshot
 }
 
 // TotalTime is the wall time attributed to the tool.
@@ -189,16 +210,21 @@ func RunJuliet(s *suite.Suite, ts []tools.Tool) *Figure2 {
 
 // RunJulietOpts evaluates the tools on the Juliet-style suite under opts.
 func RunJulietOpts(s *suite.Suite, ts []tools.Tool, opts Options) (*Figure2, error) {
-	reports, frontend, err := runMatrix(s, ts, opts)
+	m, err := RunMatrix(s, ts, opts)
 	if err != nil {
 		return nil, err
 	}
+	return Figure2From(s, ts, m), nil
+}
+
+// Figure2From aggregates an executed matrix into the Figure-2 view.
+func Figure2From(s *suite.Suite, ts []tools.Tool, m *MatrixResult) *Figure2 {
 	fig := &Figure2{
 		Classes:  suite.JulietClasses,
 		Tests:    map[string]int{},
 		Scores:   map[string]map[string]ToolScore{},
 		Overall:  map[string]ToolScore{},
-		Frontend: frontend,
+		Frontend: m.Frontend,
 	}
 	for _, t := range ts {
 		fig.Tools = append(fig.Tools, t.Name())
@@ -212,7 +238,7 @@ func RunJulietOpts(s *suite.Suite, ts []tools.Tool, opts Options) (*Figure2, err
 			fig.Tests[c.Class]++
 		}
 		for ti, t := range ts {
-			rep := reports[ci][ti]
+			rep := m.Reports[ci][ti]
 			sc := fig.Scores[c.Class][t.Name()]
 			ov := fig.Overall[t.Name()]
 			score(&sc, c.Bad, rep)
@@ -221,13 +247,34 @@ func RunJulietOpts(s *suite.Suite, ts []tools.Tool, opts Options) (*Figure2, err
 			fig.Overall[t.Name()] = ov
 		}
 	}
-	return fig, nil
+	return fig
+}
+
+// RenderMetrics prints the per-tool metrics footer (ubsuite -metrics):
+// one summary line per tool from the merged suite-level snapshots.
+func (f *Figure2) RenderMetrics() string {
+	var b strings.Builder
+	b.WriteString("Execution metrics per tool\n")
+	for _, tn := range f.Tools {
+		sc := f.Overall[tn]
+		if sc.Metrics == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s %s\n", tn, sc.Metrics.Summary())
+	}
+	return b.String()
 }
 
 func score(sc *ToolScore, bad bool, rep tools.Report) {
 	sc.Runs++
 	sc.CompileTime += rep.CompileDuration
 	sc.RunTime += rep.RunDuration
+	if rep.Metrics != nil {
+		if sc.Metrics == nil {
+			sc.Metrics = &obs.Snapshot{}
+		}
+		sc.Metrics.AddCase(rep.Metrics)
+	}
 	if bad {
 		sc.BadTotal++
 		if rep.Verdict == tools.Flagged {
@@ -303,15 +350,21 @@ func RunOwn(s *suite.Suite, ts []tools.Tool) *Figure3 {
 
 // RunOwnOpts evaluates the tools on the paper's own suite under opts.
 func RunOwnOpts(s *suite.Suite, ts []tools.Tool, opts Options) (*Figure3, error) {
-	reports, frontend, err := runMatrix(s, ts, opts)
+	m, err := RunMatrix(s, ts, opts)
 	if err != nil {
 		return nil, err
 	}
+	return Figure3From(s, ts, m), nil
+}
+
+// Figure3From aggregates an executed matrix into the Figure-3 view.
+func Figure3From(s *suite.Suite, ts []tools.Tool, m *MatrixResult) *Figure3 {
+	reports := m.Reports
 	fig := &Figure3{
 		Static:   map[string]float64{},
 		Dynamic:  map[string]float64{},
 		FalsePos: map[string]int{},
-		Frontend: frontend,
+		Frontend: m.Frontend,
 	}
 	for _, t := range ts {
 		fig.Tools = append(fig.Tools, t.Name())
@@ -375,7 +428,7 @@ func RunOwnOpts(s *suite.Suite, ts []tools.Tool, opts Options) (*Figure3, error)
 		}
 		fig.NumStatic, fig.NumDynamic = stN, dyN
 	}
-	return fig, nil
+	return fig
 }
 
 // Render prints the Figure-3 table in the paper's layout.

@@ -91,7 +91,7 @@ func Explore(prog *sema.Program, opts Options) Result {
 			return res
 		}
 		tr := &interp.Trace{Prefix: append([]int{}, prefix...)}
-		runRes := interp.Run(prog, interp.Options{Sched: tr, MaxSteps: opts.MaxSteps})
+		runRes := interp.Run(prog, interp.Options{Sched: tr, Budget: interp.Budget{MaxSteps: opts.MaxSteps}})
 		res.Runs++
 
 		out := Outcome{

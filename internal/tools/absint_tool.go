@@ -1,6 +1,7 @@
 package tools
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/absint"
@@ -29,8 +30,9 @@ func (t *aiTool) Analyze(src, file string) Report {
 	return compileAndDelegate(t, src, file, t.cfg.Model)
 }
 
-// AnalyzeProgram implements Tool.
-func (t *aiTool) AnalyzeProgram(prog *sema.Program, file string) Report {
+// AnalyzeProgram implements Tool. The abstract interpretation is not
+// cancelable mid-run; ctx is accepted for interface uniformity.
+func (t *aiTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
 	start := time.Now()
 	res := absint.Analyze(prog)
 	rep := Report{RunDuration: time.Since(start)}

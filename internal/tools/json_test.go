@@ -1,0 +1,50 @@
+package tools
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestVerdictJSONRoundTrip(t *testing.T) {
+	for _, v := range []Verdict{Accepted, Flagged, Crashed, Inconclusive} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + v.String() + `"`; string(data) != want {
+			t.Errorf("Marshal(%v) = %s, want %s", v, data, want)
+		}
+		var back Verdict
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Errorf("round trip: %v -> %s -> %v", v, data, back)
+		}
+	}
+}
+
+func TestVerdictJSONRejectsUnknown(t *testing.T) {
+	var v Verdict
+	if err := json.Unmarshal([]byte(`"maybe"`), &v); err == nil {
+		t.Error("unknown verdict string should not parse")
+	}
+	if err := json.Unmarshal([]byte(`3`), &v); err == nil {
+		t.Error("numeric verdict should not parse (the schema uses strings)")
+	}
+}
+
+func TestParseVerdict(t *testing.T) {
+	for _, s := range []string{"accepted", "flagged", "crashed", "inconclusive"} {
+		v, err := ParseVerdict(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.String() != s {
+			t.Errorf("ParseVerdict(%q).String() = %q", s, v.String())
+		}
+	}
+	if _, err := ParseVerdict("ACCEPTED"); err == nil {
+		t.Error("verdict parsing is case-sensitive by design; ACCEPTED should fail")
+	}
+}

@@ -1,6 +1,7 @@
 package tools
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -45,7 +46,7 @@ int main(void) { return fib(10) - 55; }
 		ts := All(Config{})
 		want := make([]Verdict, len(ts))
 		for i, tl := range ts {
-			want[i] = tl.AnalyzeProgram(prog, file).Verdict
+			want[i] = tl.AnalyzeProgram(context.Background(), prog, file).Verdict
 		}
 
 		const rounds = 8
@@ -55,7 +56,7 @@ int main(void) { return fib(10) - 55; }
 				wg.Add(1)
 				go func(i int, tl Tool) {
 					defer wg.Done()
-					rep := tl.AnalyzeProgram(prog, file)
+					rep := tl.AnalyzeProgram(context.Background(), prog, file)
 					if rep.Verdict != want[i] {
 						t.Errorf("%s: concurrent %s = %v, sequential %v (%s)",
 							file, tl.Name(), rep.Verdict, want[i], rep.Detail)

@@ -1,6 +1,7 @@
 package tools
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/search"
@@ -29,8 +30,9 @@ func (t *searchTool) Analyze(src, file string) Report {
 	return compileAndDelegate(t, src, file, t.cfg.Model)
 }
 
-// AnalyzeProgram implements Tool.
-func (t *searchTool) AnalyzeProgram(prog *sema.Program, file string) Report {
+// AnalyzeProgram implements Tool. The search itself is not cancelable
+// mid-run; ctx is accepted for interface uniformity.
+func (t *searchTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
 	start := time.Now()
 	if len(prog.StaticUB) > 0 {
 		return Report{Verdict: Flagged, UB: prog.StaticUB[0],
@@ -38,7 +40,7 @@ func (t *searchTool) AnalyzeProgram(prog *sema.Program, file string) Report {
 	}
 	res := search.Explore(prog, search.Options{
 		MaxRuns:       t.maxRuns,
-		MaxSteps:      t.cfg.maxSteps(),
+		MaxSteps:      t.cfg.Budget.WithDefaults().MaxSteps,
 		StopAtFirstUB: true,
 	})
 	rep := Report{RunDuration: time.Since(start)}

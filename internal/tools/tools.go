@@ -11,11 +11,15 @@
 package tools
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"time"
 
 	"repro/internal/ctypes"
 	"repro/internal/driver"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/sema"
 	"repro/internal/ub"
 )
@@ -50,6 +54,41 @@ func (v Verdict) String() string {
 	}
 }
 
+// ParseVerdict is the inverse of String.
+func ParseVerdict(s string) (Verdict, error) {
+	switch s {
+	case "accepted":
+		return Accepted, nil
+	case "flagged":
+		return Flagged, nil
+	case "crashed":
+		return Crashed, nil
+	case "inconclusive":
+		return Inconclusive, nil
+	}
+	return Inconclusive, fmt.Errorf("unknown verdict %q", s)
+}
+
+// MarshalJSON renders the verdict in its string form ("flagged"), the shape
+// the canonical report schema uses.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return json.Marshal(v.String())
+}
+
+// UnmarshalJSON implements the round trip.
+func (v *Verdict) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseVerdict(s)
+	if err != nil {
+		return err
+	}
+	*v = parsed
+	return nil
+}
+
 // Report is a tool's result on one program.
 //
 // Wall time is split so that shared frontend work is never mis-attributed:
@@ -65,6 +104,9 @@ type Report struct {
 	CompileDuration time.Duration
 	// RunDuration is the tool's own analysis time (the §5.1.2 cost).
 	RunDuration time.Duration
+	// Metrics is the execution-metrics snapshot of this analysis, present
+	// only when Config.Metrics was set.
+	Metrics *obs.Snapshot
 }
 
 // TotalDuration is the end-to-end wall time of the analysis.
@@ -75,12 +117,14 @@ func (r Report) TotalDuration() time.Duration { return r.CompileDuration + r.Run
 // AnalyzeProgram is the fast path: it analyzes an already-compiled
 // translation unit, so a caller holding one immutable *sema.Program (see
 // the contract on sema.Program) can fan it out to several tools — or
-// several goroutines — paying for the frontend once. Analyze is the
-// self-contained wrapper: compile, then delegate to AnalyzeProgram.
+// several goroutines — paying for the frontend once. It honors ctx inside
+// the interpretation loop, so cancellation stops a case mid-run (the report
+// comes back Inconclusive). Analyze is the self-contained convenience
+// wrapper: compile, then delegate to AnalyzeProgram with context.Background.
 type Tool interface {
 	Name() string
 	Analyze(src, file string) Report
-	AnalyzeProgram(prog *sema.Program, file string) Report
+	AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report
 }
 
 // compileAndDelegate implements the Analyze contract shared by every tool:
@@ -92,22 +136,23 @@ func compileAndDelegate(t Tool, src, file string, model *ctypes.Model) Report {
 	if err != nil {
 		return Report{Verdict: Inconclusive, Detail: "compile: " + err.Error(), CompileDuration: compile}
 	}
-	rep := t.AnalyzeProgram(prog, file)
+	rep := t.AnalyzeProgram(context.Background(), prog, file)
 	rep.CompileDuration = compile
 	return rep
 }
 
-// Config bounds tool executions.
+// Config bounds and instruments tool executions.
 type Config struct {
-	Model    *ctypes.Model
-	MaxSteps int64
-}
-
-func (c Config) maxSteps() int64 {
-	if c.MaxSteps == 0 {
-		return 20_000_000
-	}
-	return c.MaxSteps
+	Model *ctypes.Model
+	// Budget bounds each execution; zero fields take interp.DefaultBudget
+	// values.
+	Budget interp.Budget
+	// Metrics enables per-analysis metrics collection: each Report carries
+	// an obs.Snapshot of the run.
+	Metrics bool
+	// Observer additionally receives the raw event stream (tracing). It
+	// composes with Metrics via obs.Multi.
+	Observer obs.Observer
 }
 
 // profileTool runs programs on the shared abstract machine under a
@@ -130,10 +175,19 @@ func (t *profileTool) Analyze(src, file string) Report {
 }
 
 // AnalyzeProgram implements Tool.
-func (t *profileTool) AnalyzeProgram(prog *sema.Program, file string) Report {
+func (t *profileTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
 	start := time.Now()
+	var m *obs.Metrics
+	observer := t.cfg.Observer
+	if t.cfg.Metrics {
+		m = obs.NewMetrics()
+		observer = obs.Multi(observer, m)
+	}
 	done := func(r Report) Report {
 		r.RunDuration = time.Since(start)
+		if m != nil {
+			r.Metrics = m.Snapshot()
+		}
 		return r
 	}
 	if t.staticChecks && len(prog.StaticUB) > 0 {
@@ -141,7 +195,9 @@ func (t *profileTool) AnalyzeProgram(prog *sema.Program, file string) Report {
 	}
 	res := interp.Run(prog, interp.Options{
 		Profile:  t.prof,
-		MaxSteps: t.cfg.maxSteps(),
+		Budget:   t.cfg.Budget,
+		Context:  ctx,
+		Observer: observer,
 	})
 	switch {
 	case res.UB != nil:

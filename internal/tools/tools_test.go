@@ -2,6 +2,8 @@ package tools
 
 import (
 	"testing"
+
+	"repro/internal/interp"
 )
 
 // capability matrix tests: each tool must catch exactly what its detection
@@ -200,7 +202,7 @@ func TestInconclusiveOnBadSource(t *testing.T) {
 }
 
 func TestInconclusiveOnBudget(t *testing.T) {
-	rep := KCC(Config{MaxSteps: 1000}).Analyze(
+	rep := KCC(Config{Budget: interp.Budget{MaxSteps: 1000}}).Analyze(
 		"int main(void){ while (1) { } return 0; }", "loop.c")
 	if rep.Verdict != Inconclusive {
 		t.Errorf("verdict = %v (%s)", rep.Verdict, rep.Detail)

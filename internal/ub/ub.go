@@ -12,7 +12,10 @@
 package ub
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/token"
 )
@@ -50,6 +53,87 @@ func New(b *Behavior, pos token.Pos, fn, format string, args ...any) *Error {
 func (e *Error) Error() string {
 	return fmt.Sprintf("%s: undefined behavior (UB %05d, C11 §%s): %s",
 		e.Pos, e.Behavior.Code, e.Behavior.Section, e.Msg)
+}
+
+// errorJSON is the stable wire shape of a detected undefined behavior,
+// shared by every consumer of the canonical report schema: the behavior is
+// flattened to its code/section/desc (not the full catalog entry), and the
+// position to one "file:line:col" string.
+type errorJSON struct {
+	Code    int    `json:"code"`
+	Section string `json:"section"`
+	Desc    string `json:"desc"`
+	Msg     string `json:"msg,omitempty"`
+	Loc     string `json:"loc,omitempty"`
+	Func    string `json:"func,omitempty"`
+}
+
+// MarshalJSON implements the stable JSON shape.
+func (e *Error) MarshalJSON() ([]byte, error) {
+	j := errorJSON{Msg: e.Msg, Func: e.Func}
+	if e.Behavior != nil {
+		j.Code = e.Behavior.Code
+		j.Section = e.Behavior.Section
+		j.Desc = e.Behavior.Desc
+	}
+	if e.Pos.IsValid() {
+		j.Loc = e.Pos.String()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON round-trips the stable shape. The Behavior is resolved from
+// the catalog by code when possible, so `err.Behavior == ub.SomeBehavior`
+// identity comparisons keep working after a round trip; unknown codes get a
+// detached Behavior value carrying the decoded fields.
+func (e *Error) UnmarshalJSON(data []byte) error {
+	var j errorJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if b, ok := Lookup(j.Code); ok {
+		e.Behavior = b
+	} else {
+		e.Behavior = &Behavior{Code: j.Code, Section: j.Section, Desc: j.Desc}
+	}
+	e.Msg = j.Msg
+	e.Func = j.Func
+	e.Pos = parseLoc(j.Loc)
+	return nil
+}
+
+// parseLoc inverts token.Pos.String: "file:line:col", "line:col" when the
+// file is unknown, or "<unknown>". Splitting happens from the right because
+// the file name may itself contain colons.
+func parseLoc(s string) token.Pos {
+	var p token.Pos
+	if s == "" || s == "<unknown>" {
+		return p
+	}
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		p.File = s
+		return p
+	}
+	col, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		p.File = s
+		return p
+	}
+	rest := s[:i]
+	j := strings.LastIndex(rest, ":")
+	if j < 0 {
+		if line, err := strconv.Atoi(rest); err == nil {
+			return token.Pos{Line: line, Col: col}
+		}
+		p.File = rest
+		return p
+	}
+	if line, err := strconv.Atoi(rest[j+1:]); err == nil {
+		return token.Pos{File: rest[:j], Line: line, Col: col}
+	}
+	p.File = s
+	return p
 }
 
 // Report renders the error in the kcc style shown in §3.2 of the paper.

@@ -1,8 +1,11 @@
 package ub
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/token"
 )
 
 // TestPaperCounts pins the catalog to the classification reported in §5.2.1
@@ -79,5 +82,85 @@ func TestErrorString(t *testing.T) {
 	s := e.Error()
 	if !strings.Contains(s, "6.5.5") || !strings.Contains(s, "d.c:7") {
 		t.Errorf("Error() = %q", s)
+	}
+}
+
+func TestErrorJSONRoundTrip(t *testing.T) {
+	e := New(UnseqSideEffect, token.Pos{File: "unseq.c", Line: 3, Col: 9}, "main",
+		"Unsequenced side effect on scalar object")
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"code":16`, `"section":"6.5:2"`, `"loc":"unseq.c:3:9"`, `"func":"main"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+	var back Error
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Behaviors are compared by identity throughout the checker; the
+	// round trip must restore the catalog pointer, not a detached copy.
+	if back.Behavior != UnseqSideEffect {
+		t.Fatalf("behavior not restored from catalog: %+v", back.Behavior)
+	}
+	if back.Pos != e.Pos || back.Func != e.Func || back.Msg != e.Msg {
+		t.Fatalf("round trip changed fields:\n  in:  %+v\n  out: %+v", e, back)
+	}
+}
+
+func TestErrorJSONUnknownCode(t *testing.T) {
+	// Reports from newer catalogs must stay readable: an out-of-range
+	// code yields a detached Behavior carrying the serialized fields.
+	var e Error
+	if err := json.Unmarshal([]byte(`{"code":9999,"section":"9.9","desc":"future"}`), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Behavior == nil || e.Behavior.Code != 9999 || e.Behavior.Section != "9.9" {
+		t.Fatalf("detached behavior = %+v", e.Behavior)
+	}
+}
+
+func TestErrorJSONOmitsInvalidLoc(t *testing.T) {
+	e := New(DivByZero, token.Pos{}, "", "division by zero")
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "loc") || strings.Contains(string(data), "unknown") {
+		t.Errorf("invalid position should be omitted:\n%s", data)
+	}
+	var back Error
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Pos.IsValid() {
+		t.Fatalf("round-tripped position should stay invalid: %+v", back.Pos)
+	}
+}
+
+func TestParseLoc(t *testing.T) {
+	cases := []struct {
+		in   string
+		want token.Pos
+	}{
+		{"", token.Pos{}},
+		{"<unknown>", token.Pos{}},
+		{"7:3", token.Pos{Line: 7, Col: 3}},
+		{"a.c:7:3", token.Pos{File: "a.c", Line: 7, Col: 3}},
+		{"dir/with:colon/a.c:7:3", token.Pos{File: "dir/with:colon/a.c", Line: 7, Col: 3}},
+	}
+	for _, c := range cases {
+		if got := parseLoc(c.in); got != c.want {
+			t.Errorf("parseLoc(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	// Round trip through Pos.String for every shape.
+	for _, p := range []token.Pos{{}, {Line: 2, Col: 5}, {File: "x.c", Line: 2, Col: 5}} {
+		if got := parseLoc(p.String()); got != p {
+			t.Errorf("parseLoc(%q) = %+v, want %+v", p.String(), got, p)
+		}
 	}
 }
