@@ -3,16 +3,29 @@
 test:
 	go build ./... && go test ./...
 
-# Tier-1.5: concurrency hygiene and observability gates — vet everything,
-# run the worker-pool, compile-cache, shared-program, and observability
-# packages under the race detector, fail if the nil-observer step path
-# allocates, and smoke-run the observer-overhead benchmark.
+# Tier-1.5: concurrency hygiene, observability, and fault-containment
+# gates — vet everything, run the worker-pool, compile-cache,
+# shared-program, fault, and observability packages under the race
+# detector, fail if the nil-observer step path allocates, smoke-run the
+# observer-overhead benchmark, exercise the end-to-end containment gate
+# (a panic injected at every site must degrade gracefully, never crash
+# the suite), and replay the fuzz seed corpora.
 .PHONY: check
 check: test
 	go vet ./...
-	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/... ./internal/obs/...
+	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/... ./internal/obs/... ./internal/fault/...
 	go test ./internal/interp/ -run 'ObserverPathAllocs' -count=1
 	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 100x
+	go test ./cmd/ubsuite/ -run TestContainmentGate -count=1
+	go test ./internal/lexer/ ./internal/parser/ ./internal/cpp/ -run '^Fuzz' -count=1
+
+# Fuzz smoke: 30s of coverage-guided fuzzing per frontend stage. New
+# crashers land in testdata/fuzz/ and become permanent regression seeds.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	go test ./internal/lexer/ -run=NONE -fuzz=FuzzLexer -fuzztime 30s
+	go test ./internal/parser/ -run=NONE -fuzz=FuzzParser -fuzztime 30s
+	go test ./internal/cpp/ -run=NONE -fuzz=FuzzCPP -fuzztime 30s
 
 # Fuller observability benchmark (reported in EXPERIMENTS.md).
 .PHONY: bench-obs

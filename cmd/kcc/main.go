@@ -22,6 +22,8 @@
 //	-trace   stream execution events (checks, memory ops, ...) to stderr
 //	-trace-steps   include one trace line per interpreter step (noisy)
 //	-json    emit the canonical undefc.report/v1 report instead of text
+//	-timeout d     wall-clock watchdog per analysis (e.g. 5s); expiry is
+//	               reported as a timeout verdict, not a hang
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/ctypes"
 	"repro/internal/driver"
@@ -56,6 +59,7 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "stream execution events to stderr")
 	traceSteps := flag.Bool("trace-steps", false, "with -trace, include per-step events (noisy)")
 	jsonFlag := flag.Bool("json", false, "emit the canonical undefc.report/v1 JSON report")
+	timeout := flag.Duration("timeout", 0, "per-analysis wall-clock watchdog (0 = none)")
 	flag.Parse()
 
 	if *catalog {
@@ -89,7 +93,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *batch {
-		os.Exit(runBatch(flag.Args(), model, budget, *jobs, tracer, *jsonFlag))
+		os.Exit(runBatch(flag.Args(), model, budget, *jobs, tracer, *jsonFlag, *timeout))
 	}
 	file := flag.Arg(0)
 	src, err := os.ReadFile(file)
@@ -101,7 +105,7 @@ func main() {
 	if *jsonFlag {
 		// The report path runs the kcc analysis tool (metrics on, program
 		// output captured) and emits the canonical single-file report.
-		kcc := tools.KCC(tools.Config{Model: model, Budget: budget, Metrics: true, Observer: tracer})
+		kcc := tools.KCC(tools.Config{Model: model, Budget: budget, Metrics: true, Observer: tracer, Timeout: *timeout})
 		rep := kcc.Analyze(string(src), file)
 		if err := runner.WriteJSON(os.Stdout, runner.FileReportFrom(file, kcc.Name(), rep)); err != nil {
 			fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
@@ -144,6 +148,11 @@ func main() {
 		Observer: tracer,
 		Args:     flag.Args()[1:],
 	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
 	if *axioms {
 		opts.Monitors = spec.Set{
 			spec.NeverDerefNull(),
@@ -169,7 +178,7 @@ func main() {
 // per-worker shards (no cross-CPU contention) and merged at the end.
 // Returns the exit code: 1 when any file is flagged, crashed,
 // inconclusive, or unreadable.
-func runBatch(files []string, model *ctypes.Model, budget interp.Budget, jobs int, tracer obs.Observer, asJSON bool) int {
+func runBatch(files []string, model *ctypes.Model, budget interp.Budget, jobs int, tracer obs.Observer, asJSON bool, timeout time.Duration) int {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -188,7 +197,7 @@ func runBatch(files []string, model *ctypes.Model, budget interp.Budget, jobs in
 			// One tool (and one metrics shard) per worker: workers never
 			// share a counter cache line.
 			kcc := tools.KCC(tools.Config{Model: model, Budget: budget,
-				Observer: obs.Multi(tracer, sharded.Shard())})
+				Observer: obs.Multi(tracer, sharded.Shard()), Timeout: timeout})
 			for i := range work {
 				src, err := os.ReadFile(files[i])
 				if err != nil {

@@ -12,6 +12,16 @@
 //
 //	-metrics   collect execution metrics and print a per-tool summary
 //	-json      emit the canonical undefc.report/v1 report (implies -metrics)
+//
+// Fault containment:
+//
+//	-case-timeout d  per-cell watchdog (e.g. 5s); expiry = "timeout" verdict
+//	-inject spec     deterministic fault injection, e.g.
+//	                 'interp.step=panic*1~CWE457' (see internal/fault)
+//	-inject-seed n   seed for probabilistic injection rules
+//	-strict          exit non-zero when the run has failures (contained
+//	                 panics, timeouts, cancellations); the default is to
+//	                 complete with partial results and report them
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/suite"
 	"repro/internal/tools"
@@ -33,6 +44,10 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel workers for the case×tool matrix (0 = GOMAXPROCS)")
 	metricsFlag := flag.Bool("metrics", false, "collect execution metrics and print a per-tool summary")
 	jsonFlag := flag.Bool("json", false, "emit the canonical undefc.report/v1 JSON report (implies -metrics)")
+	caseTimeout := flag.Duration("case-timeout", 0, "per-case watchdog; an expired cell reports a timeout verdict")
+	injectSpec := flag.String("inject", "", "fault-injection rules: site=kind[:arg][*count][@after][~match][%prob],...")
+	injectSeed := flag.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
+	strict := flag.Bool("strict", false, "exit non-zero when the run recorded failures")
 	flag.Parse()
 
 	if *catalog {
@@ -40,9 +55,19 @@ func main() {
 		return
 	}
 
+	var injector *fault.Injector
+	if *injectSpec != "" {
+		rules, err := fault.ParseSpec(*injectSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ubsuite: -inject: %v\n", err)
+			os.Exit(2)
+		}
+		injector = fault.NewInjector(*injectSeed, rules...)
+	}
+
 	collect := *jsonFlag || *metricsFlag
-	cfg := tools.Config{Metrics: collect}
-	opts := runner.Options{Parallelism: *jobs}
+	cfg := tools.Config{Metrics: collect, Injector: injector}
+	opts := runner.Options{Parallelism: *jobs, CaseTimeout: *caseTimeout, Injector: injector}
 	switch *suiteFlag {
 	case "juliet":
 		s := suite.Juliet()
@@ -57,6 +82,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
 				os.Exit(1)
 			}
+			reportFailures(m, *strict)
 			return
 		}
 		fmt.Printf("generated %d test cases (%d undefined + %d defined controls)\n\n",
@@ -70,6 +96,7 @@ func main() {
 		if *metricsFlag {
 			fmt.Printf("\n%s", fig.RenderMetrics())
 		}
+		reportFailures(m, *strict)
 	case "own":
 		s := suite.Own()
 		ts := tools.All(cfg)
@@ -83,6 +110,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
 				os.Exit(1)
 			}
+			reportFailures(m, *strict)
 			return
 		}
 		fmt.Printf("generated %d test cases covering %d behaviors (%d undefined + %d defined controls)\n\n",
@@ -94,6 +122,7 @@ func main() {
 			// aggregation over the same matrix for the footer.
 			fmt.Printf("\n%s", runner.Figure2From(s, ts, m).RenderMetrics())
 		}
+		reportFailures(m, *strict)
 	case "torture":
 		pass, fail := 0, 0
 		for _, tc := range suite.Torture() {
@@ -115,6 +144,24 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "ubsuite: unknown suite %q\n", *suiteFlag)
 		os.Exit(2)
+	}
+}
+
+// reportFailures prints the run's crash manifest to stderr. The default
+// contract is graceful degradation — partial results with failures
+// reported, exit 0 — so CI pipelines only fail on faults when they opt in
+// with -strict.
+func reportFailures(m *runner.MatrixResult, strict bool) {
+	if len(m.Failures) == 0 && m.Skipped == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ubsuite: %d failed cell(s), %d skipped, %d retried\n",
+		len(m.Failures), m.Skipped, m.Retried)
+	for _, f := range m.Failures {
+		fmt.Fprintf(os.Stderr, "  %s × %s: %s (%s)\n", f.Case, f.Tool, f.Verdict, f.Detail)
+	}
+	if strict {
+		os.Exit(1)
 	}
 }
 

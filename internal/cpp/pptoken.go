@@ -221,7 +221,7 @@ func (s *ppScanner) scanQuoted() string {
 	for s.peek() != 0 && s.peek() != '\n' {
 		s.skipSplices()
 		c := s.peek()
-		if c == '\\' && s.peekAt(1) != '\n' {
+		if c == '\\' && s.peekAt(1) != '\n' && s.peekAt(1) != 0 {
 			b.WriteByte(s.bump())
 			b.WriteByte(s.bump())
 			continue

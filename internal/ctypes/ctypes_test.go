@@ -1,6 +1,7 @@
 package ctypes
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -290,4 +291,79 @@ func TestString(t *testing.T) {
 			t.Errorf("String = %q, want %q", got, tt.want)
 		}
 	}
+}
+
+func TestSizeOfErrors(t *testing.T) {
+	m := LP64()
+	if _, err := m.SizeOf(ArrayOf(TInt, -1)); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("SizeOf(int[]) err = %v, want incomplete-array error", err)
+	}
+	if _, err := m.SizeOf(TVoid); err == nil {
+		t.Error("SizeOf(void) succeeded, want non-object error")
+	}
+	if _, err := m.SizeOf(FuncType(TInt, nil, false)); err == nil {
+		t.Error("SizeOf(func) succeeded, want non-object error")
+	}
+	if n, err := m.SizeOf(TInt); err != nil || n != 4 {
+		t.Errorf("SizeOf(int) = %d, %v", n, err)
+	}
+	// Nested: array of incomplete structs.
+	fwd := &Type{Kind: Struct, Tag: "fwd", Incomplete: true}
+	if _, err := m.SizeOf(ArrayOf(fwd, 3)); err == nil {
+		t.Error("SizeOf(struct fwd[3]) succeeded, want layout error")
+	}
+}
+
+func TestLayoutOfFlexibleArrayMember(t *testing.T) {
+	// struct s { int n; int a[]; } — passes IsComplete (Incomplete is only
+	// set for forward declarations) but cannot be laid out. This is the
+	// crash class the error-returning API exists for.
+	m := LP64()
+	s := &Type{Kind: Struct, Tag: "s", Fields: []Field{
+		{Name: "n", Type: TInt},
+		{Name: "a", Type: ArrayOf(TInt, -1)},
+	}}
+	err := m.LayoutOf(s)
+	if err == nil {
+		t.Fatal("LayoutOf(FAM struct) succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), `member "a"`) {
+		t.Errorf("error does not name the offending member: %v", err)
+	}
+	if _, err := m.SizeOf(s); err == nil {
+		t.Error("SizeOf(FAM struct) succeeded, want error")
+	}
+	if _, _, err := m.FieldByNameOf(s, "n"); err == nil {
+		t.Error("FieldByNameOf(FAM struct) succeeded, want error")
+	}
+}
+
+func TestSizeStillPanicsOnInvariantViolation(t *testing.T) {
+	m := LP64()
+	defer func() {
+		if recover() == nil {
+			t.Error("Size(int[]) did not panic")
+		}
+	}()
+	m.Size(ArrayOf(TInt, -1))
+}
+
+func TestBasicOf(t *testing.T) {
+	for _, k := range []Kind{Void, Bool, Char, Int, ULongLong, LongDouble} {
+		ty, err := BasicOf(k)
+		if err != nil || ty.Kind != k {
+			t.Errorf("BasicOf(%v) = %v, %v", k, ty, err)
+		}
+	}
+	for _, k := range []Kind{Invalid, Ptr, Array, Struct, Union, Func, Enum} {
+		if _, err := BasicOf(k); err == nil {
+			t.Errorf("BasicOf(%v) succeeded, want error", k)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Basic(Ptr) did not panic")
+		}
+	}()
+	Basic(Ptr)
 }

@@ -65,77 +65,114 @@ func Int8() *Model {
 	}
 }
 
-// Size returns the size of t in bytes under m. It panics for incomplete
-// types; callers must check IsComplete first (the type checker guarantees
-// this for checked programs).
-func (m *Model) Size(t *Type) int64 {
+// SizeOf returns the size of t in bytes under m, or an error for
+// incomplete and non-object types — including aggregates whose members are
+// unsizeable (e.g. a struct with a flexible array member, which
+// IsComplete does not see through). This is the form for callers handling
+// user input; Size is the invariant-asserting form for checked programs.
+func (m *Model) SizeOf(t *Type) (int64, error) {
 	switch t.Kind {
 	case Bool:
-		return m.SizeBool
+		return m.SizeBool, nil
 	case Char, SChar, UChar:
-		return 1
+		return 1, nil
 	case Short, UShort:
-		return m.SizeShort
+		return m.SizeShort, nil
 	case Int, UInt, Enum:
-		return m.SizeInt
+		return m.SizeInt, nil
 	case Long, ULong:
-		return m.SizeLong
+		return m.SizeLong, nil
 	case LongLong, ULongLong:
-		return m.SizeLongLong
+		return m.SizeLongLong, nil
 	case Float:
-		return m.SizeFloat
+		return m.SizeFloat, nil
 	case Double:
-		return m.SizeDouble
+		return m.SizeDouble, nil
 	case LongDouble:
-		return m.SizeLongDouble
+		return m.SizeLongDouble, nil
 	case Ptr:
-		return m.SizePtr
+		return m.SizePtr, nil
 	case Array:
 		if t.ArrayLen < 0 {
-			panic("ctypes: size of incomplete array type " + t.String())
+			return 0, fmt.Errorf("size of incomplete array type %s", t)
 		}
-		return t.ArrayLen * m.Size(t.Elem)
+		es, err := m.SizeOf(t.Elem)
+		if err != nil {
+			return 0, err
+		}
+		return t.ArrayLen * es, nil
 	case Struct, Union:
-		m.layout(t)
-		return t.size
+		if err := m.LayoutOf(t); err != nil {
+			return 0, err
+		}
+		return t.size, nil
 	}
-	panic("ctypes: size of non-object type " + t.String())
+	return 0, fmt.Errorf("size of non-object type %s", t)
 }
 
-// Align returns the alignment requirement of t in bytes under m.
-func (m *Model) Align(t *Type) int64 {
+// Size returns the size of t in bytes under m. It panics for unsizeable
+// types; callers must validate first (the type checker guarantees this for
+// checked programs) or use SizeOf to handle the error.
+func (m *Model) Size(t *Type) int64 {
+	n, err := m.SizeOf(t)
+	if err != nil {
+		panic("ctypes: " + err.Error())
+	}
+	return n
+}
+
+// AlignOf returns the alignment requirement of t in bytes under m, or an
+// error for unsizeable types.
+func (m *Model) AlignOf(t *Type) (int64, error) {
 	switch t.Kind {
 	case Array:
-		return m.Align(t.Elem)
+		return m.AlignOf(t.Elem)
 	case Struct, Union:
-		m.layout(t)
-		return t.align
+		if err := m.LayoutOf(t); err != nil {
+			return 0, err
+		}
+		return t.align, nil
 	default:
-		s := m.Size(t)
+		s, err := m.SizeOf(t)
+		if err != nil {
+			return 0, err
+		}
 		if s > m.MaxAlign {
-			return m.MaxAlign
+			return m.MaxAlign, nil
 		}
 		if s == 0 {
-			return 1
+			return 1, nil
 		}
 		// Round down to a power of two (e.g. 12-byte long double aligns 4).
 		a := int64(1)
 		for a*2 <= s {
 			a *= 2
 		}
-		return a
+		return a, nil
 	}
 }
 
-// layout computes and caches struct/union member offsets, size, and
-// alignment. Bit-fields are packed into units of their declared type.
-func (m *Model) layout(t *Type) {
+// Align returns the alignment requirement of t in bytes under m, panicking
+// for unsizeable types (see Size).
+func (m *Model) Align(t *Type) int64 {
+	a, err := m.AlignOf(t)
+	if err != nil {
+		panic("ctypes: " + err.Error())
+	}
+	return a
+}
+
+// LayoutOf computes and caches struct/union member offsets, size, and
+// alignment, returning an error (instead of panicking) when the type or
+// one of its members cannot be laid out. Bit-fields are packed into units
+// of their declared type.
+func (m *Model) LayoutOf(t *Type) error {
 	if t.size != 0 || len(t.Fields) == 0 {
 		if t.Incomplete {
-			panic("ctypes: layout of incomplete type " + t.String())
+			return fmt.Errorf("layout of incomplete type %s", t)
 		}
 		if t.size != 0 {
-			return
+			return nil
 		}
 	}
 	var size, align int64 = 0, 1
@@ -143,8 +180,14 @@ func (m *Model) layout(t *Type) {
 		for i := range t.Fields {
 			f := &t.Fields[i]
 			f.Offset = 0
-			fs := m.Size(f.Type)
-			fa := m.Align(f.Type)
+			fs, err := m.SizeOf(f.Type)
+			if err != nil {
+				return fmt.Errorf("%s: member %q: %w", t, f.Name, err)
+			}
+			fa, err := m.AlignOf(f.Type)
+			if err != nil {
+				return fmt.Errorf("%s: member %q: %w", t, f.Name, err)
+			}
 			if fs > size {
 				size = fs
 			}
@@ -157,12 +200,19 @@ func (m *Model) layout(t *Type) {
 		bitPos := 0               // next free bit within the unit
 		for i := range t.Fields {
 			f := &t.Fields[i]
-			fa := m.Align(f.Type)
+			fs, err := m.SizeOf(f.Type)
+			if err != nil {
+				return fmt.Errorf("%s: member %q: %w", t, f.Name, err)
+			}
+			fa, err := m.AlignOf(f.Type)
+			if err != nil {
+				return fmt.Errorf("%s: member %q: %w", t, f.Name, err)
+			}
 			if fa > align {
 				align = fa
 			}
 			if f.BitField {
-				unit := m.Size(f.Type) * 8
+				unit := fs * 8
 				if f.BitWidth == 0 {
 					// Zero-width: close the current unit.
 					bitUnitEnd = -1
@@ -173,11 +223,11 @@ func (m *Model) layout(t *Type) {
 					// Start a new unit.
 					size = roundUp(size, fa)
 					f.Offset = size
-					size += m.Size(f.Type)
+					size += fs
 					bitUnitEnd = size
 					bitPos = 0
 				} else {
-					f.Offset = bitUnitEnd - m.Size(f.Type)
+					f.Offset = bitUnitEnd - fs
 				}
 				f.BitOff = bitPos
 				bitPos += f.BitWidth
@@ -187,7 +237,7 @@ func (m *Model) layout(t *Type) {
 			bitPos = 0
 			size = roundUp(size, fa)
 			f.Offset = size
-			size += m.Size(f.Type)
+			size += fs
 		}
 	}
 	size = roundUp(size, align)
@@ -196,16 +246,31 @@ func (m *Model) layout(t *Type) {
 	}
 	t.size = size
 	t.align = align
+	return nil
+}
+
+// FieldByNameOf resolves a struct/union member, forcing member-offset
+// layout first (offsets are computed lazily) and reporting layout failures
+// as errors instead of panicking.
+func (m *Model) FieldByNameOf(t *Type, name string) (Field, bool, error) {
+	if (t.Kind == Struct || t.Kind == Union) && !t.Incomplete {
+		if err := m.LayoutOf(t); err != nil {
+			return Field{}, false, err
+		}
+	}
+	f, ok := t.FieldByName(name)
+	return f, ok, nil
 }
 
 // FieldByName resolves a struct/union member, forcing member-offset layout
-// first (offsets are computed lazily). Use this instead of Type.FieldByName
-// whenever offsets matter.
+// first. It panics when the aggregate cannot be laid out; use
+// FieldByNameOf to handle that as an error.
 func (m *Model) FieldByName(t *Type, name string) (Field, bool) {
-	if (t.Kind == Struct || t.Kind == Union) && !t.Incomplete {
-		m.Size(t)
+	f, ok, err := m.FieldByNameOf(t, name)
+	if err != nil {
+		panic("ctypes: " + err.Error())
 	}
-	return t.FieldByName(name)
+	return f, ok
 }
 
 func roundUp(n, align int64) int64 {

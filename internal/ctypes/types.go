@@ -152,43 +152,55 @@ var (
 	TLongDouble = &Type{Kind: LongDouble}
 )
 
-// Basic returns the predeclared unqualified type for a basic kind.
+// Basic returns the predeclared unqualified type for a basic kind. It
+// panics on non-basic kinds — a caller invariant violation; use BasicOf
+// when the kind comes from unvalidated input.
 func Basic(k Kind) *Type {
+	t, err := BasicOf(k)
+	if err != nil {
+		panic("ctypes: " + err.Error())
+	}
+	return t
+}
+
+// BasicOf returns the predeclared unqualified type for a basic kind, or an
+// error for non-basic kinds.
+func BasicOf(k Kind) (*Type, error) {
 	switch k {
 	case Void:
-		return TVoid
+		return TVoid, nil
 	case Bool:
-		return TBool
+		return TBool, nil
 	case Char:
-		return TChar
+		return TChar, nil
 	case SChar:
-		return TSChar
+		return TSChar, nil
 	case UChar:
-		return TUChar
+		return TUChar, nil
 	case Short:
-		return TShort
+		return TShort, nil
 	case UShort:
-		return TUShort
+		return TUShort, nil
 	case Int:
-		return TInt
+		return TInt, nil
 	case UInt:
-		return TUInt
+		return TUInt, nil
 	case Long:
-		return TLong
+		return TLong, nil
 	case ULong:
-		return TULong
+		return TULong, nil
 	case LongLong:
-		return TLongLong
+		return TLongLong, nil
 	case ULongLong:
-		return TULongLong
+		return TULongLong, nil
 	case Float:
-		return TFloat
+		return TFloat, nil
 	case Double:
-		return TDouble
+		return TDouble, nil
 	case LongDouble:
-		return TLongDouble
+		return TLongDouble, nil
 	}
-	panic(fmt.Sprintf("ctypes.Basic: not a basic kind: %v", k))
+	return nil, fmt.Errorf("not a basic kind: %v", k)
 }
 
 // PointerTo returns a pointer type to elem.

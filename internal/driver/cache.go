@@ -1,12 +1,15 @@
 package driver
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/ctypes"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sema"
 )
@@ -17,11 +20,15 @@ import (
 // *sema.Program (see the immutability contract on sema.Program).
 //
 // Entries are keyed by (source hash, model, defines). The source hash
-// covers the file name too, since diagnostics embed it. Failed compiles
-// are cached as well — within one cache lifetime a broken translation
-// unit is compiled (and fails) exactly once, no matter how many tools ask
-// for it. Options.Includes is NOT part of the key: callers must use a
-// consistent include resolver for the lifetime of a cache.
+// covers the file name too, since diagnostics embed it. Deterministic
+// compile failures (bad C) are cached as well — within one cache lifetime
+// a broken translation unit is compiled (and fails) exactly once, no
+// matter how many tools ask for it. Non-deterministic failures — contained
+// panics, injected transients, context cancellation — are NOT cached:
+// caching one would pin a spurious error onto a translation unit that
+// would compile fine on retry. Options.Includes is NOT part of the key:
+// callers must use a consistent include resolver for the lifetime of a
+// cache.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
@@ -30,6 +37,7 @@ type Cache struct {
 	// hit even when the compile is still in flight (the caller shares it
 	// rather than redoing it, which is the point).
 	hits, misses, errors int64
+	evictions            int64
 	compileTime          time.Duration
 
 	// observer, when set, receives EvCacheHit/EvCacheMiss per lookup.
@@ -67,6 +75,10 @@ type CacheStats struct {
 	Hits   int64 // lookups served from an existing (possibly in-flight) entry
 	Misses int64 // lookups that triggered a frontend pass
 	Errors int64 // misses whose compile failed (each failure counted once)
+	// Evictions counts entries dropped from the cache: non-cacheable
+	// failures (transient, contained panic, cancellation) plus explicit
+	// Invalidate calls.
+	Evictions int64
 	// CompileTime is the total wall time spent inside actual frontend
 	// passes (misses only; waiting on another caller's compile is free).
 	CompileTime time.Duration
@@ -76,7 +88,7 @@ type CacheStats struct {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Errors: c.errors, CompileTime: c.compileTime}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Errors: c.errors, Evictions: c.evictions, CompileTime: c.compileTime}
 }
 
 // Len reports the number of cached translation units (including failures
@@ -122,9 +134,55 @@ func (c *Cache) Compile(src, file string, opts Options) (*sema.Program, error) {
 	c.compileTime += elapsed
 	if e.err != nil {
 		c.errors++
+		if !cacheable(e.err) {
+			// Callers already waiting on e.done still see this result;
+			// future lookups recompile.
+			if c.entries[k] == e {
+				delete(c.entries, k)
+				c.evictions++
+			}
+		}
 	}
 	c.mu.Unlock()
 	return e.prog, e.err
+}
+
+// cacheable reports whether a compile error is deterministic — a property
+// of the translation unit rather than of this particular attempt.
+func cacheable(err error) bool {
+	if fault.IsTransient(err) {
+		return false
+	}
+	if _, ok := fault.AsInternal(err); ok {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// Invalidate drops the cache entry for (src, file, opts) so the next
+// Compile reruns the frontend. In-flight entries are left alone — evicting
+// one would let two compiles for the same key race. It reports whether an
+// entry was removed; the runner's retry path calls this before retrying a
+// transient failure.
+func (c *Cache) Invalidate(src, file string, opts Options) bool {
+	k := makeKey(src, file, opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+	default:
+		return false // still compiling
+	}
+	delete(c.entries, k)
+	c.evictions++
+	return true
 }
 
 func makeKey(src, file string, opts Options) cacheKey {

@@ -8,9 +8,14 @@ import (
 	"repro/internal/cheaders"
 	"repro/internal/cpp"
 	"repro/internal/ctypes"
+	"repro/internal/fault"
 	"repro/internal/parser"
 	"repro/internal/sema"
 )
+
+// SiteCompile is the fault-injection site fired at the top of every
+// frontend pass; the unit is the translation-unit file name.
+var SiteCompile = fault.RegisterSite("driver.compile")
 
 // Options configure compilation.
 type Options struct {
@@ -20,10 +25,21 @@ type Options struct {
 	Includes cpp.Resolver
 	// Defines are command-line style macro definitions ("NAME=VALUE").
 	Defines []string
+	// Injector, when set, fires the driver.compile fault site before the
+	// frontend runs. It is deliberately NOT part of the cache key: fault
+	// injection perturbs execution, not the compiled artifact.
+	Injector *fault.Injector
 }
 
-// Compile preprocesses, parses, and type-checks one C source file.
-func Compile(src, file string, opts Options) (*sema.Program, error) {
+// Compile preprocesses, parses, and type-checks one C source file. A panic
+// anywhere in the frontend is contained and returned as a
+// *fault.InternalError for stage "compile" — one broken translation unit
+// must not take down a suite run.
+func Compile(src, file string, opts Options) (prog *sema.Program, err error) {
+	defer fault.Recover(fault.StageCompile, file, &err)
+	if err := opts.Injector.Fire(SiteCompile, file); err != nil {
+		return nil, err
+	}
 	model := opts.Model
 	if model == nil {
 		model = ctypes.LP64()
@@ -45,7 +61,7 @@ func Compile(src, file string, opts Options) (*sema.Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
-	prog, err := sema.Check(tu, model)
+	prog, err = sema.Check(tu, model)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck: %w", err)
 	}

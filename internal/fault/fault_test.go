@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGuardContainsPanic(t *testing.T) {
+	err := Guard(StageAnalyze, "case1.c", func() error {
+		panic("boom")
+	})
+	ie, ok := AsInternal(err)
+	if !ok {
+		t.Fatalf("err = %v, want InternalError", err)
+	}
+	if ie.Stage != StageAnalyze || ie.Unit != "case1.c" || ie.Value != "boom" {
+		t.Errorf("contained fault = %+v", ie)
+	}
+	if !strings.Contains(ie.Stack, "fault_test.go") {
+		t.Errorf("stack does not point at the panic site:\n%s", ie.Stack)
+	}
+}
+
+func TestGuardPassesThroughErrors(t *testing.T) {
+	want := errors.New("plain failure")
+	if err := Guard(StageCompile, "u", func() error { return want }); err != want {
+		t.Errorf("err = %v, want the original error", err)
+	}
+	if err := Guard(StageCompile, "u", func() error { return nil }); err != nil {
+		t.Errorf("err = %v, want nil", err)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("flaky io")
+	tr := Transient(base)
+	if !IsTransient(tr) {
+		t.Error("Transient() not classified transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", tr)) {
+		t.Error("wrapped transient not classified transient")
+	}
+	if IsTransient(base) || IsTransient(nil) {
+		t.Error("non-transient misclassified")
+	}
+	if !errors.Is(tr, base) {
+		t.Error("Transient hides the underlying error")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("any.site", "u"); err != nil {
+		t.Errorf("nil injector fired: %v", err)
+	}
+	if in.Hits() != nil {
+		t.Error("nil injector has hits")
+	}
+	in.OnFire(func(Hit) {})
+}
+
+func TestInjectorRuleModifiers(t *testing.T) {
+	in := NewInjector(1,
+		Rule{Site: "s", Kind: KindError, After: 2, Count: 2, Match: "target"})
+	var errs int
+	for i := 0; i < 10; i++ {
+		if err := in.Fire("s", "target.c"); err != nil {
+			errs++
+		}
+		if err := in.Fire("s", "other.c"); err != nil {
+			t.Fatal("rule fired on non-matching unit")
+		}
+		if err := in.Fire("other.site", "target.c"); err != nil {
+			t.Fatal("rule fired on non-matching site")
+		}
+	}
+	if errs != 2 {
+		t.Errorf("fired %d times, want 2 (After=2 skips two visits, Count=2 caps fires)", errs)
+	}
+	hits := in.Hits()
+	if len(hits) != 2 || hits[0].Visit != 3 || hits[1].Visit != 4 {
+		t.Errorf("hits = %+v, want visits 3 and 4", hits)
+	}
+}
+
+func TestInjectorPanicKind(t *testing.T) {
+	in := NewInjector(0, Rule{Site: "s", Kind: KindPanic, Msg: "kaboom"})
+	err := Guard(StageRunner, "u", func() error {
+		return in.Fire("s", "u")
+	})
+	ie, ok := AsInternal(err)
+	if !ok || !strings.Contains(ie.Value, "kaboom") {
+		t.Fatalf("err = %v, want contained injected panic", err)
+	}
+}
+
+func TestInjectorTransientKind(t *testing.T) {
+	in := NewInjector(0, Rule{Site: "s", Kind: KindTransient})
+	if err := in.Fire("s", "u"); !IsTransient(err) {
+		t.Errorf("err = %v, want transient", err)
+	}
+}
+
+func TestInjectorDelayAndOnFire(t *testing.T) {
+	in := NewInjector(0, Rule{Site: "s", Kind: KindDelay, Delay: time.Millisecond, Count: 1})
+	var mu sync.Mutex
+	var seen []Hit
+	in.OnFire(func(h Hit) {
+		mu.Lock()
+		seen = append(seen, h)
+		mu.Unlock()
+	})
+	start := time.Now()
+	if err := in.Fire("s", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("delay rule did not sleep")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0].Kind != "delay" {
+		t.Errorf("OnFire saw %+v", seen)
+	}
+}
+
+func TestInjectorSeededProbReplays(t *testing.T) {
+	decisions := func(seed uint64) []bool {
+		in := NewInjector(seed, Rule{Site: "s", Kind: KindError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("s", "u") != nil
+		}
+		return out
+	}
+	a, b := decisions(42), decisions(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at visit %d", i)
+		}
+	}
+	c := decisions(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decisions (suspicious)")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestRegisterSite(t *testing.T) {
+	name := RegisterSite("test.site")
+	if name != "test.site" {
+		t.Errorf("RegisterSite returned %q", name)
+	}
+	found := false
+	for _, s := range Sites() {
+		if s == "test.site" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Sites() = %v, missing test.site", Sites())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("runner.analyze=panic*1~CWE457, driver.compile=transient:io@3, interp.step=delay:50ms%0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	r := rules[0]
+	if r.Site != "runner.analyze" || r.Kind != KindPanic || r.Count != 1 || r.Match != "CWE457" {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Site != "driver.compile" || r.Kind != KindTransient || r.Msg != "io" || r.After != 3 {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	r = rules[2]
+	if r.Site != "interp.step" || r.Kind != KindDelay || r.Delay != 50*time.Millisecond || r.Prob != 0.25 {
+		t.Errorf("rule 2 = %+v", r)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "nosite", "s=explode", "s=delay", "s=panic*x", "s=panic%x",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ---------- site registry ----------
+
+var (
+	sitesMu sync.Mutex
+	sites   = map[string]bool{}
+)
+
+// RegisterSite declares a named injection point in the pipeline and
+// returns the name, so packages can register at var-init time:
+//
+//	var SiteCompile = fault.RegisterSite("driver.compile")
+//
+// The containment gate iterates Sites() to prove that a panic injected at
+// every registered site is contained.
+func RegisterSite(name string) string {
+	sitesMu.Lock()
+	sites[name] = true
+	sitesMu.Unlock()
+	return name
+}
+
+// Sites lists every registered injection point, sorted.
+func Sites() []string {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------- injector ----------
+
+// Kind is the kind of injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindPanic panics at the site (containment must convert it into an
+	// InternalError without crashing the worker pool).
+	KindPanic Kind = iota
+	// KindError returns a deterministic error from the site.
+	KindError
+	// KindTransient returns a TransientError (the retry policy re-runs it).
+	KindTransient
+	// KindDelay sleeps at the site (watchdog and cancellation testing).
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindError:
+		return "error"
+	case KindTransient:
+		return "transient"
+	case KindDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Rule arms one fault at one site. The zero modifiers mean "fire on every
+// visit of the site"; After, Count, Match, and Prob narrow that.
+type Rule struct {
+	// Site is the registered injection point ("runner.analyze", ...).
+	Site string
+	// Kind selects what happens when the rule fires.
+	Kind Kind
+	// Msg is carried in the panic/error text (default "injected fault").
+	Msg string
+	// Delay is the sleep of a KindDelay rule.
+	Delay time.Duration
+	// After skips the first After matching visits.
+	After int
+	// Count caps the number of fires; 0 means unlimited.
+	Count int
+	// Match restricts the rule to units containing the substring.
+	Match string
+	// Prob fires the rule with the given probability per visit, drawn from
+	// the injector's seeded generator (0 and 1 both mean "always");
+	// replaying with the same seed reproduces the same decisions.
+	Prob float64
+}
+
+// Hit records one fired injection, for replay assertions.
+type Hit struct {
+	Site  string `json:"site"`
+	Unit  string `json:"unit,omitempty"`
+	Kind  string `json:"kind"`
+	Visit int    `json:"visit"`
+}
+
+type armedRule struct {
+	Rule
+	visits int
+	fires  int
+}
+
+// Injector injects deterministic faults at named pipeline sites. All
+// decisions are a pure function of the rule set, the seed, and the visit
+// sequence, so a failing run replays exactly. A nil *Injector is inert:
+// every method is safe to call and does nothing.
+type Injector struct {
+	mu     sync.Mutex
+	rng    uint64
+	rules  []*armedRule
+	hits   []Hit
+	onFire func(Hit)
+}
+
+// NewInjector arms the rules with the given probability seed.
+func NewInjector(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{rng: seed ^ 0x9E3779B97F4A7C15}
+	for _, r := range rules {
+		rc := r
+		in.rules = append(in.rules, &armedRule{Rule: rc})
+	}
+	return in
+}
+
+// OnFire installs a callback invoked (outside the injector lock) each time
+// a rule fires — test hook for deterministic mid-case actions such as
+// "cancel the run while this delay site is live".
+func (in *Injector) OnFire(fn func(Hit)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.onFire = fn
+	in.mu.Unlock()
+}
+
+// Fire consults the armed rules for site against the named unit. A panic
+// rule panics, a delay rule sleeps, and error/transient rules return the
+// injected error; with no matching rule it returns nil. At most one rule
+// fires per visit (first match in arming order wins).
+func (in *Injector) Fire(site, unit string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	var fired *armedRule
+	var hit Hit
+	for _, r := range in.rules {
+		if r.Site != site {
+			continue
+		}
+		if r.Match != "" && !strings.Contains(unit, r.Match) {
+			continue
+		}
+		r.visits++
+		if r.visits <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fires >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && in.next() > r.Prob {
+			continue
+		}
+		r.fires++
+		fired = r
+		hit = Hit{Site: site, Unit: unit, Kind: r.Kind.String(), Visit: r.visits}
+		in.hits = append(in.hits, hit)
+		break
+	}
+	onFire := in.onFire
+	in.mu.Unlock()
+	if fired == nil {
+		return nil
+	}
+	if onFire != nil {
+		onFire(hit)
+	}
+	msg := fired.Msg
+	if msg == "" {
+		msg = "injected fault"
+	}
+	switch fired.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("fault injection: %s at %s (%s)", msg, site, unit))
+	case KindDelay:
+		time.Sleep(fired.Delay)
+		return nil
+	case KindTransient:
+		return Transient(fmt.Errorf("injected fault at %s (%s): %s", site, unit, msg))
+	default:
+		return fmt.Errorf("injected fault at %s (%s): %s", site, unit, msg)
+	}
+}
+
+// Hits returns a copy of the fired-injection log, in fire order.
+func (in *Injector) Hits() []Hit {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Hit(nil), in.hits...)
+}
+
+// next draws a replayable uniform float in [0, 1) (splitmix64).
+func (in *Injector) next() float64 {
+	in.rng += 0x9E3779B97F4A7C15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// ---------- spec parsing (CLI) ----------
+
+// ParseSpec parses the -inject grammar: comma-separated rules of the form
+//
+//	site=kind[:arg][*count][@after][~match][%prob]
+//
+// where kind is panic, error, transient, or delay (delay requires a
+// duration arg: "interp.step=delay:50ms"). Examples:
+//
+//	runner.analyze=panic*1~CWE457         one panic, cases matching CWE457
+//	driver.compile=transient@3            transient errors after 3 visits
+//	interp.step=delay:1ms%0.01            1ms delay on ~1% of steps
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, rhs, ok := strings.Cut(part, "=")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("fault spec %q: want site=kind[...]", part)
+		}
+		r := Rule{Site: site}
+		// Split off the modifiers: the kind[:arg] head ends at the first
+		// modifier delimiter.
+		head := rhs
+		mods := ""
+		if i := strings.IndexAny(rhs, "*@~%"); i >= 0 {
+			head, mods = rhs[:i], rhs[i:]
+		}
+		kind, arg, _ := strings.Cut(head, ":")
+		switch kind {
+		case "panic":
+			r.Kind = KindPanic
+			r.Msg = arg
+		case "error":
+			r.Kind = KindError
+			r.Msg = arg
+		case "transient":
+			r.Kind = KindTransient
+			r.Msg = arg
+		case "delay":
+			r.Kind = KindDelay
+			if arg == "" {
+				return nil, fmt.Errorf("fault spec %q: delay needs a duration (delay:50ms)", part)
+			}
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return nil, fmt.Errorf("fault spec %q: %v", part, err)
+			}
+			r.Delay = d
+		default:
+			return nil, fmt.Errorf("fault spec %q: unknown kind %q (want panic, error, transient, or delay)", part, kind)
+		}
+		for mods != "" {
+			delim := mods[0]
+			rest := mods[1:]
+			end := strings.IndexAny(rest, "*@~%")
+			var val string
+			if delim == '~' {
+				// Match values may contain any character; they run to the
+				// end of the rule.
+				val, mods = rest, ""
+			} else if end < 0 {
+				val, mods = rest, ""
+			} else {
+				val, mods = rest[:end], rest[end:]
+			}
+			var err error
+			switch delim {
+			case '*':
+				r.Count, err = strconv.Atoi(val)
+			case '@':
+				r.After, err = strconv.Atoi(val)
+			case '~':
+				r.Match = val
+			case '%':
+				r.Prob, err = strconv.ParseFloat(val, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault spec %q: bad %c modifier %q: %v", part, delim, val, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault spec %q: no rules", spec)
+	}
+	return rules, nil
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cast"
 	"repro/internal/ctypes"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sema"
@@ -53,6 +54,11 @@ type Options struct {
 	// Args are the program's command-line arguments (argv[0] is the
 	// program name and is prepended automatically).
 	Args []string
+	// Injector, when set, fires the interp.step fault site on every step
+	// with the program's file as the unit. An armed injector also makes
+	// the step loop poll Context on every step (not every 1024th), so
+	// delay-rule cancellation tests observe the cancel deterministically.
+	Injector *fault.Injector
 }
 
 // BudgetError reports that execution exceeded its step or depth budget.
@@ -70,6 +76,9 @@ func (e *CancelError) Error() string {
 	return fmt.Sprintf("execution canceled at %s: %v", e.Pos, e.Cause)
 }
 
+// Unwrap exposes the cancellation cause, so errors.Is can distinguish a
+// watchdog expiry (context.DeadlineExceeded) from a run being stopped
+// (context.Canceled).
 func (e *CancelError) Unwrap() error { return e.Cause }
 
 // ExitError reports a voluntary program exit (exit() or abort()).
@@ -269,15 +278,26 @@ func (in *Interp) buildArgs(mainFn *cast.FuncDef) ([]mem.Value, error) {
 	return out[:len(mainFn.Params)], nil
 }
 
+// SiteStep is the fault-injection site fired on every interpreter step
+// when an injector is armed; the unit is the program's source file.
+var SiteStep = fault.RegisterSite("interp.step")
+
 // step charges one unit of the execution budget. The observability hook is
 // a single nil check; the cancellation poll fires every 1024 steps so the
-// hot loop never touches channel state in the common case.
+// hot loop never touches channel state in the common case. An armed
+// injector disables that batching — fault-injection runs trade speed for a
+// deterministic interleaving of delays and cancellation.
 func (in *Interp) step(pos token.Pos) error {
 	in.steps++
 	if in.steps > in.budget.MaxSteps {
 		return &BudgetError{Msg: fmt.Sprintf("exceeded %d steps at %s", in.budget.MaxSteps, pos)}
 	}
-	if in.ctxDone != nil && in.steps&1023 == 0 {
+	if in.opts.Injector != nil {
+		if err := in.opts.Injector.Fire(SiteStep, in.prog.File); err != nil {
+			return err
+		}
+	}
+	if in.ctxDone != nil && (in.steps&1023 == 0 || in.opts.Injector != nil) {
 		select {
 		case <-in.ctxDone:
 			return &CancelError{Cause: in.ctx.Err(), Pos: pos}
@@ -371,7 +391,10 @@ func (in *Interp) initGlobals() error {
 		if !d.Type.IsComplete() {
 			return fmt.Errorf("%s: global %q has incomplete type %s", d.P, d.Name, d.Type)
 		}
-		size := in.model.Size(d.Type)
+		size, err := in.model.SizeOf(d.Type)
+		if err != nil {
+			return fmt.Errorf("%s: global %q: %v", d.P, d.Name, err)
+		}
 		o, err := in.store.Alloc(mem.ObjStatic, size, d.Name, d.Type)
 		if err != nil {
 			return err

@@ -316,6 +316,9 @@ func (lx *Lexer) scanChar(pos token.Pos, wide bool) (token.Token, error) {
 		}
 		if lx.peek() == '\\' {
 			lx.advance()
+			if lx.off >= len(lx.src) {
+				return token.Token{}, lx.errorf(pos, "unterminated character constant")
+			}
 			lx.advance()
 			continue
 		}
@@ -345,6 +348,9 @@ func (lx *Lexer) scanString(pos token.Pos, wide bool) (token.Token, error) {
 		}
 		if lx.peek() == '\\' {
 			lx.advance()
+			if lx.off >= len(lx.src) {
+				return token.Token{}, lx.errorf(pos, "unterminated string literal")
+			}
 			lx.advance()
 			continue
 		}

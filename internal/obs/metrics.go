@@ -32,6 +32,7 @@ type Metrics struct {
 
 	sched                  atomic.Int64
 	cacheHits, cacheMisses atomic.Int64
+	faults                 atomic.Int64
 
 	mu       sync.Mutex
 	builtins map[string]int64
@@ -85,6 +86,8 @@ func (m *Metrics) Event(ev *Event) {
 		m.cacheHits.Add(1)
 	case EvCacheMiss:
 		m.cacheMisses.Add(1)
+	case EvFault:
+		m.faults.Add(1)
 	}
 }
 
@@ -103,6 +106,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 		SchedChoices:   m.sched.Load(),
 		CacheHits:      m.cacheHits.Load(),
 		CacheMisses:    m.cacheMisses.Load(),
+		Faults:         m.faults.Load(),
 	}
 	for c := 0; c < numAccessClasses; c++ {
 		if n := m.readsByClass[c].Load(); n > 0 {
@@ -208,6 +212,8 @@ type Snapshot struct {
 	BuiltinCalls map[string]int64       `json:"builtin_calls,omitempty"`
 	CacheHits    int64                  `json:"cache_hits,omitempty"`
 	CacheMisses  int64                  `json:"cache_misses,omitempty"`
+	// Faults counts contained pipeline panics (fault-containment layer).
+	Faults int64 `json:"faults,omitempty"`
 
 	// Cases counts the per-run snapshots merged in via AddCase, and
 	// StepsPerCase is their step-count histogram — suite-level fields,
@@ -233,6 +239,7 @@ func (s *Snapshot) Add(o *Snapshot) {
 	s.SchedChoices += o.SchedChoices
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	s.Faults += o.Faults
 	s.Cases += o.Cases
 	s.ReadsByClass = addMap(s.ReadsByClass, o.ReadsByClass)
 	s.WritesByClass = addMap(s.WritesByClass, o.WritesByClass)

@@ -52,6 +52,9 @@ const (
 	// compile) the translation unit named Name.
 	EvCacheHit
 	EvCacheMiss
+	// EvFault: a pipeline panic was contained in the stage named Name while
+	// processing the unit in Detail (the fault-containment layer's event).
+	EvFault
 
 	numEventKinds = iota
 )
@@ -76,6 +79,8 @@ func (k EventKind) String() string {
 		return "cache-hit"
 	case EvCacheMiss:
 		return "cache-miss"
+	case EvFault:
+		return "fault"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -133,7 +138,11 @@ type Event struct {
 	Fanout int
 
 	// EvBuiltin/EvCacheHit/EvCacheMiss: the builtin or file name.
+	// EvFault: the pipeline stage that panicked.
 	Name string
+
+	// EvFault: the unit being processed when the fault was contained.
+	Detail string
 }
 
 // String renders the event in the one-line trace form of kcc -trace.
@@ -157,6 +166,8 @@ func (e *Event) String() string {
 		return fmt.Sprintf("builtin %s %s", e.Name, e.Pos)
 	case EvCacheHit, EvCacheMiss:
 		return fmt.Sprintf("%s %s", e.Kind, e.Name)
+	case EvFault:
+		return fmt.Sprintf("FAULT contained in %s (%s)", e.Name, e.Detail)
 	}
 	return e.Kind.String()
 }

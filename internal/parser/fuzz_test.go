@@ -1,0 +1,34 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+	"repro/internal/suite"
+)
+
+// FuzzParser asserts the parser's crash-freedom contract: any input
+// either parses into a translation unit or returns a diagnostic — it
+// never panics, however malformed the declarator soup.
+func FuzzParser(f *testing.F) {
+	f.Add(`int main(void) { return 0; }`)
+	f.Add(`struct s { int n; int a[]; }; int main(void) { struct s x; return 0; }`)
+	f.Add(`int (*(*fp)(int))[3]; typedef int T; T t = (T)0;`)
+	f.Add(`void f() { for(;;) if(1) while(0) do ; while(1); }`)
+	f.Add(`int a[ = } ( ;`)
+	f.Add(`typedef struct s s; struct s { s *next; };`)
+	f.Add(`int x = sizeof(struct { int b : 3; });`)
+	for _, s := range suite.Juliet().Cases[:8] {
+		f.Add(s.Source)
+	}
+	for _, tc := range suite.Torture()[:4] {
+		f.Add(tc.Source)
+	}
+	model := ctypes.LP64()
+	f.Fuzz(func(t *testing.T, src string) {
+		tu, err := Parse(src, "fuzz.c", model)
+		if err == nil && tu == nil {
+			t.Error("nil translation unit without error")
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/suite"
 	"repro/internal/tools"
@@ -32,6 +33,11 @@ type ToolResult struct {
 	CompileNS int64         `json:"compile_ns,omitempty"`
 	RunNS     int64         `json:"run_ns"`
 	Metrics   *obs.Snapshot `json:"metrics,omitempty"`
+	// Fault carries the contained panic (stage, panic value, stack) when
+	// Verdict is internal-error.
+	Fault *fault.InternalError `json:"fault,omitempty"`
+	// Retried marks a result produced on a retry after a transient failure.
+	Retried bool `json:"retried,omitempty"`
 }
 
 // CaseReport is the per-case entry of a suite report: one ToolResult per
@@ -56,6 +62,8 @@ type ToolAggregate struct {
 	GoodTotal      int     `json:"good_total"`
 	Crashed        int     `json:"crashed"`
 	Inconclusive   int     `json:"inconclusive"`
+	Timeouts       int     `json:"timeouts,omitempty"`
+	InternalErrors int     `json:"internal_errors,omitempty"`
 	PctPassed      float64 `json:"pct_passed"`
 	RunNS          int64   `json:"run_ns"`
 	// Metrics is the merged execution-metrics snapshot across the tool's
@@ -79,6 +87,14 @@ type SuiteReport struct {
 	Cases     []CaseReport    `json:"cases"`
 	Aggregate []ToolAggregate `json:"aggregate"`
 	Frontend  FrontendJSON    `json:"frontend"`
+	// Failures is the run's crash manifest: cells that panicked, timed
+	// out, or were cancelled, with captured stacks for contained panics.
+	Failures []Failure `json:"failures,omitempty"`
+	// SkippedCells counts cells never started (run cancelled while they
+	// were queued); RetriedCells counts cells whose result came from a
+	// retry after a transient failure.
+	SkippedCells int `json:"skipped_cells,omitempty"`
+	RetriedCells int `json:"retried_cells,omitempty"`
 }
 
 // FileReport is the canonical machine-readable result of analyzing one
@@ -99,6 +115,8 @@ func ToolResultFrom(toolName string, rep tools.Report) ToolResult {
 		CompileNS: rep.CompileDuration.Nanoseconds(),
 		RunNS:     rep.RunDuration.Nanoseconds(),
 		Metrics:   rep.Metrics,
+		Fault:     rep.Fault,
+		Retried:   rep.Retried,
 	}
 }
 
@@ -113,8 +131,11 @@ func FileReportFrom(file, toolName string, rep tools.Report) *FileReport {
 // (timings aside).
 func SuiteReportFrom(s *suite.Suite, ts []tools.Tool, m *MatrixResult) *SuiteReport {
 	rep := &SuiteReport{
-		Schema: Schema,
-		Suite:  s.Name,
+		Schema:       Schema,
+		Suite:        s.Name,
+		Failures:     m.Failures,
+		SkippedCells: m.Skipped,
+		RetriedCells: m.Retried,
 		Frontend: FrontendJSON{
 			Compiles:  m.Frontend.Compiles,
 			CacheHits: m.Frontend.CacheHits,
@@ -149,6 +170,8 @@ func SuiteReportFrom(s *suite.Suite, ts []tools.Tool, m *MatrixResult) *SuiteRep
 			GoodTotal:      a.GoodTotal,
 			Crashed:        a.Crashed,
 			Inconclusive:   a.Inconclusive,
+			Timeouts:       a.Timeouts,
+			InternalErrors: a.InternalErrors,
 			PctPassed:      a.Pct(),
 			RunNS:          a.RunTime.Nanoseconds(),
 			Metrics:        a.Metrics,

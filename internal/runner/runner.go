@@ -24,11 +24,19 @@ import (
 
 	"repro/internal/ctypes"
 	"repro/internal/driver"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/suite"
 	"repro/internal/tools"
 	"repro/internal/ub"
 )
+
+// SiteAnalyze is the fault-injection site fired before each matrix cell;
+// the unit is "<case>.c".
+var SiteAnalyze = fault.RegisterSite("runner.analyze")
+
+// retryBackoff is the pause before retrying a transient cell failure.
+const retryBackoff = 10 * time.Millisecond
 
 // Options configure suite execution.
 type Options struct {
@@ -47,6 +55,15 @@ type Options struct {
 	Model *ctypes.Model
 	// Defines are extra macro definitions for the frontend pass.
 	Defines []string
+	// CaseTimeout, when positive, is the per-cell watchdog: each case×tool
+	// analysis runs under its own context deadline, and an expiry is
+	// reported as a Timeout verdict for that cell only — distinct from
+	// whole-run cancellation, which yields Cancelled/Skipped cells.
+	CaseTimeout time.Duration
+	// Injector, when set, fires the runner.analyze site per cell and is
+	// threaded into the shared frontend (driver.compile site). Tools carry
+	// their own injector via tools.Config.
+	Injector *fault.Injector
 }
 
 func (o Options) workers() int {
@@ -64,20 +81,49 @@ type FrontendStats struct {
 	Time      time.Duration // total wall time inside the frontend
 }
 
+// Failure is one entry of a run's crash manifest: a cell whose analysis
+// did not produce a real verdict — a contained panic, a watchdog expiry,
+// or a cancellation.
+type Failure struct {
+	Case    string        `json:"case"`
+	Tool    string        `json:"tool"`
+	Verdict tools.Verdict `json:"verdict"`
+	Detail  string        `json:"detail,omitempty"`
+	// Stage and Stack are set for contained panics (internal-error cells).
+	Stage   string `json:"stage,omitempty"`
+	Stack   string `json:"stack,omitempty"`
+	Retried bool   `json:"retried,omitempty"`
+}
+
 // MatrixResult is the raw outcome of one suite execution: the report
 // matrix indexed [case][tool] plus the frontend accounting of the run. The
 // figures (Figure2From, Figure3From) and the export layer (SuiteReportFrom)
 // are all derived views of one MatrixResult, so a caller that wants both a
 // rendered table and the canonical JSON report runs the matrix once.
+//
+// Degradation is graceful: a cell that panicked, timed out, or was
+// cancelled still occupies its slot (with the corresponding verdict) and
+// appears in Failures, so figure aggregation always completes on whatever
+// results exist.
 type MatrixResult struct {
 	Reports  [][]tools.Report
 	Frontend FrontendStats
+	// Failures is the crash manifest, in case-then-tool order (worker
+	// scheduling cannot reorder it).
+	Failures []Failure
+	// Skipped counts cells never started (run cancelled while queued);
+	// Retried counts cells that produced their report on a retry after a
+	// transient failure.
+	Skipped int
+	Retried int
 }
 
 // RunMatrix executes every (case, tool) pair of the suite on a worker
 // pool. Cancellation through Options.Context stops feeding new pairs AND
 // interrupts in-flight interpretations (the tools' AnalyzeProgram honors
-// ctx inside the step loop); a canceled run returns the context error.
+// ctx inside the step loop); a canceled run returns the context error
+// together with the partial matrix — in-flight cells report Cancelled,
+// never-started cells stay Skipped, and the crash manifest is complete.
 func RunMatrix(s *suite.Suite, ts []tools.Tool, opts Options) (*MatrixResult, error) {
 	ctx := opts.Context
 	if ctx == nil {
@@ -87,12 +133,17 @@ func RunMatrix(s *suite.Suite, ts []tools.Tool, opts Options) (*MatrixResult, er
 	if cache == nil {
 		cache = driver.NewCache()
 	}
-	copts := driver.Options{Model: opts.Model, Defines: opts.Defines}
+	copts := driver.Options{Model: opts.Model, Defines: opts.Defines, Injector: opts.Injector}
 	before := cache.Stats()
 
+	// Pre-fill with Skipped so a cell that never runs is explicit in the
+	// report rather than masquerading as the zero verdict (Accepted).
 	reports := make([][]tools.Report, len(s.Cases))
 	for i := range reports {
 		reports[i] = make([]tools.Report, len(ts))
+		for j := range reports[i] {
+			reports[i][j] = tools.Report{Verdict: tools.Skipped, Detail: "run cancelled before this cell started"}
+		}
 	}
 
 	type item struct{ ci, ti int }
@@ -104,7 +155,7 @@ func RunMatrix(s *suite.Suite, ts []tools.Tool, opts Options) (*MatrixResult, er
 			defer wg.Done()
 			for it := range work {
 				c := &s.Cases[it.ci]
-				reports[it.ci][it.ti] = analyzeShared(ctx, cache, ts[it.ti], c, copts)
+				reports[it.ci][it.ti] = runCell(ctx, cache, ts[it.ti], c, copts, opts)
 			}
 		}()
 	}
@@ -130,10 +181,74 @@ feed:
 		Errors:    int(after.Errors - before.Errors),
 		Time:      after.CompileTime - before.CompileTime,
 	}
-	if err != nil {
-		return nil, err
+	m := &MatrixResult{Reports: reports, Frontend: fs}
+	// The crash manifest is assembled in case-then-tool order after the
+	// pool drains, so worker scheduling cannot reorder it.
+	for ci := range s.Cases {
+		for ti, t := range ts {
+			r := reports[ci][ti]
+			if r.Retried {
+				m.Retried++
+			}
+			switch r.Verdict {
+			case tools.Skipped:
+				m.Skipped++
+			case tools.InternalError, tools.Timeout, tools.Cancelled:
+				f := Failure{
+					Case:    s.Cases[ci].Name,
+					Tool:    t.Name(),
+					Verdict: r.Verdict,
+					Detail:  r.Detail,
+					Retried: r.Retried,
+				}
+				if r.Fault != nil {
+					f.Stage = r.Fault.Stage
+					f.Stack = r.Fault.Stack
+				}
+				m.Failures = append(m.Failures, f)
+			}
+		}
 	}
-	return &MatrixResult{Reports: reports, Frontend: fs}, nil
+	return m, err
+}
+
+// runCell produces the report for one case×tool cell: the analysis runs
+// under the runner's containment guard and per-cell watchdog, and a
+// transient failure is retried once (after invalidating the cached compile
+// so the retry redoes the frontend). Deterministic failures — including
+// contained panics — are quarantined as-is: retrying a panic would just
+// crash the same way again, and the manifest should carry the first stack.
+func runCell(ctx context.Context, cache *driver.Cache, t tools.Tool, c *suite.Case, copts driver.Options, opts Options) tools.Report {
+	rep := analyzeCell(ctx, cache, t, c, copts, opts)
+	if rep.Transient && ctx.Err() == nil {
+		time.Sleep(retryBackoff)
+		cache.Invalidate(c.Source, c.Name+".c", copts)
+		rep = analyzeCell(ctx, cache, t, c, copts, opts)
+		rep.Retried = true
+	}
+	return rep
+}
+
+// analyzeCell is one guarded attempt at a cell.
+func analyzeCell(ctx context.Context, cache *driver.Cache, t tools.Tool, c *suite.Case, copts driver.Options, opts Options) tools.Report {
+	unit := c.Name + ".c"
+	if opts.CaseTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.CaseTimeout)
+		defer cancel()
+	}
+	var rep tools.Report
+	err := fault.Guard(fault.StageRunner, unit, func() error {
+		if err := opts.Injector.Fire(SiteAnalyze, unit); err != nil {
+			return err
+		}
+		rep = analyzeShared(ctx, cache, t, c, copts)
+		return nil
+	})
+	if err != nil {
+		rep = tools.ReportFromError(err)
+	}
+	return rep
 }
 
 // analyzeShared compiles through the cache (one frontend pass per case,
@@ -143,7 +258,11 @@ feed:
 func analyzeShared(ctx context.Context, cache *driver.Cache, t tools.Tool, c *suite.Case, copts driver.Options) tools.Report {
 	prog, err := cache.Compile(c.Source, c.Name+".c", copts)
 	if err != nil {
-		return tools.Report{Verdict: tools.Inconclusive, Detail: "compile: " + err.Error()}
+		rep := tools.ReportFromError(err)
+		if rep.Verdict == tools.Inconclusive {
+			rep.Detail = "compile: " + err.Error()
+		}
+		return rep
 	}
 	return t.AnalyzeProgram(ctx, prog, c.Name+".c")
 }
@@ -156,6 +275,12 @@ type ToolScore struct {
 	GoodTotal      int
 	Crashed        int
 	Inconclusive   int
+	// Timeouts counts per-cell watchdog expiries; InternalErrors counts
+	// contained pipeline panics. Both are non-verdicts like Inconclusive,
+	// but tracked separately so a fault-injection or flaky run is visible
+	// in the aggregate.
+	Timeouts       int
+	InternalErrors int
 	// CompileTime is frontend time the tool paid itself (zero under the
 	// shared cache, where compiles are accounted in FrontendStats).
 	CompileTime time.Duration
@@ -291,6 +416,10 @@ func score(sc *ToolScore, bad bool, rep tools.Report) {
 		sc.Crashed++
 	case tools.Inconclusive:
 		sc.Inconclusive++
+	case tools.Timeout:
+		sc.Timeouts++
+	case tools.InternalError:
+		sc.InternalErrors++
 	}
 }
 

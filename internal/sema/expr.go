@@ -165,6 +165,11 @@ func (c *checker) exprInner(e cast.Expr) (*ctypes.Type, error) {
 		if !xt.IsComplete() && !xt.VLA {
 			return nil, c.errorf(e.P, "sizeof applied to incomplete type %s", xt)
 		}
+		if !xt.VLA {
+			if err := c.sized(xt, e.P, "sizeof"); err != nil {
+				return nil, err
+			}
+		}
 		e.T = ctypes.TULong // size_t
 		return e.T, nil
 
@@ -175,12 +180,20 @@ func (c *checker) exprInner(e cast.Expr) (*ctypes.Type, error) {
 		if !e.Of.IsComplete() {
 			return nil, c.errorf(e.P, "sizeof applied to incomplete type %s", e.Of)
 		}
+		if err := c.sized(e.Of, e.P, "sizeof"); err != nil {
+			return nil, err
+		}
 		e.T = ctypes.TULong
 		return e.T, nil
 
 	case *cast.CompoundLit:
 		if !e.Of.IsComplete() && !(e.Of.Kind == ctypes.Array && e.Of.ArrayLen < 0) {
 			return nil, c.errorf(e.P, "compound literal of incomplete type %s", e.Of)
+		}
+		if e.Of.IsComplete() {
+			if err := c.sized(e.Of, e.P, "compound literal"); err != nil {
+				return nil, err
+			}
 		}
 		ty, plan, err := c.buildInitPlan(e.Of, e.Init, e.P)
 		if err != nil {
@@ -534,7 +547,10 @@ func (c *checker) member(e *cast.Member) (*ctypes.Type, error) {
 	if xt.Incomplete {
 		return nil, c.errorf(e.P, "member access on incomplete type %s", xt)
 	}
-	f, ok := c.model.FieldByName(xt, e.Name)
+	f, ok, err := c.model.FieldByNameOf(xt, e.Name)
+	if err != nil {
+		return nil, c.errorf(e.P, "member access on %s: %v", xt, err)
+	}
 	if !ok {
 		return nil, c.errorf(e.P, "no member named %q in %s", e.Name, xt)
 	}

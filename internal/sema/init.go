@@ -150,6 +150,8 @@ func (b *planner) fillArray(ty *ctypes.Type, offset int64, st *stream, braced bo
 	elem := ty.Elem
 	elemSize := int64(0)
 	if elem.IsComplete() {
+		// The declared type passed the checker's sized() validation, so
+		// member layouts are computable — Size here asserts an invariant.
 		elemSize = c.model.Size(elem)
 	}
 	n := ty.ArrayLen // may be -1 (unsized; only legal when braced at top)

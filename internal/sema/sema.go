@@ -39,7 +39,11 @@ func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 // analyses; driver.Cache and the parallel runner rely on this
 // (enforced by tools.TestConcurrentSharedProgram under -race).
 type Program struct {
-	Model   *ctypes.Model
+	Model *ctypes.Model
+	// File is the translation unit's source file name — the unit label
+	// the pipeline's fault-containment layer attaches to contained
+	// panics and injected faults.
+	File    string
 	Unit    *cast.TranslationUnit
 	Globals []*cast.Decl // file-scope objects, in definition order
 	Funcs   map[string]*cast.FuncDef
@@ -70,6 +74,7 @@ type checker struct {
 func Check(tu *cast.TranslationUnit, model *ctypes.Model) (*Program, error) {
 	prog := &Program{
 		Model:   model,
+		File:    tu.File,
 		Unit:    tu,
 		Funcs:   make(map[string]*cast.FuncDef),
 		Symbols: make(map[string]*cast.Symbol),
@@ -94,6 +99,17 @@ func Check(tu *cast.TranslationUnit, model *ctypes.Model) (*Program, error) {
 
 func (c *checker) errorf(pos token.Pos, format string, args ...any) error {
 	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// sized diagnoses types whose storage layout cannot be computed. A type can
+// pass IsComplete yet still have no layout — a struct with a flexible array
+// member, or an array of such structs — and every declaration or access that
+// needs storage must reject it here rather than crash in the interpreter.
+func (c *checker) sized(t *ctypes.Type, pos token.Pos, what string) error {
+	if _, err := c.model.SizeOf(t); err != nil {
+		return c.errorf(pos, "%s: %v", what, err)
+	}
+	return nil
 }
 
 func (c *checker) staticUB(b *ub.Behavior, pos token.Pos, format string, args ...any) {
@@ -137,6 +153,11 @@ func (c *checker) fileScopeDecl(d *cast.Decl) error {
 	kind := cast.SymObject
 	if d.Type.Kind == ctypes.Func {
 		kind = cast.SymFunc
+	}
+	if kind == cast.SymObject && d.Storage != cast.SExtern && d.Type.IsComplete() {
+		if err := c.sized(d.Type, d.P, fmt.Sprintf("variable %q", d.Name)); err != nil {
+			return err
+		}
 	}
 	if existing, ok := c.scopes[0][d.Name]; ok {
 		// Redeclaration: types must be compatible.
@@ -256,6 +277,9 @@ func (c *checker) funcDef(fd *cast.FuncDef) error {
 		}
 		if !param.Type.IsComplete() {
 			return c.errorf(fd.P, "parameter %q has incomplete type %s", param.Name, param.Type)
+		}
+		if err := c.sized(param.Type, fd.P, fmt.Sprintf("parameter %q", param.Name)); err != nil {
+			return err
 		}
 		c.declare(param)
 	}
@@ -417,6 +441,10 @@ func (c *checker) localDecl(d *cast.Decl) error {
 		// `int a[];` at block scope without init is invalid.
 		if !(d.Type.Kind == ctypes.Array && d.Type.ArrayLen < 0 && d.Init != nil) {
 			return c.errorf(d.P, "variable %q has incomplete type %s", d.Name, d.Type)
+		}
+	} else if d.Type.IsComplete() && d.Storage != cast.SExtern {
+		if err := c.sized(d.Type, d.P, fmt.Sprintf("variable %q", d.Name)); err != nil {
+			return err
 		}
 	}
 	sym := &cast.Symbol{Name: d.Name, Type: d.Type, Kind: cast.SymObject, Storage: d.Storage, Pos: d.P}

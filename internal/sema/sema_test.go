@@ -390,3 +390,49 @@ out:
 		}
 	}
 }
+
+func TestFlexibleArrayMemberIsDiagnosedNotCrash(t *testing.T) {
+	// struct s { int n; int a[]; } passes IsComplete (only forward
+	// declarations set Incomplete) but has no computable layout. Every
+	// site that needs its storage must produce a diagnostic — these
+	// programs used to panic deep inside ctypes layout.
+	cases := []struct {
+		name, src, want string
+	}{
+		{"local var", `
+struct s { int n; int a[]; };
+int main(void) { struct s x; x.n = 1; return 0; }`, `variable "x"`},
+		{"file-scope var", `
+struct s { int n; int a[]; };
+struct s g;
+int main(void) { return 0; }`, `variable "g"`},
+		{"sizeof type", `
+struct s { int n; int a[]; };
+int main(void) { return sizeof(struct s); }`, "sizeof"},
+		{"parameter", `
+struct s { int n; int a[]; };
+int f(struct s p) { return p.n; }
+int main(void) { return 0; }`, `parameter "p"`},
+		{"array of FAM structs", `
+struct s { int n; int a[]; };
+int main(void) { struct s v[4]; return 0; }`, `variable "v"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkErr(t, tc.src)
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("diagnostic %q does not mention %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "incomplete array") {
+				t.Errorf("diagnostic %q does not explain the layout failure", err)
+			}
+		})
+	}
+}
+
+func TestProgramFileIsSet(t *testing.T) {
+	prog := check(t, `int main(void) { return 0; }`)
+	if prog.File != "test.c" {
+		t.Errorf("Program.File = %q, want test.c", prog.File)
+	}
+}

@@ -292,13 +292,25 @@ func (c *checker) foldInt(e cast.Expr) (int64, error) {
 		}
 	case *cast.SizeofType:
 		if e.IsAlign {
-			return c.model.Align(e.Of), nil
+			a, err := c.model.AlignOf(e.Of)
+			if err != nil {
+				return 0, c.errorf(e.Pos(), "alignof: %v", err)
+			}
+			return a, nil
 		}
-		return c.model.Size(e.Of), nil
+		n, err := c.model.SizeOf(e.Of)
+		if err != nil {
+			return 0, c.errorf(e.Pos(), "sizeof: %v", err)
+		}
+		return n, nil
 	case *cast.SizeofExpr:
 		t := e.X.Type()
 		if t != nil && t.IsComplete() {
-			return c.model.Size(t), nil
+			n, err := c.model.SizeOf(t)
+			if err != nil {
+				return 0, c.errorf(e.Pos(), "sizeof: %v", err)
+			}
+			return n, nil
 		}
 	}
 	return 0, c.errorf(e.Pos(), "not an integer constant expression")

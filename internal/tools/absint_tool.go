@@ -31,8 +31,14 @@ func (t *aiTool) Analyze(src, file string) Report {
 }
 
 // AnalyzeProgram implements Tool. The abstract interpretation is not
-// cancelable mid-run; ctx is accepted for interface uniformity.
+// cancelable mid-run; ctx only bounds the fault-containment watchdog.
 func (t *aiTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
+	return guarded(ctx, t.cfg, file, func(ctx context.Context) Report {
+		return t.analyze(prog)
+	})
+}
+
+func (t *aiTool) analyze(prog *sema.Program) Report {
 	start := time.Now()
 	res := absint.Analyze(prog)
 	rep := Report{RunDuration: time.Since(start)}

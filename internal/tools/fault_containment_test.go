@@ -1,0 +1,107 @@
+package tools
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+const slowLoopSrc = `
+int main(void) {
+	volatile long n = 0;
+	for (long i = 0; i < 100000000; i++) n += i;
+	return 0;
+}
+`
+
+const trivialSrc = `int main(void) { return 0; }`
+
+func TestAnalyzeProgramContainsInjectedPanic(t *testing.T) {
+	prog, err := driver.Compile(trivialSrc, "t.c", driver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &obs.Recorder{}
+	in := fault.NewInjector(0, fault.Rule{Site: SiteAnalyze, Kind: fault.KindPanic, Msg: "tool exploded"})
+	for _, tool := range All(Config{Injector: in, Observer: rec}) {
+		rep := tool.AnalyzeProgram(context.Background(), prog, "t.c")
+		if rep.Verdict != InternalError {
+			t.Errorf("%s: verdict = %v, want internal-error", tool.Name(), rep.Verdict)
+		}
+		if rep.Fault == nil || rep.Fault.Stage != fault.StageAnalyze || rep.Fault.Stack == "" {
+			t.Errorf("%s: fault = %+v, want analyze-stage fault with stack", tool.Name(), rep.Fault)
+		}
+		if !strings.Contains(rep.Detail, "tool exploded") {
+			t.Errorf("%s: detail %q lost the panic value", tool.Name(), rep.Detail)
+		}
+	}
+	var faults int
+	for _, ev := range rec.Events {
+		if ev.Kind == obs.EvFault {
+			faults++
+			if ev.Name != fault.StageAnalyze || ev.Detail != "t.c" {
+				t.Errorf("fault event = %+v", ev)
+			}
+		}
+	}
+	if faults != len(All(Config{})) {
+		t.Errorf("observer saw %d fault events, want %d", faults, len(All(Config{})))
+	}
+}
+
+func TestAnalyzeProgramWatchdogTimeout(t *testing.T) {
+	prog, err := driver.Compile(slowLoopSrc, "slow.c", driver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := KCC(Config{Timeout: 20 * time.Millisecond})
+	rep := tool.AnalyzeProgram(context.Background(), prog, "slow.c")
+	if rep.Verdict != Timeout {
+		t.Fatalf("verdict = %v (%s), want timeout", rep.Verdict, rep.Detail)
+	}
+}
+
+func TestAnalyzeProgramCancellation(t *testing.T) {
+	prog, err := driver.Compile(slowLoopSrc, "slow.c", driver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	rep := KCC(Config{}).AnalyzeProgram(ctx, prog, "slow.c")
+	if rep.Verdict != Cancelled {
+		t.Fatalf("verdict = %v (%s), want cancelled", rep.Verdict, rep.Detail)
+	}
+}
+
+func TestAnalyzeProgramTransientError(t *testing.T) {
+	prog, err := driver.Compile(trivialSrc, "t.c", driver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(0, fault.Rule{Site: SiteAnalyze, Kind: fault.KindTransient, Msg: "flaky"})
+	rep := KCC(Config{Injector: in}).AnalyzeProgram(context.Background(), prog, "t.c")
+	if rep.Verdict != Inconclusive || !rep.Transient {
+		t.Fatalf("report = %+v, want transient inconclusive", rep)
+	}
+}
+
+func TestInterpStepInjection(t *testing.T) {
+	prog, err := driver.Compile(trivialSrc, "t.c", driver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(0, fault.Rule{Site: "interp.step", Kind: fault.KindPanic, Msg: "mid-run"})
+	rep := KCC(Config{Injector: in}).AnalyzeProgram(context.Background(), prog, "t.c")
+	if rep.Verdict != InternalError {
+		t.Fatalf("verdict = %v (%s), want internal-error from a mid-interpretation panic", rep.Verdict, rep.Detail)
+	}
+}

@@ -6,7 +6,8 @@ import (
 )
 
 func TestVerdictJSONRoundTrip(t *testing.T) {
-	for _, v := range []Verdict{Accepted, Flagged, Crashed, Inconclusive} {
+	for _, v := range []Verdict{Accepted, Flagged, Crashed, Inconclusive,
+		Timeout, InternalError, Cancelled, Skipped} {
 		data, err := json.Marshal(v)
 		if err != nil {
 			t.Fatal(err)

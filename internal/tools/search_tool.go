@@ -31,8 +31,14 @@ func (t *searchTool) Analyze(src, file string) Report {
 }
 
 // AnalyzeProgram implements Tool. The search itself is not cancelable
-// mid-run; ctx is accepted for interface uniformity.
+// mid-run; ctx only bounds the fault-containment watchdog.
 func (t *searchTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
+	return guarded(ctx, t.cfg, file, func(ctx context.Context) Report {
+		return t.analyze(prog)
+	})
+}
+
+func (t *searchTool) analyze(prog *sema.Program) Report {
 	start := time.Now()
 	if len(prog.StaticUB) > 0 {
 		return Report{Verdict: Flagged, UB: prog.StaticUB[0],

@@ -13,16 +13,22 @@ package tools
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/ctypes"
 	"repro/internal/driver"
+	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/sema"
 	"repro/internal/ub"
 )
+
+// SiteAnalyze is the fault-injection site fired at the top of every
+// guarded tool analysis; the unit is the case's file name.
+var SiteAnalyze = fault.RegisterSite("tools.analyze")
 
 // Verdict classifies a tool's result on one program.
 type Verdict int
@@ -39,6 +45,19 @@ const (
 	// Inconclusive: compile failure, budget exhaustion, or other
 	// non-verdict.
 	Inconclusive
+	// Timeout: the per-case watchdog (Config.Timeout) expired mid-run.
+	// Distinct from Cancelled so a slow case is never confused with an
+	// operator stopping the whole suite.
+	Timeout
+	// InternalError: the pipeline itself panicked on this case; the panic
+	// was contained (Report.Fault carries the stack) and the run went on.
+	InternalError
+	// Cancelled: the surrounding run's context was cancelled while this
+	// case was executing.
+	Cancelled
+	// Skipped: the case never ran (its run was cancelled while it was
+	// still queued).
+	Skipped
 )
 
 func (v Verdict) String() string {
@@ -49,6 +68,14 @@ func (v Verdict) String() string {
 		return "flagged"
 	case Crashed:
 		return "crashed"
+	case Timeout:
+		return "timeout"
+	case InternalError:
+		return "internal-error"
+	case Cancelled:
+		return "cancelled"
+	case Skipped:
+		return "skipped"
 	default:
 		return "inconclusive"
 	}
@@ -65,6 +92,14 @@ func ParseVerdict(s string) (Verdict, error) {
 		return Crashed, nil
 	case "inconclusive":
 		return Inconclusive, nil
+	case "timeout":
+		return Timeout, nil
+	case "internal-error":
+		return InternalError, nil
+	case "cancelled":
+		return Cancelled, nil
+	case "skipped":
+		return Skipped, nil
 	}
 	return Inconclusive, fmt.Errorf("unknown verdict %q", s)
 }
@@ -107,6 +142,13 @@ type Report struct {
 	// Metrics is the execution-metrics snapshot of this analysis, present
 	// only when Config.Metrics was set.
 	Metrics *obs.Snapshot
+	// Fault carries the contained panic when Verdict is InternalError.
+	Fault *fault.InternalError
+	// Transient marks a failure classified as non-deterministic (worth a
+	// retry); the runner's retry policy reads it.
+	Transient bool
+	// Retried marks a report produced by a retry after a transient failure.
+	Retried bool
 }
 
 // TotalDuration is the end-to-end wall time of the analysis.
@@ -141,6 +183,54 @@ func compileAndDelegate(t Tool, src, file string, model *ctypes.Model) Report {
 	return rep
 }
 
+// guarded is the fault-containment boundary shared by every tool's
+// AnalyzeProgram: it arms the per-case watchdog, fires the tools.analyze
+// injection site, and converts a panic anywhere in the analysis into an
+// InternalError report — one berserk case must not take down the worker
+// that ran it.
+func guarded(ctx context.Context, cfg Config, file string, fn func(context.Context) Report) Report {
+	start := time.Now()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	var rep Report
+	err := fault.Guard(fault.StageAnalyze, file, func() error {
+		if err := cfg.Injector.Fire(SiteAnalyze, file); err != nil {
+			return err
+		}
+		rep = fn(ctx)
+		return nil
+	})
+	if err != nil {
+		rep = ReportFromError(err)
+		rep.RunDuration = time.Since(start)
+		if ie, ok := fault.AsInternal(err); ok && cfg.Observer != nil {
+			cfg.Observer.Event(&obs.Event{Kind: obs.EvFault, Name: ie.Stage, Detail: file})
+		}
+	}
+	return rep
+}
+
+// ReportFromError classifies a pipeline error into the verdict taxonomy:
+// contained panics become InternalError (with the captured stack), watchdog
+// expiry becomes Timeout, run cancellation becomes Cancelled, and anything
+// else is Inconclusive — marked Transient when the fault layer says the
+// failure is non-deterministic.
+func ReportFromError(err error) Report {
+	if ie, ok := fault.AsInternal(err); ok {
+		return Report{Verdict: InternalError, Detail: ie.Error(), Fault: ie}
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return Report{Verdict: Timeout, Detail: err.Error()}
+	case errors.Is(err, context.Canceled):
+		return Report{Verdict: Cancelled, Detail: err.Error()}
+	}
+	return Report{Verdict: Inconclusive, Detail: err.Error(), Transient: fault.IsTransient(err)}
+}
+
 // Config bounds and instruments tool executions.
 type Config struct {
 	Model *ctypes.Model
@@ -153,6 +243,14 @@ type Config struct {
 	// Observer additionally receives the raw event stream (tracing). It
 	// composes with Metrics via obs.Multi.
 	Observer obs.Observer
+	// Timeout, when positive, is the per-case wall-clock watchdog: each
+	// guarded analysis runs under a context deadline and reports Timeout
+	// when it expires. It layers on Budget — the budget bounds abstract
+	// work, the watchdog bounds real time.
+	Timeout time.Duration
+	// Injector, when set, fires the tools.analyze site before each guarded
+	// analysis and is handed to the interpreter (interp.step site).
+	Injector *fault.Injector
 }
 
 // profileTool runs programs on the shared abstract machine under a
@@ -176,6 +274,12 @@ func (t *profileTool) Analyze(src, file string) Report {
 
 // AnalyzeProgram implements Tool.
 func (t *profileTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
+	return guarded(ctx, t.cfg, file, func(ctx context.Context) Report {
+		return t.analyze(ctx, prog)
+	})
+}
+
+func (t *profileTool) analyze(ctx context.Context, prog *sema.Program) Report {
 	start := time.Now()
 	var m *obs.Metrics
 	observer := t.cfg.Observer
@@ -198,6 +302,7 @@ func (t *profileTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, fi
 		Budget:   t.cfg.Budget,
 		Context:  ctx,
 		Observer: observer,
+		Injector: t.cfg.Injector,
 	})
 	switch {
 	case res.UB != nil:
@@ -206,7 +311,7 @@ func (t *profileTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, fi
 		if _, crashed := res.Err.(*interp.CrashError); crashed {
 			return done(Report{Verdict: Crashed, Detail: res.Err.Error()})
 		}
-		return done(Report{Verdict: Inconclusive, Detail: res.Err.Error()})
+		return done(ReportFromError(res.Err))
 	default:
 		return done(Report{Verdict: Accepted, ExitCode: res.ExitCode})
 	}
