@@ -3,21 +3,25 @@
 test:
 	go build ./... && go test ./...
 
-# Tier-1.5: concurrency hygiene, observability, and fault-containment
-# gates — vet everything, run the worker-pool, compile-cache,
-# shared-program, fault, and observability packages under the race
-# detector, fail if the nil-observer step path allocates, smoke-run the
-# observer-overhead benchmark, exercise the end-to-end containment gate
-# (a panic injected at every site must degrade gracefully, never crash
-# the suite), and replay the fuzz seed corpora.
+# Tier-1.5: concurrency hygiene, observability, fault-containment, and
+# serving gates — vet everything, run the worker-pool, compile-cache,
+# shared-program, fault, observability, and server packages under the
+# race detector, fail if the nil-observer step path allocates, smoke-run
+# the observer-overhead benchmark, exercise the end-to-end containment
+# gate (a panic injected at every site must degrade gracefully, never
+# crash the suite), replay the fuzz seed corpora, and run the daemon
+# lifecycle smoke test (boot on a free port, one analyze round-trip,
+# SIGTERM drain).
 .PHONY: check
 check: test
 	go vet ./...
 	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/... ./internal/obs/... ./internal/fault/...
+	go test -race ./internal/server/...
 	go test ./internal/interp/ -run 'ObserverPathAllocs' -count=1
 	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 100x
 	go test ./cmd/ubsuite/ -run TestContainmentGate -count=1
 	go test ./internal/lexer/ ./internal/parser/ ./internal/cpp/ -run '^Fuzz' -count=1
+	go test ./cmd/undefd/ -run TestDaemonSmoke -count=1
 
 # Fuzz smoke: 30s of coverage-guided fuzzing per frontend stage. New
 # crashers land in testdata/fuzz/ and become permanent regression seeds.
@@ -26,6 +30,14 @@ fuzz-smoke:
 	go test ./internal/lexer/ -run=NONE -fuzz=FuzzLexer -fuzztime 30s
 	go test ./internal/parser/ -run=NONE -fuzz=FuzzParser -fuzztime 30s
 	go test ./internal/cpp/ -run=NONE -fuzz=FuzzCPP -fuzztime 30s
+
+# Serving throughput: a 10s closed-loop load run against an in-process
+# undefd service (reported in EXPERIMENTS.md). Exits non-zero if the
+# daemon dies, the /metrics counters disagree with the client tally, or
+# the admission queue fails to drain.
+.PHONY: bench-serve
+bench-serve:
+	go run ./cmd/undefbench -spawn -c 16 -d 10s
 
 # Fuller observability benchmark (reported in EXPERIMENTS.md).
 .PHONY: bench-obs

@@ -7,20 +7,30 @@
 //	2 distinct behaviors over 3 executions:
 //	  behavior 1: exit 2
 //	  behavior 2: UB 00039 division by zero
+//
+// With -json the result is the same undefc.api/v1 explore document the
+// undefd service serves, so scripts can consume either interchangeably.
+// -timeout bounds the whole search; a timed-out search reports the
+// behaviors found so far and exits 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/driver"
+	"repro/internal/runner"
 	"repro/internal/search"
+	"repro/internal/server"
 )
 
 func main() {
 	maxRuns := flag.Int("max-runs", 5000, "maximum executions to try")
 	stopFirst := flag.Bool("stop-at-first-ub", false, "stop as soon as any UB is found")
+	timeout := flag.Duration("timeout", 0, "bound the whole search (0 = no limit)")
+	asJSON := flag.Bool("json", false, "emit the undefc.api/v1 explore document instead of text")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ubexplore [flags] file.c")
@@ -37,25 +47,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ubexplore: %v\n", err)
 		os.Exit(1)
 	}
-	res := search.Explore(prog, search.Options{MaxRuns: *maxRuns, StopAtFirstUB: *stopFirst})
-	fmt.Printf("%d distinct behaviors over %d executions (exhausted: %v):\n",
-		len(res.Outcomes), res.Runs, res.Exhausted)
-	for i, o := range res.Outcomes {
-		switch {
-		case o.UB != nil:
-			fmt.Printf("  behavior %d: UB %05d [C11 §%s] %s\n",
-				i+1, o.UB.Behavior.Code, o.UB.Behavior.Section, o.UB.Msg)
-		case o.Err != nil:
-			fmt.Printf("  behavior %d: error: %v\n", i+1, o.Err)
-		default:
-			fmt.Printf("  behavior %d: exit %d", i+1, o.ExitCode)
-			if o.Output != "" {
-				fmt.Printf(" output %q", o.Output)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res := search.Explore(prog, search.Options{
+		MaxRuns:       *maxRuns,
+		StopAtFirstUB: *stopFirst,
+		Context:       ctx,
+	})
+	timedOut := ctx.Err() != nil
+
+	if *asJSON {
+		if err := runner.WriteJSON(os.Stdout, server.ExploreResponseFrom(file, res)); err != nil {
+			fmt.Fprintf(os.Stderr, "ubexplore: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("%d distinct behaviors over %d executions (exhausted: %v):\n",
+			len(res.Outcomes), res.Runs, res.Exhausted)
+		for i, o := range res.Outcomes {
+			switch {
+			case o.UB != nil:
+				fmt.Printf("  behavior %d: UB %05d [C11 §%s] %s\n",
+					i+1, o.UB.Behavior.Code, o.UB.Behavior.Section, o.UB.Msg)
+			case o.Err != nil:
+				fmt.Printf("  behavior %d: error: %v\n", i+1, o.Err)
+			default:
+				fmt.Printf("  behavior %d: exit %d", i+1, o.ExitCode)
+				if o.Output != "" {
+					fmt.Printf(" output %q", o.Output)
+				}
+				fmt.Println()
 			}
-			fmt.Println()
+		}
+		if timedOut {
+			fmt.Printf("  search timed out after %v; behaviors above are a lower bound\n", *timeout)
 		}
 	}
-	if res.UB() != nil {
+	switch {
+	case res.UB() != nil:
 		os.Exit(1)
+	case timedOut:
+		os.Exit(3)
 	}
 }

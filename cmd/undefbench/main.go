@@ -1,0 +1,322 @@
+// Command undefbench is a closed-loop load generator for undefd: N
+// connections each submit analyze requests back-to-back for a fixed
+// duration, drawn from the Figure-2 (Juliet-style) corpus with a tunable
+// duplicate fraction so request coalescing has something to coalesce.
+// It reports throughput, the latency distribution (p50/p95/p99), the
+// verdict tally, the coalescing hit rate, and — the part a load test is
+// for — cross-checks its own client-side tally against the server's
+// /metrics counters and verifies the daemon is still alive and drained.
+//
+//	$ undefbench -spawn -c 64 -d 10s
+//	$ undefbench -addr 127.0.0.1:8790 -c 64 -d 10s -dup 0.5
+//
+// Flags:
+//
+//	-addr      bench an already-running daemon (mutually exclusive -spawn)
+//	-spawn     start an in-process server on a free port and bench that
+//	-c N       concurrent closed-loop connections (default 64)
+//	-d dur     benchmark duration (default 10s)
+//	-dup f     fraction of requests drawn from a small hot set (default 0.5)
+//	-seed n    workload RNG seed (replayable)
+//	-inject    with -spawn: fault-injection spec, e.g. 'server.handle=panic%0.01'
+//	-json      emit the report as JSON
+//
+// Exit status is non-zero when the daemon died, the verdict cross-check
+// fails, or the queue did not drain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/suite"
+)
+
+type workerStats struct {
+	latencies []time.Duration
+	verdicts  map[string]int64
+	coalesced int64
+	rejected  int64 // 429 backpressure
+	errors    int64 // transport or non-API failures
+}
+
+// report is the machine-readable benchmark result (-json).
+type report struct {
+	Addr        string           `json:"addr"`
+	Connections int              `json:"connections"`
+	DurationNS  int64            `json:"duration_ns"`
+	Requests    int64            `json:"requests"`
+	Rejected    int64            `json:"rejected"`
+	Errors      int64            `json:"errors"`
+	Throughput  float64          `json:"requests_per_sec"`
+	P50NS       int64            `json:"p50_ns"`
+	P95NS       int64            `json:"p95_ns"`
+	P99NS       int64            `json:"p99_ns"`
+	MaxNS       int64            `json:"max_ns"`
+	Verdicts    map[string]int64 `json:"verdicts"`
+	Coalesced   int64            `json:"coalesced"`
+	CoalesceHit float64          `json:"coalesce_hit_rate"`
+	ServerOK    bool             `json:"server_alive"`
+	TallyMatch  bool             `json:"metrics_match"`
+	QueueEmpty  bool             `json:"queue_drained"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "address of a running undefd (host:port)")
+	spawn := flag.Bool("spawn", false, "start an in-process server and bench it")
+	conns := flag.Int("c", 64, "concurrent closed-loop connections")
+	dur := flag.Duration("d", 10*time.Second, "benchmark duration")
+	dup := flag.Float64("dup", 0.5, "fraction of requests drawn from the hot set (coalescing fodder)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	injectSpec := flag.String("inject", "", "with -spawn: fault-injection rules for the server")
+	injectSeed := flag.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	if (*addr == "") == !*spawn {
+		fmt.Fprintln(os.Stderr, "undefbench: need exactly one of -addr or -spawn")
+		os.Exit(2)
+	}
+	base := *addr
+	if *spawn {
+		var stop func()
+		var err error
+		base, stop, err = spawnServer(*injectSpec, *injectSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "undefbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	url := "http://" + base
+
+	// The workload: the Figure-2 corpus. The hot set is small enough that
+	// 64 closed-loop connections keep several identical submissions in
+	// flight at once — exactly the traffic shape coalescing exists for.
+	corpus := suite.Juliet().Cases
+	if len(corpus) == 0 {
+		fmt.Fprintln(os.Stderr, "undefbench: empty corpus")
+		os.Exit(1)
+	}
+	hot := corpus
+	if len(hot) > 4 {
+		hot = corpus[:4]
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conns}}
+	before, err := fetchMetrics(client, url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: /metrics before run: %v\n", err)
+		os.Exit(1)
+	}
+
+	deadline := time.Now().Add(*dur)
+	stats := make([]workerStats, *conns)
+	var wg sync.WaitGroup
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			st := &stats[w]
+			st.verdicts = make(map[string]int64)
+			for time.Now().Before(deadline) {
+				c := &corpus[rng.Intn(len(corpus))]
+				if rng.Float64() < *dup {
+					c = &hot[rng.Intn(len(hot))]
+				}
+				oneRequest(client, url, c, st)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := *dur
+
+	// Merge worker shards.
+	rep := report{Addr: base, Connections: *conns, DurationNS: elapsed.Nanoseconds(), Verdicts: map[string]int64{}}
+	var all []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		all = append(all, st.latencies...)
+		rep.Coalesced += st.coalesced
+		rep.Rejected += st.rejected
+		rep.Errors += st.errors
+		for v, n := range st.verdicts {
+			rep.Verdicts[v] += n
+		}
+	}
+	rep.Requests = int64(len(all))
+	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50NS = percentile(all, 0.50).Nanoseconds()
+	rep.P95NS = percentile(all, 0.95).Nanoseconds()
+	rep.P99NS = percentile(all, 0.99).Nanoseconds()
+	if n := len(all); n > 0 {
+		rep.MaxNS = all[n-1].Nanoseconds()
+	}
+	if rep.Requests > 0 {
+		rep.CoalesceHit = float64(rep.Coalesced) / float64(rep.Requests)
+	}
+
+	// The verification pass: daemon alive, counters honest, queue empty.
+	after, err := fetchMetrics(client, url)
+	rep.ServerOK = err == nil
+	if rep.ServerOK {
+		rep.TallyMatch = true
+		for v, n := range rep.Verdicts {
+			if after.Verdicts[v]-before.Verdicts[v] != n {
+				rep.TallyMatch = false
+			}
+		}
+		for v := range after.Verdicts {
+			if _, seen := rep.Verdicts[v]; !seen && after.Verdicts[v] != before.Verdicts[v] {
+				rep.TallyMatch = false
+			}
+		}
+		rep.QueueEmpty = after.Queue.Depth == 0 && after.Queue.Active == 0
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(&rep)
+	} else {
+		printReport(&rep, after, before)
+	}
+	if !rep.ServerOK || !rep.TallyMatch || !rep.QueueEmpty {
+		os.Exit(1)
+	}
+}
+
+// oneRequest runs one closed-loop iteration against /v1/analyze.
+func oneRequest(client *http.Client, url string, c *suite.Case, st *workerStats) {
+	body, _ := json.Marshal(&server.AnalyzeRequest{Source: c.Source, File: c.Name + ".c"})
+	start := time.Now()
+	httpResp, err := client.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.errors++
+		return
+	}
+	data, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	lat := time.Since(start)
+	if err != nil {
+		st.errors++
+		return
+	}
+	if httpResp.StatusCode == http.StatusTooManyRequests {
+		st.rejected++
+		return
+	}
+	var resp server.AnalyzeResponse
+	if jerr := json.Unmarshal(data, &resp); jerr != nil || resp.Schema != server.APISchema || resp.Result.Tool == "" {
+		st.errors++
+		return
+	}
+	st.latencies = append(st.latencies, lat)
+	st.verdicts[resp.Result.Verdict.String()]++
+	if resp.Coalesced {
+		st.coalesced++
+	}
+}
+
+func fetchMetrics(client *http.Client, url string) (*server.MetricsResponse, error) {
+	httpResp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	var m server.MetricsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	if m.Schema != server.APISchema {
+		return nil, fmt.Errorf("unexpected schema %q", m.Schema)
+	}
+	return &m, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func printReport(rep *report, after, before *server.MetricsResponse) {
+	fmt.Printf("undefbench: %d connections, %s against http://%s\n",
+		rep.Connections, time.Duration(rep.DurationNS), rep.Addr)
+	fmt.Printf("  requests:  %d ok, %d rejected (429), %d errors — %.1f req/s\n",
+		rep.Requests, rep.Rejected, rep.Errors, rep.Throughput)
+	fmt.Printf("  latency:   p50 %s · p95 %s · p99 %s · max %s\n",
+		time.Duration(rep.P50NS), time.Duration(rep.P95NS), time.Duration(rep.P99NS), time.Duration(rep.MaxNS))
+	fmt.Printf("  verdicts: ")
+	var keys []string
+	for v := range rep.Verdicts {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		fmt.Printf("  %s %d", v, rep.Verdicts[v])
+	}
+	fmt.Println()
+	fmt.Printf("  coalesced: %d/%d responses (%.1f%% hit rate)\n",
+		rep.Coalesced, rep.Requests, 100*rep.CoalesceHit)
+	if after != nil {
+		fmt.Printf("  server:    %d leaders, %d followers · cache %d compiles / %d hits · queue max depth %d, max active %d · %d contained panics\n",
+			after.Coalesce.Leaders-before.Coalesce.Leaders,
+			after.Coalesce.Followers-before.Coalesce.Followers,
+			after.Cache.Misses-before.Cache.Misses,
+			after.Cache.Hits-before.Cache.Hits,
+			after.Queue.MaxDepth, after.Queue.MaxActive,
+			after.Panics-before.Panics)
+	}
+	check := func(name string, ok bool) {
+		state := "ok"
+		if !ok {
+			state = "FAILED"
+		}
+		fmt.Printf("  check:     %-28s %s\n", name, state)
+	}
+	check("daemon alive after run", rep.ServerOK)
+	check("verdict counters match tally", rep.TallyMatch)
+	check("admission queue drained", rep.QueueEmpty)
+}
+
+// spawnServer starts an in-process service on a loopback port — the same
+// server the daemon mounts, minus the process boundary — and returns its
+// address and a stop function.
+func spawnServer(injectSpec string, injectSeed uint64) (string, func(), error) {
+	var injector *fault.Injector
+	if injectSpec != "" {
+		rules, err := fault.ParseSpec(injectSpec)
+		if err != nil {
+			return "", nil, fmt.Errorf("-inject: %v", err)
+		}
+		injector = fault.NewInjector(injectSeed, rules...)
+	}
+	srv, err := server.New(server.Config{Injector: injector})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	return ln.Addr().String(), func() { httpSrv.Close() }, nil
+}

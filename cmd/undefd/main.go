@@ -1,0 +1,129 @@
+// Command undefd is the undefinedness-analysis daemon: the checker behind
+// cmd/kcc served as a long-lived HTTP service speaking undefc.api/v1.
+//
+//	$ undefd -addr 127.0.0.1:8790
+//	undefd: listening on 127.0.0.1:8790
+//
+//	$ curl -s localhost:8790/v1/analyze -d '{"source":"int main(void){int x;return x;}"}'
+//	{"schema": "undefc.api/v1", "file": "request.c", "result": {...verdict...}}
+//
+// Flags:
+//
+//	-addr            listen address (default 127.0.0.1:8790; :0 picks a port)
+//	-model           default implementation-defined model (LP64, ILP32, INT8)
+//	-concurrency N   analyses executing at once (0 = all CPUs)
+//	-queue N         admission queue depth beyond that (429 when full)
+//	-timeout d       default per-request watchdog
+//	-max-timeout d   ceiling a request may ask for
+//	-max-steps N     default execution step budget (0 = pipeline default)
+//	-drain d         grace period for in-flight requests on SIGTERM/SIGINT
+//	-inject spec     deterministic fault injection (see internal/fault),
+//	                 e.g. 'server.handle=panic%0.01'
+//	-inject-seed n   seed for probabilistic injection rules
+//
+// On SIGTERM or SIGINT the daemon drains: /healthz flips to 503 so load
+// balancers stop routing here, the listener closes, in-flight requests
+// get -drain to finish, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its edges injectable for the smoke test: ready (when
+// non-nil) receives the bound listen address once the daemon accepts
+// connections.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("undefd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8790", "listen address (:0 picks a free port)")
+	model := fs.String("model", "LP64", "default implementation-defined model: LP64, ILP32, or INT8")
+	concurrency := fs.Int("concurrency", 0, "analyses executing at once (0 = all CPUs)")
+	queueDepth := fs.Int("queue", 64, "admission queue depth; arrivals beyond it get 429")
+	timeout := fs.Duration("timeout", 5*time.Second, "default per-request watchdog")
+	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "largest watchdog a request may ask for")
+	maxSteps := fs.Int64("max-steps", 0, "default execution step budget (0 = pipeline default)")
+	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	injectSpec := fs.String("inject", "", "fault-injection rules: site=kind[:arg][*count][@after][~match][%prob],...")
+	injectSeed := fs.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var injector *fault.Injector
+	if *injectSpec != "" {
+		rules, err := fault.ParseSpec(*injectSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "undefd: -inject: %v\n", err)
+			return 2
+		}
+		injector = fault.NewInjector(*injectSeed, rules...)
+		fmt.Fprintf(stdout, "undefd: fault injection armed: %s\n", *injectSpec)
+	}
+
+	srv, err := server.New(server.Config{
+		Model:          *model,
+		Concurrency:    *concurrency,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxSteps:       *maxSteps,
+		Injector:       injector,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "undefd: %v\n", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "undefd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "undefd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sig)
+
+	select {
+	case got := <-sig:
+		fmt.Fprintf(stdout, "undefd: %v: draining (up to %v)\n", got, *drain)
+		srv.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "undefd: drain: %v\n", err)
+			return 1
+		}
+		st := srv.CacheStats()
+		fmt.Fprintf(stdout, "undefd: drained clean (%d compiles, %d cache hits served)\n", st.Misses, st.Hits)
+		return 0
+	case err := <-errc:
+		fmt.Fprintf(stderr, "undefd: serve: %v\n", err)
+		return 1
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestDaemonSmoke boots the daemon on a free port, performs one analyze
+// round-trip, then delivers SIGTERM and asserts a clean drain: exit code
+// 0 and /healthz flipped to draining semantics on the way down. This is
+// the whole daemon lifecycle in one test — what `make check` runs.
+func TestDaemonSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var mu sync.Mutex // run writes the buffers; the test reads them after done
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, &stdout, &stderr, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	url := "http://" + addr
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(server.AnalyzeRequest{
+		Source: "int main(void) { int x; return x; }",
+		File:   "smoke.c",
+	})
+	resp, err = http.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var ar server.AnalyzeResponse
+	err = json.NewDecoder(resp.Body).Decode(&ar)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("analyze decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || ar.Schema != server.APISchema {
+		t.Fatalf("analyze = %d %q, want 200 %q", resp.StatusCode, ar.Schema, server.APISchema)
+	}
+	if ar.Result.Verdict.String() != "flagged" {
+		t.Errorf("verdict = %v, want flagged (uninitialized read)", ar.Result.Verdict)
+	}
+
+	// The daemon registered its signal handler before ready fired, so this
+	// SIGTERM reaches run's Notify channel, not the default handler.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	select {
+	case code = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never drained after SIGTERM")
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	mu.Lock()
+	out := stdout.String()
+	mu.Unlock()
+	for _, want := range []string{"listening on " + addr, "draining", "drained clean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDaemonBadFlags pins the usage exit codes without binding a port.
+func TestDaemonBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-inject", "server.handle=explode"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("bad inject spec: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-model", "PDP11"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("bad model: exit = %d, want 2", code)
+	}
+}

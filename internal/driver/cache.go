@@ -3,7 +3,9 @@ package driver
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"time"
@@ -35,8 +37,10 @@ type Cache struct {
 
 	// Counters, guarded by mu. A lookup that finds an entry counts as a
 	// hit even when the compile is still in flight (the caller shares it
-	// rather than redoing it, which is the point).
+	// rather than redoing it, which is the point); a hit on a still-compiling
+	// entry additionally counts as a single-flight wait.
 	hits, misses, errors int64
+	waits                int64
 	evictions            int64
 	compileTime          time.Duration
 
@@ -70,25 +74,33 @@ func NewCache() *Cache {
 	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
 }
 
-// CacheStats is a snapshot of a cache's counters.
+// CacheStats is a snapshot of a cache's counters. It is the only way to
+// read them: the live fields stay unexported behind the cache mutex, so a
+// monitoring goroutine polling a cache shared with a -j worker pool is
+// race-free by construction (asserted by TestCacheStatsConcurrent under
+// -race). The snapshot serializes directly into /metrics responses.
 type CacheStats struct {
-	Hits   int64 // lookups served from an existing (possibly in-flight) entry
-	Misses int64 // lookups that triggered a frontend pass
-	Errors int64 // misses whose compile failed (each failure counted once)
+	Hits   int64 `json:"hits"`   // lookups served from an existing (possibly in-flight) entry
+	Misses int64 `json:"misses"` // lookups that triggered a frontend pass
+	Errors int64 `json:"errors"` // misses whose compile failed (each failure counted once)
+	// Waits counts single-flight waits: hits that found the entry still
+	// compiling and blocked on the in-flight frontend pass instead of
+	// starting their own.
+	Waits int64 `json:"waits"`
 	// Evictions counts entries dropped from the cache: non-cacheable
 	// failures (transient, contained panic, cancellation) plus explicit
 	// Invalidate calls.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// CompileTime is the total wall time spent inside actual frontend
 	// passes (misses only; waiting on another caller's compile is free).
-	CompileTime time.Duration
+	CompileTime time.Duration `json:"compile_time_ns"`
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Errors: c.errors, Evictions: c.evictions, CompileTime: c.compileTime}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Errors: c.errors, Waits: c.waits, Evictions: c.evictions, CompileTime: c.compileTime}
 }
 
 // Len reports the number of cached translation units (including failures
@@ -108,6 +120,11 @@ func (c *Cache) Compile(src, file string, opts Options) (*sema.Program, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
 		c.hits++
+		select {
+		case <-e.done:
+		default:
+			c.waits++
+		}
 		o := c.observer
 		c.mu.Unlock()
 		if o != nil {
@@ -183,6 +200,20 @@ func (c *Cache) Invalidate(src, file string, opts Options) bool {
 	delete(c.entries, k)
 	c.evictions++
 	return true
+}
+
+// SourceKey renders the cache identity of (src, file, opts) — the key
+// under which the cache single-flights compiles — as an opaque hex string.
+// Servers reuse it to coalesce whole analysis requests: two requests with
+// equal SourceKeys are guaranteed to share one cached frontend pass, so
+// sharing the run too is sound as long as the remaining knobs (tool,
+// budget, timeout) are folded into the request key by the caller.
+func SourceKey(src, file string, opts Options) string {
+	k := makeKey(src, file, opts)
+	h := sha256.New()
+	h.Write(k.srcHash[:])
+	fmt.Fprintf(h, "|%+v|%s", k.model, k.defines)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 func makeKey(src, file string, opts Options) cacheKey {

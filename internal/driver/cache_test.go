@@ -128,3 +128,86 @@ func TestCacheErrorCaching(t *testing.T) {
 		t.Errorf("stats = %d misses / %d errors / %d hits, want 1/1/4", st.Misses, st.Errors, st.Hits)
 	}
 }
+
+// TestCacheWaits pins the single-flight wait counter: hits that find the
+// entry still compiling count as waits, sequential hits do not.
+func TestCacheWaits(t *testing.T) {
+	c := NewCache()
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Compile(cacheTestSrc, "w.c", Options{})
+		}()
+	}
+	wg.Wait()
+	c.Compile(cacheTestSrc, "w.c", Options{}) // sequential: a hit, never a wait
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != n {
+		t.Fatalf("stats = %d misses / %d hits, want 1/%d", st.Misses, st.Hits, n)
+	}
+	if st.Waits > st.Hits-1 {
+		t.Errorf("waits = %d, cannot exceed concurrent hits %d", st.Waits, st.Hits-1)
+	}
+}
+
+// TestCacheStatsConcurrent is the -race witness for the monitoring
+// contract: Stats (and SourceKey) may be polled from any goroutine while
+// a worker pool is compiling through the cache.
+func TestCacheStatsConcurrent(t *testing.T) {
+	c := NewCache()
+	stop := make(chan struct{})
+	var poller sync.WaitGroup
+	poller.Add(1)
+	go func() {
+		defer poller.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := c.Stats()
+			if st.Hits < 0 || st.Misses < 0 {
+				t.Error("negative counter snapshot")
+				return
+			}
+			_ = c.Len()
+		}
+	}()
+
+	srcs := []string{
+		"int main(void) { return 0; }",
+		"int main(void) { return 1; }",
+		"int main(void) { int x; return x; }",
+		"int main(void) { return", // compile error: exercises the error counters
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := srcs[(w+i)%len(srcs)]
+				c.Compile(src, "stats.c", Options{})
+				_ = SourceKey(src, "stats.c", Options{})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	poller.Wait()
+
+	st := c.Stats()
+	if got := st.Hits + st.Misses; got != 8*50 {
+		t.Errorf("hits+misses = %d, want %d (every lookup counted exactly once)", got, 8*50)
+	}
+	if st.Misses != int64(len(srcs)) {
+		t.Errorf("misses = %d, want %d (one per distinct unit)", st.Misses, len(srcs))
+	}
+	if st.Errors != 1 {
+		t.Errorf("errors = %d, want 1", st.Errors)
+	}
+}

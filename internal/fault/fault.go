@@ -22,6 +22,7 @@ const (
 	StageCompile = "compile" // preprocess/parse/typecheck (driver)
 	StageAnalyze = "analyze" // a tool's analysis of one program
 	StageRunner  = "runner"  // suite-runner plumbing around a cell
+	StageServe   = "serve"   // a server request handler (internal/server)
 )
 
 // InternalError is a contained panic: the pipeline misbehaved, the fault

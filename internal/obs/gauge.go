@@ -1,0 +1,37 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is a point-in-time level (queue depth, in-flight requests) with a
+// high-water mark. Counters only ever go up; a gauge goes both ways, and
+// for serving systems the interesting question is usually "how deep did it
+// get", so every increase also races the recorded maximum forward. All
+// operations are lock-free atomics, safe for any number of goroutines.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the level by d (negative to decrease) and returns the new
+// level. Increases update the high-water mark.
+func (g *Gauge) Add(d int64) int64 {
+	n := g.v.Add(d)
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return n
+		}
+	}
+}
+
+// Inc increments the level by one and returns the new level.
+func (g *Gauge) Inc() int64 { return g.Add(1) }
+
+// Dec decrements the level by one and returns the new level.
+func (g *Gauge) Dec() int64 { return g.Add(-1) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }

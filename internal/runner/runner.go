@@ -64,6 +64,23 @@ type Options struct {
 	// threaded into the shared frontend (driver.compile site). Tools carry
 	// their own injector via tools.Config.
 	Injector *fault.Injector
+	// OnCell, when set, is invoked for every completed matrix cell as soon
+	// as its report exists — the streaming hook batch servers use to emit
+	// per-case results while the run is still going. Invocations are
+	// serialized (never concurrent) but arrive in completion order, not
+	// case order; cells skipped by cancellation are never delivered. Keep
+	// the callback fast: it runs on a worker goroutine and a slow consumer
+	// stalls that worker.
+	OnCell func(Cell)
+}
+
+// Cell is one completed matrix cell, as delivered to Options.OnCell.
+type Cell struct {
+	Case      string
+	Tool      string
+	CaseIndex int
+	ToolIndex int
+	Report    tools.Report
 }
 
 func (o Options) workers() int {
@@ -149,13 +166,20 @@ func RunMatrix(s *suite.Suite, ts []tools.Tool, opts Options) (*MatrixResult, er
 	type item struct{ ci, ti int }
 	work := make(chan item)
 	var wg sync.WaitGroup
+	var cellMu sync.Mutex // serializes OnCell deliveries
 	for w := 0; w < opts.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for it := range work {
 				c := &s.Cases[it.ci]
-				reports[it.ci][it.ti] = runCell(ctx, cache, ts[it.ti], c, copts, opts)
+				rep := runCell(ctx, cache, ts[it.ti], c, copts, opts)
+				reports[it.ci][it.ti] = rep
+				if opts.OnCell != nil {
+					cellMu.Lock()
+					opts.OnCell(Cell{Case: c.Name, Tool: ts[it.ti].Name(), CaseIndex: it.ci, ToolIndex: it.ti, Report: rep})
+					cellMu.Unlock()
+				}
 			}
 		}()
 	}

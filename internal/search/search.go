@@ -10,6 +10,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/interp"
@@ -47,6 +48,13 @@ type Options struct {
 	MaxSteps int64
 	// StopAtFirstUB ends the search as soon as any UB is found.
 	StopAtFirstUB bool
+	// Context, when non-nil, cancels the search: it is threaded into every
+	// execution (interp.Options.Context, so an in-flight run stops at the
+	// next step poll) and checked between runs. A cancelled search returns
+	// the outcomes observed so far with Exhausted false — an adversarial
+	// input can make the decision tree enormous, so callers under a
+	// deadline get a partial answer, never a hang.
+	Context context.Context
 }
 
 // Result aggregates a search.
@@ -90,9 +98,18 @@ func Explore(prog *sema.Program, opts Options) Result {
 		if res.Runs >= maxRuns {
 			return res
 		}
+		if opts.Context != nil && opts.Context.Err() != nil {
+			return res
+		}
 		tr := &interp.Trace{Prefix: append([]int{}, prefix...)}
-		runRes := interp.Run(prog, interp.Options{Sched: tr, Budget: interp.Budget{MaxSteps: opts.MaxSteps}})
+		runRes := interp.Run(prog, interp.Options{Sched: tr, Budget: interp.Budget{MaxSteps: opts.MaxSteps}, Context: opts.Context})
 		res.Runs++
+		if opts.Context != nil && opts.Context.Err() != nil {
+			// The run was interrupted mid-execution: its outcome is an
+			// artifact of the cancellation, not a program behavior.
+			res.Runs--
+			return res
+		}
 
 		out := Outcome{
 			ExitCode: runRes.ExitCode,

@@ -1,0 +1,283 @@
+package server
+
+// The undefc.api/v1 wire types. Every request and response body on the
+// service is one of these values, and each is plain data (no methods with
+// side effects, every field a value type) so the whole API round-trips
+// through encoding/json — the golden fixtures under testdata/ pin the
+// shapes byte for byte. Result payloads embed the undefc.report/v1 types
+// from internal/runner rather than redefining them: a verdict means the
+// same thing whether it arrived in a file report or over the network.
+
+import (
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/runner"
+	"repro/internal/search"
+	"repro/internal/ub"
+)
+
+// APISchema identifies the service wire format. Consumers should reject
+// bodies whose schema they do not understand; the version suffix is bumped
+// on any incompatible change.
+const APISchema = "undefc.api/v1"
+
+// AnalyzeRequest is the body of POST /v1/analyze: one self-contained C
+// translation unit plus the per-request knobs. Zero values defer to the
+// server's configured defaults.
+type AnalyzeRequest struct {
+	// Source is the full C source text (required).
+	Source string `json:"source"`
+	// File names the translation unit in diagnostics (default "request.c").
+	File string `json:"file,omitempty"`
+	// Tool selects the analysis: "kcc" (default), "valgrind",
+	// "checkpointer", or "value-analysis".
+	Tool string `json:"tool,omitempty"`
+	// Model is the implementation-defined model: "LP64" (default),
+	// "ILP32", or "INT8".
+	Model string `json:"model,omitempty"`
+	// Defines are command-line style macro definitions ("NAME=VALUE").
+	Defines []string `json:"defines,omitempty"`
+	// MaxSteps bounds the execution step budget (0 = server default).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Timeout is the per-request wall-clock watchdog as a Go duration
+	// string ("500ms"); it is clamped to the server's maximum.
+	Timeout string `json:"timeout,omitempty"`
+	// Metrics asks for the execution-metrics snapshot in the result.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// AnalyzeResponse is the body of a /v1/analyze reply. Result is the same
+// shape as the undefc.report/v1 single-file result, so report consumers
+// parse service replies unchanged.
+type AnalyzeResponse struct {
+	Schema string            `json:"schema"`
+	File   string            `json:"file"`
+	Result runner.ToolResult `json:"result"`
+	// Coalesced marks a reply served by sharing another identical
+	// in-flight request's analysis instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// QueueNS is the time the request (or the leader it coalesced onto)
+	// waited for admission.
+	QueueNS int64 `json:"queue_ns,omitempty"`
+}
+
+// BatchCase is one case of a caller-supplied batch.
+type BatchCase struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	// Bad marks a case expected to contain undefined behavior (carried
+	// through to the trailer's aggregate, not used to judge the verdict).
+	Bad   bool   `json:"bad,omitempty"`
+	Class string `json:"class,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: either a named built-in
+// suite or an explicit case list, analyzed by the selected tools on the
+// server's worker pool. Results stream back as NDJSON (one BatchCellLine
+// per completed case×tool cell, in completion order) framed by a
+// BatchHeader line and a BatchTrailer line.
+type BatchRequest struct {
+	// Suite names a built-in suite ("juliet" or "own"); mutually
+	// exclusive with Cases.
+	Suite string      `json:"suite,omitempty"`
+	Cases []BatchCase `json:"cases,omitempty"`
+	// Tools selects the analyses (default: kcc only). Same names as
+	// AnalyzeRequest.Tool.
+	Tools   []string `json:"tools,omitempty"`
+	Model   string   `json:"model,omitempty"`
+	Defines []string `json:"defines,omitempty"`
+	// Parallelism is the worker count for the case×tool matrix, clamped
+	// to the server's concurrency limit (0 = 1: a batch holds one
+	// admission slot, extra parallelism is an explicit request).
+	Parallelism int `json:"parallelism,omitempty"`
+	// CaseTimeout is the per-cell watchdog as a Go duration string.
+	CaseTimeout string `json:"case_timeout,omitempty"`
+	// MaxSteps bounds each cell's step budget (0 = server default).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Metrics asks for per-cell execution-metrics snapshots.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// BatchHeader is the first NDJSON line of a /v1/batch stream.
+type BatchHeader struct {
+	Schema string   `json:"schema"`
+	Suite  string   `json:"suite,omitempty"`
+	Cases  int      `json:"cases"`
+	Tools  []string `json:"tools"`
+}
+
+// BatchCellLine is one streamed result: the undefc.report/v1 tool result
+// plus the case it belongs to, emitted the moment the cell completes.
+type BatchCellLine struct {
+	Case string `json:"case"`
+	runner.ToolResult
+}
+
+// BatchTrailer is the final NDJSON line of a /v1/batch stream: the run's
+// frontend accounting and crash manifest summary. Error is set when the
+// run itself failed (contained panic, cancellation) after the header was
+// already on the wire.
+type BatchTrailer struct {
+	Done     bool                `json:"done"`
+	Frontend runner.FrontendJSON `json:"frontend"`
+	Failures int                 `json:"failures"`
+	Skipped  int                 `json:"skipped,omitempty"`
+	Retried  int                 `json:"retried,omitempty"`
+	Error    *APIError           `json:"error,omitempty"`
+}
+
+// ExploreRequest is the body of POST /v1/explore: evaluation-order search
+// (paper §2.5.2) over one translation unit.
+type ExploreRequest struct {
+	Source string `json:"source"`
+	File   string `json:"file,omitempty"`
+	Model  string `json:"model,omitempty"`
+	// MaxRuns caps the number of evaluation orders tried (0 = 5000).
+	MaxRuns int `json:"max_runs,omitempty"`
+	// MaxSteps bounds each single execution (0 = server default).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// StopAtFirstUB ends the search at the first undefined order.
+	StopAtFirstUB bool `json:"stop_at_first_ub,omitempty"`
+	// Timeout bounds the whole search as a Go duration string.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// ExploreOutcome is one distinct observed behavior.
+type ExploreOutcome struct {
+	ExitCode int       `json:"exit_code"`
+	Output   string    `json:"output,omitempty"`
+	UB       *ub.Error `json:"ub,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	// Trace is the evaluation-order decision prefix that produced this
+	// behavior (replayable).
+	Trace []int `json:"trace"`
+}
+
+// ExploreResponse is the body of a /v1/explore reply; ubexplore -json
+// emits the identical shape, so the CLI and the service stay one format.
+type ExploreResponse struct {
+	Schema        string           `json:"schema"`
+	File          string           `json:"file"`
+	Runs          int              `json:"runs"`
+	Exhausted     bool             `json:"exhausted"`
+	Deterministic bool             `json:"deterministic"`
+	Outcomes      []ExploreOutcome `json:"outcomes"`
+}
+
+// ExploreResponseFrom flattens a search result into the wire shape.
+func ExploreResponseFrom(file string, res search.Result) *ExploreResponse {
+	out := &ExploreResponse{
+		Schema:        APISchema,
+		File:          file,
+		Runs:          res.Runs,
+		Exhausted:     res.Exhausted,
+		Deterministic: res.Deterministic(),
+		Outcomes:      []ExploreOutcome{},
+	}
+	for _, o := range res.Outcomes {
+		eo := ExploreOutcome{ExitCode: o.ExitCode, Output: o.Output, UB: o.UB, Trace: o.Trace}
+		if eo.Trace == nil {
+			eo.Trace = []int{}
+		}
+		if o.Err != nil {
+			eo.Error = o.Err.Error()
+		}
+		out.Outcomes = append(out.Outcomes, eo)
+	}
+	return out
+}
+
+// APIError is the machine-readable error detail of an ErrorResponse.
+type APIError struct {
+	// Code is a stable identifier: "bad-request", "too-large",
+	// "queue-full", "draining", "not-found", "method-not-allowed",
+	// "internal-error".
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Schema string   `json:"schema"`
+	Error  APIError `json:"error"`
+}
+
+// QueueStats is the admission queue's /metrics view.
+type QueueStats struct {
+	// Depth is the current number of requests waiting for admission;
+	// MaxDepth is its high-water mark.
+	Depth    int64 `json:"depth"`
+	MaxDepth int64 `json:"max_depth"`
+	// Active is the number of admitted requests currently executing;
+	// MaxActive is its high-water mark.
+	Active    int64 `json:"active"`
+	MaxActive int64 `json:"max_active"`
+	// Admitted counts requests that got a slot; Rejected counts 429s
+	// (queue at capacity); Cancelled counts waiters whose request context
+	// ended before a slot freed up.
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// CoalesceStats is the request coalescer's /metrics view.
+type CoalesceStats struct {
+	// Leaders counts requests that ran an analysis; Followers counts
+	// requests served by sharing a leader's in-flight analysis.
+	Leaders   int64 `json:"leaders"`
+	Followers int64 `json:"followers"`
+	// HitRate is Followers / (Leaders + Followers), the fraction of
+	// requests that paid nothing.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// MetricsResponse is the body of GET /metrics.
+type MetricsResponse struct {
+	Schema   string `json:"schema"`
+	UptimeNS int64  `json:"uptime_ns"`
+	// Requests counts received requests by route ("/v1/analyze", ...).
+	Requests map[string]int64 `json:"requests"`
+	// Verdicts counts /v1/analyze results by verdict string; BatchCells
+	// does the same for streamed batch cells.
+	Verdicts   map[string]int64 `json:"verdicts,omitempty"`
+	BatchCells map[string]int64 `json:"batch_cells,omitempty"`
+	// Panics counts handler panics contained by the serve-stage guard.
+	Panics   int64              `json:"panics,omitempty"`
+	Queue    QueueStats         `json:"queue"`
+	Coalesce CoalesceStats      `json:"coalesce"`
+	Cache    driver.CacheStats  `json:"cache"`
+	Draining bool               `json:"draining,omitempty"`
+}
+
+// ConfigResponse is the body of GET /debug/config: the effective serving
+// configuration after defaulting.
+type ConfigResponse struct {
+	Schema         string   `json:"schema"`
+	Model          string   `json:"model"`
+	Defines        []string `json:"defines,omitempty"`
+	Concurrency    int      `json:"concurrency"`
+	QueueDepth     int      `json:"queue_depth"`
+	DefaultTimeout string   `json:"default_timeout"`
+	MaxTimeout     string   `json:"max_timeout"`
+	MaxSourceBytes int64    `json:"max_source_bytes"`
+	MaxBatchCases  int      `json:"max_batch_cases"`
+	InjectorArmed  bool     `json:"injector_armed,omitempty"`
+}
+
+// parseTimeout resolves a request's timeout string against the server's
+// default and ceiling: empty means the default, anything above the
+// ceiling is clamped to it.
+func parseTimeout(s string, def, max time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 || d > max {
+		return max, nil
+	}
+	return d, nil
+}

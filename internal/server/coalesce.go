@@ -1,0 +1,90 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// outcome is the shared product of one analysis flight: either a response
+// body or an API error, plus the HTTP status to serve it with. Followers
+// copy the value, so an outcome must stay plain data (the embedded
+// ToolResult pointers — UB, Fault, Metrics — are written once by the
+// leader and only read after the flight's done channel closes).
+type outcome struct {
+	status int
+	resp   AnalyzeResponse
+	// errCode/errMsg, when set, mean the flight produced no analysis (the
+	// leader was refused admission); the handler serves an ErrorResponse.
+	errCode string
+	errMsg  string
+}
+
+// coalescer single-flights identical in-flight analyze requests: the
+// first request for a key (the leader) runs the analysis; requests that
+// arrive with the same key while it is still running (followers) block on
+// the leader's flight and share its outcome without consuming an
+// admission slot or any interpreter work. This is pure in-flight
+// deduplication, not a response cache — the moment a flight completes its
+// key is forgotten, so results can never go stale. It layers on
+// driver.Cache, which deduplicates the *compile*; the coalescer
+// deduplicates the whole compile+run.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	leaders   atomic.Int64
+	followers atomic.Int64
+}
+
+type flight struct {
+	done chan struct{} // closed once out is set
+	out  outcome
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: make(map[string]*flight)}
+}
+
+// do runs fn once per concurrent key: the leader executes it, followers
+// wait and share. The boolean reports whether this caller was a follower.
+func (c *coalescer) do(key string, fn func() outcome) (outcome, bool) {
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.followers.Add(1)
+		<-f.done
+		return f.out, true
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+	c.leaders.Add(1)
+
+	// Yield between publishing the flight and executing it. A short
+	// CPU-bound analysis has no scheduling point of its own, so on a
+	// single-P runtime the leader would otherwise run to completion before
+	// any already-arrived duplicate could reach the map — coalescing would
+	// be structurally impossible exactly when the machine is most loaded.
+	// One cooperative yield lets runnable duplicates register as followers
+	// first; elsewhere it is noise.
+	runtime.Gosched()
+
+	f.out = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.out, false
+}
+
+// Stats snapshots the coalescer counters for /metrics.
+func (c *coalescer) Stats() CoalesceStats {
+	l, fo := c.leaders.Load(), c.followers.Load()
+	s := CoalesceStats{Leaders: l, Followers: fo}
+	if l+fo > 0 {
+		s.HitRate = float64(fo) / float64(l+fo)
+	}
+	return s
+}

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/fault"
+	"repro/internal/runner"
+	"repro/internal/search"
+	"repro/internal/suite"
+	"repro/internal/tools"
+)
+
+// ---------- /v1/analyze ----------
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "bad-request", "source is required")
+		return
+	}
+	file := req.File
+	if file == "" {
+		file = "request.c"
+	}
+	model := s.model
+	if req.Model != "" {
+		var err error
+		if model, err = modelFor(req.Model); err != nil {
+			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+			return
+		}
+	}
+	timeout, err := parseTimeout(req.Timeout, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "timeout: "+err.Error())
+		return
+	}
+	tcfg := tools.Config{
+		Model:    model,
+		Budget:   s.budgetFor(req.MaxSteps),
+		Metrics:  req.Metrics,
+		Timeout:  timeout,
+		Injector: s.cfg.Injector,
+	}
+	tool, err := toolFor(req.Tool, tcfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	defines := append(append([]string{}, s.cfg.Defines...), req.Defines...)
+	copts := driver.Options{Model: model, Defines: defines, Injector: s.cfg.Injector}
+
+	// The coalesce key is the compile cache's source identity plus every
+	// knob that changes the analysis: two requests with equal keys would
+	// produce identical results, so the second shares the first's flight.
+	key := fmt.Sprintf("%s|%s|%d|%s|%v",
+		driver.SourceKey(req.Source, file, copts), tool.Name(), req.MaxSteps, timeout, req.Metrics)
+	out, coalesced := s.coalesce.do(key, func() outcome {
+		return s.runAnalysis(r.Context(), req.Source, file, tool, copts)
+	})
+	if out.errCode != "" {
+		writeError(w, out.status, out.errCode, out.errMsg)
+		return
+	}
+	resp := out.resp
+	resp.Coalesced = coalesced
+	s.countVerdict("analyze", resp.Result.Verdict.String())
+	writeJSON(w, out.status, resp)
+}
+
+// runAnalysis is the leader's flight: admission, then one guarded
+// compile+run through the shared cache.
+func (s *Server) runAnalysis(ctx context.Context, src, file string, tool tools.Tool, copts driver.Options) outcome {
+	qstart := time.Now()
+	release, err := s.queue.Acquire(ctx)
+	if errors.Is(err, ErrQueueFull) {
+		return outcome{status: http.StatusTooManyRequests, errCode: "queue-full",
+			errMsg: fmt.Sprintf("admission queue at capacity (%d executing, %d waiting); retry later",
+				s.cfg.Concurrency, s.cfg.QueueDepth)}
+	}
+	if err != nil {
+		return outcome{status: http.StatusServiceUnavailable, errCode: "cancelled",
+			errMsg: "request ended while waiting for admission: " + err.Error()}
+	}
+	defer release()
+	queueNS := time.Since(qstart).Nanoseconds()
+
+	var rep tools.Report
+	gerr := fault.Guard(fault.StageServe, file, func() error {
+		if err := s.cfg.Injector.Fire(SiteHandle, file); err != nil {
+			return err
+		}
+		prog, cerr := s.cache.Compile(src, file, copts)
+		if cerr != nil {
+			rep = tools.ReportFromError(cerr)
+			if rep.Verdict == tools.Inconclusive {
+				rep.Detail = "compile: " + cerr.Error()
+			}
+			return nil
+		}
+		// The run is detached from the leader's request context on
+		// purpose: followers coalescing onto this flight must not be
+		// cancelled by the leader's client hanging up. The per-request
+		// watchdog (tools.Config.Timeout) bounds it instead.
+		rep = tool.AnalyzeProgram(context.Background(), prog, file)
+		return nil
+	})
+	if gerr != nil {
+		rep = tools.ReportFromError(gerr)
+		if rep.Verdict == tools.InternalError {
+			s.countPanic()
+		}
+	}
+	status := http.StatusOK
+	if rep.Verdict == tools.InternalError {
+		status = http.StatusInternalServerError
+	}
+	return outcome{status: status, resp: AnalyzeResponse{
+		Schema:  APISchema,
+		File:    file,
+		Result:  runner.ToolResultFrom(tool.Name(), rep),
+		QueueNS: queueNS,
+	}}
+}
+
+// ---------- /v1/batch ----------
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeJSON(w, r, 16*s.cfg.MaxSourceBytes, &req) {
+		return
+	}
+	var su *suite.Suite
+	switch {
+	case req.Suite != "" && len(req.Cases) > 0:
+		writeError(w, http.StatusBadRequest, "bad-request", "suite and cases are mutually exclusive")
+		return
+	case req.Suite == "juliet":
+		su = suite.Juliet()
+	case req.Suite == "own":
+		su = suite.Own()
+	case req.Suite != "":
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("unknown suite %q (want juliet or own)", req.Suite))
+		return
+	case len(req.Cases) == 0:
+		writeError(w, http.StatusBadRequest, "bad-request", "need a suite name or a case list")
+		return
+	default:
+		if len(req.Cases) > s.cfg.MaxBatchCases {
+			writeError(w, http.StatusRequestEntityTooLarge, "too-large",
+				fmt.Sprintf("%d cases exceeds the %d-case limit", len(req.Cases), s.cfg.MaxBatchCases))
+			return
+		}
+		su = &suite.Suite{Name: "batch"}
+		for i, c := range req.Cases {
+			if c.Name == "" {
+				writeError(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("case %d: name is required", i))
+				return
+			}
+			su.Cases = append(su.Cases, suite.Case{Name: c.Name, Source: c.Source, Bad: c.Bad, Class: c.Class})
+		}
+	}
+	model := s.model
+	if req.Model != "" {
+		var err error
+		if model, err = modelFor(req.Model); err != nil {
+			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+			return
+		}
+	}
+	caseTimeout, err := parseTimeout(req.CaseTimeout, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "case_timeout: "+err.Error())
+		return
+	}
+	tcfg := tools.Config{Model: model, Budget: s.budgetFor(req.MaxSteps), Metrics: req.Metrics, Injector: s.cfg.Injector}
+	toolNames := req.Tools
+	if len(toolNames) == 0 {
+		toolNames = []string{"kcc"}
+	}
+	var ts []tools.Tool
+	for _, name := range toolNames {
+		t, err := toolFor(name, tcfg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+			return
+		}
+		ts = append(ts, t)
+	}
+	par := req.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	if par > s.cfg.Concurrency {
+		par = s.cfg.Concurrency
+	}
+
+	// One admission slot covers the whole batch; its internal parallelism
+	// is the request's own (clamped) knob.
+	release, err := s.queue.Acquire(r.Context())
+	if errors.Is(err, ErrQueueFull) {
+		writeError(w, http.StatusTooManyRequests, "queue-full", "admission queue at capacity; retry later")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "cancelled", err.Error())
+		return
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name()
+	}
+	enc.Encode(BatchHeader{Schema: APISchema, Suite: su.Name, Cases: len(su.Cases), Tools: names})
+	flush()
+
+	defines := append(append([]string{}, s.cfg.Defines...), req.Defines...)
+	opts := runner.Options{
+		Parallelism: par,
+		Context:     r.Context(),
+		Cache:       s.cache,
+		Model:       model,
+		Defines:     defines,
+		CaseTimeout: caseTimeout,
+		Injector:    s.cfg.Injector,
+		OnCell: func(c runner.Cell) {
+			s.countVerdict("batch", c.Report.Verdict.String())
+			enc.Encode(BatchCellLine{Case: c.Case, ToolResult: runner.ToolResultFrom(c.Tool, c.Report)})
+			flush()
+		},
+	}
+	unit := "batch:" + su.Name
+	var m *runner.MatrixResult
+	gerr := fault.Guard(fault.StageServe, unit, func() error {
+		if err := s.cfg.Injector.Fire(SiteHandle, unit); err != nil {
+			return err
+		}
+		var rerr error
+		m, rerr = runner.RunMatrix(su, ts, opts)
+		return rerr
+	})
+	trailer := BatchTrailer{Done: gerr == nil}
+	if m != nil {
+		trailer.Frontend = runner.FrontendJSON{
+			Compiles:  m.Frontend.Compiles,
+			CacheHits: m.Frontend.CacheHits,
+			Errors:    m.Frontend.Errors,
+			TimeNS:    m.Frontend.Time.Nanoseconds(),
+		}
+		trailer.Failures = len(m.Failures)
+		trailer.Skipped = m.Skipped
+		trailer.Retried = m.Retried
+	}
+	if gerr != nil {
+		code := "cancelled"
+		if _, ok := fault.AsInternal(gerr); ok {
+			code = "internal-error"
+			s.countPanic()
+		}
+		trailer.Error = &APIError{Code: code, Message: gerr.Error()}
+	}
+	enc.Encode(trailer)
+	flush()
+}
+
+// ---------- /v1/explore ----------
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "bad-request", "source is required")
+		return
+	}
+	file := req.File
+	if file == "" {
+		file = "request.c"
+	}
+	model := s.model
+	if req.Model != "" {
+		var err error
+		if model, err = modelFor(req.Model); err != nil {
+			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+			return
+		}
+	}
+	timeout, err := parseTimeout(req.Timeout, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "timeout: "+err.Error())
+		return
+	}
+	maxRuns := req.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 5000
+	}
+	release, err := s.queue.Acquire(r.Context())
+	if errors.Is(err, ErrQueueFull) {
+		writeError(w, http.StatusTooManyRequests, "queue-full", "admission queue at capacity; retry later")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "cancelled", err.Error())
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	copts := driver.Options{Model: model, Defines: s.cfg.Defines, Injector: s.cfg.Injector}
+	var resp *ExploreResponse
+	gerr := fault.Guard(fault.StageServe, file, func() error {
+		if err := s.cfg.Injector.Fire(SiteHandle, file); err != nil {
+			return err
+		}
+		prog, cerr := s.cache.Compile(req.Source, file, copts)
+		if cerr != nil {
+			return cerr
+		}
+		maxSteps := req.MaxSteps
+		if maxSteps <= 0 {
+			maxSteps = s.cfg.MaxSteps
+		}
+		res := search.Explore(prog, search.Options{
+			MaxRuns:       maxRuns,
+			MaxSteps:      maxSteps,
+			StopAtFirstUB: req.StopAtFirstUB,
+			Context:       ctx,
+		})
+		resp = ExploreResponseFrom(file, res)
+		return nil
+	})
+	if gerr != nil {
+		if ie, ok := fault.AsInternal(gerr); ok {
+			s.countPanic()
+			writeError(w, http.StatusInternalServerError, "internal-error", ie.Error())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "compile-error", gerr.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------- operational endpoints ----------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &ConfigResponse{
+		Schema:         APISchema,
+		Model:          s.cfg.Model,
+		Defines:        s.cfg.Defines,
+		Concurrency:    s.cfg.Concurrency,
+		QueueDepth:     s.cfg.QueueDepth,
+		DefaultTimeout: s.cfg.DefaultTimeout.String(),
+		MaxTimeout:     s.cfg.MaxTimeout.String(),
+		MaxSourceBytes: s.cfg.MaxSourceBytes,
+		MaxBatchCases:  s.cfg.MaxBatchCases,
+		InjectorArmed:  s.cfg.Injector != nil,
+	})
+}
+
+// ---------- plumbing ----------
+
+// decodeJSON reads a size-limited JSON body, answering 413 (too large) or
+// 400 (malformed) itself. It reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too-large",
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad-request", "body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := runner.WriteJSON(w, v); err != nil {
+		// The status line is gone; nothing useful left to do but note it.
+		fmt.Fprintf(w, `{"schema":%q,"error":{"code":"internal-error","message":"encode: %s"}}`,
+			APISchema, err)
+	}
+}
+
+// writeError serves the uniform ErrorResponse. Backpressure statuses
+// carry Retry-After so well-behaved clients pace themselves.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, &ErrorResponse{Schema: APISchema, Error: APIError{Code: code, Message: msg}})
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// ErrQueueFull reports that the admission queue is at capacity: the
+// request was rejected immediately instead of waiting, and the client
+// should back off (the handler maps this to 429 + Retry-After).
+var ErrQueueFull = errors.New("admission queue full")
+
+// queue is the server's admission control: at most `concurrency` requests
+// execute at once, at most `depth` more wait for a slot, and everything
+// beyond that is rejected on arrival. Rejecting at the door instead of
+// queueing without bound is what keeps tail latency finite under
+// overload — a client is better served by an immediate 429 than by a
+// reply that arrives after its own deadline.
+type queue struct {
+	tokens chan struct{}
+	depth  int64
+
+	waiting obs.Gauge // requests blocked in Acquire
+	active  obs.Gauge // requests holding a token
+
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+}
+
+func newQueue(concurrency, depth int) *queue {
+	q := &queue{tokens: make(chan struct{}, concurrency), depth: int64(depth)}
+	for i := 0; i < concurrency; i++ {
+		q.tokens <- struct{}{}
+	}
+	return q
+}
+
+// Acquire admits the request or refuses it. On success it returns a
+// release function that MUST be called exactly once. It fails fast with
+// ErrQueueFull when the wait line is at capacity, and with ctx.Err() when
+// the caller's context ends while waiting.
+func (q *queue) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot, no queueing at all.
+	select {
+	case <-q.tokens:
+		q.admitted.Add(1)
+		q.active.Inc()
+		return q.release, nil
+	default:
+	}
+	// Admission check is a gauge read, not a reservation, so a burst can
+	// briefly overshoot depth by the number of racing arrivals — bounded
+	// imprecision is fine for backpressure; what matters is that the wait
+	// line cannot grow without bound.
+	if q.waiting.Load() >= q.depth {
+		q.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	q.waiting.Inc()
+	defer q.waiting.Dec()
+	select {
+	case <-q.tokens:
+		q.admitted.Add(1)
+		q.active.Inc()
+		return q.release, nil
+	case <-ctx.Done():
+		q.cancelled.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (q *queue) release() {
+	q.active.Dec()
+	q.tokens <- struct{}{}
+}
+
+// Stats snapshots the queue counters for /metrics.
+func (q *queue) Stats() QueueStats {
+	return QueueStats{
+		Depth:     q.waiting.Load(),
+		MaxDepth:  q.waiting.Max(),
+		Active:    q.active.Load(),
+		MaxActive: q.active.Max(),
+		Admitted:  q.admitted.Load(),
+		Rejected:  q.rejected.Load(),
+		Cancelled: q.cancelled.Load(),
+	}
+}

@@ -1,0 +1,261 @@
+// Package server turns the undefinedness checker into a long-lived
+// analysis service: a versioned undefc.api/v1 HTTP API over the same
+// pipeline the CLIs drive (driver → tools → runner → search), wrapped in
+// the serving discipline a production checker needs — bounded admission
+// with backpressure (a full queue answers 429 + Retry-After immediately
+// instead of queueing without bound), single-flight coalescing of
+// identical in-flight submissions keyed on the compile cache's source
+// hash (N clients submitting the same translation unit cost one
+// compile+run), per-request deadlines, panic quarantine at the serve
+// stage (a crashing request returns a structured internal-error verdict;
+// the daemon keeps serving), and graceful drain for SIGTERM.
+//
+// Routes:
+//
+//	POST /v1/analyze   one source → one undefc.report/v1 tool result
+//	POST /v1/batch     case set → NDJSON stream of per-cell results
+//	POST /v1/explore   evaluation-order search (§2.5.2)
+//	GET  /healthz      liveness ("ok", or 503 "draining")
+//	GET  /metrics      queue/coalesce/cache/verdict counters, JSON
+//	GET  /debug/config effective serving configuration
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ctypes"
+	"repro/internal/driver"
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/tools"
+)
+
+// SiteHandle is the fault-injection site fired at the top of every
+// admitted request's analysis; the unit is the request's file name.
+var SiteHandle = fault.RegisterSite("server.handle")
+
+// Config tunes the service. Zero values take the documented defaults.
+type Config struct {
+	// Model is the default implementation-defined model ("LP64", "ILP32",
+	// "INT8"); requests may override it.
+	Model string
+	// Defines are macro definitions applied to every compile, before any
+	// per-request defines.
+	Defines []string
+	// Concurrency bounds simultaneously executing analyses (default:
+	// GOMAXPROCS).
+	Concurrency int
+	// QueueDepth bounds requests waiting for admission; arrivals beyond
+	// it are answered 429 immediately (default 64).
+	QueueDepth int
+	// DefaultTimeout is the per-request watchdog when the request names
+	// none (default 5s); MaxTimeout is the ceiling any request can ask
+	// for (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSourceBytes bounds an analyze/explore request body; batch bodies
+	// get 16× (default 1 MiB).
+	MaxSourceBytes int64
+	// MaxBatchCases bounds a caller-supplied batch (default 4096).
+	MaxBatchCases int
+	// MaxSteps is the default execution step budget (0 = the pipeline's
+	// interp.DefaultBudget).
+	MaxSteps int64
+	// Injector, when set, arms fault injection: the server.handle site
+	// fires per admitted analysis and the injector is threaded into the
+	// frontend and the tools (their own sites).
+	Injector *fault.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == "" {
+		c.Model = "LP64"
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.DefaultTimeout > c.MaxTimeout {
+		c.DefaultTimeout = c.MaxTimeout
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxBatchCases <= 0 {
+		c.MaxBatchCases = 4096
+	}
+	return c
+}
+
+// Server is one service instance: a compile cache, an admission queue,
+// a request coalescer, and the counters behind /metrics. It is inert
+// until its Handler is mounted on a listener.
+type Server struct {
+	cfg      Config
+	model    *ctypes.Model
+	cache    *driver.Cache
+	queue    *queue
+	coalesce *coalescer
+	mux      *http.ServeMux
+	start    time.Time
+	draining atomic.Bool
+
+	mu         sync.Mutex
+	requests   map[string]int64
+	verdicts   map[string]int64
+	batchCells map[string]int64
+	panics     int64
+}
+
+// New builds a Server from cfg (zero fields defaulted). It fails only on
+// an unknown default model.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	model, err := modelFor(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		model:      model,
+		cache:      driver.NewCache(),
+		queue:      newQueue(cfg.Concurrency, cfg.QueueDepth),
+		coalesce:   newCoalescer(),
+		start:      time.Now(),
+		requests:   make(map[string]int64),
+		verdicts:   make(map[string]int64),
+		batchCells: make(map[string]int64),
+	}
+	s.mux = http.NewServeMux()
+	s.route("/v1/analyze", http.MethodPost, s.handleAnalyze)
+	s.route("/v1/batch", http.MethodPost, s.handleBatch)
+	s.route("/v1/explore", http.MethodPost, s.handleExplore)
+	s.route("/healthz", http.MethodGet, s.handleHealthz)
+	s.route("/metrics", http.MethodGet, s.handleMetrics)
+	s.route("/debug/config", http.MethodGet, s.handleConfig)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not-found", "no such route: "+r.URL.Path)
+	})
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (mount it on any server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDraining flips the drain flag: /healthz starts answering 503 so load
+// balancers stop routing here, while in-flight and already-accepted
+// requests complete normally (http.Server.Shutdown handles the
+// connection-level drain).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// CacheStats exposes the shared compile cache's counters.
+func (s *Server) CacheStats() driver.CacheStats { return s.cache.Stats() }
+
+// route registers a method-checked, request-counted handler.
+func (s *Server) route(path, method string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.requests[path]++
+		s.mu.Unlock()
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method-not-allowed",
+				fmt.Sprintf("%s only accepts %s", path, method))
+			return
+		}
+		h(w, r)
+	})
+}
+
+func (s *Server) countVerdict(kind, verdict string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if kind == "batch" {
+		s.batchCells[verdict]++
+	} else {
+		s.verdicts[verdict]++
+	}
+}
+
+func (s *Server) countPanic() {
+	s.mu.Lock()
+	s.panics++
+	s.mu.Unlock()
+}
+
+// Metrics assembles the /metrics snapshot.
+func (s *Server) Metrics() *MetricsResponse {
+	m := &MetricsResponse{
+		Schema:   APISchema,
+		UptimeNS: time.Since(s.start).Nanoseconds(),
+		Queue:    s.queue.Stats(),
+		Coalesce: s.coalesce.Stats(),
+		Cache:    s.cache.Stats(),
+		Draining: s.draining.Load(),
+	}
+	s.mu.Lock()
+	m.Requests = copyMap(s.requests)
+	m.Verdicts = copyMap(s.verdicts)
+	m.BatchCells = copyMap(s.batchCells)
+	m.Panics = s.panics
+	s.mu.Unlock()
+	return m
+}
+
+func copyMap(src map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// modelFor resolves the implementation-defined model names the CLIs use.
+func modelFor(name string) (*ctypes.Model, error) {
+	switch strings.ToUpper(name) {
+	case "", "LP64":
+		return ctypes.LP64(), nil
+	case "ILP32":
+		return ctypes.ILP32(), nil
+	case "INT8":
+		return ctypes.Int8(), nil
+	}
+	return nil, fmt.Errorf("unknown model %q (want LP64, ILP32, or INT8)", name)
+}
+
+// toolFor resolves a request's tool name to a configured analysis tool.
+func toolFor(name string, cfg tools.Config) (tools.Tool, error) {
+	switch strings.ToLower(name) {
+	case "", "kcc":
+		return tools.KCC(cfg), nil
+	case "valgrind", "memcheck":
+		return tools.Memcheck(cfg), nil
+	case "checkpointer":
+		return tools.CheckPointer(cfg), nil
+	case "value-analysis", "va":
+		return tools.ValueAnalysis(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown tool %q (want kcc, valgrind, checkpointer, or value-analysis)", name)
+}
+
+// budgetFor merges a request's step knob with the server default.
+func (s *Server) budgetFor(maxSteps int64) interp.Budget {
+	if maxSteps <= 0 {
+		maxSteps = s.cfg.MaxSteps
+	}
+	return interp.Budget{MaxSteps: maxSteps}
+}
