@@ -6,8 +6,10 @@ test:
 # Tier-1.5: concurrency hygiene, observability, fault-containment, and
 # serving gates — vet everything, run the worker-pool, compile-cache,
 # shared-program, fault, observability, and server packages under the
-# race detector, fail if the nil-observer step path allocates, smoke-run
-# the observer-overhead benchmark, exercise the end-to-end containment
+# race detector, fail if the nil-observer step path allocates, fail if
+# starting a span without a collector installed allocates, smoke-run
+# the observer-overhead and span-overhead benchmarks, exercise the
+# end-to-end containment
 # gate (a panic injected at every site must degrade gracefully, never
 # crash the suite), replay the fuzz seed corpora, and run the daemon
 # lifecycle smoke test (boot on a free port, one analyze round-trip,
@@ -18,7 +20,9 @@ check: test
 	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/... ./internal/obs/... ./internal/fault/...
 	go test -race ./internal/server/...
 	go test ./internal/interp/ -run 'ObserverPathAllocs' -count=1
+	go test ./internal/obs/ -run 'SpanNoCollector' -count=1
 	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 100x
+	go test ./internal/obs/ -run '^$$' -bench BenchmarkSpanOverhead -benchtime 100x
 	go test ./cmd/ubsuite/ -run TestContainmentGate -count=1
 	go test ./internal/lexer/ ./internal/parser/ ./internal/cpp/ -run '^Fuzz' -count=1
 	go test ./cmd/undefd/ -run TestDaemonSmoke -count=1
@@ -43,6 +47,14 @@ bench-serve:
 .PHONY: bench-obs
 bench-obs:
 	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 1s -count 3
+
+# Tracing demo: run the Figure 2 suite with span collection on and write
+# trace.json — Chrome trace-event JSON that loads directly in
+# chrome://tracing or https://ui.perfetto.dev (one row per matrix cell:
+# cell → compile → interp).
+.PHONY: trace-demo
+trace-demo:
+	go run ./cmd/ubsuite -suite juliet -trace-out trace.json
 
 # Regenerate the paper's evaluation figures (parallel by default; see -j).
 .PHONY: figures

@@ -24,6 +24,9 @@
 //	-json    emit the canonical undefc.report/v1 report instead of text
 //	-timeout d     wall-clock watchdog per analysis (e.g. 5s); expiry is
 //	               reported as a timeout verdict, not a hang
+//	-trace-out f   write the analysis' span tree (compile → interp) as
+//	               Chrome trace-event JSON to f; open it in
+//	               chrome://tracing or https://ui.perfetto.dev
 package main
 
 import (
@@ -60,6 +63,7 @@ func main() {
 	traceSteps := flag.Bool("trace-steps", false, "with -trace, include per-step events (noisy)")
 	jsonFlag := flag.Bool("json", false, "emit the canonical undefc.report/v1 JSON report")
 	timeout := flag.Duration("timeout", 0, "per-analysis wall-clock watchdog (0 = none)")
+	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	if *catalog {
@@ -102,11 +106,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	// ctx carries the span collector when -trace-out is set; finishTrace
+	// ends the root span and writes the Chrome trace file. It must run
+	// before any exit on a traced path (os.Exit skips defers).
+	ctx, finishTrace := startTrace(*traceOut)
+
 	if *jsonFlag {
 		// The report path runs the kcc analysis tool (metrics on, program
 		// output captured) and emits the canonical single-file report.
 		kcc := tools.KCC(tools.Config{Model: model, Budget: budget, Metrics: true, Observer: tracer, Timeout: *timeout})
-		rep := kcc.Analyze(string(src), file)
+		var rep tools.Report
+		if *traceOut == "" {
+			rep = kcc.Analyze(string(src), file)
+		} else {
+			// The traced equivalent of Analyze: compile under the "compile"
+			// span, analyze under "interp", charge the frontend to the
+			// report like compileAndDelegate does.
+			cstart := time.Now()
+			prog, cerr := driver.NewCache().CompileCtx(ctx, string(src), file, driver.Options{Model: model})
+			compile := time.Since(cstart)
+			if cerr != nil {
+				rep = tools.Report{Verdict: tools.Inconclusive, Detail: "compile: " + cerr.Error(), CompileDuration: compile}
+			} else {
+				rep = kcc.AnalyzeProgram(ctx, prog, file)
+				rep.CompileDuration = compile
+			}
+		}
+		finishTrace()
 		if err := runner.WriteJSON(os.Stdout, runner.FileReportFrom(file, kcc.Name(), rep)); err != nil {
 			fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
 			os.Exit(1)
@@ -117,8 +143,14 @@ func main() {
 		return
 	}
 
-	prog, err := driver.Compile(string(src), file, driver.Options{Model: model})
+	var prog *sema.Program
+	if *traceOut == "" {
+		prog, err = driver.Compile(string(src), file, driver.Options{Model: model})
+	} else {
+		prog, err = driver.NewCache().CompileCtx(ctx, string(src), file, driver.Options{Model: model})
+	}
 	if err != nil {
+		finishTrace()
 		fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
 		os.Exit(1)
 	}
@@ -149,9 +181,9 @@ func main() {
 		Args:     flag.Args()[1:],
 	}
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		tctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
-		opts.Context = ctx
+		opts.Context = tctx
 	}
 	if *axioms {
 		opts.Monitors = spec.Set{
@@ -160,7 +192,15 @@ func main() {
 			spec.NoUnseqConflict(),
 		}
 	}
+	_, rsp := obs.StartSpan(ctx, "interp")
 	res := interp.Run(prog, opts)
+	if rsp.Recording() {
+		if res.UB != nil {
+			rsp.SetAttr("ub", obs.CheckKey(res.UB.Behavior.Code))
+		}
+		rsp.End()
+	}
+	finishTrace()
 	if res.UB != nil {
 		fmt.Print(res.UB.Report())
 		os.Exit(1)
@@ -170,6 +210,38 @@ func main() {
 		os.Exit(1)
 	}
 	os.Exit(res.ExitCode)
+}
+
+// startTrace arms span collection for -trace-out: the returned context
+// carries the collector (plus a root "kcc" span), and the returned
+// function — idempotent, safe to call on every exit path — ends the root
+// and writes the collected tree as Chrome trace-event JSON.
+func startTrace(path string) (context.Context, func()) {
+	if path == "" {
+		return context.Background(), func() {}
+	}
+	buf := &obs.SpanBuffer{}
+	ctx, _ := obs.WithTrace(context.Background(), buf)
+	ctx, root := obs.StartSpan(ctx, "kcc")
+	done := false
+	return ctx, func() {
+		if done {
+			return
+		}
+		done = true
+		root.End()
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kcc: -trace-out: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, buf.Spans()); err != nil {
+			fmt.Fprintf(os.Stderr, "kcc: -trace-out: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "kcc: wrote %d spans to %s\n", len(buf.Spans()), path)
+	}
 }
 
 // runBatch analyzes every file on a worker pool sharing one compile

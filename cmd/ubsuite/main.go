@@ -10,8 +10,13 @@
 //
 // Observability:
 //
-//	-metrics   collect execution metrics and print a per-tool summary
-//	-json      emit the canonical undefc.report/v1 report (implies -metrics)
+//	-metrics     collect execution metrics and print a per-tool summary
+//	-json        emit the canonical undefc.report/v1 report (implies -metrics)
+//	-trace-out f write the run's span forest (cell → compile → interp per
+//	             matrix cell) as Chrome trace-event JSON to f
+//	-flight N    per-analysis flight-recorder ring (-1 auto: armed when
+//	             -inject is; 0 off); quarantined cells carry their last N
+//	             events in the failure manifest
 //
 // Fault containment:
 //
@@ -25,11 +30,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/suite"
 	"repro/internal/tools"
@@ -48,6 +55,8 @@ func main() {
 	injectSpec := flag.String("inject", "", "fault-injection rules: site=kind[:arg][*count][@after][~match][%prob],...")
 	injectSeed := flag.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
 	strict := flag.Bool("strict", false, "exit non-zero when the run recorded failures")
+	traceOut := flag.String("trace-out", "", "write the run's span forest as Chrome trace-event JSON to this file")
+	flight := flag.Int("flight", -1, "flight-recorder events per analysis (-1 = auto, 0 = off)")
 	flag.Parse()
 
 	if *catalog {
@@ -65,18 +74,67 @@ func main() {
 		injector = fault.NewInjector(*injectSeed, rules...)
 	}
 
+	// -flight auto (-1) arms the recorder only when faults can actually
+	// fire; a fault-free run has no post-mortems to attach trails to.
+	cfgFlight := *flight
+	if cfgFlight < 0 {
+		cfgFlight = 0
+		if injector != nil {
+			cfgFlight = obs.DefaultFlightEvents
+		}
+	}
+
 	collect := *jsonFlag || *metricsFlag
-	cfg := tools.Config{Metrics: collect, Injector: injector}
+	cfg := tools.Config{Metrics: collect, Injector: injector, Flight: cfgFlight}
 	opts := runner.Options{Parallelism: *jobs, CaseTimeout: *caseTimeout, Injector: injector}
+
+	// -trace-out installs a span collector on the run context; every matrix
+	// cell then records its cell → compile → interp spans, and finishTrace
+	// writes the forest as Chrome trace-event JSON. Called on every exit
+	// path of the matrix suites (idempotent; a no-op when tracing is off).
+	finishTrace := func() {}
+	if *traceOut != "" {
+		buf := &obs.SpanBuffer{}
+		ctx, _ := obs.WithTrace(context.Background(), buf)
+		ctx, root := obs.StartSpan(ctx, "suite")
+		root.SetAttr("suite", *suiteFlag)
+		opts.Context = ctx
+		done := false
+		finishTrace = func() {
+			if done {
+				return
+			}
+			done = true
+			root.End()
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ubsuite: -trace-out: %v\n", err)
+				return
+			}
+			spans := buf.Spans()
+			if err := obs.WriteChromeTrace(f, spans); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ubsuite: -trace-out: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ubsuite: wrote %d spans to %s\n", len(spans), *traceOut)
+		}
+	}
 	switch *suiteFlag {
 	case "juliet":
 		s := suite.Juliet()
 		ts := tools.All(cfg)
 		m, err := runner.RunMatrix(s, ts, opts)
 		if err != nil {
+			finishTrace()
 			fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
 			os.Exit(1)
 		}
+		finishTrace()
 		if *jsonFlag {
 			if err := runner.WriteJSON(os.Stdout, runner.SuiteReportFrom(s, ts, m)); err != nil {
 				fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
@@ -102,9 +160,11 @@ func main() {
 		ts := tools.All(cfg)
 		m, err := runner.RunMatrix(s, ts, opts)
 		if err != nil {
+			finishTrace()
 			fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)
 			os.Exit(1)
 		}
+		finishTrace()
 		if *jsonFlag {
 			if err := runner.WriteJSON(os.Stdout, runner.SuiteReportFrom(s, ts, m)); err != nil {
 				fmt.Fprintf(os.Stderr, "ubsuite: %v\n", err)

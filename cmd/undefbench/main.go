@@ -17,6 +17,10 @@
 //	-c N       concurrent closed-loop connections (default 64)
 //	-d dur     benchmark duration (default 10s)
 //	-dup f     fraction of requests drawn from a small hot set (default 0.5)
+//	-unique    give every request a distinct source, defeating the compile
+//	           cache and coalescer — each request then pays a full frontend
+//	           pass, which is the configuration for comparing server-side
+//	           /metrics latency against the client-side measurement
 //	-seed n    workload RNG seed (replayable)
 //	-inject    with -spawn: fault-injection spec, e.g. 'server.handle=panic%0.01'
 //	-json      emit the report as JSON
@@ -36,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -65,6 +70,13 @@ type report struct {
 	P95NS       int64            `json:"p95_ns"`
 	P99NS       int64            `json:"p99_ns"`
 	MaxNS       int64            `json:"max_ns"`
+	// ServerP*NS are the daemon's own end-to-end quantiles over this run's
+	// window, computed from the /metrics latency histogram delta
+	// (after − before). Client-side adds network + HTTP framing; the gap
+	// between the two columns is exactly that overhead.
+	ServerP50NS int64 `json:"server_p50_ns,omitempty"`
+	ServerP95NS int64 `json:"server_p95_ns,omitempty"`
+	ServerP99NS int64 `json:"server_p99_ns,omitempty"`
 	Verdicts    map[string]int64 `json:"verdicts"`
 	Coalesced   int64            `json:"coalesced"`
 	CoalesceHit float64          `json:"coalesce_hit_rate"`
@@ -79,6 +91,8 @@ func main() {
 	conns := flag.Int("c", 64, "concurrent closed-loop connections")
 	dur := flag.Duration("d", 10*time.Second, "benchmark duration")
 	dup := flag.Float64("dup", 0.5, "fraction of requests drawn from the hot set (coalescing fodder)")
+	unique := flag.Bool("unique", false, "make every request's source distinct (defeats cache + coalescer)")
+	heavy := flag.Int("heavy", 0, "pad every request with N synthetic functions (scales frontend work per request)")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	injectSpec := flag.String("inject", "", "with -spawn: fault-injection rules for the server")
 	injectSeed := flag.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
@@ -115,6 +129,15 @@ func main() {
 		hot = corpus[:4]
 	}
 
+	// -heavy pads each submission into a larger translation unit: the
+	// corpus programs are a few lines, so at network-negligible service
+	// times the padding is what lets per-request analysis cost dominate
+	// the fixed HTTP overhead in a latency comparison.
+	var pad strings.Builder
+	for i := 0; i < *heavy; i++ {
+		fmt.Fprintf(&pad, "static int pad%d(int x) { return x + %d; }\n", i, i)
+	}
+
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conns}}
 	before, err := fetchMetrics(client, url)
 	if err != nil {
@@ -132,10 +155,24 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			st := &stats[w]
 			st.verdicts = make(map[string]int64)
+			seq := 0
 			for time.Now().Before(deadline) {
 				c := &corpus[rng.Intn(len(corpus))]
 				if rng.Float64() < *dup {
 					c = &hot[rng.Intn(len(hot))]
+				}
+				if *unique || *heavy > 0 {
+					uc := *c
+					uc.Source = pad.String() + c.Source
+					if *unique {
+						// A distinct leading comment changes the source
+						// identity: every request is a compile-cache miss
+						// and never coalesces, so each one pays the full
+						// frontend + analysis cost it claims to measure.
+						uc.Source = fmt.Sprintf("/* bench %d.%d */\n%s", w, seq, uc.Source)
+						seq++
+					}
+					c = &uc
 				}
 				oneRequest(client, url, c, st)
 			}
@@ -186,6 +223,20 @@ func main() {
 			}
 		}
 		rep.QueueEmpty = after.Queue.Depth == 0 && after.Queue.Active == 0
+		// Server-side latency over this run only: the histogram is
+		// cumulative since server start, so window it by subtracting the
+		// pre-run snapshot.
+		if cur, ok := after.Latency["e2e"]; ok && cur != nil {
+			win := cur
+			if prev, ok := before.Latency["e2e"]; ok && prev != nil {
+				win = cur.Sub(prev)
+			}
+			if win.Count > 0 {
+				rep.ServerP50NS = win.Quantile(0.50)
+				rep.ServerP95NS = win.Quantile(0.95)
+				rep.ServerP99NS = win.Quantile(0.99)
+			}
+		}
 	}
 
 	if *asJSON {
@@ -261,8 +312,12 @@ func printReport(rep *report, after, before *server.MetricsResponse) {
 		rep.Connections, time.Duration(rep.DurationNS), rep.Addr)
 	fmt.Printf("  requests:  %d ok, %d rejected (429), %d errors — %.1f req/s\n",
 		rep.Requests, rep.Rejected, rep.Errors, rep.Throughput)
-	fmt.Printf("  latency:   p50 %s · p95 %s · p99 %s · max %s\n",
+	fmt.Printf("  latency:   p50 %s · p95 %s · p99 %s · max %s  (client-side)\n",
 		time.Duration(rep.P50NS), time.Duration(rep.P95NS), time.Duration(rep.P99NS), time.Duration(rep.MaxNS))
+	if rep.ServerP50NS > 0 {
+		fmt.Printf("             p50 %s · p95 %s · p99 %s  (server-side, /metrics window)\n",
+			time.Duration(rep.ServerP50NS), time.Duration(rep.ServerP95NS), time.Duration(rep.ServerP99NS))
+	}
 	fmt.Printf("  verdicts: ")
 	var keys []string
 	for v := range rep.Verdicts {

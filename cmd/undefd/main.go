@@ -20,6 +20,13 @@
 //	-inject spec     deterministic fault injection (see internal/fault),
 //	                 e.g. 'server.handle=panic%0.01'
 //	-inject-seed n   seed for probabilistic injection rules
+//	-trace-sample N  trace every Nth analyze request end to end; traced
+//	                 responses carry a trace_id resolvable at
+//	                 GET /v1/trace/{id} as Chrome trace-event JSON
+//	-flight N        flight-recorder ring size per analysis (-1 auto:
+//	                 armed when -inject is; 0 off)
+//	-debug-addr      second listener with GET /debug/pprof/... and
+//	                 POST /debug/metrics/reset; keep it loopback-only
 //
 // On SIGTERM or SIGINT the daemon drains: /healthz flips to 503 so load
 // balancers stop routing here, the listener closes, in-flight requests
@@ -62,6 +69,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	injectSpec := fs.String("inject", "", "fault-injection rules: site=kind[:arg][*count][@after][~match][%prob],...")
 	injectSeed := fs.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
+	traceSample := fs.Int("trace-sample", 0, "trace every Nth analyze request (0 = off, 1 = all)")
+	flight := fs.Int("flight", -1, "flight-recorder events per analysis (-1 = auto, 0 = off)")
+	debugAddr := fs.String("debug-addr", "", "debug listener (pprof + metrics reset); empty = disabled")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,6 +87,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stdout, "undefd: fault injection armed: %s\n", *injectSpec)
 	}
 
+	// Flag semantics (-1 auto / 0 off) invert the Config's (0 auto /
+	// negative off): a CLI flag needs an explicit "off" a zero value can
+	// express, a config struct needs a useful zero value.
+	cfgFlight := *flight
+	switch {
+	case cfgFlight < 0:
+		cfgFlight = 0 // auto
+	case cfgFlight == 0:
+		cfgFlight = -1 // explicitly off
+	}
 	srv, err := server.New(server.Config{
 		Model:          *model,
 		Concurrency:    *concurrency,
@@ -85,6 +105,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		MaxTimeout:     *maxTimeout,
 		MaxSteps:       *maxSteps,
 		Injector:       injector,
+		TraceSample:    *traceSample,
+		Flight:         cfgFlight,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "undefd: %v\n", err)
@@ -105,6 +127,22 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
+	// The debug surface (pprof + metrics reset) gets its own listener and
+	// its own http.Server: it must never share a port with the serving
+	// API, and it dies with the process rather than draining — nobody
+	// waits for a profile to finish during shutdown.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "undefd: debug listener: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "undefd: debug surface on http://%s/debug/pprof/\n", dln.Addr())
+		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		go debugSrv.Serve(dln)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 	defer signal.Stop(sig)
@@ -118,6 +156,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(stderr, "undefd: drain: %v\n", err)
 			return 1
+		}
+		if debugSrv != nil {
+			debugSrv.Close()
 		}
 		st := srv.CacheStats()
 		fmt.Fprintf(stdout, "undefd: drained clean (%d compiles, %d cache hits served)\n", st.Misses, st.Hits)

@@ -115,6 +115,34 @@ func (c *Cache) Len() int {
 // first caller for a key runs the frontend; concurrent and later callers
 // share its result.
 func (c *Cache) Compile(src, file string, opts Options) (*sema.Program, error) {
+	return c.CompileCtx(context.Background(), src, file, opts)
+}
+
+// CompileCtx is Compile with a trace context: when ctx carries a span
+// collector (obs.WithTrace), the lookup is bracketed by a "compile" span
+// annotated with the file and whether it was served from cache. The
+// context does NOT cancel the compile itself — a frontend pass is shared
+// by every caller waiting on the key, so it must not die with the first
+// caller's request.
+func (c *Cache) CompileCtx(ctx context.Context, src, file string, opts Options) (*sema.Program, error) {
+	_, sp := obs.StartSpan(ctx, "compile")
+	prog, err, hit := c.compile(src, file, opts)
+	if sp.Recording() {
+		sp.SetAttr("file", file)
+		if hit {
+			sp.SetAttr("cache", "hit")
+		} else {
+			sp.SetAttr("cache", "miss")
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return prog, err
+}
+
+func (c *Cache) compile(src, file string, opts Options) (prog *sema.Program, err error, hit bool) {
 	k := makeKey(src, file, opts)
 
 	c.mu.Lock()
@@ -131,7 +159,7 @@ func (c *Cache) Compile(src, file string, opts Options) (*sema.Program, error) {
 			o.Event(&obs.Event{Kind: obs.EvCacheHit, Name: file})
 		}
 		<-e.done
-		return e.prog, e.err
+		return e.prog, e.err, true
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[k] = e
@@ -161,7 +189,7 @@ func (c *Cache) Compile(src, file string, opts Options) (*sema.Program, error) {
 		}
 	}
 	c.mu.Unlock()
-	return e.prog, e.err
+	return e.prog, e.err, false
 }
 
 // cacheable reports whether a compile error is deterministic — a property

@@ -1,0 +1,75 @@
+package obs
+
+// Chrome trace-event export: the span tree rendered in the JSON format
+// chrome://tracing and https://ui.perfetto.dev load directly, so a
+// `kcc -trace-out trace.json` or a sampled GET /v1/trace/{id} body drops
+// straight into a flame view with no further tooling.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// ChromeEvent is one trace-event line ("X" complete events only).
+// Timestamps and durations are microseconds, per the format.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace file shape.
+type ChromeTrace struct {
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+}
+
+// ChromeTraceFrom converts a span set into trace events. Timestamps are
+// rebased to the earliest span start, each trace gets its own thread row
+// (tid = trace ID), and events are ordered by start time then span ID so
+// the output is stable for a given span set.
+func ChromeTraceFrom(spans []*Span) *ChromeTrace {
+	sorted := append([]*Span{}, spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if !sorted[i].Start.Equal(sorted[j].Start) {
+			return sorted[i].Start.Before(sorted[j].Start)
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	tr := &ChromeTrace{TraceEvents: []ChromeEvent{}}
+	if len(sorted) == 0 {
+		return tr
+	}
+	base := sorted[0].Start
+	for _, s := range sorted {
+		args := map[string]string{
+			"span":   strconv.FormatUint(s.ID, 10),
+			"parent": strconv.FormatUint(s.Parent, 10),
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   s.Start.Sub(base).Microseconds(),
+			Dur:  s.Dur.Microseconds(),
+			PID:  1,
+			TID:  s.TraceID,
+			Args: args,
+		})
+	}
+	return tr
+}
+
+// WriteChromeTrace renders the spans as an indented trace-event JSON file.
+func WriteChromeTrace(w io.Writer, spans []*Span) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ChromeTraceFrom(spans))
+}

@@ -1,0 +1,88 @@
+package obs
+
+// The flight recorder: a fixed-size ring of the most recent events of one
+// analysis, kept so that when the fault-containment layer quarantines a
+// panic (or a watchdog fires), the failure manifest can say not just
+// "crashed at interp.step" but "here are the last N things the abstract
+// machine did". It is an Observer like any other and composes with Metrics
+// and Tracer via Multi; because it is per-request, it retains only its own
+// request's events, never a neighbor's.
+
+import "sync"
+
+// DefaultFlightEvents is the ring capacity callers use when they enable
+// flight recording without picking a size.
+const DefaultFlightEvents = 256
+
+// Flight is a ring buffer of the last N events. Safe for concurrent use,
+// though a single analysis emits from one goroutine.
+type Flight struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever observed
+}
+
+// NewFlight returns a recorder retaining the last n events (n <= 0 means
+// DefaultFlightEvents).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	return &Flight{buf: make([]Event, n)}
+}
+
+// Event implements Observer: the event is copied into the ring (the
+// emitter reuses the pointer).
+func (f *Flight) Event(ev *Event) {
+	f.mu.Lock()
+	f.buf[f.total%uint64(len(f.buf))] = *ev
+	f.total++
+	f.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total < uint64(len(f.buf)) {
+		return int(f.total)
+	}
+	return len(f.buf)
+}
+
+// Dropped reports how many events were overwritten (observed beyond the
+// ring's capacity).
+func (f *Flight) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total < uint64(len(f.buf)) {
+		return 0
+	}
+	return f.total - uint64(len(f.buf))
+}
+
+// Tail returns the retained events, oldest first.
+func (f *Flight) Tail() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := uint64(len(f.buf))
+	if f.total < n {
+		return append([]Event{}, f.buf[:f.total]...)
+	}
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, f.buf[(f.total+i)%n])
+	}
+	return out
+}
+
+// Lines renders the retained events in trace form, oldest first — the
+// shape attached to failure manifests.
+func (f *Flight) Lines() []string {
+	tail := f.Tail()
+	out := make([]string, len(tail))
+	for i := range tail {
+		out[i] = tail[i].String()
+	}
+	return out
+}

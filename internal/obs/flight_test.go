@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlightRing(t *testing.T) {
+	f := NewFlight(4)
+	if f.Len() != 0 || f.Dropped() != 0 {
+		t.Fatal("fresh flight recorder not empty")
+	}
+	for i := 0; i < 10; i++ {
+		f.Event(&Event{Kind: EvBuiltin, Name: names[i%len(names)]})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	if f.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", f.Dropped())
+	}
+	tail := f.Tail()
+	// The last 4 of the 10 events, oldest first: indices 6..9.
+	for i, ev := range tail {
+		want := names[(6+i)%len(names)]
+		if ev.Name != want {
+			t.Fatalf("tail[%d].Name = %q, want %q", i, ev.Name, want)
+		}
+	}
+	lines := f.Lines()
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "builtin ") {
+		t.Fatalf("Lines = %v", lines)
+	}
+}
+
+var names = []string{"a", "b", "c", "d", "e"}
+
+func TestFlightPartialFill(t *testing.T) {
+	f := NewFlight(0) // default capacity
+	f.Event(&Event{Kind: EvStep})
+	f.Event(&Event{Kind: EvSeqPoint, Size: 2})
+	if f.Len() != 2 || f.Dropped() != 0 {
+		t.Fatalf("Len/Dropped = %d/%d, want 2/0", f.Len(), f.Dropped())
+	}
+	tail := f.Tail()
+	if len(tail) != 2 || tail[0].Kind != EvStep || tail[1].Kind != EvSeqPoint {
+		t.Fatalf("tail = %v", tail)
+	}
+}
+
+// TestFlightCopiesEvents pins the Observer contract: the emitter's reused
+// scratch event must be copied, not retained.
+func TestFlightCopiesEvents(t *testing.T) {
+	f := NewFlight(8)
+	ev := Event{Kind: EvBuiltin, Name: "first"}
+	f.Event(&ev)
+	ev.Name = "mutated"
+	if got := f.Tail()[0].Name; got != "first" {
+		t.Fatalf("flight recorder retained the borrowed pointer: %q", got)
+	}
+}

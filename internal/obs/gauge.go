@@ -35,3 +35,11 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // Max returns the high-water mark.
 func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// Reset rebases the high-water mark to the current level, so a long-lived
+// process can start a fresh measurement window (undefbench runs against a
+// daemon would otherwise always read the all-time maximum). The level
+// itself is untouched — it tracks live state, not history. A concurrent
+// increase may race the rebase and win; that increase belongs to the new
+// window anyway.
+func (g *Gauge) Reset() { g.max.Store(g.v.Load()) }

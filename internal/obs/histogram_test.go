@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // underflow bucket
+	h.Observe(3 * time.Microsecond)
+	h.Observe(40 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count %d, want 3", s.Count)
+	}
+	if s.SumNS != 500+3000+40_000_000 {
+		t.Fatalf("sum %d", s.SumNS)
+	}
+	if s.MinNS != 500 || s.MaxNS != 40_000_000 {
+		t.Fatalf("min/max %d/%d", s.MinNS, s.MaxNS)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("bucket total %d, want 3", total)
+	}
+	if s.Buckets[0] != 1 {
+		t.Fatalf("underflow bucket %d, want 1", s.Buckets[0])
+	}
+}
+
+func TestHistogramBounds(t *testing.T) {
+	// Bounds are monotonically increasing and bucketing is consistent with
+	// them: a value lands in the first bucket whose bound is >= the value.
+	for i := 1; i < numLatBuckets-1; i++ {
+		lo, hi := HistogramBound(i-1), HistogramBound(i)
+		if hi <= lo {
+			t.Fatalf("bounds not increasing at %d: %d <= %d", i, hi, lo)
+		}
+		if b := latBucketOf(hi); b != i {
+			t.Fatalf("latBucketOf(bound(%d)) = %d, want %d", i, b, i)
+		}
+		if b := latBucketOf(lo + 1); b != i {
+			t.Fatalf("latBucketOf(bound(%d)+1) = %d, want %d", i-1, b, i)
+		}
+	}
+	if latBucketOf(math.MaxInt64) != numLatBuckets-1 {
+		t.Fatal("huge value not clamped into the overflow bucket")
+	}
+}
+
+// TestHistogramShardedMergeConcurrent exercises sharded concurrent
+// recording under the race detector (make check runs this package with
+// -race) and checks the merged snapshot is exactly the sum of the work.
+func TestHistogramShardedMergeConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+	sh := NewShardedHistogram()
+	var wg sync.WaitGroup
+	var wantSum int64
+	for w := 0; w < workers; w++ {
+		// Deterministic per-worker workload; the sum is scheduling-free.
+		for i := 0; i < perWorker; i++ {
+			wantSum += int64(1000 * (w*perWorker + i + 1))
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := sh.Shard()
+			for i := 0; i < perWorker; i++ {
+				h.ObserveNS(int64(1000 * (w*perWorker + i + 1)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := sh.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("merged count %d, want %d", s.Count, workers*perWorker)
+	}
+	if s.SumNS != wantSum {
+		t.Fatalf("merged sum %d, want %d", s.SumNS, wantSum)
+	}
+	if s.MinNS != 1000 || s.MaxNS != int64(1000*workers*perWorker) {
+		t.Fatalf("merged min/max %d/%d", s.MinNS, s.MaxNS)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the derived quantiles against the
+// exact order statistics of a known distribution: the estimate must land
+// within one bucket width of the true value.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// A log-uniform-ish spread across three decades plus a heavy cluster,
+	// the shape request latencies actually have.
+	var values []int64
+	for i := 0; i < 900; i++ {
+		values = append(values, int64(50_000+i*100)) // 50µs..140µs cluster
+	}
+	for i := 0; i < 90; i++ {
+		values = append(values, int64(1_000_000+i*10_000)) // 1ms..1.9ms tail
+	}
+	for i := 0; i < 10; i++ {
+		values = append(values, int64(20_000_000+i*1_000_000)) // 20ms..29ms spikes
+	}
+	var h Histogram
+	for _, v := range values {
+		h.ObserveNS(v)
+	}
+	sorted := append([]int64{}, values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		exact := sorted[int(math.Ceil(q*float64(len(sorted))))-1]
+		est := s.Quantile(q)
+		b := latBucketOf(exact)
+		lo := int64(0)
+		if b > 0 {
+			lo = HistogramBound(b - 1)
+		}
+		width := HistogramBound(b) - lo
+		if diff := est - exact; diff < -width || diff > width {
+			t.Fatalf("q%.2f: estimate %d vs exact %d (diff %d, bucket width %d)",
+				q, est, exact, est-exact, width)
+		}
+	}
+	if s.P50NS != s.Quantile(0.50) || s.P95NS != s.Quantile(0.95) || s.P99NS != s.Quantile(0.99) {
+		t.Fatal("precomputed quantile fields disagree with Quantile")
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.ObserveNS(1_000_000)
+	h.ObserveNS(2_000_000)
+	before := h.Snapshot()
+	h.ObserveNS(8_000_000)
+	h.ObserveNS(9_000_000)
+	after := h.Snapshot()
+	delta := after.Sub(before)
+	if delta.Count != 2 || delta.SumNS != 17_000_000 {
+		t.Fatalf("delta count/sum %d/%d, want 2/17000000", delta.Count, delta.SumNS)
+	}
+	// The windowed quantiles reflect only the new observations.
+	if p50 := delta.Quantile(0.50); p50 < 7_000_000 {
+		t.Fatalf("windowed p50 %d reflects pre-window observations", p50)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.ObserveNS(5_000_000)
+	h.Reset()
+	s := h.Snapshot()
+	if s.Count != 0 || s.SumNS != 0 || s.MinNS != 0 || s.MaxNS != 0 {
+		t.Fatalf("reset left state behind: %+v", s)
+	}
+	h.ObserveNS(1000)
+	if s := h.Snapshot(); s.Count != 1 || s.MinNS != 1000 {
+		t.Fatalf("histogram unusable after reset: %+v", s)
+	}
+}
+
+func TestGaugeReset(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-3)
+	if g.Max() != 5 {
+		t.Fatalf("max %d, want 5", g.Max())
+	}
+	g.Reset()
+	if g.Load() != 2 {
+		t.Fatalf("Reset changed the level: %d", g.Load())
+	}
+	if g.Max() != 2 {
+		t.Fatalf("Reset did not rebase the high-water mark: %d", g.Max())
+	}
+	g.Add(1)
+	if g.Max() != 3 {
+		t.Fatalf("high-water mark dead after Reset: %d", g.Max())
+	}
+}

@@ -36,6 +36,9 @@ type ToolResult struct {
 	// Fault carries the contained panic (stage, panic value, stack) when
 	// Verdict is internal-error.
 	Fault *fault.InternalError `json:"fault,omitempty"`
+	// Trail is the flight-recorder tail attached when the analysis was
+	// quarantined, timed out, or was cancelled with a recorder armed.
+	Trail []string `json:"trail,omitempty"`
 	// Retried marks a result produced on a retry after a transient failure.
 	Retried bool `json:"retried,omitempty"`
 }
@@ -95,6 +98,8 @@ type SuiteReport struct {
 	// retry after a transient failure.
 	SkippedCells int `json:"skipped_cells,omitempty"`
 	RetriedCells int `json:"retried_cells,omitempty"`
+	// CellTime is the run's end-to-end cell-latency distribution.
+	CellTime *obs.HistogramSnapshot `json:"cell_time,omitempty"`
 }
 
 // FileReport is the canonical machine-readable result of analyzing one
@@ -116,6 +121,7 @@ func ToolResultFrom(toolName string, rep tools.Report) ToolResult {
 		RunNS:     rep.RunDuration.Nanoseconds(),
 		Metrics:   rep.Metrics,
 		Fault:     rep.Fault,
+		Trail:     rep.Trail,
 		Retried:   rep.Retried,
 	}
 }
@@ -136,6 +142,7 @@ func SuiteReportFrom(s *suite.Suite, ts []tools.Tool, m *MatrixResult) *SuiteRep
 		Failures:     m.Failures,
 		SkippedCells: m.Skipped,
 		RetriedCells: m.Retried,
+		CellTime:     m.CellTime,
 		Frontend: FrontendJSON{
 			Compiles:  m.Frontend.Compiles,
 			CacheHits: m.Frontend.CacheHits,
@@ -192,6 +199,7 @@ func WriteJSON(w io.Writer, v any) error {
 // and diffs: timings are the only nondeterministic part of a report.
 func (r *SuiteReport) ZeroTimes() {
 	r.Frontend.TimeNS = 0
+	r.CellTime = nil
 	for ci := range r.Cases {
 		for ti := range r.Cases[ci].Results {
 			r.Cases[ci].Results[ti].CompileNS = 0

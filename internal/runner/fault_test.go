@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -185,6 +186,47 @@ func TestTransientRetry(t *testing.T) {
 	}
 	if len(m.Failures) != 0 {
 		t.Errorf("manifest %+v not empty: a successful retry is not a failure", m.Failures)
+	}
+}
+
+// TestFlightTrailInManifest asserts the flight-recorder plumbing end to
+// end: with tools.Config.Flight armed, a panic injected mid-interpretation
+// leaves a non-empty event tail on the quarantined cell's report AND on
+// its failure-manifest entry — the "last things the machine did" that make
+// a quarantine debuggable. Cells that finish normally carry no trail.
+func TestFlightTrailInManifest(t *testing.T) {
+	s := suite.Juliet()
+	target, targetIdx := firstGoodCase(t, s)
+	in := fault.NewInjector(1, fault.Rule{
+		Site: interp.SiteStep, Kind: fault.KindPanic, Msg: "injected@step",
+		Match: target, Count: 1,
+	})
+	ts := tools.All(tools.Config{Injector: in, Flight: 32})
+	m, err := RunMatrix(s, ts, Options{Parallelism: 8, Injector: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly the injected cell", m.Failures)
+	}
+	f := m.Failures[0]
+	if f.Case != target || f.Verdict != tools.InternalError {
+		t.Fatalf("failure = %+v, want internal-error on %q", f, target)
+	}
+	if len(f.Events) == 0 {
+		t.Fatal("quarantined cell has no flight-recorder tail in the manifest")
+	}
+	// The tail ends with the contained fault itself.
+	last := f.Events[len(f.Events)-1]
+	if !strings.Contains(last, "FAULT") {
+		t.Errorf("tail does not end with the fault event: %q", last)
+	}
+	for ci := range s.Cases {
+		for ti := range ts {
+			if r := m.Reports[ci][ti]; ci != targetIdx && len(r.Trail) != 0 {
+				t.Fatalf("healthy cell (%s, %s) carries a trail", s.Cases[ci].Name, ts[ti].Name())
+			}
+		}
 	}
 }
 

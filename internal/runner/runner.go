@@ -66,11 +66,15 @@ type Options struct {
 	Injector *fault.Injector
 	// OnCell, when set, is invoked for every completed matrix cell as soon
 	// as its report exists — the streaming hook batch servers use to emit
-	// per-case results while the run is still going. Invocations are
-	// serialized (never concurrent) but arrive in completion order, not
-	// case order; cells skipped by cancellation are never delivered. Keep
-	// the callback fast: it runs on a worker goroutine and a slow consumer
-	// stalls that worker.
+	// per-case results while the run is still going.
+	//
+	// Contract: invocations are serialized (never concurrent) but arrive in
+	// completion order, not case order; cells skipped by cancellation are
+	// never delivered. Delivery is decoupled from execution — completed
+	// cells are handed to a dedicated delivery goroutine through a buffer
+	// sized for the whole matrix, so a slow consumer delays only its own
+	// deliveries, never the workers (asserted by TestOnCellSlowConsumer).
+	// RunMatrix does not return until every delivery has been made.
 	OnCell func(Cell)
 }
 
@@ -110,6 +114,10 @@ type Failure struct {
 	Stage   string `json:"stage,omitempty"`
 	Stack   string `json:"stack,omitempty"`
 	Retried bool   `json:"retried,omitempty"`
+	// Events is the flight-recorder tail: the last abstract-machine events
+	// before the cell died, present when the tools ran with a flight
+	// recorder armed (tools.Config.Flight > 0).
+	Events []string `json:"events,omitempty"`
 }
 
 // MatrixResult is the raw outcome of one suite execution: the report
@@ -133,6 +141,10 @@ type MatrixResult struct {
 	// transient failure.
 	Skipped int
 	Retried int
+	// CellTime is the end-to-end cell-latency distribution of the run
+	// (compile wait + analysis, per cell), recorded into per-worker
+	// histogram shards and merged after the pool drains.
+	CellTime *obs.HistogramSnapshot
 }
 
 // RunMatrix executes every (case, tool) pair of the suite on a worker
@@ -166,19 +178,37 @@ func RunMatrix(s *suite.Suite, ts []tools.Tool, opts Options) (*MatrixResult, er
 	type item struct{ ci, ti int }
 	work := make(chan item)
 	var wg sync.WaitGroup
-	var cellMu sync.Mutex // serializes OnCell deliveries
+
+	// OnCell delivery is decoupled from execution: workers hand completed
+	// cells to a single delivery goroutine through a buffer that can hold
+	// the whole matrix, so the send never blocks and a slow consumer never
+	// stalls a worker (see the Options.OnCell contract).
+	var deliver chan Cell
+	deliverDone := make(chan struct{})
+	if opts.OnCell != nil {
+		deliver = make(chan Cell, len(s.Cases)*len(ts))
+		go func() {
+			defer close(deliverDone)
+			for cell := range deliver {
+				opts.OnCell(cell)
+			}
+		}()
+	}
+
+	cellTime := obs.NewShardedHistogram()
 	for w := 0; w < opts.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			lat := cellTime.Shard()
 			for it := range work {
 				c := &s.Cases[it.ci]
+				start := time.Now()
 				rep := runCell(ctx, cache, ts[it.ti], c, copts, opts)
+				lat.Observe(time.Since(start))
 				reports[it.ci][it.ti] = rep
-				if opts.OnCell != nil {
-					cellMu.Lock()
-					opts.OnCell(Cell{Case: c.Name, Tool: ts[it.ti].Name(), CaseIndex: it.ci, ToolIndex: it.ti, Report: rep})
-					cellMu.Unlock()
+				if deliver != nil {
+					deliver <- Cell{Case: c.Name, Tool: ts[it.ti].Name(), CaseIndex: it.ci, ToolIndex: it.ti, Report: rep}
 				}
 			}
 		}()
@@ -197,6 +227,10 @@ feed:
 	}
 	close(work)
 	wg.Wait()
+	if deliver != nil {
+		close(deliver)
+		<-deliverDone
+	}
 
 	after := cache.Stats()
 	fs := FrontendStats{
@@ -206,6 +240,9 @@ feed:
 		Time:      after.CompileTime - before.CompileTime,
 	}
 	m := &MatrixResult{Reports: reports, Frontend: fs}
+	if ct := cellTime.Snapshot(); ct.Count > 0 {
+		m.CellTime = ct
+	}
 	// The crash manifest is assembled in case-then-tool order after the
 	// pool drains, so worker scheduling cannot reorder it.
 	for ci := range s.Cases {
@@ -229,6 +266,7 @@ feed:
 					f.Stage = r.Fault.Stage
 					f.Stack = r.Fault.Stack
 				}
+				f.Events = r.Trail
 				m.Failures = append(m.Failures, f)
 			}
 		}
@@ -243,12 +281,19 @@ feed:
 // contained panics — are quarantined as-is: retrying a panic would just
 // crash the same way again, and the manifest should carry the first stack.
 func runCell(ctx context.Context, cache *driver.Cache, t tools.Tool, c *suite.Case, copts driver.Options, opts Options) tools.Report {
+	ctx, sp := obs.StartSpan(ctx, "cell")
 	rep := analyzeCell(ctx, cache, t, c, copts, opts)
 	if rep.Transient && ctx.Err() == nil {
 		time.Sleep(retryBackoff)
 		cache.Invalidate(c.Source, c.Name+".c", copts)
 		rep = analyzeCell(ctx, cache, t, c, copts, opts)
 		rep.Retried = true
+	}
+	if sp.Recording() {
+		sp.SetAttr("case", c.Name)
+		sp.SetAttr("tool", t.Name())
+		sp.SetAttr("verdict", rep.Verdict.String())
+		sp.End()
 	}
 	return rep
 }
@@ -280,7 +325,7 @@ func analyzeCell(ctx context.Context, cache *driver.Cache, t tools.Tool, c *suit
 // report carries only the tool's own RunDuration — the shared compile is
 // accounted once, in FrontendStats, not once per tool.
 func analyzeShared(ctx context.Context, cache *driver.Cache, t tools.Tool, c *suite.Case, copts driver.Options) tools.Report {
-	prog, err := cache.Compile(c.Source, c.Name+".c", copts)
+	prog, err := cache.CompileCtx(ctx, c.Source, c.Name+".c", copts)
 	if err != nil {
 		rep := tools.ReportFromError(err)
 		if rep.Verdict == tools.Inconclusive {

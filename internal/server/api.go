@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/driver"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/search"
 	"repro/internal/ub"
@@ -60,6 +61,10 @@ type AnalyzeResponse struct {
 	// QueueNS is the time the request (or the leader it coalesced onto)
 	// waited for admission.
 	QueueNS int64 `json:"queue_ns,omitempty"`
+	// TraceID is set when this request was sampled for tracing: its span
+	// tree is retrievable from GET /v1/trace/{TraceID} as Chrome
+	// trace-event JSON until the trace buffer evicts it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // BatchCase is one case of a caller-supplied batch.
@@ -243,11 +248,18 @@ type MetricsResponse struct {
 	Verdicts   map[string]int64 `json:"verdicts,omitempty"`
 	BatchCells map[string]int64 `json:"batch_cells,omitempty"`
 	// Panics counts handler panics contained by the serve-stage guard.
-	Panics   int64              `json:"panics,omitempty"`
-	Queue    QueueStats         `json:"queue"`
-	Coalesce CoalesceStats      `json:"coalesce"`
-	Cache    driver.CacheStats  `json:"cache"`
-	Draining bool               `json:"draining,omitempty"`
+	Panics   int64             `json:"panics,omitempty"`
+	Queue    QueueStats        `json:"queue"`
+	Coalesce CoalesceStats     `json:"coalesce"`
+	Cache    driver.CacheStats `json:"cache"`
+	// Latency holds the server-side latency distributions of the analyze
+	// path, keyed "e2e", "queue", "compile", "run" — each with count, sum,
+	// min/max and precomputed p50/p95/p99. Present once the server has
+	// handled at least one analyze request. Deltas between two readings
+	// (HistogramSnapshot.Sub) give windowed quantiles; undefbench uses
+	// exactly that to compare server-side against client-observed latency.
+	Latency  map[string]*obs.HistogramSnapshot `json:"latency,omitempty"`
+	Draining bool                              `json:"draining,omitempty"`
 }
 
 // ConfigResponse is the body of GET /debug/config: the effective serving
@@ -263,6 +275,10 @@ type ConfigResponse struct {
 	MaxSourceBytes int64    `json:"max_source_bytes"`
 	MaxBatchCases  int      `json:"max_batch_cases"`
 	InjectorArmed  bool     `json:"injector_armed,omitempty"`
+	// TraceSample is the 1-in-N analyze-tracing rate (0 = tracing off);
+	// FlightEvents is the armed flight-recorder ring size (0 = off).
+	TraceSample  int `json:"trace_sample,omitempty"`
+	FlightEvents int `json:"flight_events,omitempty"`
 }
 
 // parseTimeout resolves a request's timeout string against the server's

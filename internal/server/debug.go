@@ -1,0 +1,41 @@
+package server
+
+// The debug surface: pprof profiling plus the metrics-window reset. It is
+// a SEPARATE handler from the serving mux on purpose — profiling endpoints
+// and state-mutating resets must never be reachable through the port a
+// load balancer fronts. undefd mounts this on its -debug-addr listener
+// (loopback by convention); without that flag the surface does not exist.
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the debug mux:
+//
+//	GET  /debug/pprof/...       the standard net/http/pprof surface
+//	POST /debug/metrics/reset   start a fresh measurement window
+//	                            (gauge high-water marks + latency
+//	                            histograms; see Server.ResetHighWater)
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics/reset", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "method-not-allowed",
+				"/debug/metrics/reset only accepts POST")
+			return
+		}
+		s.ResetHighWater()
+		writeJSON(w, http.StatusOK, map[string]string{"status": "reset"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not-found", "no such debug route: "+r.URL.Path)
+	})
+	return mux
+}

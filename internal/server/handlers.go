@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/driver"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/search"
 	"repro/internal/suite"
@@ -19,6 +21,12 @@ import (
 // ---------- /v1/analyze ----------
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	// The e2e window opens before the request is even decoded and closes
+	// after the response bytes are written: it must cover everything a
+	// client's own stopwatch covers short of the network, or the
+	// server-side histogram undercounts exactly the overhead it exists
+	// to surface.
+	start := time.Now()
 	var req AnalyzeRequest
 	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
 		return
@@ -50,6 +58,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Metrics:  req.Metrics,
 		Timeout:  timeout,
 		Injector: s.cfg.Injector,
+		Flight:   s.cfg.Flight,
 	}
 	tool, err := toolFor(req.Tool, tcfg)
 	if err != nil {
@@ -59,29 +68,57 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defines := append(append([]string{}, s.cfg.Defines...), req.Defines...)
 	copts := driver.Options{Model: model, Defines: defines, Injector: s.cfg.Injector}
 
+	// Tracing: every cfg.TraceSample-th analyze request gets a trace
+	// context; its span tree lands in s.traces when the root ends and is
+	// served by GET /v1/trace/{id}.
+	ctx := r.Context()
+	var traceID uint64
+	if s.traces != nil && s.sampleCtr.Add(1)%uint64(s.cfg.TraceSample) == 0 {
+		ctx, traceID = obs.WithTrace(ctx, s.traces)
+	}
+	ctx, hsp := obs.StartSpan(ctx, "handle")
+
 	// The coalesce key is the compile cache's source identity plus every
 	// knob that changes the analysis: two requests with equal keys would
 	// produce identical results, so the second shares the first's flight.
 	key := fmt.Sprintf("%s|%s|%d|%s|%v",
 		driver.SourceKey(req.Source, file, copts), tool.Name(), req.MaxSteps, timeout, req.Metrics)
 	out, coalesced := s.coalesce.do(key, func() outcome {
-		return s.runAnalysis(r.Context(), req.Source, file, tool, copts)
+		return s.runAnalysis(ctx, req.Source, file, tool, copts)
 	})
+	if hsp.Recording() {
+		hsp.SetAttr("tool", tool.Name())
+		hsp.SetAttr("model", s.cfg.Model)
+		hsp.SetAttr("coalesced", fmt.Sprintf("%v", coalesced))
+		if out.errCode != "" {
+			hsp.SetAttr("error", out.errCode)
+		} else {
+			hsp.SetAttr("verdict", out.resp.Result.Verdict.String())
+		}
+		hsp.End()
+	}
 	if out.errCode != "" {
 		writeError(w, out.status, out.errCode, out.errMsg)
+		s.latE2E.Observe(time.Since(start))
 		return
 	}
 	resp := out.resp
 	resp.Coalesced = coalesced
+	if traceID != 0 {
+		resp.TraceID = obs.FormatTraceID(traceID)
+	}
 	s.countVerdict("analyze", resp.Result.Verdict.String())
 	writeJSON(w, out.status, resp)
+	s.latE2E.Observe(time.Since(start))
 }
 
 // runAnalysis is the leader's flight: admission, then one guarded
 // compile+run through the shared cache.
 func (s *Server) runAnalysis(ctx context.Context, src, file string, tool tools.Tool, copts driver.Options) outcome {
 	qstart := time.Now()
+	_, qsp := obs.StartSpan(ctx, "queue")
 	release, err := s.queue.Acquire(ctx)
+	qsp.End()
 	if errors.Is(err, ErrQueueFull) {
 		return outcome{status: http.StatusTooManyRequests, errCode: "queue-full",
 			errMsg: fmt.Sprintf("admission queue at capacity (%d executing, %d waiting); retry later",
@@ -93,13 +130,24 @@ func (s *Server) runAnalysis(ctx context.Context, src, file string, tool tools.T
 	}
 	defer release()
 	queueNS := time.Since(qstart).Nanoseconds()
+	s.latQueue.ObserveNS(queueNS)
+
+	// The run is detached from the leader's request context on purpose:
+	// followers coalescing onto this flight must not be cancelled by the
+	// leader's client hanging up. The per-request watchdog
+	// (tools.Config.Timeout) bounds it instead. RebindTrace keeps the
+	// trace identity across the detach so compile/interp spans still land
+	// in the leader's span tree.
+	runCtx := obs.RebindTrace(context.Background(), ctx)
 
 	var rep tools.Report
 	gerr := fault.Guard(fault.StageServe, file, func() error {
 		if err := s.cfg.Injector.Fire(SiteHandle, file); err != nil {
 			return err
 		}
-		prog, cerr := s.cache.Compile(src, file, copts)
+		cstart := time.Now()
+		prog, cerr := s.cache.CompileCtx(runCtx, src, file, copts)
+		s.latCompile.Observe(time.Since(cstart))
 		if cerr != nil {
 			rep = tools.ReportFromError(cerr)
 			if rep.Verdict == tools.Inconclusive {
@@ -107,11 +155,8 @@ func (s *Server) runAnalysis(ctx context.Context, src, file string, tool tools.T
 			}
 			return nil
 		}
-		// The run is detached from the leader's request context on
-		// purpose: followers coalescing onto this flight must not be
-		// cancelled by the leader's client hanging up. The per-request
-		// watchdog (tools.Config.Timeout) bounds it instead.
-		rep = tool.AnalyzeProgram(context.Background(), prog, file)
+		rep = tool.AnalyzeProgram(runCtx, prog, file)
+		s.latRun.Observe(rep.RunDuration)
 		return nil
 	})
 	if gerr != nil {
@@ -182,7 +227,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad-request", "case_timeout: "+err.Error())
 		return
 	}
-	tcfg := tools.Config{Model: model, Budget: s.budgetFor(req.MaxSteps), Metrics: req.Metrics, Injector: s.cfg.Injector}
+	tcfg := tools.Config{Model: model, Budget: s.budgetFor(req.MaxSteps), Metrics: req.Metrics, Injector: s.cfg.Injector, Flight: s.cfg.Flight}
 	toolNames := req.Tools
 	if len(toolNames) == 0 {
 		toolNames = []string{"kcc"}
@@ -361,6 +406,33 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ---------- /v1/trace ----------
+
+// handleTrace serves a sampled request trace as Chrome trace-event JSON
+// (load it in chrome://tracing or https://ui.perfetto.dev). The id is the
+// 16-hex-digit trace_id a traced /v1/analyze response carried.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusNotFound, "tracing-disabled",
+			"tracing is off: start the server with a trace sample rate")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	id, err := obs.ParseTraceID(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "trace id: "+err.Error())
+		return
+	}
+	spans := s.traces.Get(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "not-found",
+			"no such trace (not sampled, still in flight, or evicted): "+idStr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTrace(w, spans)
+}
+
 // ---------- operational endpoints ----------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -374,8 +446,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleMetrics negotiates the exposition format: JSON stays the default
+// (the API's own consumers and undefbench read it), and a Prometheus
+// scraper — identified by its Accept header or an explicit
+// ?format=prometheus — gets the text exposition format instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		writePrometheus(w, s.Metrics())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
@@ -390,6 +482,8 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		MaxSourceBytes: s.cfg.MaxSourceBytes,
 		MaxBatchCases:  s.cfg.MaxBatchCases,
 		InjectorArmed:  s.cfg.Injector != nil,
+		TraceSample:    s.cfg.TraceSample,
+		FlightEvents:   s.cfg.Flight,
 	})
 }
 

@@ -78,6 +78,13 @@ func (q *queue) release() {
 	q.tokens <- struct{}{}
 }
 
+// ResetHighWater rebases the waiting/active high-water marks to their
+// current levels (see obs.Gauge.Reset); counters are untouched.
+func (q *queue) ResetHighWater() {
+	q.waiting.Reset()
+	q.active.Reset()
+}
+
 // Stats snapshots the queue counters for /metrics.
 func (q *queue) Stats() QueueStats {
 	return QueueStats{

@@ -33,6 +33,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/fault"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/tools"
 )
 
@@ -71,6 +72,20 @@ type Config struct {
 	// fires per admitted analysis and the injector is threaded into the
 	// frontend and the tools (their own sites).
 	Injector *fault.Injector
+	// TraceSample enables request tracing: every Nth /v1/analyze request
+	// is traced end to end (handle → queue → compile → interp) and its
+	// span tree is retrievable as Chrome trace-event JSON from
+	// GET /v1/trace/{id}. 0 disables tracing; 1 traces everything.
+	TraceSample int
+	// TraceBufferSize bounds the completed traces retained for /v1/trace
+	// (default 128, oldest evicted first).
+	TraceBufferSize int
+	// Flight is the per-analysis flight-recorder ring size: when a request
+	// is quarantined, times out, or is cancelled, its result carries the
+	// last Flight abstract-machine events. 0 means "auto": armed at
+	// obs.DefaultFlightEvents when an Injector is set (a chaos run without
+	// post-mortems is wasted), off otherwise. Negative disables explicitly.
+	Flight int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +113,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchCases <= 0 {
 		c.MaxBatchCases = 4096
 	}
+	if c.TraceBufferSize <= 0 {
+		c.TraceBufferSize = 128
+	}
+	if c.Flight == 0 && c.Injector != nil {
+		c.Flight = obs.DefaultFlightEvents
+	}
+	if c.Flight < 0 {
+		c.Flight = 0
+	}
 	return c
 }
 
@@ -113,6 +137,18 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
+
+	// traces retains sampled span trees for /v1/trace/{id}; nil when
+	// tracing is off. sampleCtr drives the 1-in-TraceSample decision.
+	traces    *obs.TraceBuffer
+	sampleCtr atomic.Uint64
+
+	// Server-side latency distributions (lock-free histograms, exposed on
+	// /metrics as latency{e2e,queue,compile,run} with p50/p95/p99).
+	latE2E     obs.Histogram // whole /v1/analyze handler
+	latQueue   obs.Histogram // admission wait
+	latCompile obs.Histogram // frontend wait (cache hits are ~0)
+	latRun     obs.Histogram // tool's own analysis
 
 	mu         sync.Mutex
 	requests   map[string]int64
@@ -140,10 +176,14 @@ func New(cfg Config) (*Server, error) {
 		verdicts:   make(map[string]int64),
 		batchCells: make(map[string]int64),
 	}
+	if cfg.TraceSample > 0 {
+		s.traces = obs.NewTraceBuffer(cfg.TraceBufferSize)
+	}
 	s.mux = http.NewServeMux()
 	s.route("/v1/analyze", http.MethodPost, s.handleAnalyze)
 	s.route("/v1/batch", http.MethodPost, s.handleBatch)
 	s.route("/v1/explore", http.MethodPost, s.handleExplore)
+	s.route("/v1/trace/", http.MethodGet, s.handleTrace)
 	s.route("/healthz", http.MethodGet, s.handleHealthz)
 	s.route("/metrics", http.MethodGet, s.handleMetrics)
 	s.route("/debug/config", http.MethodGet, s.handleConfig)
@@ -207,6 +247,14 @@ func (s *Server) Metrics() *MetricsResponse {
 		Cache:    s.cache.Stats(),
 		Draining: s.draining.Load(),
 	}
+	if e2e := s.latE2E.Snapshot(); e2e.Count > 0 {
+		m.Latency = map[string]*obs.HistogramSnapshot{
+			"e2e":     e2e,
+			"queue":   s.latQueue.Snapshot(),
+			"compile": s.latCompile.Snapshot(),
+			"run":     s.latRun.Snapshot(),
+		}
+	}
 	s.mu.Lock()
 	m.Requests = copyMap(s.requests)
 	m.Verdicts = copyMap(s.verdicts)
@@ -214,6 +262,21 @@ func (s *Server) Metrics() *MetricsResponse {
 	m.Panics = s.panics
 	s.mu.Unlock()
 	return m
+}
+
+// ResetHighWater starts a fresh measurement window: the admission gauges'
+// high-water marks rebase to their current levels and the latency
+// histograms clear. Monotonic counters (requests, verdicts, cache) are
+// left alone — windowed readings of those are a subtraction the client
+// can do, but a high-water mark can only be rebased at the source.
+// Exposed as POST /debug/metrics/reset on the debug listener only, never
+// on the serving mux.
+func (s *Server) ResetHighWater() {
+	s.queue.ResetHighWater()
+	s.latE2E.Reset()
+	s.latQueue.Reset()
+	s.latCompile.Reset()
+	s.latRun.Reset()
 }
 
 func copyMap(src map[string]int64) map[string]int64 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/absint"
+	"repro/internal/obs"
 	"repro/internal/sema"
 )
 
@@ -33,7 +34,7 @@ func (t *aiTool) Analyze(src, file string) Report {
 // AnalyzeProgram implements Tool. The abstract interpretation is not
 // cancelable mid-run; ctx only bounds the fault-containment watchdog.
 func (t *aiTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
-	return guarded(ctx, t.cfg, file, func(ctx context.Context) Report {
+	return guarded(ctx, t.Name(), t.cfg, file, func(ctx context.Context, _ *obs.Flight) Report {
 		return t.analyze(prog)
 	})
 }

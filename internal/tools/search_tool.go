@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/sema"
 )
@@ -33,7 +34,7 @@ func (t *searchTool) Analyze(src, file string) Report {
 // AnalyzeProgram implements Tool. The search itself is not cancelable
 // mid-run; ctx only bounds the fault-containment watchdog.
 func (t *searchTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
-	return guarded(ctx, t.cfg, file, func(ctx context.Context) Report {
+	return guarded(ctx, t.Name(), t.cfg, file, func(ctx context.Context, _ *obs.Flight) Report {
 		return t.analyze(prog)
 	})
 }

@@ -144,6 +144,11 @@ type Report struct {
 	Metrics *obs.Snapshot
 	// Fault carries the contained panic when Verdict is InternalError.
 	Fault *fault.InternalError
+	// Trail is the flight-recorder tail: the last events the abstract
+	// machine emitted before this analysis was quarantined (contained
+	// panic), timed out, or was cancelled. Present only when Config.Flight
+	// enabled the recorder and the verdict is one of those three.
+	Trail []string
 	// Transient marks a failure classified as non-deterministic (worth a
 	// retry); the runner's retry policy reads it.
 	Transient bool
@@ -188,8 +193,20 @@ func compileAndDelegate(t Tool, src, file string, model *ctypes.Model) Report {
 // injection site, and converts a panic anywhere in the analysis into an
 // InternalError report — one berserk case must not take down the worker
 // that ran it.
-func guarded(ctx context.Context, cfg Config, file string, fn func(context.Context) Report) Report {
+//
+// It is also the observability boundary: the "interp" span brackets the
+// whole analysis (annotated with tool, file, verdict, and the fired UB
+// behavior when one fires), and when Config.Flight is positive a per-case
+// flight recorder is handed to fn; if the case is quarantined, times out,
+// or is cancelled, the recorder's tail becomes Report.Trail — the last
+// thing the abstract machine did before it died.
+func guarded(ctx context.Context, name string, cfg Config, file string, fn func(context.Context, *obs.Flight) Report) Report {
 	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "interp")
+	var fr *obs.Flight
+	if cfg.Flight > 0 {
+		fr = obs.NewFlight(cfg.Flight)
+	}
 	if cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
@@ -200,15 +217,36 @@ func guarded(ctx context.Context, cfg Config, file string, fn func(context.Conte
 		if err := cfg.Injector.Fire(SiteAnalyze, file); err != nil {
 			return err
 		}
-		rep = fn(ctx)
+		rep = fn(ctx, fr)
 		return nil
 	})
 	if err != nil {
 		rep = ReportFromError(err)
 		rep.RunDuration = time.Since(start)
-		if ie, ok := fault.AsInternal(err); ok && cfg.Observer != nil {
-			cfg.Observer.Event(&obs.Event{Kind: obs.EvFault, Name: ie.Stage, Detail: file})
+		if ie, ok := fault.AsInternal(err); ok {
+			faultEv := obs.Event{Kind: obs.EvFault, Name: ie.Stage, Detail: file}
+			if cfg.Observer != nil {
+				cfg.Observer.Event(&faultEv)
+			}
+			if fr != nil {
+				fr.Event(&faultEv)
+			}
 		}
+	}
+	if fr != nil {
+		switch rep.Verdict {
+		case InternalError, Timeout, Cancelled:
+			rep.Trail = fr.Lines()
+		}
+	}
+	if sp.Recording() {
+		sp.SetAttr("tool", name)
+		sp.SetAttr("file", file)
+		sp.SetAttr("verdict", rep.Verdict.String())
+		if rep.UB != nil && rep.UB.Behavior != nil {
+			sp.SetAttr("ub", obs.CheckKey(rep.UB.Behavior.Code))
+		}
+		sp.End()
 	}
 	return rep
 }
@@ -251,6 +289,10 @@ type Config struct {
 	// Injector, when set, fires the tools.analyze site before each guarded
 	// analysis and is handed to the interpreter (interp.step site).
 	Injector *fault.Injector
+	// Flight, when positive, arms a per-analysis flight recorder retaining
+	// the last Flight events; Report.Trail carries its tail when the case
+	// is quarantined, times out, or is cancelled. Zero disables recording.
+	Flight int
 }
 
 // profileTool runs programs on the shared abstract machine under a
@@ -274,18 +316,21 @@ func (t *profileTool) Analyze(src, file string) Report {
 
 // AnalyzeProgram implements Tool.
 func (t *profileTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
-	return guarded(ctx, t.cfg, file, func(ctx context.Context) Report {
-		return t.analyze(ctx, prog)
+	return guarded(ctx, t.name, t.cfg, file, func(ctx context.Context, fr *obs.Flight) Report {
+		return t.analyze(ctx, prog, fr)
 	})
 }
 
-func (t *profileTool) analyze(ctx context.Context, prog *sema.Program) Report {
+func (t *profileTool) analyze(ctx context.Context, prog *sema.Program, fr *obs.Flight) Report {
 	start := time.Now()
 	var m *obs.Metrics
 	observer := t.cfg.Observer
 	if t.cfg.Metrics {
 		m = obs.NewMetrics()
 		observer = obs.Multi(observer, m)
+	}
+	if fr != nil {
+		observer = obs.Multi(observer, fr)
 	}
 	done := func(r Report) Report {
 		r.RunDuration = time.Since(start)
