@@ -11,9 +11,12 @@ test:
 # the observer-overhead and span-overhead benchmarks, exercise the
 # end-to-end containment
 # gate (a panic injected at every site must degrade gracefully, never
-# crash the suite), replay the fuzz seed corpora, and run the daemon
+# crash the suite), replay the fuzz seed corpora, run the daemon
 # lifecycle smoke test (boot on a free port, one analyze round-trip,
-# SIGTERM drain).
+# SIGTERM drain), and hold the bytecode VM to its fidelity contract:
+# the absolute golden event sequence, the full Figure-2 differential
+# against the tree walker, and the parallel 4-tool matrix under the
+# race detector (one compiled program shared by 8 workers).
 .PHONY: check
 check: test
 	go vet ./...
@@ -24,8 +27,16 @@ check: test
 	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 100x
 	go test ./internal/obs/ -run '^$$' -bench BenchmarkSpanOverhead -benchtime 100x
 	go test ./cmd/ubsuite/ -run TestContainmentGate -count=1
-	go test ./internal/lexer/ ./internal/parser/ ./internal/cpp/ -run '^Fuzz' -count=1
+	go test ./internal/lexer/ ./internal/parser/ ./internal/cpp/ ./internal/vm/ -run '^Fuzz' -count=1
 	go test ./cmd/undefd/ -run TestDaemonSmoke -count=1
+	go test ./internal/vm/ -run 'TestGoldenEventSequenceVM|TestEngineDiff' -count=1
+	go test -race ./internal/vm/ -run TestMatrixParallelVM -count=1
+
+# Engine speedup: the pre-compiled program, tree-vs-vm dispatch benchmark
+# (reported in EXPERIMENTS.md).
+.PHONY: bench-vm
+bench-vm:
+	go test -run '^$$' -bench 'BenchmarkInterpOnly|BenchmarkTortureSuite' -benchtime 1s -count 3
 
 # Fuzz smoke: 30s of coverage-guided fuzzing per frontend stage. New
 # crashers land in testdata/fuzz/ and become permanent regression seeds.

@@ -14,6 +14,8 @@
 // Flags:
 //
 //	-model   LP64 (default), ILP32, or INT8 (§2.5.1's 8-byte-int model)
+//	-engine  execution engine: tree (the reference walker, default) or vm
+//	         (pre-compiled closure code; identical verdicts, faster)
 //	-search  explore all evaluation orders (§2.5.2) instead of one run
 //	-print-config  print the configuration cell tree (Figure 1) and exit
 //	-catalog print the undefined behavior catalog and exit
@@ -52,6 +54,7 @@ import (
 
 func main() {
 	modelFlag := flag.String("model", "LP64", "implementation-defined model: LP64, ILP32, or INT8")
+	engineFlag := flag.String("engine", "", "execution engine: tree (default) or vm")
 	searchFlag := flag.Bool("search", false, "search all evaluation orders (§2.5.2)")
 	printConfig := flag.Bool("print-config", false, "print the configuration cell tree (Figure 1)")
 	catalog := flag.Bool("catalog", false, "print the undefined behavior catalog")
@@ -85,6 +88,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kcc: unknown model %q\n", *modelFlag)
 		os.Exit(2)
 	}
+	if !engineKnown(*engineFlag) {
+		fmt.Fprintf(os.Stderr, "kcc: unknown engine %q (want one of %v)\n", *engineFlag, interp.Engines())
+		os.Exit(2)
+	}
 
 	budget := interp.Budget{MaxSteps: *maxSteps}
 	var tracer obs.Observer
@@ -97,7 +104,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *batch {
-		os.Exit(runBatch(flag.Args(), model, budget, *jobs, tracer, *jsonFlag, *timeout))
+		os.Exit(runBatch(flag.Args(), model, *engineFlag, budget, *jobs, tracer, *jsonFlag, *timeout))
 	}
 	file := flag.Arg(0)
 	src, err := os.ReadFile(file)
@@ -114,7 +121,7 @@ func main() {
 	if *jsonFlag {
 		// The report path runs the kcc analysis tool (metrics on, program
 		// output captured) and emits the canonical single-file report.
-		kcc := tools.KCC(tools.Config{Model: model, Budget: budget, Metrics: true, Observer: tracer, Timeout: *timeout})
+		kcc := tools.KCC(tools.Config{Model: model, Engine: *engineFlag, Budget: budget, Metrics: true, Observer: tracer, Timeout: *timeout})
 		var rep tools.Report
 		if *traceOut == "" {
 			rep = kcc.Analyze(string(src), file)
@@ -170,11 +177,12 @@ func main() {
 	}
 
 	if *searchFlag {
-		runSearch(prog)
+		runSearch(prog, *engineFlag)
 		return
 	}
 
 	opts := interp.Options{
+		Engine:   *engineFlag,
 		Out:      os.Stdout,
 		Budget:   budget,
 		Observer: tracer,
@@ -250,7 +258,20 @@ func startTrace(path string) (context.Context, func()) {
 // per-worker shards (no cross-CPU contention) and merged at the end.
 // Returns the exit code: 1 when any file is flagged, crashed,
 // inconclusive, or unreadable.
-func runBatch(files []string, model *ctypes.Model, budget interp.Budget, jobs int, tracer obs.Observer, asJSON bool, timeout time.Duration) int {
+// engineKnown reports whether name is a registered execution engine.
+func engineKnown(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, e := range interp.Engines() {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+func runBatch(files []string, model *ctypes.Model, engine string, budget interp.Budget, jobs int, tracer obs.Observer, asJSON bool, timeout time.Duration) int {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -268,7 +289,7 @@ func runBatch(files []string, model *ctypes.Model, budget interp.Budget, jobs in
 			defer wg.Done()
 			// One tool (and one metrics shard) per worker: workers never
 			// share a counter cache line.
-			kcc := tools.KCC(tools.Config{Model: model, Budget: budget,
+			kcc := tools.KCC(tools.Config{Model: model, Engine: engine, Budget: budget,
 				Observer: obs.Multi(tracer, sharded.Shard()), Timeout: timeout})
 			for i := range work {
 				src, err := os.ReadFile(files[i])
@@ -335,8 +356,8 @@ func runBatch(files []string, model *ctypes.Model, budget interp.Budget, jobs in
 	return exit
 }
 
-func runSearch(prog *sema.Program) {
-	res := search.Explore(prog, search.Options{MaxRuns: 5000})
+func runSearch(prog *sema.Program, engine string) {
+	res := search.Explore(prog, search.Options{MaxRuns: 5000, Engine: engine})
 	fmt.Printf("explored %d executions (exhausted: %v)\n", res.Runs, res.Exhausted)
 	for i, o := range res.Outcomes {
 		fmt.Printf("\n--- behavior %d (decision trace %v) ---\n", i+1, o.Trace)

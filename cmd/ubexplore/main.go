@@ -28,6 +28,7 @@ import (
 
 func main() {
 	maxRuns := flag.Int("max-runs", 5000, "maximum executions to try")
+	engine := flag.String("engine", "", "execution engine: tree (default) or vm")
 	stopFirst := flag.Bool("stop-at-first-ub", false, "stop as soon as any UB is found")
 	timeout := flag.Duration("timeout", 0, "bound the whole search (0 = no limit)")
 	asJSON := flag.Bool("json", false, "emit the undefc.api/v1 explore document instead of text")
@@ -56,6 +57,7 @@ func main() {
 	res := search.Explore(prog, search.Options{
 		MaxRuns:       *maxRuns,
 		StopAtFirstUB: *stopFirst,
+		Engine:        *engine,
 		Context:       ctx,
 	})
 	timedOut := ctx.Err() != nil

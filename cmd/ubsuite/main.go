@@ -6,7 +6,9 @@
 //	ubsuite -catalog        # §5.2.1 classification counts
 //
 // Suite runs execute the case×tool matrix on a worker pool with a shared
-// compile cache; -j sets the worker count (default: all CPUs).
+// compile cache; -j sets the worker count (default: all CPUs). -engine
+// selects the execution engine (tree, the reference walker, or vm, the
+// pre-compiled closure code — identical verdicts, faster).
 //
 // Observability:
 //
@@ -36,6 +38,7 @@ import (
 	"os"
 
 	"repro/internal/fault"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/suite"
@@ -46,6 +49,7 @@ import (
 
 func main() {
 	suiteFlag := flag.String("suite", "juliet", "suite to run: juliet, own, or torture")
+	engineFlag := flag.String("engine", "", "execution engine: tree (default) or vm")
 	catalog := flag.Bool("catalog", false, "print the §5.2.1 classification counts")
 	timing := flag.Bool("time", true, "include per-tool timing")
 	jobs := flag.Int("j", 0, "parallel workers for the case×tool matrix (0 = GOMAXPROCS)")
@@ -85,8 +89,8 @@ func main() {
 	}
 
 	collect := *jsonFlag || *metricsFlag
-	cfg := tools.Config{Metrics: collect, Injector: injector, Flight: cfgFlight}
-	opts := runner.Options{Parallelism: *jobs, CaseTimeout: *caseTimeout, Injector: injector}
+	cfg := tools.Config{Engine: *engineFlag, Metrics: collect, Injector: injector, Flight: cfgFlight}
+	opts := runner.Options{Parallelism: *jobs, CaseTimeout: *caseTimeout, Injector: injector, Engine: *engineFlag}
 
 	// -trace-out installs a span collector on the run context; every matrix
 	// cell then records its cell → compile → interp spans, and finishTrace
@@ -186,7 +190,8 @@ func main() {
 	case "torture":
 		pass, fail := 0, 0
 		for _, tc := range suite.Torture() {
-			res := undefc.RunSource(tc.Source, tc.Name+".c", undefc.Options{})
+			res := undefc.RunSource(tc.Source, tc.Name+".c",
+				undefc.Options{Exec: interp.Options{Engine: *engineFlag}})
 			if res.Err == nil && res.UB == nil &&
 				res.ExitCode == tc.ExitCode && res.Output == tc.Output {
 				pass++

@@ -130,6 +130,11 @@ type Type struct {
 	// Struct/Union layout cache, computed on first Size query.
 	size  int64
 	align int64
+
+	// decayed caches the pointer type an array or function value decays
+	// to (C11 §6.3.2.1). Filled at construction — before the type is
+	// shared — so Decay never allocates on the interpreter's access path.
+	decayed *Type
 }
 
 // Predeclared basic types (unqualified). Use Qualified to add qualifiers.
@@ -208,12 +213,28 @@ func PointerTo(elem *Type) *Type { return &Type{Kind: Ptr, Elem: elem} }
 
 // ArrayOf returns an array type of n elements of elem; n < 0 for incomplete.
 func ArrayOf(elem *Type, n int64) *Type {
-	return &Type{Kind: Array, Elem: elem, ArrayLen: n}
+	return &Type{Kind: Array, Elem: elem, ArrayLen: n, decayed: &Type{Kind: Ptr, Elem: elem}}
 }
 
 // FuncType returns a function type.
 func FuncType(ret *Type, params []Param, variadic bool) *Type {
-	return &Type{Kind: Func, Elem: ret, Params: params, Variadic: variadic}
+	f := &Type{Kind: Func, Elem: ret, Params: params, Variadic: variadic}
+	f.decayed = &Type{Kind: Ptr, Elem: f}
+	return f
+}
+
+// Decay returns the pointer type t decays to when used as a value: T* for
+// an array of T, a function pointer for a function type (C11 §6.3.2.1).
+// Equal to PointerTo of the element (resp. the type itself) but served
+// from the construction-time cache on the hot path.
+func (t *Type) Decay() *Type {
+	if t.decayed != nil {
+		return t.decayed
+	}
+	if t.Kind == Array {
+		return PointerTo(t.Elem)
+	}
+	return PointerTo(t)
 }
 
 // Qualified returns t with qualifiers added (sharing underlying structure).

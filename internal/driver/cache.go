@@ -46,6 +46,22 @@ type Cache struct {
 
 	// observer, when set, receives EvCacheHit/EvCacheMiss per lookup.
 	observer obs.Observer
+
+	// onEvict, when set, is called with the evicted entry's program
+	// whenever a completed entry that produced one is dropped (Invalidate;
+	// failure evictions carry no program). Derived caches keyed by the
+	// *sema.Program pointer — the vm's compiled-code cache — hook this so
+	// they never outlive the program interning that makes their key sound.
+	onEvict func(*sema.Program)
+}
+
+// SetEvictHook installs fn to run for every evicted entry that holds a
+// program. The hook runs outside the cache lock and must be safe for
+// concurrent use. Set it before sharing the cache across goroutines.
+func (c *Cache) SetEvictHook(fn func(*sema.Program)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
 }
 
 // SetObserver attaches an observer to the cache: every lookup emits an
@@ -215,18 +231,24 @@ func cacheable(err error) bool {
 func (c *Cache) Invalidate(src, file string, opts Options) bool {
 	k := makeKey(src, file, opts)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if !ok {
+		c.mu.Unlock()
 		return false
 	}
 	select {
 	case <-e.done:
 	default:
+		c.mu.Unlock()
 		return false // still compiling
 	}
 	delete(c.entries, k)
 	c.evictions++
+	hook := c.onEvict
+	c.mu.Unlock()
+	if hook != nil && e.prog != nil {
+		hook(e.prog)
+	}
 	return true
 }
 

@@ -9,32 +9,32 @@ import (
 	"repro/internal/ub"
 )
 
-// lvalue designates an object region: [base+off, base+off+sizeof(t)),
+// LV designates an object region: [base+off, base+off+sizeof(t)),
 // accessed as type t. Bit-fields carry their bit position within the unit.
-type lvalue struct {
-	base             mem.ObjID
-	off              int64
-	t                *ctypes.Type
-	bit              bool
-	bitOff, bitWidth int
+type LV struct {
+	Base             mem.ObjID
+	Off              int64
+	T                *ctypes.Type
+	Bit              bool
+	BitOff, BitWidth int
 }
 
-// object resolves the lvalue's object, diagnosing dead and bogus bases.
+// object resolves the LV's object, diagnosing dead and bogus bases.
 // This is the shared liveness side condition of the paper's deref-safest
 // rule (§4.1.2); which violations are *reported* depends on the profile —
 // unreported ones fall back to the de-facto behavior (crash, or access to
 // the retained bytes of the dead object).
-func (in *Interp) object(lv lvalue, pos token.Pos, forWrite bool) (*mem.Object, error) {
-	if lv.base == mem.NullBase {
+func (in *Interp) object(lv LV, pos token.Pos, forWrite bool) (*mem.Object, error) {
+	if lv.Base == mem.NullBase {
 		return nil, in.ubError(ub.InvalidDeref, pos, "Dereferencing a null pointer")
 	}
-	if lv.base == mem.InvalidBase {
+	if lv.Base == mem.InvalidBase {
 		if in.prof.ForgedPtr {
 			return nil, in.ubError(ub.PtrFromInt, pos, "Using a pointer forged from an integer")
 		}
 		return nil, &CrashError{Signal: "SIGSEGV", Detail: "access through a forged pointer"}
 	}
-	o, ok := in.store.Obj(lv.base)
+	o, ok := in.store.Obj(lv.Base)
 	if !ok {
 		return nil, in.ubError(ub.InvalidDeref, pos, "Dereferencing an invalid pointer")
 	}
@@ -63,12 +63,12 @@ func (in *Interp) object(lv lvalue, pos token.Pos, forWrite bool) (*mem.Object, 
 // not watch this object kind, oob is reported to the caller, which applies
 // fallback semantics (reads yield zeroes, writes vanish — the neighboring
 // stack memory of a real execution).
-func (in *Interp) checkBounds(o *mem.Object, lv lvalue, n int64, pos token.Pos) (uerr *ub.Error, oob bool) {
+func (in *Interp) checkBounds(o *mem.Object, lv LV, n int64, pos token.Pos) (uerr *ub.Error, oob bool) {
 	watched := in.prof.StackBounds
 	if o.Kind == mem.ObjHeap {
 		watched = in.prof.HeapBounds
 	}
-	if lv.off >= 0 && lv.off+n <= o.Size {
+	if lv.Off >= 0 && lv.Off+n <= o.Size {
 		if watched {
 			in.obsCheckPass(ub.PtrArithBounds, pos)
 		}
@@ -77,7 +77,7 @@ func (in *Interp) checkBounds(o *mem.Object, lv lvalue, n int64, pos token.Pos) 
 	if !watched {
 		return nil, true
 	}
-	if lv.off == o.Size {
+	if lv.Off == o.Size {
 		return in.ubError(ub.PtrDerefOnePast, pos,
 			"Dereferencing a pointer one past the end of an object (%s)", o.Name), true
 	}
@@ -87,41 +87,48 @@ func (in *Interp) checkBounds(o *mem.Object, lv lvalue, n int64, pos token.Pos) 
 	}
 	return in.ubError(b, pos,
 		"Accessing outside the bounds of object %s (offset %d, size %d of %d)",
-		o.Name, lv.off, n, o.Size), true
+		o.Name, lv.Off, n, o.Size), true
 }
 
 // checkAlias enforces the effective-type rule (C11 §6.5:7): an object's
-// stored value may be accessed only by an allowed lvalue type. Heap objects
+// stored value may be accessed only by an allowed LV type. Heap objects
 // have no declared type and are exempt.
-func (in *Interp) checkAlias(o *mem.Object, lv lvalue, pos token.Pos) *ub.Error {
-	if !in.prof.Alias || o.DeclType == nil || lv.t == nil {
+func (in *Interp) checkAlias(o *mem.Object, lv LV, pos token.Pos) *ub.Error {
+	if !in.prof.Alias || o.DeclType == nil || lv.T == nil {
 		return nil
 	}
-	if lv.t.Kind == ctypes.Struct || lv.t.Kind == ctypes.Union || lv.t.Kind == ctypes.Array {
+	if lv.T.Kind == ctypes.Struct || lv.T.Kind == ctypes.Union || lv.T.Kind == ctypes.Array {
 		return nil // aggregate copies are byte-wise; members checked per access
 	}
-	if !ctypes.AliasAllowed(lv.t, o.DeclType) {
+	if !ctypes.AliasAllowed(lv.T, o.DeclType) {
 		return in.ubError(ub.BadAlias, pos,
-			"Accessing an object with declared type %s through an lvalue of type %s",
-			o.DeclType, lv.t)
+			"Accessing an object with declared type %s through an LV of type %s",
+			o.DeclType, lv.T)
 	}
 	in.obsCheckPass(ub.BadAlias, pos)
 	return nil
 }
 
 // checkVolatile enforces C11 §6.7.3:6: an object defined volatile may not
-// be referred to through a non-volatile lvalue.
-func (in *Interp) checkVolatile(lv lvalue, n int64, pos token.Pos) *ub.Error {
+// be referred to through a non-volatile LV.
+func (in *Interp) checkVolatile(lv LV, n int64, pos token.Pos) *ub.Error {
 	if !in.prof.Volatile {
 		return nil
 	}
-	if lv.t != nil && lv.t.Qual.Has(ctypes.QVolatile) {
+	if lv.T != nil && lv.T.Qual.Has(ctypes.QVolatile) {
 		return nil
 	}
-	for i := lv.off; i < lv.off+n; i++ {
-		if _, ok := in.volatileLocs[mem.Loc{Obj: lv.base, Off: i}]; ok {
+	if len(in.volatileLocs) == 0 {
+		// No volatile object exists in this execution: every access
+		// trivially passes the check (the common case — skip the
+		// per-byte lookups).
+		in.obsCheckPass(ub.VolatileNonvolatile, pos)
+		return nil
+	}
+	for i := lv.Off; i < lv.Off+n; i++ {
+		if _, ok := in.volatileLocs[mem.Loc{Obj: lv.Base, Off: i}]; ok {
 			return in.ubError(ub.VolatileNonvolatile, pos,
-				"Referring to a volatile object through a non-volatile lvalue")
+				"Referring to a volatile object through a non-volatile LV")
 		}
 	}
 	in.obsCheckPass(ub.VolatileNonvolatile, pos)
@@ -135,14 +142,11 @@ func (in *Interp) noteRead(base mem.ObjID, off, n int64, pos token.Pos) *ub.Erro
 		return nil
 	}
 	s := in.curSeq()
-	for i := off; i < off+n; i++ {
-		loc := mem.Loc{Obj: base, Off: i}
-		if _, written := s.written[loc]; written {
-			return in.ubError(ub.UnseqValueComp, pos,
-				"Unsequenced side effect on scalar object with value computation using the same object")
-		}
-		s.read[loc] = struct{}{}
+	if s.written.ContainsRange(base, off, n) {
+		return in.ubError(ub.UnseqValueComp, pos,
+			"Unsequenced side effect on scalar object with value computation using the same object")
 	}
+	s.read.AddRange(base, off, n)
 	in.obsCheckPass(ub.UnseqValueComp, pos)
 	return nil
 }
@@ -157,35 +161,30 @@ func (in *Interp) noteWrite(base mem.ObjID, off, n int64, pos token.Pos) *ub.Err
 		return nil
 	}
 	s := in.curSeq()
-	for i := off; i < off+n; i++ {
-		loc := mem.Loc{Obj: base, Off: i}
-		if _, written := s.written[loc]; written {
-			return in.ubError(ub.UnseqSideEffect, pos,
-				"Unsequenced side effect on scalar object with side effect of same object")
-		}
+	if s.written.ContainsRange(base, off, n) {
+		return in.ubError(ub.UnseqSideEffect, pos,
+			"Unsequenced side effect on scalar object with side effect of same object")
 	}
-	for i := off; i < off+n; i++ {
-		s.written[mem.Loc{Obj: base, Off: i}] = struct{}{}
-	}
+	s.written.AddRange(base, off, n)
 	in.obsCheckPass(ub.UnseqSideEffect, pos)
 	return nil
 }
 
 // read performs a checked, typed load: the deref-safest rule of §4.1.2 plus
 // the §4.2/§4.3 checks.
-func (in *Interp) read(lv lvalue, pos token.Pos) (mem.Value, error) {
+func (in *Interp) read(lv LV, pos token.Pos) (mem.Value, error) {
 	if len(in.opts.Monitors) > 0 {
 		size := int64(0)
-		if lv.t != nil && lv.t.IsComplete() {
-			size = in.model.Size(lv.t)
+		if lv.T != nil && lv.T.IsComplete() {
+			size = in.model.Size(lv.T)
 		}
 		if err := in.observe(spec.Event{Kind: spec.EvRead, Pos: pos,
-			Obj: lv.base, Off: lv.off, Size: size, Type: lv.t}); err != nil {
+			Obj: lv.Base, Off: lv.Off, Size: size, Type: lv.T}); err != nil {
 			return nil, err
 		}
 	}
-	if lv.t.Kind == ctypes.Void {
-		// Reading a void lvalue produces the (nonexistent) void value;
+	if lv.T.Kind == ctypes.Void {
+		// Reading a void LV produces the (nonexistent) void value;
 		// any *use* of it is UB and is flagged at the use site.
 		return mem.Void{}, nil
 	}
@@ -193,7 +192,7 @@ func (in *Interp) read(lv lvalue, pos token.Pos) (mem.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := in.model.Size(lv.t)
+	n := in.model.Size(lv.T)
 	uerr, oob := in.checkBounds(o, lv, n, pos)
 	if uerr != nil {
 		return nil, uerr
@@ -204,7 +203,7 @@ func (in *Interp) read(lv lvalue, pos token.Pos) (mem.Value, error) {
 	if uerr := in.checkAlias(o, lv, pos); uerr != nil {
 		return nil, uerr
 	}
-	if uerr := in.noteRead(lv.base, lv.off, n, pos); uerr != nil {
+	if uerr := in.noteRead(lv.Base, lv.Off, n, pos); uerr != nil {
 		return nil, uerr
 	}
 	in.obsMem(obs.EvRead, o, n, pos)
@@ -217,15 +216,15 @@ func (in *Interp) read(lv lvalue, pos token.Pos) (mem.Value, error) {
 			data[i] = mem.Concrete{B: 0}
 		}
 	} else {
-		data = o.Data[lv.off : lv.off+n]
+		data = o.Data[lv.Off : lv.Off+n]
 	}
 	return in.decode(o, lv, data, pos)
 }
 
-// decode interprets raw bytes as a value of lv.t, applying the profile's
+// decode interprets raw bytes as a value of lv.T, applying the profile's
 // indeterminate-value and type-punning policies.
-func (in *Interp) decode(o *mem.Object, lv lvalue, data []mem.Byte, pos token.Pos) (mem.Value, error) {
-	t := lv.t
+func (in *Interp) decode(o *mem.Object, lv LV, data []mem.Byte, pos token.Pos) (mem.Value, error) {
+	t := lv.T
 	switch {
 	case t.Kind == ctypes.Ptr:
 		p, res := mem.DecodePtr(in.model, t, data)
@@ -261,19 +260,19 @@ func (in *Interp) decode(o *mem.Object, lv lvalue, data []mem.Byte, pos token.Po
 		default:
 			if in.prof.Alias {
 				return nil, in.ubError(ub.BadAlias, pos,
-					"Reading pointer bytes through a floating lvalue")
+					"Reading pointer bytes through a floating LV")
 			}
 			f, _ := mem.DecodeFloat(in.model, t, in.concretize(data))
 			return mem.Float{T: t, F: f}, nil
 		}
 	case t.IsInteger():
-		if lv.bit {
+		if lv.Bit {
 			return in.readBitField(o, lv, data, pos)
 		}
 		bits, res := mem.DecodeInt(in.model, t, data)
 		switch res {
 		case mem.DecodeOK:
-			return mem.Int{T: t.Unqualified(), Bits: bits}, nil
+			return mem.BoxInt(t.Unqualified(), bits), nil
 		case mem.DecodeIndeterminate:
 			// Character-typed lvalues may copy indeterminate bytes
 			// (§4.3.3, C11 §6.2.6.1:3-4); any other use is UB.
@@ -284,7 +283,7 @@ func (in *Interp) decode(o *mem.Object, lv lvalue, data []mem.Byte, pos token.Po
 				return nil, in.indeterminate(o, pos)
 			}
 			bits, _ := mem.DecodeInt(in.model, t, in.concretize(data))
-			return mem.Int{T: t.Unqualified(), Bits: bits}, nil
+			return mem.BoxInt(t.Unqualified(), bits), nil
 		default: // pointer bytes
 			if t.IsCharTy() && len(data) == 1 {
 				// Byte-wise pointer copying (§4.3.2).
@@ -292,10 +291,10 @@ func (in *Interp) decode(o *mem.Object, lv lvalue, data []mem.Byte, pos token.Po
 			}
 			if in.prof.Alias {
 				return nil, in.ubError(ub.BadAlias, pos,
-					"Reading bytes of a pointer through an integer lvalue of type %s", t)
+					"Reading bytes of a pointer through an integer LV of type %s", t)
 			}
 			bits, _ := mem.DecodeInt(in.model, t, in.concretize(data))
-			return mem.Int{T: t.Unqualified(), Bits: bits}, nil
+			return mem.BoxInt(t.Unqualified(), bits), nil
 		}
 	case t.IsAggregate():
 		cp := make([]mem.Byte, len(data))
@@ -332,8 +331,8 @@ func (in *Interp) indeterminate(o *mem.Object, pos token.Pos) *ub.Error {
 		"Reading the indeterminate value of uninitialized object %s", o.Name)
 }
 
-func (in *Interp) readBitField(o *mem.Object, lv lvalue, data []mem.Byte, pos token.Pos) (mem.Value, error) {
-	bits, res := mem.DecodeInt(in.model, lv.t.Unqualified(), data)
+func (in *Interp) readBitField(o *mem.Object, lv LV, data []mem.Byte, pos token.Pos) (mem.Value, error) {
+	bits, res := mem.DecodeInt(in.model, lv.T.Unqualified(), data)
 	if res == mem.DecodeIndeterminate {
 		if in.prof.Uninit {
 			return nil, in.indeterminate(o, pos)
@@ -343,26 +342,26 @@ func (in *Interp) readBitField(o *mem.Object, lv lvalue, data []mem.Byte, pos to
 		if in.prof.Alias {
 			return nil, in.ubError(ub.BadAlias, pos, "Reading pointer bytes through a bit-field")
 		}
-		bits, _ = mem.DecodeInt(in.model, lv.t.Unqualified(), in.concretize(data))
+		bits, _ = mem.DecodeInt(in.model, lv.T.Unqualified(), in.concretize(data))
 	}
-	width := uint(lv.bitWidth)
-	v := bits >> uint(lv.bitOff)
+	width := uint(lv.BitWidth)
+	v := bits >> uint(lv.BitOff)
 	v &= 1<<width - 1
-	if lv.t.IsSigned(in.model) && v&(1<<(width-1)) != 0 {
+	if lv.T.IsSigned(in.model) && v&(1<<(width-1)) != 0 {
 		v |= ^uint64(0) << width
 	}
-	return mem.Int{T: lv.t.Unqualified(), Bits: in.model.Wrap(lv.t, v)}, nil
+	return mem.BoxInt(lv.T.Unqualified(), in.model.Wrap(lv.T, v)), nil
 }
 
 // write performs a checked, typed store.
-func (in *Interp) write(lv lvalue, v mem.Value, pos token.Pos) error {
+func (in *Interp) write(lv LV, v mem.Value, pos token.Pos) error {
 	if len(in.opts.Monitors) > 0 {
 		size := int64(0)
-		if lv.t != nil && lv.t.IsComplete() {
-			size = in.model.Size(lv.t)
+		if lv.T != nil && lv.T.IsComplete() {
+			size = in.model.Size(lv.T)
 		}
 		if err := in.observe(spec.Event{Kind: spec.EvWrite, Pos: pos,
-			Obj: lv.base, Off: lv.off, Size: size, Type: lv.t}); err != nil {
+			Obj: lv.Base, Off: lv.Off, Size: size, Type: lv.T}); err != nil {
 			return err
 		}
 	}
@@ -370,7 +369,7 @@ func (in *Interp) write(lv lvalue, v mem.Value, pos token.Pos) error {
 	if err != nil {
 		return err
 	}
-	n := in.model.Size(lv.t)
+	n := in.model.Size(lv.T)
 	uerr, oob := in.checkBounds(o, lv, n, pos)
 	if uerr != nil {
 		return uerr
@@ -384,7 +383,7 @@ func (in *Interp) write(lv lvalue, v mem.Value, pos token.Pos) error {
 	}
 	// §6.7.3:6 via the notWritable set (§4.2.2).
 	if in.prof.Const {
-		if in.store.IsNotWritable(lv.base, lv.off, n) {
+		if in.store.IsNotWritable(lv.Base, lv.Off, n) {
 			return in.ubError(ub.ModifyConst, pos,
 				"Modifying an object defined with a const-qualified type")
 		}
@@ -396,39 +395,39 @@ func (in *Interp) write(lv lvalue, v mem.Value, pos token.Pos) error {
 	if uerr := in.checkAlias(o, lv, pos); uerr != nil {
 		return uerr
 	}
-	if uerr := in.noteWrite(lv.base, lv.off, n, pos); uerr != nil {
+	if uerr := in.noteWrite(lv.Base, lv.Off, n, pos); uerr != nil {
 		return uerr
 	}
 	in.obsMem(obs.EvWrite, o, n, pos)
 	if oob {
 		return nil // unchecked out-of-bounds write: vanishes into the frame
 	}
-	if lv.bit {
+	if lv.Bit {
 		return in.writeBitField(o, lv, v, pos)
 	}
-	data := in.encode(v, lv.t)
-	copy(o.Data[lv.off:lv.off+n], data)
+	data := in.encode(v, lv.T)
+	copy(o.Data[lv.Off:lv.Off+n], data)
 	return nil
 }
 
-func (in *Interp) writeBitField(o *mem.Object, lv lvalue, v mem.Value, pos token.Pos) error {
+func (in *Interp) writeBitField(o *mem.Object, lv LV, v mem.Value, pos token.Pos) error {
 	iv, ok := v.(mem.Int)
 	if !ok {
 		return in.ubError(ub.BadAlias, pos, "Storing a non-integer into a bit-field")
 	}
-	n := in.model.Size(lv.t)
+	n := in.model.Size(lv.T)
 	// Read-modify-write the unit; indeterminate other bits become zero
 	// (a benign over-approximation).
-	unit := o.Data[lv.off : lv.off+n]
-	bits, res := mem.DecodeInt(in.model, lv.t.Unqualified(), unit)
+	unit := o.Data[lv.Off : lv.Off+n]
+	bits, res := mem.DecodeInt(in.model, lv.T.Unqualified(), unit)
 	if res != mem.DecodeOK {
 		bits = 0
 	}
-	width := uint(lv.bitWidth)
+	width := uint(lv.BitWidth)
 	maskBody := uint64(1)<<width - 1
-	mask := maskBody << uint(lv.bitOff)
-	bits = bits&^mask | (iv.Bits&maskBody)<<uint(lv.bitOff)
-	copy(o.Data[lv.off:lv.off+n], mem.EncodeInt(in.model, lv.t.Unqualified(), bits))
+	mask := maskBody << uint(lv.BitOff)
+	bits = bits&^mask | (iv.Bits&maskBody)<<uint(lv.BitOff)
+	copy(o.Data[lv.Off:lv.Off+n], mem.EncodeInt(in.model, lv.T.Unqualified(), bits))
 	return nil
 }
 

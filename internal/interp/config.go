@@ -27,8 +27,8 @@ func (in *Interp) ConfigTree() *ConfigCell {
 
 	written, read := 0, 0
 	if len(in.seq) > 0 {
-		written = len(in.curSeq().written)
-		read = len(in.curSeq().read)
+		written = in.curSeq().written.Len()
+		read = in.curSeq().read.Len()
 	}
 	return &ConfigCell{Label: "T", Children: []*ConfigCell{
 		{Label: "k", Contents: "K (the current computation)"},

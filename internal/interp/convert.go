@@ -79,7 +79,10 @@ func (in *Interp) convert(v mem.Value, to *ctypes.Type, pos token.Pos) (mem.Valu
 	case mem.Int:
 		switch {
 		case to.IsInteger():
-			return mem.MakeInt(in.model, to, val.Bits), nil
+			if to == val.T {
+				return v, nil // already the right type: keep the existing box
+			}
+			return mem.BoxInt(to, in.model.Wrap(to, val.Bits)), nil
 		case to.IsFloat():
 			if val.T.IsSigned(in.model) {
 				return mem.Float{T: to, F: in.truncFloat(to, float64(int64(val.Bits)))}, nil
@@ -100,7 +103,7 @@ func (in *Interp) convert(v mem.Value, to *ctypes.Type, pos token.Pos) (mem.Valu
 			if val.F != 0 {
 				b = 1
 			}
-			return mem.Int{T: to, Bits: b}, nil
+			return mem.BoxInt(to, b), nil
 		case to.IsInteger():
 			// C11 §6.3.1.4:1: value must fit after truncation.
 			f := math.Trunc(val.F)
@@ -133,7 +136,7 @@ func (in *Interp) convert(v mem.Value, to *ctypes.Type, pos token.Pos) (mem.Valu
 			if !val.IsNull() {
 				b = 1
 			}
-			return mem.Int{T: to, Bits: b}, nil
+			return mem.BoxInt(to, b), nil
 		case to.IsInteger():
 			return mem.MakeInt(in.model, to, synthAddr(val)), nil
 		case to.Kind == ctypes.Ptr:
@@ -169,7 +172,7 @@ func (in *Interp) zeroOf(t *ctypes.Type) mem.Value {
 	case t.Kind == ctypes.Ptr:
 		return mem.Ptr{T: t, Base: mem.NullBase}
 	default:
-		return mem.Int{T: t, Bits: 0}
+		return mem.BoxInt(t, 0)
 	}
 }
 

@@ -1,0 +1,57 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// EngineFunc runs a prepared interpreter to completion, returning main's
+// exit code. It is handed an Interp after New — globals not yet
+// initialized — and is expected to drive ExecuteWith so that startup,
+// budgets, observers, and teardown behave identically across engines.
+type EngineFunc func(in *Interp) (int, error)
+
+var (
+	engineMu sync.RWMutex
+	engines  = map[string]EngineFunc{}
+)
+
+// RegisterEngine makes an execution engine selectable through
+// Options.Engine. The names "" and "tree" are reserved for the built-in
+// tree walker. Registration typically happens in the engine package's
+// init; re-registering a name replaces the previous engine.
+func RegisterEngine(name string, run EngineFunc) {
+	if name == "" || name == "tree" {
+		panic("interp: cannot re-register the built-in tree engine")
+	}
+	engineMu.Lock()
+	engines[name] = run
+	engineMu.Unlock()
+}
+
+// Engines lists the selectable engine names, "tree" first.
+func Engines() []string {
+	engineMu.RLock()
+	names := make([]string, 0, len(engines)+1)
+	for name := range engines {
+		names = append(names, name)
+	}
+	engineMu.RUnlock()
+	sort.Strings(names)
+	return append([]string{"tree"}, names...)
+}
+
+// engineFor resolves an Options.Engine value.
+func engineFor(name string) (EngineFunc, error) {
+	if name == "" || name == "tree" {
+		return (*Interp).Execute, nil
+	}
+	engineMu.RLock()
+	run, ok := engines[name]
+	engineMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown engine %q (available: %v)", name, Engines())
+	}
+	return run, nil
+}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/ub"
 )
 
-// eval computes the value of an expression, applying the lvalue conversions
+// eval computes the value of an expression, applying the LV conversions
 // (array→pointer, function→pointer) where the checked type calls for them.
 func (in *Interp) eval(e cast.Expr) (mem.Value, error) {
 	if err := in.step(e.Pos()); err != nil {
@@ -17,7 +17,7 @@ func (in *Interp) eval(e cast.Expr) (mem.Value, error) {
 	}
 	switch e := e.(type) {
 	case *cast.IntLit:
-		return mem.Int{T: e.T, Bits: in.model.Wrap(e.T, e.Value)}, nil
+		return mem.BoxInt(e.T, in.model.Wrap(e.T, e.Value)), nil
 	case *cast.FloatLit:
 		return mem.Float{T: e.T, F: e.Value}, nil
 
@@ -101,19 +101,19 @@ func (in *Interp) eval(e cast.Expr) (mem.Value, error) {
 	return nil, in.ubError(ub.Catalog[0], e.Pos(), "Unhandled expression %T", e)
 }
 
-// loadOrDecay reads an lvalue as a value, or decays arrays and functions to
+// loadOrDecay reads an LV as a value, or decays arrays and functions to
 // pointers (C11 §6.3.2.1).
-func (in *Interp) loadOrDecay(lv lvalue, pos token.Pos) (mem.Value, error) {
-	switch lv.t.Kind {
+func (in *Interp) loadOrDecay(lv LV, pos token.Pos) (mem.Value, error) {
+	switch lv.T.Kind {
 	case ctypes.Array:
 		// Decay requires the object to still be live (§6.2.4).
-		p := mem.Ptr{T: ctypes.PointerTo(lv.t.Elem), Base: lv.base, Off: lv.off}
+		p := mem.Ptr{T: lv.T.Decay(), Base: lv.Base, Off: lv.Off}
 		if uerr := in.checkPtrUsable(p, pos); uerr != nil {
 			return nil, uerr
 		}
 		return p, nil
 	case ctypes.Func:
-		return mem.Ptr{T: ctypes.PointerTo(lv.t), Base: lv.base, Off: 0}, nil
+		return mem.Ptr{T: lv.T.Decay(), Base: lv.Base, Off: 0}, nil
 	}
 	return in.read(lv, pos)
 }
@@ -124,56 +124,56 @@ func (in *Interp) funcPtr(name string, pos token.Pos) (mem.Value, error) {
 		return nil, in.ubError(ub.Catalog[82], pos, "Use of undefined function %q", name)
 	}
 	sym := in.prog.Symbols[name]
-	return mem.Ptr{T: ctypes.PointerTo(sym.Type), Base: id, Off: 0}, nil
+	return mem.Ptr{T: sym.Type.Decay(), Base: id, Off: 0}, nil
 }
 
-// lvalOf evaluates an expression to an lvalue (the paper's [L] : T).
-func (in *Interp) lvalOf(e cast.Expr) (lvalue, error) {
+// lvalOf evaluates an expression to an LV (the paper's [L] : T).
+func (in *Interp) lvalOf(e cast.Expr) (LV, error) {
 	switch e := e.(type) {
 	case *cast.Ident:
 		sym := e.Sym
 		if id, ok := in.lookupObj(sym); ok {
-			return lvalue{base: id, off: 0, t: sym.Type}, nil
+			return LV{Base: id, Off: 0, T: sym.Type}, nil
 		}
-		return lvalue{}, in.ubError(ub.OutsideLifetime, e.P,
+		return LV{}, in.ubError(ub.OutsideLifetime, e.P,
 			"Referring to object %q outside of its lifetime", e.Name)
 
 	case *cast.StringLit:
 		id, err := in.stringLitObj(e)
 		if err != nil {
-			return lvalue{}, err
+			return LV{}, err
 		}
-		return lvalue{base: id, off: 0, t: e.T}, nil
+		return LV{Base: id, Off: 0, T: e.T}, nil
 
 	case *cast.CompoundLit:
 		// A compound literal designates an object with the lifetime of
 		// the enclosing block (automatic) or static at file scope.
 		o, err := in.store.Alloc(mem.ObjAuto, in.model.Size(e.Of), "compound literal", e.Of)
 		if err != nil {
-			return lvalue{}, err
+			return LV{}, err
 		}
 		in.trackBlockObj(o.ID)
 		o.Zero(0, o.Size)
 		if err := in.runInitPlan(o.ID, e.Of, e.Plan, false); err != nil {
-			return lvalue{}, err
+			return LV{}, err
 		}
-		return lvalue{base: o.ID, off: 0, t: e.Of}, nil
+		return LV{Base: o.ID, Off: 0, T: e.Of}, nil
 
 	case *cast.Unary:
 		if e.Op != cast.UDeref {
-			return lvalue{}, in.ubError(ub.Catalog[0], e.P, "Expression is not an lvalue")
+			return LV{}, in.ubError(ub.Catalog[0], e.P, "Expression is not an LV")
 		}
 		v, err := in.eval(e.X)
 		if err != nil {
-			return lvalue{}, err
+			return LV{}, err
 		}
 		return in.derefLValue(v, e.T, e.P)
 
 	case *cast.Index:
-		// a[i] ≡ *(a + i): pointer arithmetic, then an lvalue.
+		// a[i] ≡ *(a + i): pointer arithmetic, then an LV.
 		p, err := in.evalPtrAdd(e.X, e.I, e.P)
 		if err != nil {
-			return lvalue{}, err
+			return LV{}, err
 		}
 		return in.derefLValue(p, e.T, e.P)
 
@@ -181,58 +181,58 @@ func (in *Interp) lvalOf(e cast.Expr) (lvalue, error) {
 		if e.Arrow {
 			v, err := in.eval(e.X)
 			if err != nil {
-				return lvalue{}, err
+				return LV{}, err
 			}
 			p, ok := v.(mem.Ptr)
 			if !ok {
-				return lvalue{}, in.ubError(ub.InvalidDeref, e.P, "-> applied to a non-pointer value")
+				return LV{}, in.ubError(ub.InvalidDeref, e.P, "-> applied to a non-pointer value")
 			}
 			base, err2 := in.derefLValue(p, p.T.Elem, e.P)
 			if err2 != nil {
-				return lvalue{}, err2
+				return LV{}, err2
 			}
-			return lvalue{base: base.base, off: base.off + e.Field.Offset, t: e.T,
-				bit: e.Field.BitField, bitOff: e.Field.BitOff, bitWidth: e.Field.BitWidth}, nil
+			return LV{Base: base.Base, Off: base.Off + e.Field.Offset, T: e.T,
+				Bit: e.Field.BitField, BitOff: e.Field.BitOff, BitWidth: e.Field.BitWidth}, nil
 		}
 		base, err := in.lvalOf(e.X)
 		if err != nil {
-			return lvalue{}, err
+			return LV{}, err
 		}
-		return lvalue{base: base.base, off: base.off + e.Field.Offset, t: e.T,
-			bit: e.Field.BitField, bitOff: e.Field.BitOff, bitWidth: e.Field.BitWidth}, nil
+		return LV{Base: base.Base, Off: base.Off + e.Field.Offset, T: e.T,
+			Bit: e.Field.BitField, BitOff: e.Field.BitOff, BitWidth: e.Field.BitWidth}, nil
 	}
-	return lvalue{}, in.ubError(ub.Catalog[0], e.Pos(), "Expression %T is not an lvalue", e)
+	return LV{}, in.ubError(ub.Catalog[0], e.Pos(), "Expression %T is not an LV", e)
 }
 
-// derefLValue turns a pointer value into an lvalue of type t: the paper's
+// derefLValue turns a pointer value into an LV of type T: the paper's
 // deref rule with its side conditions (§4.1.2).
-func (in *Interp) derefLValue(v mem.Value, t *ctypes.Type, pos token.Pos) (lvalue, error) {
+func (in *Interp) derefLValue(v mem.Value, t *ctypes.Type, pos token.Pos) (LV, error) {
 	p, ok := v.(mem.Ptr)
 	if !ok {
-		return lvalue{}, in.ubError(ub.InvalidDeref, pos, "Dereferencing a non-pointer value")
+		return LV{}, in.ubError(ub.InvalidDeref, pos, "Dereferencing a non-pointer value")
 	}
 	if err := in.observe(spec.Event{Kind: spec.EvDeref, Pos: pos, Ptr: p, Type: t}); err != nil {
-		return lvalue{}, err
+		return LV{}, err
 	}
 	if p.IsNull() {
 		// when L = NULL (deref-neg2 of §4.5.1)
-		return lvalue{}, in.ubError(ub.InvalidDeref, pos, "Dereferencing a null pointer")
+		return LV{}, in.ubError(ub.InvalidDeref, pos, "Dereferencing a null pointer")
 	}
 	if p.Base == mem.InvalidBase {
-		return lvalue{}, in.ubError(ub.PtrFromInt, pos, "Dereferencing a pointer forged from an integer")
+		return LV{}, in.ubError(ub.PtrFromInt, pos, "Dereferencing a pointer forged from an integer")
 	}
 	if t.Kind == ctypes.Void {
 		if in.prof.VoidDeref {
 			// when T = void (deref-neg1 of §4.5.1): "Cannot dereference
 			// void pointers".
-			return lvalue{}, in.ubError(ub.DerefVoid, pos, "Cannot dereference void pointers")
+			return LV{}, in.ubError(ub.DerefVoid, pos, "Cannot dereference void pointers")
 		}
-		return lvalue{base: p.Base, off: p.Off, t: ctypes.TVoid}, nil
+		return LV{Base: p.Base, Off: p.Off, T: ctypes.TVoid}, nil
 	}
 	if uerr := in.checkPtrUsable(p, pos); uerr != nil {
-		return lvalue{}, uerr
+		return LV{}, uerr
 	}
-	return lvalue{base: p.Base, off: p.Off, t: t}, nil
+	return LV{Base: p.Base, Off: p.Off, T: t}, nil
 }
 
 // lookupObj resolves a symbol to its current object.
@@ -318,7 +318,7 @@ func (in *Interp) evalUnary(e *cast.Unary) (mem.Value, error) {
 		if b {
 			out = 0
 		}
-		return mem.Int{T: ctypes.TInt, Bits: out}, nil
+		return mem.BoxInt(ctypes.TInt, out), nil
 	case cast.UPreInc, cast.UPreDec, cast.UPostInc, cast.UPostDec:
 		return in.evalIncDec(e)
 	}
@@ -360,7 +360,7 @@ func (in *Interp) evalAddr(e *cast.Unary) (mem.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mem.Ptr{T: e.T, Base: lv.base, Off: lv.off}, nil
+	return mem.Ptr{T: e.T, Base: lv.Base, Off: lv.Off}, nil
 }
 
 func (in *Interp) evalIncDec(e *cast.Unary) (mem.Value, error) {
@@ -426,7 +426,7 @@ func (in *Interp) evalBinary(e *cast.Binary) (mem.Value, error) {
 			if e.Op == cast.BLogOr {
 				out = 1
 			}
-			return mem.Int{T: ctypes.TInt, Bits: out}, nil
+			return mem.BoxInt(ctypes.TInt, out), nil
 		}
 		b2, err := in.evalCondition(e.Y)
 		if err != nil {
@@ -436,7 +436,7 @@ func (in *Interp) evalBinary(e *cast.Binary) (mem.Value, error) {
 		if b2 {
 			out = 1
 		}
-		return mem.Int{T: ctypes.TInt, Bits: out}, nil
+		return mem.BoxInt(ctypes.TInt, out), nil
 	}
 
 	// Other binary operators: operands are unsequenced — ask the scheduler.
@@ -599,7 +599,7 @@ func (in *Interp) intArith(op cast.BinaryOp, x, y mem.Int, t *ctypes.Type, pos t
 		return nil, in.ubError(ub.Catalog[0], pos, "Unhandled integer operator %v", op)
 	}
 	// Unsigned arithmetic wraps (not UB); Wrap canonicalizes both cases.
-	return mem.MakeInt(m, t, raw), nil
+	return mem.BoxInt(t, m.Wrap(t, raw)), nil
 }
 
 func addOverflows(a, b, min, max int64) bool {
@@ -663,7 +663,7 @@ func (in *Interp) floatArith(op cast.BinaryOp, x, y mem.Float, pos token.Pos) (m
 		if b {
 			out = 1
 		}
-		return mem.Int{T: ctypes.TInt, Bits: out}, nil
+		return mem.BoxInt(ctypes.TInt, out), nil
 	default:
 		return nil, in.ubError(ub.Catalog[0], pos, "Invalid floating operator %v", op)
 	}
@@ -712,7 +712,7 @@ func (in *Interp) intCompare(op cast.BinaryOp, x, y mem.Int) mem.Value {
 	if b {
 		out = 1
 	}
-	return mem.Int{T: ctypes.TInt, Bits: out}
+	return mem.BoxInt(ctypes.TInt, out)
 }
 
 // shift implements << and >> with the §6.5.7 side conditions.
@@ -946,7 +946,7 @@ func (in *Interp) ptrCompare(op cast.BinaryOp, x, y mem.Ptr, pos token.Pos) (mem
 	if b {
 		out = 1
 	}
-	return mem.Int{T: ctypes.TInt, Bits: out}, nil
+	return mem.BoxInt(ctypes.TInt, out), nil
 }
 
 // ptrEquality implements == and != with null and integer-zero operands.
@@ -957,9 +957,9 @@ func (in *Interp) ptrEquality(op cast.BinaryOp, xv, yv mem.Value, pos token.Pos)
 			return v, nil
 		case mem.Int:
 			if v.Bits == 0 {
-				return mem.Ptr{T: ctypes.PointerTo(ctypes.TVoid), Base: mem.NullBase}, nil
+				return mem.Ptr{T: voidPtrType, Base: mem.NullBase}, nil
 			}
-			return mem.Ptr{T: ctypes.PointerTo(ctypes.TVoid), Base: mem.InvalidBase, Off: int64(v.Bits)}, nil
+			return mem.Ptr{T: voidPtrType, Base: mem.InvalidBase, Off: int64(v.Bits)}, nil
 		}
 		return mem.Ptr{}, in.ubError(ub.Catalog[0], pos, "Comparing a pointer with a non-pointer")
 	}
@@ -989,7 +989,7 @@ func (in *Interp) ptrEquality(op cast.BinaryOp, xv, yv mem.Value, pos token.Pos)
 	if b {
 		out = 1
 	}
-	return mem.Int{T: ctypes.TInt, Bits: out}, nil
+	return mem.BoxInt(ctypes.TInt, out), nil
 }
 
 // ---------- assignment ----------
@@ -997,7 +997,7 @@ func (in *Interp) ptrEquality(op cast.BinaryOp, xv, yv mem.Value, pos token.Pos)
 func (in *Interp) evalAssign(e *cast.Assign) (mem.Value, error) {
 	// The two value computations are unsequenced; the write is sequenced
 	// after both.
-	var lv lvalue
+	var lv LV
 	var rv mem.Value
 	for _, which := range in.order(2) {
 		var err error
@@ -1035,7 +1035,7 @@ func (in *Interp) evalAssign(e *cast.Assign) (mem.Value, error) {
 		}
 		rv = res
 	}
-	cv, err := in.convertForStore(rv, lv.t, e.P)
+	cv, err := in.convertForStore(rv, lv.T, e.P)
 	if err != nil {
 		return nil, err
 	}
@@ -1058,16 +1058,18 @@ func (in *Interp) convertForStore(v mem.Value, t *ctypes.Type, pos token.Pos) (m
 	return in.convert(v, t, pos)
 }
 
-// decayed re-exports sema's lvalue-conversion on types for internal use.
+// decayed re-exports sema's LV-conversion on types for internal use.
 func decayed(t *ctypes.Type) *ctypes.Type {
 	switch t.Kind {
-	case ctypes.Array:
-		return ctypes.PointerTo(t.Elem)
-	case ctypes.Func:
-		return ctypes.PointerTo(t)
+	case ctypes.Array, ctypes.Func:
+		return t.Decay()
 	}
 	return t
 }
+
+// voidPtrType is the void* type used for null and forged comparisons —
+// shared so pointer equality tests never allocate a type.
+var voidPtrType = ctypes.PointerTo(ctypes.TVoid)
 
 // ---------- conditions ----------
 

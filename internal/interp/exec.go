@@ -9,27 +9,27 @@ import (
 	"repro/internal/ub"
 )
 
-// ctrl is the control signal a statement execution produces.
-type ctrl struct {
-	kind  ctrlKind
-	value mem.Value // ctrlReturn
-	label string    // ctrlGoto
+// Ctrl is the control signal a statement execution produces.
+type Ctrl struct {
+	Kind  CtrlKind
+	Value mem.Value // CtrlReturn
+	Label string    // CtrlGoto
 }
 
-type ctrlKind int
+type CtrlKind int
 
 const (
-	ctrlNone ctrlKind = iota
-	ctrlBreak
-	ctrlContinue
-	ctrlReturn
-	ctrlGoto
+	CtrlNone CtrlKind = iota
+	CtrlBreak
+	CtrlContinue
+	CtrlReturn
+	CtrlGoto
 )
 
-var flowNone = ctrl{kind: ctrlNone}
+var flowNone = Ctrl{Kind: CtrlNone}
 
 // exec runs one statement.
-func (in *Interp) exec(s cast.Stmt) (ctrl, error) {
+func (in *Interp) exec(s cast.Stmt) (Ctrl, error) {
 	if err := in.step(s.Pos()); err != nil {
 		return flowNone, err
 	}
@@ -90,15 +90,15 @@ func (in *Interp) exec(s cast.Stmt) (ctrl, error) {
 		return in.exec(s.Stmt)
 
 	case *cast.Goto:
-		return ctrl{kind: ctrlGoto, label: s.Name}, nil
+		return Ctrl{Kind: CtrlGoto, Label: s.Name}, nil
 	case *cast.Break:
-		return ctrl{kind: ctrlBreak}, nil
+		return Ctrl{Kind: CtrlBreak}, nil
 	case *cast.Continue:
-		return ctrl{kind: ctrlContinue}, nil
+		return Ctrl{Kind: CtrlContinue}, nil
 
 	case *cast.Return:
 		if s.X == nil {
-			return ctrl{kind: ctrlReturn, value: nil}, nil
+			return Ctrl{Kind: CtrlReturn, Value: nil}, nil
 		}
 		v, err := in.eval(s.X)
 		if err != nil {
@@ -107,13 +107,13 @@ func (in *Interp) exec(s cast.Stmt) (ctrl, error) {
 		in.seqPoint()
 		ret := in.curFrame().fn.Type.Elem
 		if ret.Kind == ctypes.Void {
-			return ctrl{kind: ctrlReturn, value: mem.Void{}}, nil
+			return Ctrl{Kind: CtrlReturn, Value: mem.Void{}}, nil
 		}
 		cv, err := in.convertForStore(v, ret, s.P)
 		if err != nil {
 			return flowNone, err
 		}
-		return ctrl{kind: ctrlReturn, value: cv}, nil
+		return Ctrl{Kind: CtrlReturn, Value: cv}, nil
 	}
 	return flowNone, in.ubError(ub.Catalog[0], s.Pos(), "Unhandled statement %T", s)
 }
@@ -122,7 +122,7 @@ func (in *Interp) exec(s cast.Stmt) (ctrl, error) {
 // anywhere in the block begin their lifetime now (C11 §6.2.4:5) and end it
 // at exit. resumeLabel, when non-empty, starts execution at the statement
 // containing that label instead of the beginning (goto into the block).
-func (in *Interp) execBlock(blk *cast.Compound, resumeLabel string) (ctrl, error) {
+func (in *Interp) execBlock(blk *cast.Compound, resumeLabel string) (Ctrl, error) {
 	f := in.curFrame()
 	f.blockStack = append(f.blockStack, nil)
 	defer func() {
@@ -158,14 +158,14 @@ func (in *Interp) execBlock(blk *cast.Compound, resumeLabel string) (ctrl, error
 		}
 		if idx < 0 {
 			// Not in this block (shouldn't happen; sema checked).
-			return ctrl{kind: ctrlGoto, label: resume}, nil
+			return Ctrl{Kind: CtrlGoto, Label: resume}, nil
 		}
 		start = idx
 	}
 
 	i := start
 	for i < len(blk.List) {
-		var c ctrl
+		var c Ctrl
 		var err error
 		if resume != "" {
 			c, err = in.execResume(blk.List[i], resume)
@@ -176,11 +176,11 @@ func (in *Interp) execBlock(blk *cast.Compound, resumeLabel string) (ctrl, error
 		if err != nil {
 			return flowNone, err
 		}
-		if c.kind == ctrlGoto {
+		if c.Kind == CtrlGoto {
 			// Does this block contain the label? If so, jump.
 			idx := -1
 			for j, s := range blk.List {
-				if containsLabel(s, c.label) {
+				if containsLabel(s, c.Label) {
 					idx = j
 					break
 				}
@@ -189,10 +189,10 @@ func (in *Interp) execBlock(blk *cast.Compound, resumeLabel string) (ctrl, error
 				return c, nil // propagate to an enclosing block
 			}
 			i = idx
-			resume = c.label
+			resume = c.Label
 			continue
 		}
-		if c.kind != ctrlNone {
+		if c.Kind != CtrlNone {
 			return c, nil
 		}
 		i++
@@ -201,7 +201,7 @@ func (in *Interp) execBlock(blk *cast.Compound, resumeLabel string) (ctrl, error
 }
 
 // execResume executes s, starting at the statement labeled label inside it.
-func (in *Interp) execResume(s cast.Stmt, label string) (ctrl, error) {
+func (in *Interp) execResume(s cast.Stmt, label string) (Ctrl, error) {
 	switch s := s.(type) {
 	case *cast.Label:
 		if s.Name == label {
@@ -233,7 +233,7 @@ func (in *Interp) execResume(s cast.Stmt, label string) (ctrl, error) {
 		if err != nil {
 			return flowNone, err
 		}
-		if c.kind == ctrlBreak {
+		if c.Kind == CtrlBreak {
 			return flowNone, nil
 		}
 		return c, nil
@@ -278,7 +278,7 @@ func containsLabel(s cast.Stmt, label string) bool {
 
 // ---------- loops ----------
 
-func (in *Interp) execWhile(s *cast.While, resuming bool, label ...string) (ctrl, error) {
+func (in *Interp) execWhile(s *cast.While, resuming bool, label ...string) (Ctrl, error) {
 	first := true
 	for {
 		if !(resuming && first) {
@@ -291,7 +291,7 @@ func (in *Interp) execWhile(s *cast.While, resuming bool, label ...string) (ctrl
 				return flowNone, nil
 			}
 		}
-		var c ctrl
+		var c Ctrl
 		var err error
 		if resuming && first {
 			c, err = in.execResume(s.Body, label[0])
@@ -302,19 +302,19 @@ func (in *Interp) execWhile(s *cast.While, resuming bool, label ...string) (ctrl
 		if err != nil {
 			return flowNone, err
 		}
-		switch c.kind {
-		case ctrlBreak:
+		switch c.Kind {
+		case CtrlBreak:
 			return flowNone, nil
-		case ctrlReturn, ctrlGoto:
+		case CtrlReturn, CtrlGoto:
 			return c, nil
 		}
 	}
 }
 
-func (in *Interp) execDoWhile(s *cast.DoWhile, resuming bool, label ...string) (ctrl, error) {
+func (in *Interp) execDoWhile(s *cast.DoWhile, resuming bool, label ...string) (Ctrl, error) {
 	first := true
 	for {
-		var c ctrl
+		var c Ctrl
 		var err error
 		if resuming && first {
 			c, err = in.execResume(s.Body, label[0])
@@ -325,10 +325,10 @@ func (in *Interp) execDoWhile(s *cast.DoWhile, resuming bool, label ...string) (
 		if err != nil {
 			return flowNone, err
 		}
-		switch c.kind {
-		case ctrlBreak:
+		switch c.Kind {
+		case CtrlBreak:
 			return flowNone, nil
-		case ctrlReturn, ctrlGoto:
+		case CtrlReturn, CtrlGoto:
 			return c, nil
 		}
 		b, err := in.evalCondition(s.Cond)
@@ -342,7 +342,7 @@ func (in *Interp) execDoWhile(s *cast.DoWhile, resuming bool, label ...string) (
 	}
 }
 
-func (in *Interp) execFor(s *cast.For, resuming bool, label ...string) (ctrl, error) {
+func (in *Interp) execFor(s *cast.For, resuming bool, label ...string) (Ctrl, error) {
 	f := in.curFrame()
 	f.blockStack = append(f.blockStack, nil)
 	defer func() {
@@ -376,7 +376,7 @@ func (in *Interp) execFor(s *cast.For, resuming bool, label ...string) (ctrl, er
 				return flowNone, nil
 			}
 		}
-		var c ctrl
+		var c Ctrl
 		var err error
 		if resuming && first {
 			c, err = in.execResume(s.Body, label[0])
@@ -387,10 +387,10 @@ func (in *Interp) execFor(s *cast.For, resuming bool, label ...string) (ctrl, er
 		if err != nil {
 			return flowNone, err
 		}
-		switch c.kind {
-		case ctrlBreak:
+		switch c.Kind {
+		case CtrlBreak:
 			return flowNone, nil
-		case ctrlReturn, ctrlGoto:
+		case CtrlReturn, CtrlGoto:
 			return c, nil
 		}
 		if s.Post != nil {
@@ -404,7 +404,7 @@ func (in *Interp) execFor(s *cast.For, resuming bool, label ...string) (ctrl, er
 
 // ---------- switch ----------
 
-func (in *Interp) execSwitch(s *cast.Switch) (ctrl, error) {
+func (in *Interp) execSwitch(s *cast.Switch) (Ctrl, error) {
 	v, err := in.eval(s.Tag)
 	if err != nil {
 		return flowNone, err
@@ -439,7 +439,7 @@ func (in *Interp) execSwitch(s *cast.Switch) (ctrl, error) {
 	if err != nil {
 		return flowNone, err
 	}
-	if c.kind == ctrlBreak {
+	if c.Kind == CtrlBreak {
 		return flowNone, nil
 	}
 	return c, nil
@@ -447,7 +447,7 @@ func (in *Interp) execSwitch(s *cast.Switch) (ctrl, error) {
 
 // execFrom executes body starting at the statement node `target` (a *Case
 // or *Default), falling through subsequent statements.
-func (in *Interp) execFrom(body cast.Stmt, target cast.Stmt) (ctrl, error) {
+func (in *Interp) execFrom(body cast.Stmt, target cast.Stmt) (Ctrl, error) {
 	switch body := body.(type) {
 	case *cast.Compound:
 		return in.execBlockFrom(body, target)
@@ -475,7 +475,7 @@ func (in *Interp) execFrom(body cast.Stmt, target cast.Stmt) (ctrl, error) {
 	return flowNone, nil
 }
 
-func (in *Interp) execBlockFrom(blk *cast.Compound, target cast.Stmt) (ctrl, error) {
+func (in *Interp) execBlockFrom(blk *cast.Compound, target cast.Stmt) (Ctrl, error) {
 	f := in.curFrame()
 	f.blockStack = append(f.blockStack, nil)
 	defer func() {
@@ -499,7 +499,7 @@ func (in *Interp) execBlockFrom(blk *cast.Compound, target cast.Stmt) (ctrl, err
 	resume := ""
 	for i < len(blk.List) {
 		s := blk.List[i]
-		var c ctrl
+		var c Ctrl
 		var err error
 		switch {
 		case resume != "":
@@ -521,10 +521,10 @@ func (in *Interp) execBlockFrom(blk *cast.Compound, target cast.Stmt) (ctrl, err
 		if err != nil {
 			return flowNone, err
 		}
-		if c.kind == ctrlGoto {
+		if c.Kind == CtrlGoto {
 			idx := -1
 			for j, inner := range blk.List {
-				if containsLabel(inner, c.label) {
+				if containsLabel(inner, c.Label) {
 					idx = j
 					break
 				}
@@ -533,10 +533,10 @@ func (in *Interp) execBlockFrom(blk *cast.Compound, target cast.Stmt) (ctrl, err
 				return c, nil
 			}
 			i = idx
-			resume = c.label
+			resume = c.Label
 			continue
 		}
-		if c.kind != ctrlNone {
+		if c.Kind != CtrlNone {
 			return c, nil
 		}
 		i++
@@ -715,6 +715,21 @@ func (in *Interp) evalCall(e *cast.Call) (mem.Value, error) {
 			return nil, err
 		}
 	}
+	return in.FinishCall(e, vals, in.callUser)
+}
+
+// CallFunc invokes a user-defined function with already-converted
+// arguments. Each engine supplies its own: the tree walker's executes the
+// AST body, the bytecode VM's dispatches into compiled code.
+type CallFunc func(fd *cast.FuncDef, args []mem.Value, pos token.Pos) (mem.Value, error)
+
+// FinishCall performs the engine-independent tail of a call expression:
+// the post-argument sequence point, designator checks, builtin dispatch,
+// call-compatibility checks (§6.5.2.2), argument conversion, and finally
+// the user-function invocation through call. vals is the evaluated
+// designator (index 0) followed by the evaluated arguments, in source
+// order.
+func (in *Interp) FinishCall(e *cast.Call, vals []mem.Value, call CallFunc) (mem.Value, error) {
 	// Sequence point after evaluating designator and arguments
 	// (C11 §6.5.2.2:10).
 	in.seqPoint()
@@ -827,11 +842,21 @@ func (in *Interp) evalCall(e *cast.Call) (mem.Value, error) {
 		}
 		args[i] = cv
 	}
-	return in.callUser(fd, args, e.P)
+	return call(fd, args, e.P)
 }
 
-// callUser invokes a user-defined function with converted arguments.
+// callUser invokes a user-defined function with converted arguments,
+// executing its body by walking the AST.
 func (in *Interp) callUser(fd *cast.FuncDef, args []mem.Value, pos token.Pos) (mem.Value, error) {
+	return in.InvokeUser(fd, args, pos, func() (Ctrl, error) { return in.exec(fd.Body) })
+}
+
+// InvokeUser is the engine-independent function-call protocol: the call
+// depth budget, frame/sequence-state push and pop, parameter object
+// allocation, block-lifetime teardown, and the mapping from the body's
+// control signal to the call's value (§6.9.1). body executes fd's body —
+// the tree walker passes in.exec(fd.Body), the VM its compiled code.
+func (in *Interp) InvokeUser(fd *cast.FuncDef, args []mem.Value, pos token.Pos, body func() (Ctrl, error)) (mem.Value, error) {
 	if len(in.frames) >= in.budget.MaxCallDepth {
 		return nil, &BudgetError{Msg: "call depth exceeded in " + fd.Name}
 	}
@@ -864,21 +889,21 @@ func (in *Interp) callUser(fd *cast.FuncDef, args []mem.Value, pos token.Pos) (m
 		in.markQualRanges(o.ID, 0, p.Type)
 	}
 
-	c, err := in.exec(fd.Body)
+	c, err := body()
 	if err != nil {
 		return nil, err
 	}
 	ret := fd.Type.Elem
-	switch c.kind {
-	case ctrlReturn:
-		if c.value == nil {
+	switch c.Kind {
+	case CtrlReturn:
+		if c.Value == nil {
 			if ret.Kind == ctypes.Void {
 				return mem.Void{}, nil
 			}
 			return noReturn{T: ret}, nil
 		}
-		return c.value, nil
-	case ctrlNone:
+		return c.Value, nil
+	case CtrlNone:
 		// Fell off the end.
 		if ret.Kind == ctypes.Void {
 			return mem.Void{}, nil
@@ -888,8 +913,8 @@ func (in *Interp) callUser(fd *cast.FuncDef, args []mem.Value, pos token.Pos) (m
 			return mem.Int{T: ctypes.TInt, Bits: 0}, nil
 		}
 		return noReturn{T: ret}, nil
-	case ctrlGoto:
-		return nil, in.ubError(ub.Catalog[0], pos, "Goto to label %q escaped function %q", c.label, fd.Name)
+	case CtrlGoto:
+		return nil, in.ubError(ub.Catalog[0], pos, "Goto to label %q escaped function %q", c.Label, fd.Name)
 	default:
 		return nil, in.ubError(ub.Catalog[0], pos, "Control signal escaped function %q", fd.Name)
 	}

@@ -30,6 +30,11 @@ import (
 
 // Options configure an execution.
 type Options struct {
+	// Engine selects the execution engine: "" or "tree" is the reference
+	// tree-walking evaluator; other names resolve through RegisterEngine
+	// (internal/vm registers "vm"). Every engine must produce byte-identical
+	// verdicts and observer event sequences; the tree walker is the oracle.
+	Engine string
 	// Out receives the program's standard output.
 	Out io.Writer
 	// Sched decides evaluation order for unsequenced operands; nil means
@@ -130,6 +135,7 @@ type Interp struct {
 
 	obs     obs.Observer    // nil = no events (fast path)
 	obsEv   obs.Event       // scratch event, reused so emission never allocates
+	encBuf  []mem.Byte      // scratch for encode, reused so stores never allocate
 	ctxDone <-chan struct{} // cached Options.Context.Done(); nil = no deadline
 	ctx     context.Context
 
@@ -149,12 +155,90 @@ type frame struct {
 // locsWrittenTo cell (§4.2.1) plus the read set used for the
 // write-after-read direction of C11 §6.5:2.
 type seqState struct {
-	written map[mem.Loc]struct{}
-	read    map[mem.Loc]struct{}
+	written seqSet
+	read    seqSet
 }
 
-func newSeqState() *seqState {
-	return &seqState{written: make(map[mem.Loc]struct{}), read: make(map[mem.Loc]struct{})}
+func newSeqState() *seqState { return &seqState{} }
+
+// seqSpill is the set size past which a seqSet abandons its linear-scan
+// slice for a map. Almost every full expression touches well under this
+// many bytes; only aggregate copies inside one expression cross it.
+const seqSpill = 64
+
+// seqSet is a set of byte locations accessed since the last sequence
+// point. The working set between two sequence points is nearly always a
+// handful of bytes, so membership is a linear scan over a short slice —
+// no hashing, no allocation after the first few appends, and the backing
+// array is reused across flushes. A set that outgrows the slice spills
+// into a map until the next flush. Both representations deduplicate, so
+// Len (the flushed-location count published on seq-point events) is the
+// same unique-byte count the old map representation reported.
+type seqSet struct {
+	locs []mem.Loc
+	m    map[mem.Loc]struct{} // non-nil once spilled
+}
+
+// ContainsRange reports whether any byte of [off, off+n) is in the set.
+func (s *seqSet) ContainsRange(obj mem.ObjID, off, n int64) bool {
+	if s.m != nil {
+		for i := off; i < off+n; i++ {
+			if _, ok := s.m[mem.Loc{Obj: obj, Off: i}]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range s.locs {
+		if l.Obj == obj && l.Off >= off && l.Off < off+n {
+			return true
+		}
+	}
+	return false
+}
+
+// AddRange inserts every byte of [off, off+n).
+func (s *seqSet) AddRange(obj mem.ObjID, off, n int64) {
+	if s.m == nil && len(s.locs)+int(n) > seqSpill {
+		s.m = make(map[mem.Loc]struct{}, 2*seqSpill)
+		for _, l := range s.locs {
+			s.m[l] = struct{}{}
+		}
+	}
+	if s.m != nil {
+		for i := off; i < off+n; i++ {
+			s.m[mem.Loc{Obj: obj, Off: i}] = struct{}{}
+		}
+		return
+	}
+	// One pass over the set builds a presence mask for [off, off+n);
+	// n ≤ seqSpill here, so the mask fits in a word.
+	var present uint64
+	for _, l := range s.locs {
+		if l.Obj == obj && l.Off >= off && l.Off < off+n {
+			present |= 1 << uint(l.Off-off)
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		if present&(1<<uint(i)) == 0 {
+			s.locs = append(s.locs, mem.Loc{Obj: obj, Off: off + i})
+		}
+	}
+}
+
+// Len is the number of distinct locations in the set.
+func (s *seqSet) Len() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return len(s.locs)
+}
+
+// Clear empties the set, keeping the slice's backing array and dropping
+// any spill map so the next expression is back on the fast path.
+func (s *seqSet) Clear() {
+	s.locs = s.locs[:0]
+	s.m = nil
 }
 
 // New prepares an interpreter for prog.
@@ -194,10 +278,15 @@ func New(prog *sema.Program, opts Options) *Interp {
 	return in
 }
 
-// Run executes the program: global initialization, then main().
+// Run executes the program: global initialization, then main(), under
+// the engine Options.Engine selects (default: the tree walker).
 func Run(prog *sema.Program, opts Options) Result {
+	engine, err := engineFor(opts.Engine)
+	if err != nil {
+		return Result{ExitCode: 1, Err: err}
+	}
 	in := New(prog, opts)
-	code, err := in.Execute()
+	code, err := engine(in)
 	res := Result{ExitCode: code}
 	if in.outBuf != nil {
 		res.Output = in.outBuf.String()
@@ -214,8 +303,16 @@ func Run(prog *sema.Program, opts Options) Result {
 	return res
 }
 
-// Execute initializes globals and calls main.
+// Execute initializes globals and calls main, walking the AST.
 func (in *Interp) Execute() (int, error) {
+	return in.ExecuteWith(in.callUser)
+}
+
+// ExecuteWith initializes globals and calls main through the supplied
+// engine invoker. Global initialization is engine-independent (init plans
+// are interpreted, never compiled), so every engine produces the same
+// startup event stream by construction.
+func (in *Interp) ExecuteWith(call CallFunc) (int, error) {
 	if err := in.initGlobals(); err != nil {
 		return in.exitCode(err)
 	}
@@ -229,7 +326,7 @@ func (in *Interp) Execute() (int, error) {
 		return in.exitCode(err)
 	}
 	in.seq = append(in.seq, newSeqState())
-	v, err := in.callUser(mainFn, args, mainFn.P)
+	v, err := call(mainFn, args, mainFn.P)
 	if err != nil {
 		return in.exitCode(err)
 	}
@@ -323,13 +420,9 @@ func (in *Interp) curSeq() *seqState { return in.seq[len(in.seq)-1] }
 // ⟨seqPoint ⇒ ·⟩k ⟨S ⇒ ·⟩locsWrittenTo (§4.2.1).
 func (in *Interp) seqPoint() {
 	s := in.curSeq()
-	flushed := len(s.written) + len(s.read)
-	if len(s.written) > 0 {
-		s.written = make(map[mem.Loc]struct{})
-	}
-	if len(s.read) > 0 {
-		s.read = make(map[mem.Loc]struct{})
-	}
+	flushed := s.written.Len() + s.read.Len()
+	s.written.Clear()
+	s.read.Clear()
 	if len(in.opts.Monitors) > 0 {
 		in.opts.Monitors.Observe(spec.Event{Kind: spec.EvSeqPoint})
 	}
@@ -508,21 +601,28 @@ func (in *Interp) storeRaw(o *mem.Object, off int64, t *ctypes.Type, v mem.Value
 	}
 }
 
-// encode renders a value as bytes of type t.
+// encode renders a value as bytes of type t. The returned slice is
+// scratch storage owned by the interpreter: it is valid only until the
+// next encode call. Every caller copies it into object storage
+// immediately, so stores never allocate for scalar values.
 func (in *Interp) encode(v mem.Value, t *ctypes.Type) []mem.Byte {
 	switch v := v.(type) {
 	case mem.Int:
-		return mem.EncodeInt(in.model, t, v.Bits)
+		in.encBuf = mem.AppendInt(in.encBuf[:0], in.model, t, v.Bits)
+		return in.encBuf
 	case mem.Float:
-		return mem.EncodeFloat(in.model, t, v.F)
+		in.encBuf = mem.AppendFloat(in.encBuf[:0], in.model, t, v.F)
+		return in.encBuf
 	case mem.Ptr:
-		return mem.EncodePtr(in.model, v)
+		in.encBuf = mem.AppendPtr(in.encBuf[:0], in.model, v)
+		return in.encBuf
 	case mem.Bytes:
-		out := make([]mem.Byte, len(v.Data))
-		copy(out, v.Data)
-		return out
+		// Already a private copy (decode copies aggregates out of the
+		// object); callers only read it.
+		return v.Data
 	case RawByte:
-		return []mem.Byte{v.B}
+		in.encBuf = append(in.encBuf[:0], v.B)
+		return in.encBuf
 	}
 	return nil
 }

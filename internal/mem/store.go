@@ -64,10 +64,12 @@ type Loc struct {
 }
 
 // Store is the memory: a map from base addresses to objects, plus the
-// notWritable set of const locations (paper §4.2.2).
+// notWritable set of const locations (paper §4.2.2). Base addresses are
+// allocated densely from 1, so the "map" is a slice indexed by ObjID-1 —
+// every load and store resolves its object with one bounds check instead
+// of a hash lookup.
 type Store struct {
-	objs        map[ObjID]*Object
-	next        ObjID
+	objs        []*Object // objs[id-1] is the object with base id
 	unknownSeq  int64
 	notWritable map[Loc]struct{}
 
@@ -80,8 +82,6 @@ type Store struct {
 // NewStore returns an empty memory.
 func NewStore() *Store {
 	return &Store{
-		objs:        make(map[ObjID]*Object),
-		next:        1,
 		notWritable: make(map[Loc]struct{}),
 		MaxObjects:  1 << 20,
 		MaxBytes:    1 << 24, // 16 MiB of C bytes (each costs ~16x in Go)
@@ -97,7 +97,7 @@ func (s *Store) Alloc(kind ObjKind, size int64, name string, declType *ctypes.Ty
 		return nil, ErrLimit
 	}
 	o := &Object{
-		ID:       s.next,
+		ID:       ObjID(len(s.objs) + 1),
 		Kind:     kind,
 		Size:     size,
 		Data:     make([]Byte, size),
@@ -109,31 +109,31 @@ func (s *Store) Alloc(kind ObjKind, size int64, name string, declType *ctypes.Ty
 		s.unknownSeq++
 		o.Data[i] = Unknown{ID: s.unknownSeq}
 	}
-	s.next++
-	s.objs[o.ID] = o
+	s.objs = append(s.objs, o)
 	s.liveBytes += size
 	return o, nil
 }
 
 // AllocFunc creates the designator object for a function.
 func (s *Store) AllocFunc(name string) *Object {
-	o := &Object{ID: s.next, Kind: ObjFunc, Size: 0, Live: true, Name: name, FuncName: name}
-	s.next++
-	s.objs[o.ID] = o
+	o := &Object{ID: ObjID(len(s.objs) + 1), Kind: ObjFunc, Size: 0, Live: true, Name: name, FuncName: name}
+	s.objs = append(s.objs, o)
 	return o
 }
 
 // Obj looks up an object by base. It returns objects whose lifetime has
 // ended too — callers decide whether that is an error.
 func (s *Store) Obj(id ObjID) (*Object, bool) {
-	o, ok := s.objs[id]
-	return o, ok
+	if id < 1 || int64(id) > int64(len(s.objs)) {
+		return nil, false
+	}
+	return s.objs[id-1], true
 }
 
 // Kill ends an object's lifetime, retaining its identity for dangling-use
 // diagnosis.
 func (s *Store) Kill(id ObjID) {
-	if o, ok := s.objs[id]; ok && o.Live {
+	if o, ok := s.Obj(id); ok && o.Live {
 		o.Live = false
 		s.liveBytes -= o.Size
 	}
@@ -155,6 +155,9 @@ func (s *Store) MarkNotWritable(obj ObjID, off, n int64) {
 
 // IsNotWritable reports whether any byte of [off, off+n) is const.
 func (s *Store) IsNotWritable(obj ObjID, off, n int64) bool {
+	if len(s.notWritable) == 0 {
+		return false // no const object exists: skip the per-byte lookups
+	}
 	for i := off; i < off+n; i++ {
 		if _, ok := s.notWritable[Loc{Obj: obj, Off: i}]; ok {
 			return true

@@ -53,6 +53,50 @@ func MakeInt(m *ctypes.Model, t *ctypes.Type, raw uint64) Int {
 	return Int{T: t, Bits: m.Wrap(t, raw)}
 }
 
+// Pre-boxed small values of the canonical arithmetic types. Value
+// computations produce Value interfaces, and without this table every 0,
+// 1, truth value, and small loop counter boxes a fresh heap allocation —
+// the dominant allocation source in interpreter hot loops.
+var (
+	boxedInt   [256]Value
+	boxedUInt  [256]Value
+	boxedChar  [256]Value
+	boxedLong  [256]Value
+	boxedULong [256]Value
+)
+
+func init() {
+	for i := range boxedInt {
+		boxedInt[i] = Int{T: ctypes.TInt, Bits: uint64(i)}
+		boxedUInt[i] = Int{T: ctypes.TUInt, Bits: uint64(i)}
+		boxedChar[i] = Int{T: ctypes.TChar, Bits: uint64(i)}
+		boxedLong[i] = Int{T: ctypes.TLong, Bits: uint64(i)}
+		boxedULong[i] = Int{T: ctypes.TULong, Bits: uint64(i)}
+	}
+}
+
+// BoxInt returns Int{T: t, Bits: bits} as a Value, sharing pre-boxed
+// storage for small values of the canonical unqualified types. bits must
+// already be wrapped to t's width (pair with Model.Wrap, as MakeInt does).
+// Sharing is safe because values are immutable.
+func BoxInt(t *ctypes.Type, bits uint64) Value {
+	if bits < 256 {
+		switch t {
+		case ctypes.TInt:
+			return boxedInt[bits]
+		case ctypes.TUInt:
+			return boxedUInt[bits]
+		case ctypes.TChar:
+			return boxedChar[bits]
+		case ctypes.TLong:
+			return boxedLong[bits]
+		case ctypes.TULong:
+			return boxedULong[bits]
+		}
+	}
+	return Int{T: t, Bits: bits}
+}
+
 // Float is a real floating value.
 type Float struct {
 	T *ctypes.Type
@@ -174,12 +218,18 @@ func (Unknown) isByte() {}
 
 // EncodeInt renders an integer value as size little-endian concrete bytes.
 func EncodeInt(m *ctypes.Model, t *ctypes.Type, bits uint64) []Byte {
+	return AppendInt(nil, m, t, bits)
+}
+
+// AppendInt appends the little-endian encoding of an integer of type t to
+// buf and returns the extended slice. The allocation-free sibling of
+// EncodeInt for hot store paths that reuse a scratch buffer.
+func AppendInt(buf []Byte, m *ctypes.Model, t *ctypes.Type, bits uint64) []Byte {
 	n := m.Size(t)
-	out := make([]Byte, n)
 	for i := int64(0); i < n; i++ {
-		out[i] = Concrete{B: uint8(bits >> (8 * i))}
+		buf = append(buf, Concrete{B: uint8(bits >> (8 * i))})
 	}
-	return out
+	return buf
 }
 
 // DecodeIntResult describes why a decode failed.
@@ -223,6 +273,21 @@ func EncodeFloat(m *ctypes.Model, t *ctypes.Type, f float64) []Byte {
 	}
 }
 
+// AppendFloat is the allocation-free sibling of EncodeFloat.
+func AppendFloat(buf []Byte, m *ctypes.Model, t *ctypes.Type, f float64) []Byte {
+	switch n := m.Size(t); n {
+	case 4:
+		return AppendInt(buf, m, ctypes.TUInt, uint64(math.Float32bits(float32(f))))
+	default:
+		start := len(buf)
+		buf = AppendInt(buf, m, ctypes.TULongLong, math.Float64bits(f))
+		for int64(len(buf)-start) < n {
+			buf = append(buf, Concrete{B: 0})
+		}
+		return buf
+	}
+}
+
 // DecodeFloat reads bytes as a floating value of type t.
 func DecodeFloat(m *ctypes.Model, t *ctypes.Type, data []Byte) (float64, DecodeIntResult) {
 	switch m.Size(t) {
@@ -250,18 +315,23 @@ func DecodeFloat(m *ctypes.Model, t *ctypes.Type, data []Byte) (float64, DecodeI
 // A null pointer is encoded as all-zero concrete bytes so that
 // memset(&p, 0, sizeof p) produces a null pointer, as on real hardware.
 func EncodePtr(m *ctypes.Model, p Ptr) []Byte {
-	n := m.SizePtr
-	out := make([]Byte, n)
+	return AppendPtr(nil, m, p)
+}
+
+// AppendPtr is the allocation-free sibling of EncodePtr (the fragment
+// boxes themselves still allocate; the slice header does not).
+func AppendPtr(buf []Byte, m *ctypes.Model, p Ptr) []Byte {
+	n := int(m.SizePtr)
 	if p.IsNull() {
-		for i := range out {
-			out[i] = Concrete{B: 0}
+		for i := 0; i < n; i++ {
+			buf = append(buf, Concrete{B: 0})
 		}
-		return out
+		return buf
 	}
-	for i := range out {
-		out[i] = PtrFrag{P: p, Idx: i}
+	for i := 0; i < n; i++ {
+		buf = append(buf, PtrFrag{P: p, Idx: i})
 	}
-	return out
+	return buf
 }
 
 // DecodePtrResult describes the outcome of reassembling a pointer.

@@ -48,6 +48,13 @@ type Options struct {
 	MaxSteps int64
 	// StopAtFirstUB ends the search as soon as any UB is found.
 	StopAtFirstUB bool
+	// Engine selects the execution engine for every run ("" or "tree":
+	// the reference tree walker; "vm": pre-compiled closure code). The
+	// engines make identical scheduler Pick sequences, so the decision
+	// tree — and therefore the set of behaviors found — is the same;
+	// "vm" just walks it faster, and the search amortizes one compile
+	// over every explored order.
+	Engine string
 	// Context, when non-nil, cancels the search: it is threaded into every
 	// execution (interp.Options.Context, so an in-flight run stops at the
 	// next step poll) and checked between runs. A cancelled search returns
@@ -102,7 +109,7 @@ func Explore(prog *sema.Program, opts Options) Result {
 			return res
 		}
 		tr := &interp.Trace{Prefix: append([]int{}, prefix...)}
-		runRes := interp.Run(prog, interp.Options{Sched: tr, Budget: interp.Budget{MaxSteps: opts.MaxSteps}, Context: opts.Context})
+		runRes := interp.Run(prog, interp.Options{Engine: opts.Engine, Sched: tr, Budget: interp.Budget{MaxSteps: opts.MaxSteps}, Context: opts.Context})
 		res.Runs++
 		if opts.Context != nil && opts.Context.Err() != nil {
 			// The run was interrupted mid-execution: its outcome is an

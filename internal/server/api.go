@@ -16,6 +16,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/search"
 	"repro/internal/ub"
+	"repro/internal/vm"
 )
 
 // APISchema identifies the service wire format. Consumers should reject
@@ -252,6 +253,9 @@ type MetricsResponse struct {
 	Queue    QueueStats        `json:"queue"`
 	Coalesce CoalesceStats     `json:"coalesce"`
 	Cache    driver.CacheStats `json:"cache"`
+	// Bytecode is the compiled-code cache of the "vm" engine, present only
+	// when the server runs with Config.Engine "vm".
+	Bytecode *vm.CacheStats `json:"bytecode,omitempty"`
 	// Latency holds the server-side latency distributions of the analyze
 	// path, keyed "e2e", "queue", "compile", "run" — each with count, sum,
 	// min/max and precomputed p50/p95/p99. Present once the server has
@@ -268,6 +272,7 @@ type ConfigResponse struct {
 	Schema         string   `json:"schema"`
 	Model          string   `json:"model"`
 	Defines        []string `json:"defines,omitempty"`
+	Engine         string   `json:"engine,omitempty"`
 	Concurrency    int      `json:"concurrency"`
 	QueueDepth     int      `json:"queue_depth"`
 	DefaultTimeout string   `json:"default_timeout"`

@@ -54,6 +54,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	tcfg := tools.Config{
 		Model:    model,
+		Engine:   s.cfg.Engine,
 		Budget:   s.budgetFor(req.MaxSteps),
 		Metrics:  req.Metrics,
 		Timeout:  timeout,
@@ -227,7 +228,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad-request", "case_timeout: "+err.Error())
 		return
 	}
-	tcfg := tools.Config{Model: model, Budget: s.budgetFor(req.MaxSteps), Metrics: req.Metrics, Injector: s.cfg.Injector, Flight: s.cfg.Flight}
+	tcfg := tools.Config{Model: model, Engine: s.cfg.Engine, Budget: s.budgetFor(req.MaxSteps), Metrics: req.Metrics, Injector: s.cfg.Injector, Flight: s.cfg.Flight}
 	toolNames := req.Tools
 	if len(toolNames) == 0 {
 		toolNames = []string{"kcc"}
@@ -389,6 +390,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			MaxRuns:       maxRuns,
 			MaxSteps:      maxSteps,
 			StopAtFirstUB: req.StopAtFirstUB,
+			Engine:        s.cfg.Engine,
 			Context:       ctx,
 		})
 		resp = ExploreResponseFrom(file, res)
@@ -475,6 +477,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		Schema:         APISchema,
 		Model:          s.cfg.Model,
 		Defines:        s.cfg.Defines,
+		Engine:         s.cfg.Engine,
 		Concurrency:    s.cfg.Concurrency,
 		QueueDepth:     s.cfg.QueueDepth,
 		DefaultTimeout: s.cfg.DefaultTimeout.String(),

@@ -53,6 +53,13 @@ func writePrometheus(w http.ResponseWriter, m *MetricsResponse) {
 	promCounter(w, "undefc_cache_waits_total", "Single-flight waits on an in-flight compile.", m.Cache.Waits)
 	promCounter(w, "undefc_cache_evictions_total", "Cache entries dropped.", m.Cache.Evictions)
 
+	if b := m.Bytecode; b != nil {
+		promCounter(w, "undefc_bytecode_hits_total", "Compiled-code cache hits (vm engine).", int64(b.Hits))
+		promCounter(w, "undefc_bytecode_misses_total", "Compiled-code cache misses (bytecode compiles).", int64(b.Misses))
+		promCounter(w, "undefc_bytecode_evictions_total", "Compiled-code cache entries dropped.", int64(b.Evictions))
+		promGauge(w, "undefc_bytecode_cached", "Programs with compiled code resident.", float64(b.Size))
+	}
+
 	for _, stage := range sortedKeys(m.Latency) {
 		promHistogram(w, "undefc_latency_seconds", stage, m.Latency[stage])
 	}

@@ -1,0 +1,57 @@
+package vm_test
+
+import (
+	"testing"
+
+	undefc "repro"
+	"repro/internal/interp"
+	"repro/internal/obs"
+)
+
+// TestGoldenEventSequenceVM freezes the exact event stream the "vm"
+// engine produces for the same three-line undefined program the tree
+// walker's golden test pins (internal/interp TestGoldenEventSequence) —
+// the same want-list, verbatim. The differential tests prove the engines
+// agree with each other; this one proves the vm agrees with the absolute
+// instrumentation contract, so both golden tests can only break together.
+func TestGoldenEventSequenceVM(t *testing.T) {
+	rec := &obs.Recorder{}
+	src := "int main(void) {\n\tint x;\n\treturn x;\n}\n"
+	res := undefc.RunSource(src, "uninit.c", undefc.Options{
+		Exec: interp.Options{Engine: "vm", Observer: rec},
+	})
+	if res.UB == nil {
+		t.Fatalf("expected UB, got exit %d (err=%v)", res.ExitCode, res.Err)
+	}
+	want := []string{
+		"step uninit.c:1:20",          // enter main's body
+		"step uninit.c:2:2",           // int x;
+		"seqpoint flush=0",            // end of full declarator
+		"step uninit.c:3:2",           // return statement
+		"step uninit.c:3:9",           // expression x
+		"check pass 00037 §6.5.3.2:4", // deref of invalid pointer
+		"check pass 00041 §6.5.6:8",   // pointer arithmetic bounds
+		"check pass 00065 §6.7.3:6",   // volatile via non-volatile lvalue
+		"check pass 00032 §6.5:7",     // effective-type aliasing
+		"check pass 00017 §6.5:2",     // unsequenced read/write conflict
+		"read auto 4B",                // the 4-byte load of x
+		"check FIRE 00009 §6.3.2.1:2", // indeterminate value → UB
+	}
+	got := rec.Lines()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d:\n%s", len(got), len(want), join(got))
+	}
+	for i, w := range want {
+		if len(got[i]) < len(w) || got[i][:len(w)] != w {
+			t.Errorf("event %d = %q, want prefix %q", i, got[i], w)
+		}
+	}
+}
+
+func join(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += "  " + l + "\n"
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package vm_test
+
+// The concurrency half of the immutability contract: one *Code is shared
+// by every interpreter executing the same program, and the runner drives
+// four tool profiles per case across a worker pool. Run under -race (the
+// make check gate does), this test is the proof that compiled closures
+// never write shared state.
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/suite"
+	"repro/internal/tools"
+	"repro/internal/vm"
+)
+
+// TestMatrixParallelVM runs the full Figure-2 matrix on 8 workers with
+// the vm engine — every cell of a case shares that case's compiled code —
+// and cross-checks each cell's verdict against a tree-engine run of the
+// same matrix.
+func TestMatrixParallelVM(t *testing.T) {
+	s := suite.Juliet()
+	vm.ResetStats()
+
+	run := func(engine string) *runner.MatrixResult {
+		ts := tools.All(tools.Config{Engine: engine})
+		m, err := runner.RunMatrix(s, ts, runner.Options{Parallelism: 8, Engine: engine})
+		if err != nil {
+			t.Fatalf("engine %q: %v", engine, err)
+		}
+		if len(m.Failures) > 0 {
+			t.Fatalf("engine %q: %d failed cells, first: %+v", engine, len(m.Failures), m.Failures[0])
+		}
+		return m
+	}
+	tree := run("tree")
+	vmm := run("vm")
+
+	names := []string{"kcc", "memcheck", "checkpointer", "valueanal"}
+	for ci := range s.Cases {
+		for ti := range names {
+			tv, vv := tree.Reports[ci][ti].Verdict, vmm.Reports[ci][ti].Verdict
+			if tv != vv {
+				t.Errorf("%s × %s: verdict tree=%v vm=%v", s.Cases[ci].Name, names[ti], tv, vv)
+			}
+		}
+	}
+
+	// The warm pass compiles each program once; the four tools' executions
+	// hit. The suite is larger than the LRU cap, so a handful of entries
+	// can be evicted between warm and use under parallelism — but a miss
+	// count near the execution count (5 lookups per case) would mean the
+	// single-flight or the interning key is broken.
+	st := vm.Stats()
+	if limit := uint64(len(s.Cases) + len(s.Cases)/4); st.Misses > limit {
+		t.Errorf("bytecode compiles = %d for %d cases; cache is not deduplicating", st.Misses, len(s.Cases))
+	}
+	if st.Hits < st.Misses {
+		t.Errorf("bytecode cache hits = %d < misses = %d across a 4-tool matrix", st.Hits, st.Misses)
+	}
+}

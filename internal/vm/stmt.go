@@ -1,0 +1,681 @@
+package vm
+
+// Statement compilation. Each statement becomes a cstmt whose run closure
+// mirrors the tree walker's exec case for that node; the res and frm
+// closures mirror execResume and execFrom. Block label tables and
+// declaration pre-pass lists are computed here, once, instead of the
+// per-goto subtree scans the tree walker performs.
+
+import (
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/interp"
+	"repro/internal/mem"
+	"repro/internal/ub"
+)
+
+func (c *compiler) compileStmt(s cast.Stmt) *cstmt {
+	pos := s.Pos()
+	switch s := s.(type) {
+	case *cast.Empty:
+		return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			return flowNone, nil
+		}}
+
+	case *cast.ExprStmt:
+		cx := c.compileExpr(s.X)
+		return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			if _, err := cx(in); err != nil {
+				return flowNone, err
+			}
+			in.SeqPt() // end of a full expression
+			return flowNone, nil
+		}}
+
+	case *cast.DeclStmt:
+		decls := make([]cdecl, len(s.Decls))
+		for i, d := range s.Decls {
+			decls[i] = c.compileDecl(d)
+		}
+		return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			for _, d := range decls {
+				if err := d(in); err != nil {
+					return flowNone, err
+				}
+				in.SeqPt() // end of each init-declarator (C11 §6.7.6:3)
+			}
+			return flowNone, nil
+		}}
+
+	case *cast.Compound:
+		blk := c.compileCompound(s)
+		return &cstmt{
+			ast: s,
+			run: func(in *interp.Interp) (interp.Ctrl, error) {
+				if err := in.Step(pos); err != nil {
+					return flowNone, err
+				}
+				return blk.enter(in, "")
+			},
+			res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+				return blk.enter(in, label)
+			},
+			frm: func(in *interp.Interp, target cast.Stmt) (interp.Ctrl, error) {
+				return blk.from(in, target)
+			},
+			frmPre: true,
+		}
+
+	case *cast.If:
+		cond := c.compileCond(s.Cond)
+		then := c.compileStmt(s.Then)
+		var els *cstmt
+		if s.Else != nil {
+			els = c.compileStmt(s.Else)
+		}
+		thenAST, elseAST := s.Then, s.Else
+		return &cstmt{
+			ast: s,
+			run: func(in *interp.Interp) (interp.Ctrl, error) {
+				if err := in.Step(pos); err != nil {
+					return flowNone, err
+				}
+				b, err := cond(in)
+				if err != nil {
+					return flowNone, err
+				}
+				in.SeqPt()
+				if b {
+					return then.run(in)
+				}
+				if els != nil {
+					return els.run(in)
+				}
+				return flowNone, nil
+			},
+			res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+				if interp.ContainsLabel(thenAST, label) {
+					return then.resume(in, label)
+				}
+				if els != nil && interp.ContainsLabel(elseAST, label) {
+					return els.resume(in, label)
+				}
+				return flowNone, in.UBErrorf(ub.Catalog[0], pos, "Cannot resume at label %q", label)
+			},
+			frm: func(in *interp.Interp, target cast.Stmt) (interp.Ctrl, error) {
+				if interp.ContainsStmt(thenAST, target) {
+					return then.runFrom(in, target)
+				}
+				if els != nil {
+					return els.runFrom(in, target)
+				}
+				return flowNone, nil
+			},
+		}
+
+	case *cast.While:
+		return c.compileWhile(s)
+	case *cast.DoWhile:
+		return c.compileDoWhile(s)
+	case *cast.For:
+		return c.compileFor(s)
+	case *cast.Switch:
+		return c.compileSwitch(s)
+
+	case *cast.Case:
+		inner := c.compileStmt(s.Stmt)
+		return &cstmt{
+			ast: s,
+			run: func(in *interp.Interp) (interp.Ctrl, error) {
+				if err := in.Step(pos); err != nil {
+					return flowNone, err
+				}
+				return inner.run(in)
+			},
+			res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+				return inner.resume(in, label)
+			},
+			frm: func(in *interp.Interp, target cast.Stmt) (interp.Ctrl, error) {
+				return inner.runFrom(in, target)
+			},
+		}
+
+	case *cast.Default:
+		inner := c.compileStmt(s.Stmt)
+		return &cstmt{
+			ast: s,
+			run: func(in *interp.Interp) (interp.Ctrl, error) {
+				if err := in.Step(pos); err != nil {
+					return flowNone, err
+				}
+				return inner.run(in)
+			},
+			res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+				return inner.resume(in, label)
+			},
+			frm: func(in *interp.Interp, target cast.Stmt) (interp.Ctrl, error) {
+				return inner.runFrom(in, target)
+			},
+		}
+
+	case *cast.Label:
+		inner := c.compileStmt(s.Stmt)
+		name := s.Name
+		return &cstmt{
+			ast: s,
+			run: func(in *interp.Interp) (interp.Ctrl, error) {
+				if err := in.Step(pos); err != nil {
+					return flowNone, err
+				}
+				return inner.run(in)
+			},
+			res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+				if name == label {
+					return inner.run(in)
+				}
+				return inner.resume(in, label)
+			},
+			frm: func(in *interp.Interp, target cast.Stmt) (interp.Ctrl, error) {
+				return inner.runFrom(in, target)
+			},
+		}
+
+	case *cast.Goto:
+		name := s.Name
+		return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			return interp.Ctrl{Kind: interp.CtrlGoto, Label: name}, nil
+		}}
+
+	case *cast.Break:
+		return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			return interp.Ctrl{Kind: interp.CtrlBreak}, nil
+		}}
+
+	case *cast.Continue:
+		return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			return interp.Ctrl{Kind: interp.CtrlContinue}, nil
+		}}
+
+	case *cast.Return:
+		if s.X == nil {
+			return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+				if err := in.Step(pos); err != nil {
+					return flowNone, err
+				}
+				return interp.Ctrl{Kind: interp.CtrlReturn, Value: nil}, nil
+			}}
+		}
+		cx := c.compileExpr(s.X)
+		ret := c.fn.Type.Elem
+		isVoid := ret.Kind == ctypes.Void
+		return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			v, err := cx(in)
+			if err != nil {
+				return flowNone, err
+			}
+			in.SeqPt()
+			if isVoid {
+				return interp.Ctrl{Kind: interp.CtrlReturn, Value: mem.Void{}}, nil
+			}
+			cv, err := in.ConvertForStore(v, ret, pos)
+			if err != nil {
+				return flowNone, err
+			}
+			return interp.Ctrl{Kind: interp.CtrlReturn, Value: cv}, nil
+		}}
+	}
+
+	return &cstmt{ast: s, run: func(in *interp.Interp) (interp.Ctrl, error) {
+		if err := in.Step(pos); err != nil {
+			return flowNone, err
+		}
+		return flowNone, in.UBErrorf(ub.Catalog[0], pos, "Unhandled statement %T", s)
+	}}
+}
+
+// ---------- compound statements ----------
+
+// ccompound is a compiled block: its statements, the declaration pre-pass
+// list (lifetimes begin at block entry, C11 §6.2.4:5), and the label
+// table replacing the tree walker's per-goto containsLabel scans.
+type ccompound struct {
+	stmts []*cstmt
+	decls []*cast.Decl
+	// labelIdx maps each label contained in the block to the index of the
+	// first top-level statement whose subtree contains it.
+	labelIdx map[string]int
+}
+
+func (c *compiler) compileCompound(blk *cast.Compound) *ccompound {
+	b := &ccompound{stmts: make([]*cstmt, len(blk.List))}
+	for i, s := range blk.List {
+		b.stmts[i] = c.compileStmt(s)
+		if ds, ok := s.(*cast.DeclStmt); ok {
+			b.decls = append(b.decls, ds.Decls...)
+		}
+		i := i
+		collectLabels(s, func(name string) {
+			if b.labelIdx == nil {
+				b.labelIdx = make(map[string]int)
+			}
+			if _, seen := b.labelIdx[name]; !seen {
+				b.labelIdx[name] = i
+			}
+		})
+	}
+	return b
+}
+
+// collectLabels visits exactly the subtrees containsLabel searches.
+func collectLabels(s cast.Stmt, fn func(string)) {
+	switch s := s.(type) {
+	case *cast.Label:
+		fn(s.Name)
+		collectLabels(s.Stmt, fn)
+	case *cast.Case:
+		collectLabels(s.Stmt, fn)
+	case *cast.Default:
+		collectLabels(s.Stmt, fn)
+	case *cast.Compound:
+		for _, inner := range s.List {
+			collectLabels(inner, fn)
+		}
+	case *cast.If:
+		collectLabels(s.Then, fn)
+		if s.Else != nil {
+			collectLabels(s.Else, fn)
+		}
+	case *cast.While:
+		collectLabels(s.Body, fn)
+	case *cast.DoWhile:
+		collectLabels(s.Body, fn)
+	case *cast.For:
+		collectLabels(s.Body, fn)
+	case *cast.Switch:
+		collectLabels(s.Body, fn)
+	}
+}
+
+// enter mirrors execBlock: block lifetimes, the declaration pre-pass,
+// resume-at-label entry, and the goto dispatch loop.
+func (b *ccompound) enter(in *interp.Interp, resumeLabel string) (interp.Ctrl, error) {
+	in.PushBlock()
+	defer in.PopBlock()
+
+	for _, d := range b.decls {
+		if err := in.AllocLocal(d); err != nil {
+			return flowNone, err
+		}
+	}
+
+	start := 0
+	resume := resumeLabel
+	if resume != "" {
+		idx, ok := b.labelIdx[resume]
+		if !ok {
+			// Not in this block (shouldn't happen; sema checked).
+			return interp.Ctrl{Kind: interp.CtrlGoto, Label: resume}, nil
+		}
+		start = idx
+	}
+
+	i := start
+	for i < len(b.stmts) {
+		var ct interp.Ctrl
+		var err error
+		if resume != "" {
+			ct, err = b.stmts[i].resume(in, resume)
+			resume = ""
+		} else {
+			ct, err = b.stmts[i].run(in)
+		}
+		if err != nil {
+			return flowNone, err
+		}
+		if ct.Kind == interp.CtrlGoto {
+			idx, ok := b.labelIdx[ct.Label]
+			if !ok {
+				return ct, nil // propagate to an enclosing block
+			}
+			i = idx
+			resume = ct.Label
+			continue
+		}
+		if ct.Kind != interp.CtrlNone {
+			return ct, nil
+		}
+		i++
+	}
+	return flowNone, nil
+}
+
+// from mirrors execBlockFrom: switch dispatch into the block, falling
+// through subsequent statements.
+func (b *ccompound) from(in *interp.Interp, target cast.Stmt) (interp.Ctrl, error) {
+	in.PushBlock()
+	defer in.PopBlock()
+
+	for _, d := range b.decls {
+		if err := in.AllocLocal(d); err != nil {
+			return flowNone, err
+		}
+	}
+
+	started := false
+	i := 0
+	resume := ""
+	for i < len(b.stmts) {
+		s := b.stmts[i]
+		var ct interp.Ctrl
+		var err error
+		switch {
+		case resume != "":
+			ct, err = s.resume(in, resume)
+			resume = ""
+			started = true
+		case !started && s.ast == target:
+			started = true
+			ct, err = s.run(in)
+		case !started && interp.ContainsStmt(s.ast, target):
+			started = true
+			ct, err = s.runFrom(in, target)
+		case !started:
+			i++
+			continue
+		default:
+			ct, err = s.run(in)
+		}
+		if err != nil {
+			return flowNone, err
+		}
+		if ct.Kind == interp.CtrlGoto {
+			idx, ok := b.labelIdx[ct.Label]
+			if !ok {
+				return ct, nil
+			}
+			i = idx
+			resume = ct.Label
+			continue
+		}
+		if ct.Kind != interp.CtrlNone {
+			return ct, nil
+		}
+		i++
+	}
+	return flowNone, nil
+}
+
+// ---------- loops ----------
+
+func (c *compiler) compileWhile(s *cast.While) *cstmt {
+	pos := s.Pos()
+	cond := c.compileCond(s.Cond)
+	body := c.compileStmt(s.Body)
+	loop := func(in *interp.Interp, resuming bool, label string) (interp.Ctrl, error) {
+		first := true
+		for {
+			if !(resuming && first) {
+				b, err := cond(in)
+				if err != nil {
+					return flowNone, err
+				}
+				in.SeqPt()
+				if !b {
+					return flowNone, nil
+				}
+			}
+			var ct interp.Ctrl
+			var err error
+			if resuming && first {
+				ct, err = body.resume(in, label)
+			} else {
+				ct, err = body.run(in)
+			}
+			first = false
+			if err != nil {
+				return flowNone, err
+			}
+			switch ct.Kind {
+			case interp.CtrlBreak:
+				return flowNone, nil
+			case interp.CtrlReturn, interp.CtrlGoto:
+				return ct, nil
+			}
+		}
+	}
+	return &cstmt{
+		ast: s,
+		run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			return loop(in, false, "")
+		},
+		res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+			return loop(in, true, label)
+		},
+	}
+}
+
+func (c *compiler) compileDoWhile(s *cast.DoWhile) *cstmt {
+	pos := s.Pos()
+	cond := c.compileCond(s.Cond)
+	body := c.compileStmt(s.Body)
+	loop := func(in *interp.Interp, resuming bool, label string) (interp.Ctrl, error) {
+		first := true
+		for {
+			var ct interp.Ctrl
+			var err error
+			if resuming && first {
+				ct, err = body.resume(in, label)
+			} else {
+				ct, err = body.run(in)
+			}
+			first = false
+			if err != nil {
+				return flowNone, err
+			}
+			switch ct.Kind {
+			case interp.CtrlBreak:
+				return flowNone, nil
+			case interp.CtrlReturn, interp.CtrlGoto:
+				return ct, nil
+			}
+			b, err := cond(in)
+			if err != nil {
+				return flowNone, err
+			}
+			in.SeqPt()
+			if !b {
+				return flowNone, nil
+			}
+		}
+	}
+	return &cstmt{
+		ast: s,
+		run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			return loop(in, false, "")
+		},
+		res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+			return loop(in, true, label)
+		},
+	}
+}
+
+func (c *compiler) compileFor(s *cast.For) *cstmt {
+	pos := s.Pos()
+	var initDecls []*cast.Decl
+	var initStmt *cstmt
+	if s.Init != nil {
+		if ds, ok := s.Init.(*cast.DeclStmt); ok {
+			initDecls = ds.Decls
+		}
+		initStmt = c.compileStmt(s.Init)
+	}
+	var cond ccond
+	if s.Cond != nil {
+		cond = c.compileCond(s.Cond)
+	}
+	var post cexpr
+	if s.Post != nil {
+		post = c.compileExpr(s.Post)
+	}
+	body := c.compileStmt(s.Body)
+	loop := func(in *interp.Interp, resuming bool, label string) (interp.Ctrl, error) {
+		// The for statement is its own block: objects declared in the
+		// init-clause die when the loop exits (C11 §6.8.5:5).
+		in.PushBlock()
+		defer in.PopBlock()
+		if !resuming && initStmt != nil {
+			for _, d := range initDecls {
+				if err := in.AllocLocal(d); err != nil {
+					return flowNone, err
+				}
+			}
+			if _, err := initStmt.run(in); err != nil {
+				return flowNone, err
+			}
+		}
+		first := true
+		for {
+			if !(resuming && first) && cond != nil {
+				b, err := cond(in)
+				if err != nil {
+					return flowNone, err
+				}
+				in.SeqPt()
+				if !b {
+					return flowNone, nil
+				}
+			}
+			var ct interp.Ctrl
+			var err error
+			if resuming && first {
+				ct, err = body.resume(in, label)
+			} else {
+				ct, err = body.run(in)
+			}
+			first = false
+			if err != nil {
+				return flowNone, err
+			}
+			switch ct.Kind {
+			case interp.CtrlBreak:
+				return flowNone, nil
+			case interp.CtrlReturn, interp.CtrlGoto:
+				return ct, nil
+			}
+			if post != nil {
+				if _, err := post(in); err != nil {
+					return flowNone, err
+				}
+				in.SeqPt()
+			}
+		}
+	}
+	return &cstmt{
+		ast: s,
+		run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			return loop(in, false, "")
+		},
+		res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+			return loop(in, true, label)
+		},
+	}
+}
+
+// ---------- switch ----------
+
+func (c *compiler) compileSwitch(s *cast.Switch) *cstmt {
+	pos := s.Pos()
+	tagPos := s.Tag.Pos()
+	ctag := c.compileExpr(s.Tag)
+	body := c.compileStmt(s.Body)
+	cases := s.Cases
+	dflt := s.Dflt
+	return &cstmt{
+		ast: s,
+		run: func(in *interp.Interp) (interp.Ctrl, error) {
+			if err := in.Step(pos); err != nil {
+				return flowNone, err
+			}
+			v, err := ctag(in)
+			if err != nil {
+				return flowNone, err
+			}
+			v, err = in.Usable(v, tagPos)
+			if err != nil {
+				return flowNone, err
+			}
+			in.SeqPt()
+			iv, ok := v.(mem.Int)
+			if !ok {
+				return flowNone, in.UBErrorf(ub.Catalog[0], tagPos, "Switch tag is not an integer")
+			}
+			// Promote the tag and compare with the case constants converted
+			// to the promoted type (C11 §6.8.4.2:5).
+			m := in.Model()
+			promoted := m.Promote(iv.T)
+			tag := m.Wrap(promoted, iv.Bits)
+			var target cast.Stmt
+			for _, cs := range cases {
+				if m.Wrap(promoted, uint64(cs.Value)) == tag {
+					target = cs
+					break
+				}
+			}
+			if target == nil {
+				if dflt == nil {
+					return flowNone, nil
+				}
+				target = dflt
+			}
+			ct, err := body.runFrom(in, target)
+			if err != nil {
+				return flowNone, err
+			}
+			if ct.Kind == interp.CtrlBreak {
+				return flowNone, nil
+			}
+			return ct, nil
+		},
+		res: func(in *interp.Interp, label string) (interp.Ctrl, error) {
+			// Jumping into a switch body.
+			ct, err := body.resume(in, label)
+			if err != nil {
+				return flowNone, err
+			}
+			if ct.Kind == interp.CtrlBreak {
+				return flowNone, nil
+			}
+			return ct, nil
+		},
+	}
+}
