@@ -16,7 +16,12 @@ test:
 # SIGTERM drain), and hold the bytecode VM to its fidelity contract:
 # the absolute golden event sequence, the full Figure-2 differential
 # against the tree walker, and the parallel 4-tool matrix under the
-# race detector (one compiled program shared by 8 workers).
+# race detector (one compiled program shared by 8 workers). The search
+# gates: the parallel POR explorer must report byte-identical outcome
+# sets to the sequential DFS oracle on every suite case with choice
+# points, for both engines, and the whole search package must be
+# race-clean (workers share the frontier, the POR registry and the
+# dedup table).
 .PHONY: check
 check: test
 	go vet ./...
@@ -31,6 +36,8 @@ check: test
 	go test ./cmd/undefd/ -run TestDaemonSmoke -count=1
 	go test ./internal/vm/ -run 'TestGoldenEventSequenceVM|TestEngineDiff' -count=1
 	go test -race ./internal/vm/ -run TestMatrixParallelVM -count=1
+	go test ./internal/search/ -run 'TestDifferentialGate|TestExploreConfigMatrix' -count=1
+	go test -race ./internal/search/ -count=1
 
 # Engine speedup: the pre-compiled program, tree-vs-vm dispatch benchmark
 # (reported in EXPERIMENTS.md).
@@ -45,6 +52,7 @@ fuzz-smoke:
 	go test ./internal/lexer/ -run=NONE -fuzz=FuzzLexer -fuzztime 30s
 	go test ./internal/parser/ -run=NONE -fuzz=FuzzParser -fuzztime 30s
 	go test ./internal/cpp/ -run=NONE -fuzz=FuzzCPP -fuzztime 30s
+	go test ./internal/search/ -run=NONE -fuzz=FuzzExploreDiff -fuzztime 30s
 
 # Serving throughput: a 10s closed-loop load run against an in-process
 # undefd service (reported in EXPERIMENTS.md). Exits non-zero if the
@@ -53,6 +61,13 @@ fuzz-smoke:
 .PHONY: bench-serve
 bench-serve:
 	go run ./cmd/undefbench -spawn -c 16 -d 10s
+
+# Exploration serving: the same closed loop against the streamed
+# /v1/explore, auditing every response's NDJSON frames and the explore
+# counters (reported in EXPERIMENTS.md).
+.PHONY: bench-explore
+bench-explore:
+	go run ./cmd/undefbench -spawn -explore -c 16 -d 10s
 
 # Fuller observability benchmark (reported in EXPERIMENTS.md).
 .PHONY: bench-obs

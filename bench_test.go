@@ -9,6 +9,7 @@
 package undefc_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -112,7 +113,7 @@ int main(void) { return (10/d) + setDenom(0); }
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := search.Explore(prog, search.Options{})
+		res := search.Explore(context.Background(), prog, search.Options{})
 		if res.UB() == nil {
 			b.Fatal("search missed the division by zero")
 		}

@@ -357,8 +357,9 @@ func runBatch(files []string, model *ctypes.Model, engine string, budget interp.
 }
 
 func runSearch(prog *sema.Program, engine string) {
-	res := search.Explore(prog, search.Options{MaxRuns: 5000, Engine: engine})
-	fmt.Printf("explored %d executions (exhausted: %v)\n", res.Runs, res.Exhausted)
+	res := search.Explore(context.Background(), prog, search.Options{MaxRuns: 5000, Engine: engine, POR: true})
+	fmt.Printf("explored %d executions (exhausted: %v, %d orders pruned)\n",
+		res.Runs, res.Exhausted, res.Stats.OrdersPruned)
 	for i, o := range res.Outcomes {
 		fmt.Printf("\n--- behavior %d (decision trace %v) ---\n", i+1, o.Trace)
 		switch {

@@ -23,13 +23,21 @@
 //	           /metrics latency against the client-side measurement
 //	-seed n    workload RNG seed (replayable)
 //	-inject    with -spawn: fault-injection spec, e.g. 'server.handle=panic%0.01'
+//	-explore   drive the streamed /v1/explore endpoint instead of
+//	           /v1/analyze, over an order-sensitive corpus, auditing the
+//	           serving invariants per response: NDJSON frames well-formed,
+//	           trailer outcome count == streamed line tally, trailer stats
+//	           consistent — then the /metrics explore counters against the
+//	           client-side search count
 //	-json      emit the report as JSON
 //
 // Exit status is non-zero when the daemon died, the verdict cross-check
-// fails, or the queue did not drain.
+// (or, under -explore, the frame/counter audit) fails, or the queue did
+// not drain.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -55,6 +63,8 @@ type workerStats struct {
 	coalesced int64
 	rejected  int64 // 429 backpressure
 	errors    int64 // transport or non-API failures
+	searches  int64 // -explore: streams that passed the frame audit
+	frameErrs int64 // -explore: streams that violated a serving invariant
 }
 
 // report is the machine-readable benchmark result (-json).
@@ -80,9 +90,13 @@ type report struct {
 	Verdicts    map[string]int64 `json:"verdicts"`
 	Coalesced   int64            `json:"coalesced"`
 	CoalesceHit float64          `json:"coalesce_hit_rate"`
-	ServerOK    bool             `json:"server_alive"`
-	TallyMatch  bool             `json:"metrics_match"`
-	QueueEmpty  bool             `json:"queue_drained"`
+	// Searches and FrameErrors are the -explore audit: streams whose
+	// frames held every serving invariant, and streams that broke one.
+	Searches    int64 `json:"searches,omitempty"`
+	FrameErrors int64 `json:"frame_errors,omitempty"`
+	ServerOK    bool  `json:"server_alive"`
+	TallyMatch  bool  `json:"metrics_match"`
+	QueueEmpty  bool  `json:"queue_drained"`
 }
 
 func main() {
@@ -94,6 +108,7 @@ func main() {
 	unique := flag.Bool("unique", false, "make every request's source distinct (defeats cache + coalescer)")
 	heavy := flag.Int("heavy", 0, "pad every request with N synthetic functions (scales frontend work per request)")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
+	explore := flag.Bool("explore", false, "drive the streamed /v1/explore endpoint and audit its frames")
 	engine := flag.String("engine", "", "with -spawn: execution engine for the server (tree or vm)")
 	injectSpec := flag.String("inject", "", "with -spawn: fault-injection rules for the server")
 	injectSeed := flag.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
@@ -158,6 +173,10 @@ func main() {
 			st.verdicts = make(map[string]int64)
 			seq := 0
 			for time.Now().Before(deadline) {
+				if *explore {
+					oneExplore(client, url, &exploreCorpus[rng.Intn(len(exploreCorpus))], st)
+					continue
+				}
 				c := &corpus[rng.Intn(len(corpus))]
 				if rng.Float64() < *dup {
 					c = &hot[rng.Intn(len(hot))]
@@ -191,6 +210,8 @@ func main() {
 		rep.Coalesced += st.coalesced
 		rep.Rejected += st.rejected
 		rep.Errors += st.errors
+		rep.Searches += st.searches
+		rep.FrameErrors += st.frameErrs
 		for v, n := range st.verdicts {
 			rep.Verdicts[v] += n
 		}
@@ -213,14 +234,22 @@ func main() {
 	rep.ServerOK = err == nil
 	if rep.ServerOK {
 		rep.TallyMatch = true
-		for v, n := range rep.Verdicts {
-			if after.Verdicts[v]-before.Verdicts[v] != n {
-				rep.TallyMatch = false
+		if *explore {
+			// The explore audit: every clean stream the clients counted
+			// must appear in the server's search counter, and no stream
+			// may have broken a framing invariant.
+			rep.TallyMatch = exploreSearches(after)-exploreSearches(before) == rep.Searches &&
+				rep.FrameErrors == 0
+		} else {
+			for v, n := range rep.Verdicts {
+				if after.Verdicts[v]-before.Verdicts[v] != n {
+					rep.TallyMatch = false
+				}
 			}
-		}
-		for v := range after.Verdicts {
-			if _, seen := rep.Verdicts[v]; !seen && after.Verdicts[v] != before.Verdicts[v] {
-				rep.TallyMatch = false
+			for v := range after.Verdicts {
+				if _, seen := rep.Verdicts[v]; !seen && after.Verdicts[v] != before.Verdicts[v] {
+					rep.TallyMatch = false
+				}
 			}
 		}
 		rep.QueueEmpty = after.Queue.Depth == 0 && after.Queue.Active == 0
@@ -284,6 +313,133 @@ func oneRequest(client *http.Client, url string, c *suite.Case, st *workerStats)
 	}
 }
 
+// exploreCorpus is the -explore workload: small programs whose behavior
+// depends on evaluation order, so every search has real work and a
+// multi-outcome stream to audit.
+var exploreCorpus = []suite.Case{
+	{Name: "setdenom", Source: `
+int d = 5;
+int setDenom(int x) { return d = x; }
+int main(void) { return (10/d) + setDenom(0); }
+`},
+	{Name: "unseq", Source: `
+int main(void) {
+	int x = 1;
+	return x + x++;
+}
+`},
+	{Name: "order_calls", Source: `
+int x = 0;
+int bump(void) { return ++x; }
+int twice(void) { return x * 2; }
+int main(void) { return bump() + twice(); }
+`},
+	{Name: "commuting_nest", Source: `
+int a, b, c, d2;
+int main(void) {
+	return (a = 1) + (b = 1) + (c = 1) + (d2 = 1);
+}
+`},
+}
+
+// oneExplore runs one closed-loop iteration against the streamed
+// /v1/explore, checking every serving invariant the frames promise:
+// header first with the schema, each outcome line well-formed, exactly
+// one trailer marked done, trailer outcome count == streamed lines, and
+// trailer stats consistent with its own run counter.
+func oneExplore(client *http.Client, url string, c *suite.Case, st *workerStats) {
+	body, _ := json.Marshal(&server.ExploreRequest{Source: c.Source, File: c.Name + ".c", Parallelism: 2})
+	req, err := http.NewRequest("POST", url+"/v1/explore", bytes.NewReader(body))
+	if err != nil {
+		st.errors++
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	start := time.Now()
+	httpResp, err := client.Do(req)
+	if err != nil {
+		st.errors++
+		return
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, httpResp.Body)
+		st.rejected++
+		return
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, httpResp.Body)
+		st.errors++
+		return
+	}
+	var (
+		hdr      server.ExploreHeader
+		trailer  server.ExploreTrailer
+		outcomes int
+		frames   int
+		broken   bool
+	)
+	sc := bufio.NewScanner(httpResp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		frames++
+		switch {
+		case frames == 1:
+			if json.Unmarshal(line, &hdr) != nil || hdr.Schema != server.APISchema {
+				broken = true
+			}
+		case trailer.Done:
+			broken = true // frames after the trailer
+		default:
+			var o server.ExploreOutcomeLine
+			if json.Unmarshal(line, &trailer) == nil && trailer.Done {
+				continue
+			}
+			trailer = server.ExploreTrailer{}
+			if json.Unmarshal(line, &o) != nil || o.Runs <= 0 {
+				broken = true
+				continue
+			}
+			outcomes++
+		}
+	}
+	lat := time.Since(start)
+	if sc.Err() != nil {
+		st.errors++
+		return
+	}
+	switch {
+	case broken,
+		!trailer.Done,
+		trailer.Error != nil,
+		trailer.Outcomes != outcomes,
+		trailer.Stats == nil,
+		trailer.Stats != nil && trailer.Stats.OrdersExplored != int64(trailer.Runs):
+		st.frameErrs++
+	default:
+		st.searches++
+		st.latencies = append(st.latencies, lat)
+		if trailer.Exhausted {
+			st.verdicts["exhausted"]++
+		} else {
+			st.verdicts["truncated"]++
+		}
+	}
+}
+
+// exploreSearches reads the explore search counter, absent-safe: a server
+// that has never explored reports no block at all.
+func exploreSearches(m *server.MetricsResponse) int64 {
+	if m == nil || m.Explore == nil {
+		return 0
+	}
+	return m.Explore.Searches
+}
+
 func fetchMetrics(client *http.Client, url string) (*server.MetricsResponse, error) {
 	httpResp, err := client.Get(url + "/metrics")
 	if err != nil {
@@ -331,6 +487,10 @@ func printReport(rep *report, after, before *server.MetricsResponse) {
 	fmt.Println()
 	fmt.Printf("  coalesced: %d/%d responses (%.1f%% hit rate)\n",
 		rep.Coalesced, rep.Requests, 100*rep.CoalesceHit)
+	if rep.Searches > 0 || rep.FrameErrors > 0 {
+		fmt.Printf("  explore:   %d searches audited clean, %d frame violations\n",
+			rep.Searches, rep.FrameErrors)
+	}
 	if after != nil {
 		fmt.Printf("  server:    %d leaders, %d followers · cache %d compiles / %d hits · queue max depth %d, max active %d · %d contained panics\n",
 			after.Coalesce.Leaders-before.Coalesce.Leaders,
@@ -348,7 +508,11 @@ func printReport(rep *report, after, before *server.MetricsResponse) {
 		fmt.Printf("  check:     %-28s %s\n", name, state)
 	}
 	check("daemon alive after run", rep.ServerOK)
-	check("verdict counters match tally", rep.TallyMatch)
+	if rep.Searches > 0 || rep.FrameErrors > 0 {
+		check("explore frames + counters", rep.TallyMatch)
+	} else {
+		check("verdict counters match tally", rep.TallyMatch)
+	}
 	check("admission queue drained", rep.QueueEmpty)
 }
 

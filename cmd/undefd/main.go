@@ -18,6 +18,8 @@
 //	-timeout d       default per-request watchdog
 //	-max-timeout d   ceiling a request may ask for
 //	-max-steps N     default execution step budget (0 = pipeline default)
+//	-explore-max-runs N  ceiling on evaluation orders a /v1/explore
+//	                 search may execute (0 = 5000)
 //	-drain d         grace period for in-flight requests on SIGTERM/SIGINT
 //	-inject spec     deterministic fault injection (see internal/fault),
 //	                 e.g. 'server.handle=panic%0.01'
@@ -69,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	timeout := fs.Duration("timeout", 5*time.Second, "default per-request watchdog")
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "largest watchdog a request may ask for")
 	maxSteps := fs.Int64("max-steps", 0, "default execution step budget (0 = pipeline default)")
+	exploreRuns := fs.Int("explore-max-runs", 0, "ceiling on evaluation orders per /v1/explore search (0 = 5000)")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	injectSpec := fs.String("inject", "", "fault-injection rules: site=kind[:arg][*count][@after][~match][%prob],...")
 	injectSeed := fs.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
@@ -108,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxSteps:       *maxSteps,
+		MaxExploreRuns: *exploreRuns,
 		Injector:       injector,
 		TraceSample:    *traceSample,
 		Flight:         cfgFlight,

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	undefc "repro"
@@ -46,9 +47,9 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	sres := search.Explore(prog, search.Options{})
-	fmt.Printf("%d executions, %d distinct behaviors (exhausted: %v)\n",
-		sres.Runs, len(sres.Outcomes), sres.Exhausted)
+	sres := search.Explore(context.Background(), prog, search.Options{POR: true})
+	fmt.Printf("%d executions, %d distinct behaviors (exhausted: %v, %d orders pruned as commuting)\n",
+		sres.Runs, len(sres.Outcomes), sres.Exhausted, sres.Stats.OrdersPruned)
 	for i, o := range sres.Outcomes {
 		if o.UB != nil {
 			fmt.Printf("  behavior %d: UNDEFINED — %s\n", i+1, o.UB.Msg)

@@ -206,7 +206,7 @@ func (in *Interp) read(lv LV, pos token.Pos) (mem.Value, error) {
 	if uerr := in.noteRead(lv.Base, lv.Off, n, pos); uerr != nil {
 		return nil, uerr
 	}
-	in.obsMem(obs.EvRead, o, n, pos)
+	in.obsMem(obs.EvRead, o, lv.Off, n, pos)
 	var data []mem.Byte
 	if oob {
 		// Unchecked out-of-bounds read: the adjacent memory of a real
@@ -314,6 +314,9 @@ func (in *Interp) concretize(data []mem.Byte) []mem.Byte {
 		case mem.Concrete:
 			out[i] = b
 		case mem.PtrFrag:
+			if b.P.Base > mem.NullBase {
+				in.synthCasts++ // a synthetic address (allocation-order dependent) became visible
+			}
 			out[i] = mem.Concrete{B: uint8(synthAddr(b.P) >> (8 * uint(b.Idx)))}
 		default:
 			out[i] = mem.Concrete{B: 0}
@@ -398,7 +401,7 @@ func (in *Interp) write(lv LV, v mem.Value, pos token.Pos) error {
 	if uerr := in.noteWrite(lv.Base, lv.Off, n, pos); uerr != nil {
 		return uerr
 	}
-	in.obsMem(obs.EvWrite, o, n, pos)
+	in.obsMem(obs.EvWrite, o, lv.Off, n, pos)
 	if oob {
 		return nil // unchecked out-of-bounds write: vanishes into the frame
 	}

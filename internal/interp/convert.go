@@ -138,6 +138,9 @@ func (in *Interp) convert(v mem.Value, to *ctypes.Type, pos token.Pos) (mem.Valu
 			}
 			return mem.BoxInt(to, b), nil
 		case to.IsInteger():
+			if val.Base > mem.NullBase {
+				in.synthCasts++ // the synthetic address is allocation-order dependent
+			}
 			return mem.MakeInt(in.model, to, synthAddr(val)), nil
 		case to.Kind == ctypes.Ptr:
 			out := val

@@ -67,6 +67,25 @@ func (in *Interp) Order1() {
 	}
 }
 
+// OperandDone tells an OperandTracker scheduler (if one is installed)
+// that one operand of the innermost multi-operand scheduling point
+// finished evaluating. Engines call it after each successfully evaluated
+// operand of a scheduled order with fanout ≥ 2, exactly where the tree
+// walker does; error paths skip it, leaving the point incomplete (an
+// incomplete point is never pruned). Costs one nil check when no tracker
+// is installed.
+func (in *Interp) OperandDone() {
+	if in.tracker != nil {
+		in.tracker.OperandDone()
+	}
+}
+
+// SynthAddrCasts reports how many times execution has exposed a synthetic
+// object address as an integer value so far (ptr→int conversion, pointer
+// byte concretization). The counter only moves for pointers into real
+// objects — null and forged pointers don't depend on allocation order.
+func (in *Interp) SynthAddrCasts() int64 { return in.synthCasts }
+
 // Order2 is the allocation-free two-operand scheduling point. It makes
 // the identical Pick(2), Pick(1) calls the general path makes (the Trace
 // scheduler logs every Pick, so search replay depends on the sequence)

@@ -451,6 +451,7 @@ func (in *Interp) evalBinary(e *cast.Binary) (mem.Value, error) {
 		if err != nil {
 			return nil, err
 		}
+		in.OperandDone()
 	}
 	var err error
 	if xv, err = in.usable(xv, e.P); err != nil {
@@ -788,6 +789,7 @@ func (in *Interp) evalPtrAdd(xe, ie cast.Expr, pos token.Pos) (mem.Value, error)
 		if err != nil {
 			return nil, err
 		}
+		in.OperandDone()
 	}
 	var err error
 	if xv, err = in.usable(xv, pos); err != nil {
@@ -1009,6 +1011,7 @@ func (in *Interp) evalAssign(e *cast.Assign) (mem.Value, error) {
 		if err != nil {
 			return nil, err
 		}
+		in.OperandDone()
 	}
 	if e.HasOp {
 		old, err := in.read(lv, e.P)

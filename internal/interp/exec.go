@@ -714,6 +714,9 @@ func (in *Interp) evalCall(e *cast.Call) (mem.Value, error) {
 		if err != nil {
 			return nil, err
 		}
+		if n > 1 {
+			in.OperandDone()
+		}
 	}
 	return in.FinishCall(e, vals, in.callUser)
 }

@@ -133,6 +133,16 @@ type Interp struct {
 	budget   Budget
 	rngState uint64 // rand()
 
+	// tracker is Options.Sched's OperandTracker extension, cached at New
+	// so the per-operand notification is one nil check when absent.
+	tracker OperandTracker
+	// synthCasts counts conversions that exposed a synthetic object
+	// address as an integer value (ptr→int casts, pointer-byte
+	// concretization). Synthetic addresses depend on allocation order, so
+	// the search's partial-order reduction must treat an operand that
+	// exposes one as conflicting with any operand that allocates.
+	synthCasts int64
+
 	obs     obs.Observer    // nil = no events (fast path)
 	obsEv   obs.Event       // scratch event, reused so emission never allocates
 	encBuf  []mem.Byte      // scratch for encode, reused so stores never allocate
@@ -265,6 +275,9 @@ func New(prog *sema.Program, opts Options) *Interp {
 	if in.sched == nil {
 		in.sched = LeftToRight{}
 	}
+	if t, ok := in.sched.(OperandTracker); ok {
+		in.tracker = t
+	}
 	in.prof = opts.Profile
 	if in.prof == nil {
 		in.prof = KCCProfile()
@@ -281,11 +294,20 @@ func New(prog *sema.Program, opts Options) *Interp {
 // Run executes the program: global initialization, then main(), under
 // the engine Options.Engine selects (default: the tree walker).
 func Run(prog *sema.Program, opts Options) Result {
-	engine, err := engineFor(opts.Engine)
+	return New(prog, opts).RunMachine()
+}
+
+// RunMachine executes a New-prepared interpreter under Options.Engine,
+// folding the outcome into a Result exactly as Run does. It exists for
+// drivers that need live access to the machine during the run — the
+// search's partial-order-reduction recorder reads allocation counters and
+// state digests through the Interp it constructed — and must be called at
+// most once per Interp.
+func (in *Interp) RunMachine() Result {
+	engine, err := engineFor(in.opts.Engine)
 	if err != nil {
 		return Result{ExitCode: 1, Err: err}
 	}
-	in := New(prog, opts)
 	code, err := engine(in)
 	res := Result{ExitCode: code}
 	if in.outBuf != nil {

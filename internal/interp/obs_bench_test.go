@@ -43,7 +43,7 @@ func TestNilObserverPathAllocs(t *testing.T) {
 		}
 		in.seqPoint()
 		in.obsCheckPass(ub.DivByZero, pos)
-		in.obsMem(obs.EvRead, o, 4, pos)
+		in.obsMem(obs.EvRead, o, 0, 4, pos)
 		in.obsBuiltin("printf", pos)
 	})
 	if allocs != 0 {
@@ -65,7 +65,7 @@ func TestMetricsObserverPathAllocs(t *testing.T) {
 		}
 		in.seqPoint()
 		in.obsCheckPass(ub.DivByZero, pos)
-		in.obsMem(obs.EvRead, o, 4, pos)
+		in.obsMem(obs.EvRead, o, 0, 4, pos)
 	})
 	if allocs != 0 {
 		t.Fatalf("metrics path allocates %.1f times per step, want 0", allocs)

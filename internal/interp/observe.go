@@ -31,11 +31,13 @@ func classOf(k mem.ObjKind) obs.AccessClass {
 }
 
 // obsMem reports one checked memory access (kind is EvRead or EvWrite).
-func (in *Interp) obsMem(kind obs.EventKind, o *mem.Object, size int64, pos token.Pos) {
+// off is the starting byte offset within o, so the event carries the full
+// [off, off+size) footprint the access touched.
+func (in *Interp) obsMem(kind obs.EventKind, o *mem.Object, off, size int64, pos token.Pos) {
 	if in.obs == nil {
 		return
 	}
-	in.obsEv = obs.Event{Kind: kind, Pos: pos, Class: classOf(o.Kind), Size: size}
+	in.obsEv = obs.Event{Kind: kind, Pos: pos, Class: classOf(o.Kind), Size: size, Obj: int64(o.ID), Off: off}
 	in.obs.Event(&in.obsEv)
 }
 

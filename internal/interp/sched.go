@@ -11,6 +11,28 @@ type Scheduler interface {
 	Pick(n int) int
 }
 
+// OperandTracker is an optional extension a Scheduler can implement to
+// follow the structure of scheduling points, not just their decisions.
+// The interpreter notifies the tracker once after each operand of a
+// multi-operand scheduling point finishes evaluating; both engines make
+// the identical calls at the identical places, so a tracker sees the same
+// sequence under "tree" and "vm".
+//
+// Pairing notifications with points needs no extra protocol: the whole
+// permutation of a point is drawn eagerly (Pick(n), Pick(n−1), …, Pick(1)
+// are contiguous, before any operand runs), so the first Pick after an
+// operand phase opens a new innermost point and each OperandDone closes
+// one operand of it. Single-operand points (fanout 1) are not tracked —
+// they have no alternative orders, so their accesses simply accumulate
+// into the enclosing operand.
+//
+// The search driver's partial-order-reduction recorder is the one
+// implementation: it buckets observer read/write events per operand and
+// prunes sibling orders whose footprints commute.
+type OperandTracker interface {
+	OperandDone()
+}
+
 // LeftToRight always evaluates the leftmost remaining operand — the order
 // almost every real compiler happens to use for simple expressions.
 type LeftToRight struct{}

@@ -77,6 +77,12 @@ type Store struct {
 	MaxObjects int
 	MaxBytes   int64
 	liveBytes  int64
+
+	// kills counts lifetime terminations (monotonic, never reset). The
+	// search driver's partial-order reduction snapshots it around operand
+	// evaluation: frame teardown and free() don't emit observer events, so
+	// a counter delta is how an operand that ends lifetimes is detected.
+	kills int64
 }
 
 // NewStore returns an empty memory.
@@ -136,6 +142,7 @@ func (s *Store) Kill(id ObjID) {
 	if o, ok := s.Obj(id); ok && o.Live {
 		o.Live = false
 		s.liveBytes -= o.Size
+		s.kills++
 	}
 }
 
@@ -177,3 +184,6 @@ func (s *Store) NumObjects() int { return len(s.objs) }
 
 // LiveBytes reports the total size of live objects.
 func (s *Store) LiveBytes() int64 { return s.liveBytes }
+
+// Kills reports how many object lifetimes have ended so far.
+func (s *Store) Kills() int64 { return s.kills }

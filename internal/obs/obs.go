@@ -129,6 +129,16 @@ type Event struct {
 	Class AccessClass
 	Size  int64
 
+	// EvRead/EvWrite: the accessed object and the starting byte offset
+	// within it — the per-access footprint [Off, Off+Size) on object Obj.
+	// Obj is the mem.ObjID widened to a plain integer so observers can
+	// track footprints without importing the memory package. Together with
+	// Size this is exactly the locsWrittenTo/locsRead byte-range shape the
+	// sequence-point state uses (§4.2.1), which is what makes the event
+	// stream usable as a partial-order-reduction independence relation.
+	Obj int64
+	Off int64
+
 	// EvCheck: the behavior checked and whether it fired.
 	Behavior *ub.Behavior
 	Fired    bool

@@ -3,15 +3,32 @@
 // must search all possible evaluation strategies."
 //
 // The interpreter consults a Scheduler at every unsequenced choice point;
-// this driver enumerates the resulting decision tree depth-first, replaying
-// decision prefixes. Each leaf is one complete evaluation order; the
-// outcomes (exit codes, outputs, UB verdicts) are collected and
-// deduplicated.
+// this driver enumerates the resulting decision tree. Two explorers share
+// the Outcome/Result vocabulary:
+//
+//   - Explore: a parallel frontier search. Decision-trace prefixes fan out
+//     over a bounded worker pool; each run replays its prefix and extends
+//     it leftmost, and every fresh choice point it passes enqueues the
+//     sibling prefixes. With Options.POR the search applies partial-order
+//     reduction — sibling orders of a choice point whose operand
+//     footprints commute (disjoint locsWrittenTo/locsRead byte ranges,
+//     §4.2.1, and no order-sensitive effects) are pruned, soundly, because
+//     commuting operands reach the same machine state in every order. With
+//     Options.Dedup runs additionally hash the machine state at top-level
+//     choice points and abandon subtrees another run already owns.
+//   - ExploreDFS: the sequential depth-first enumeration, kept as the
+//     oracle the differential gate compares Explore against. It visits
+//     every leaf of the decision tree, no pruning, no concurrency.
+//
+// Each complete run is one evaluation order; the outcomes (exit codes,
+// outputs, UB verdicts) are collected and deduplicated by behavior.
 package search
 
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"time"
 
 	"repro/internal/interp"
 	"repro/internal/sema"
@@ -40,7 +57,7 @@ func (o Outcome) Key() string {
 	}
 }
 
-// Options bound the exploration.
+// Options bound and shape the exploration.
 type Options struct {
 	// MaxRuns caps the number of executions (0 = 10000).
 	MaxRuns int
@@ -55,13 +72,53 @@ type Options struct {
 	// "vm" just walks it faster, and the search amortizes one compile
 	// over every explored order.
 	Engine string
-	// Context, when non-nil, cancels the search: it is threaded into every
-	// execution (interp.Options.Context, so an in-flight run stops at the
-	// next step poll) and checked between runs. A cancelled search returns
-	// the outcomes observed so far with Exhausted false — an adversarial
-	// input can make the decision tree enormous, so callers under a
-	// deadline get a partial answer, never a hang.
+	// Parallelism is the number of worker goroutines executing runs
+	// (0 or negative = GOMAXPROCS). Workers pull decision prefixes from a
+	// shared frontier; every run is an independent interpreter instance,
+	// so outcomes are byte-identical to a sequential search — only
+	// discovery order varies.
+	Parallelism int
+	// POR enables partial-order reduction: a choice point whose operands
+	// provably commute (disjoint read/write footprints, no allocation
+	// pairs, no output, no RNG, no lifetime ends, no address exposure)
+	// keeps only its canonical leftmost order. Pruning is evidence-driven
+	// and fails open — any conflict, any run error, any effect the
+	// recorder cannot attribute expands the point to all orders.
+	POR bool
+	// Dedup enables explored-state deduplication: at each top-level
+	// choice point a run hashes the machine state (interp.StateDigest
+	// mixed with the output so far) and, if another run already owns that
+	// state, stops spawning alternatives below it. The digest is a
+	// heuristic identity, so Dedup is an opt-in accelerator — leave it
+	// off when exactness matters more than speed.
+	Dedup bool
+	// OnOutcome, when non-nil, is called once per distinct behavior, in
+	// discovery order, with a stats snapshot taken at delivery time.
+	// Calls are serialized (never concurrent) but may come from any
+	// worker goroutine. A slow callback backpressures the search, which
+	// is what a streaming consumer wants.
+	OnOutcome func(Outcome, Stats)
+	// Context is deprecated: pass the context to Explore instead. It is
+	// honored (when Explore's ctx argument is nil) so existing callers
+	// keep cancelling; new code should not set it.
 	Context context.Context
+}
+
+// Stats counts the work an exploration did. The JSON shape is part of the
+// /v1/explore wire format (trailer frames and the buffered response).
+type Stats struct {
+	// OrdersExplored is the number of complete executions performed.
+	OrdersExplored int64 `json:"orders_explored"`
+	// OrdersPruned is the number of sibling branches partial-order
+	// reduction suppressed (decision-tree edges not taken, not leaves).
+	OrdersPruned int64 `json:"orders_pruned"`
+	// StatesDeduped is the number of runs that hit an already-owned
+	// machine state and stopped spawning alternatives.
+	StatesDeduped int64 `json:"states_deduped"`
+	// WallNS is the wall-clock duration of the whole search.
+	WallNS int64 `json:"wall_ns"`
+	// Parallelism is the resolved worker count.
+	Parallelism int `json:"parallelism"`
 }
 
 // Result aggregates a search.
@@ -70,8 +127,12 @@ type Result struct {
 	Outcomes []Outcome
 	// Runs is the number of executions performed.
 	Runs int
-	// Exhausted reports whether the whole decision tree was covered.
+	// Exhausted reports whether the whole decision tree was covered
+	// (under POR: up to pruned orders, which provably reach no new
+	// behavior).
 	Exhausted bool
+	// Stats breaks down the exploration work.
+	Stats Stats
 }
 
 // UB returns the first undefined behavior among the outcomes, if any.
@@ -88,13 +149,66 @@ func (r *Result) UB() *ub.Error {
 // behavior.
 func (r *Result) Deterministic() bool { return len(r.Outcomes) <= 1 }
 
-// Explore runs prog under every evaluation order (up to the budget).
-func Explore(prog *sema.Program, opts Options) Result {
+// Explore runs prog under every evaluation order (up to the budget),
+// fanning runs out over Options.Parallelism workers. ctx cancels the
+// search: in-flight runs stop at the next step poll and the frontier is
+// abandoned, returning the outcomes observed so far with Exhausted false.
+// A nil ctx falls back to the deprecated Options.Context, then to
+// context.Background().
+func Explore(ctx context.Context, prog *sema.Program, opts Options) Result {
+	if ctx == nil {
+		ctx = opts.Context
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxRuns := opts.MaxRuns
 	if maxRuns == 0 {
 		maxRuns = 10000
 	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	e := newExplorer(ctx, prog, opts, maxRuns)
+	start := time.Now()
+	e.run(par)
+	res := Result{
+		Outcomes:  e.outcomes,
+		Runs:      e.runs,
+		Exhausted: !e.truncated,
+		Stats: Stats{
+			OrdersExplored: int64(e.runs),
+			OrdersPruned:   e.pruned,
+			StatesDeduped:  e.deduped,
+			WallNS:         time.Since(start).Nanoseconds(),
+			Parallelism:    par,
+		},
+	}
+	return res
+}
+
+// ExploreDFS enumerates the decision tree depth-first, sequentially, with
+// no pruning and no deduplication — every leaf is executed. It is the
+// oracle implementation: the differential gate asserts that Explore (with
+// any Parallelism/POR/Dedup combination) finds exactly the outcome set
+// ExploreDFS finds. Only MaxRuns, MaxSteps, StopAtFirstUB, and Engine are
+// honored.
+func ExploreDFS(ctx context.Context, prog *sema.Program, opts Options) Result {
+	if ctx == nil {
+		ctx = opts.Context
+	}
+	maxRuns := opts.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 10000
+	}
+	start := time.Now()
 	var res Result
+	defer func() {
+		res.Stats.OrdersExplored = int64(res.Runs)
+		res.Stats.WallNS = time.Since(start).Nanoseconds()
+		res.Stats.Parallelism = 1
+	}()
 	seen := make(map[string]bool)
 
 	// DFS over decision prefixes. The stack invariant: prefix is the next
@@ -105,13 +219,13 @@ func Explore(prog *sema.Program, opts Options) Result {
 		if res.Runs >= maxRuns {
 			return res
 		}
-		if opts.Context != nil && opts.Context.Err() != nil {
+		if ctx != nil && ctx.Err() != nil {
 			return res
 		}
 		tr := &interp.Trace{Prefix: append([]int{}, prefix...)}
-		runRes := interp.Run(prog, interp.Options{Engine: opts.Engine, Sched: tr, Budget: interp.Budget{MaxSteps: opts.MaxSteps}, Context: opts.Context})
+		runRes := interp.Run(prog, interp.Options{Engine: opts.Engine, Sched: tr, Budget: interp.Budget{MaxSteps: opts.MaxSteps}, Context: ctx})
 		res.Runs++
-		if opts.Context != nil && opts.Context.Err() != nil {
+		if ctx != nil && ctx.Err() != nil {
 			// The run was interrupted mid-execution: its outcome is an
 			// artifact of the cancellation, not a program behavior.
 			res.Runs--

@@ -1,6 +1,7 @@
 package search_test
 
 import (
+	"context"
 	"testing"
 
 	undefc "repro"
@@ -29,7 +30,7 @@ int main(void) {
 	return (10/d) + setDenom(0);
 }
 `)
-	res := search.Explore(prog, search.Options{})
+	res := search.Explore(context.Background(), prog, search.Options{})
 	if !res.Exhausted {
 		t.Error("search should exhaust this small program")
 	}
@@ -61,7 +62,7 @@ int main(void) {
 	return a + b;
 }
 `)
-	res := search.Explore(prog, search.Options{})
+	res := search.Explore(context.Background(), prog, search.Options{})
 	if !res.Deterministic() {
 		t.Errorf("got %d outcomes", len(res.Outcomes))
 	}
@@ -87,7 +88,7 @@ int main(void) {
 	return bump() + twice();
 }
 `)
-	res := search.Explore(prog, search.Options{})
+	res := search.Explore(context.Background(), prog, search.Options{})
 	if len(res.Outcomes) < 2 {
 		t.Errorf("expected order-dependent outcomes, got %d", len(res.Outcomes))
 	}
@@ -107,7 +108,7 @@ int main(void) {
 	return x + x++;
 }
 `)
-	res := search.Explore(prog, search.Options{})
+	res := search.Explore(context.Background(), prog, search.Options{})
 	if res.UB() == nil {
 		t.Fatal("search must find the unsequenced read/write")
 	}
@@ -124,7 +125,7 @@ int main(void) {
 	return s - 60;
 }
 `)
-	res := search.Explore(prog, search.Options{MaxRuns: 7})
+	res := search.Explore(context.Background(), prog, search.Options{MaxRuns: 7})
 	if res.Runs > 7 {
 		t.Errorf("runs = %d, budget was 7", res.Runs)
 	}
@@ -140,7 +141,7 @@ int main(void) {
 	return (x = 1) + (x = 2);
 }
 `)
-	res := search.Explore(prog, search.Options{StopAtFirstUB: true})
+	res := search.Explore(context.Background(), prog, search.Options{StopAtFirstUB: true})
 	if res.UB() == nil {
 		t.Fatal("expected UB")
 	}

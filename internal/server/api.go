@@ -135,18 +135,71 @@ type BatchTrailer struct {
 
 // ExploreRequest is the body of POST /v1/explore: evaluation-order search
 // (paper §2.5.2) over one translation unit.
+//
+// The response comes in one of two shapes, negotiated on the Accept
+// header. The default is one buffered ExploreResponse JSON body. A client
+// that accepts "application/x-ndjson" instead gets a stream framed like
+// /v1/batch: one ExploreHeader line, one ExploreOutcomeLine per distinct
+// behavior the moment it is discovered, and one ExploreTrailer line with
+// the search accounting.
 type ExploreRequest struct {
 	Source string `json:"source"`
 	File   string `json:"file,omitempty"`
 	Model  string `json:"model,omitempty"`
-	// MaxRuns caps the number of evaluation orders tried (0 = 5000).
+	// MaxRuns caps the number of evaluation orders tried (0 = the
+	// server's configured default, itself defaulting to 5000).
 	MaxRuns int `json:"max_runs,omitempty"`
 	// MaxSteps bounds each single execution (0 = server default).
 	MaxSteps int64 `json:"max_steps,omitempty"`
 	// StopAtFirstUB ends the search at the first undefined order.
 	StopAtFirstUB bool `json:"stop_at_first_ub,omitempty"`
+	// Parallelism is the search's worker count, clamped to the server's
+	// concurrency limit (0 = 1: an exploration holds one admission slot,
+	// extra parallelism is an explicit request — same rule as batch).
+	Parallelism int `json:"parallelism,omitempty"`
+	// POR switches partial-order reduction: "on" (default) prunes sibling
+	// orders whose operand effects provably commute; "off" explores every
+	// order reachable within the budget.
+	POR string `json:"por,omitempty"`
+	// Dedup switches explored-state deduplication ("off" by default: the
+	// state digest is a heuristic identity, so sharing subtrees is an
+	// accelerator clients opt into).
+	Dedup string `json:"dedup,omitempty"`
 	// Timeout bounds the whole search as a Go duration string.
 	Timeout string `json:"timeout,omitempty"`
+}
+
+// ExploreHeader is the first NDJSON line of a streamed /v1/explore reply:
+// the search shape after defaulting and clamping.
+type ExploreHeader struct {
+	Schema      string `json:"schema"`
+	File        string `json:"file"`
+	MaxRuns     int    `json:"max_runs"`
+	Parallelism int    `json:"parallelism"`
+	POR         bool   `json:"por"`
+	Dedup       bool   `json:"dedup"`
+}
+
+// ExploreOutcomeLine is one streamed distinct behavior, emitted in
+// discovery order. Runs is the number of orders explored when the
+// behavior surfaced — a progress marker, not part of the outcome.
+type ExploreOutcomeLine struct {
+	ExploreOutcome
+	Runs int64 `json:"runs"`
+}
+
+// ExploreTrailer is the final NDJSON line of a streamed /v1/explore
+// reply. Outcomes repeats the number of outcome lines sent, so a client
+// can verify it saw the whole stream; Error is set when the search
+// failed after the header was already on the wire.
+type ExploreTrailer struct {
+	Done          bool          `json:"done"`
+	Runs          int           `json:"runs"`
+	Exhausted     bool          `json:"exhausted"`
+	Deterministic bool          `json:"deterministic"`
+	Outcomes      int           `json:"outcomes"`
+	Stats         *search.Stats `json:"stats,omitempty"`
+	Error         *APIError     `json:"error,omitempty"`
 }
 
 // ExploreOutcome is one distinct observed behavior.
@@ -169,10 +222,14 @@ type ExploreResponse struct {
 	Exhausted     bool             `json:"exhausted"`
 	Deterministic bool             `json:"deterministic"`
 	Outcomes      []ExploreOutcome `json:"outcomes"`
+	// Stats breaks the search down: orders explored, orders pruned by
+	// partial-order reduction, states deduplicated, wall time.
+	Stats *search.Stats `json:"stats,omitempty"`
 }
 
 // ExploreResponseFrom flattens a search result into the wire shape.
 func ExploreResponseFrom(file string, res search.Result) *ExploreResponse {
+	stats := res.Stats
 	out := &ExploreResponse{
 		Schema:        APISchema,
 		File:          file,
@@ -180,18 +237,25 @@ func ExploreResponseFrom(file string, res search.Result) *ExploreResponse {
 		Exhausted:     res.Exhausted,
 		Deterministic: res.Deterministic(),
 		Outcomes:      []ExploreOutcome{},
+		Stats:         &stats,
 	}
 	for _, o := range res.Outcomes {
-		eo := ExploreOutcome{ExitCode: o.ExitCode, Output: o.Output, UB: o.UB, Trace: o.Trace}
-		if eo.Trace == nil {
-			eo.Trace = []int{}
-		}
-		if o.Err != nil {
-			eo.Error = o.Err.Error()
-		}
-		out.Outcomes = append(out.Outcomes, eo)
+		out.Outcomes = append(out.Outcomes, ExploreOutcomeFrom(o))
 	}
 	return out
+}
+
+// ExploreOutcomeFrom flattens one outcome into the wire shape (shared by
+// the buffered response and the streamed outcome lines).
+func ExploreOutcomeFrom(o search.Outcome) ExploreOutcome {
+	eo := ExploreOutcome{ExitCode: o.ExitCode, Output: o.Output, UB: o.UB, Trace: o.Trace}
+	if eo.Trace == nil {
+		eo.Trace = []int{}
+	}
+	if o.Err != nil {
+		eo.Error = o.Err.Error()
+	}
+	return eo
 }
 
 // APIError is the machine-readable error detail of an ErrorResponse.
@@ -264,6 +328,19 @@ type MetricsResponse struct {
 	// exactly that to compare server-side against client-observed latency.
 	Latency  map[string]*obs.HistogramSnapshot `json:"latency,omitempty"`
 	Draining bool                              `json:"draining,omitempty"`
+	// Explore aggregates /v1/explore work, present once the server has
+	// run at least one search.
+	Explore *ExploreMetrics `json:"explore,omitempty"`
+}
+
+// ExploreMetrics is the /metrics view of the evaluation-order search.
+type ExploreMetrics struct {
+	// Searches counts completed /v1/explore requests (both response
+	// forms); the remaining counters sum over those searches.
+	Searches       int64 `json:"searches"`
+	OrdersExplored int64 `json:"orders_explored"`
+	OrdersPruned   int64 `json:"orders_pruned"`
+	StatesDeduped  int64 `json:"states_deduped"`
 }
 
 // ConfigResponse is the body of GET /debug/config: the effective serving
@@ -279,6 +356,7 @@ type ConfigResponse struct {
 	MaxTimeout     string   `json:"max_timeout"`
 	MaxSourceBytes int64    `json:"max_source_bytes"`
 	MaxBatchCases  int      `json:"max_batch_cases"`
+	MaxExploreRuns int      `json:"max_explore_runs"`
 	InjectorArmed  bool     `json:"injector_armed,omitempty"`
 	// TraceSample is the 1-in-N analyze-tracing rate (0 = tracing off);
 	// FlightEvents is the armed flight-recorder ring size (0 = off).

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/search"
+	"repro/internal/sema"
 	"repro/internal/suite"
 	"repro/internal/tools"
 )
@@ -329,6 +330,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // ---------- /v1/explore ----------
 
+// onOff parses the tri-state search switches ("" = def, "on", "off").
+func onOff(val string, def bool) (bool, error) {
+	switch val {
+	case "":
+		return def, nil
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("want %q or %q, got %q", "on", "off", val)
+}
+
+// wantsNDJSON reports whether the client asked for the streamed explore
+// form (the same content negotiation idea as wantsPrometheus: the
+// buffered JSON body stays the default, streaming is opted into).
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	var req ExploreRequest
 	if !decodeJSON(w, r, s.cfg.MaxSourceBytes, &req) {
@@ -355,9 +376,29 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad-request", "timeout: "+err.Error())
 		return
 	}
+	por, err := onOff(req.POR, true)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "por: "+err.Error())
+		return
+	}
+	dedup, err := onOff(req.Dedup, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "dedup: "+err.Error())
+		return
+	}
 	maxRuns := req.MaxRuns
 	if maxRuns <= 0 {
-		maxRuns = 5000
+		maxRuns = s.cfg.MaxExploreRuns
+	}
+	// One admission slot covers the whole search; its internal
+	// parallelism is the request's own (clamped) knob — same rule as
+	// /v1/batch.
+	par := req.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	if par > s.cfg.Concurrency {
+		par = s.cfg.Concurrency
 	}
 	release, err := s.queue.Acquire(r.Context())
 	if errors.Is(err, ErrQueueFull) {
@@ -372,31 +413,23 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	ctx, sp := obs.StartSpan(ctx, "explore")
 	copts := driver.Options{Model: model, Defines: s.cfg.Defines, Injector: s.cfg.Injector}
-	var resp *ExploreResponse
+
+	// Compile outside the guard-and-stream block: a compile error (or a
+	// fault before the search starts) is still a clean HTTP error in both
+	// response forms, because nothing is on the wire yet.
+	var prog *sema.Program
 	gerr := fault.Guard(fault.StageServe, file, func() error {
 		if err := s.cfg.Injector.Fire(SiteHandle, file); err != nil {
 			return err
 		}
-		prog, cerr := s.cache.Compile(req.Source, file, copts)
-		if cerr != nil {
-			return cerr
-		}
-		maxSteps := req.MaxSteps
-		if maxSteps <= 0 {
-			maxSteps = s.cfg.MaxSteps
-		}
-		res := search.Explore(prog, search.Options{
-			MaxRuns:       maxRuns,
-			MaxSteps:      maxSteps,
-			StopAtFirstUB: req.StopAtFirstUB,
-			Engine:        s.cfg.Engine,
-			Context:       ctx,
-		})
-		resp = ExploreResponseFrom(file, res)
-		return nil
+		var cerr error
+		prog, cerr = s.cache.CompileCtx(ctx, req.Source, file, copts)
+		return cerr
 	})
 	if gerr != nil {
+		sp.End()
 		if ie, ok := fault.AsInternal(gerr); ok {
 			s.countPanic()
 			writeError(w, http.StatusInternalServerError, "internal-error", ie.Error())
@@ -405,7 +438,97 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "compile-error", gerr.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+
+	sopts := search.Options{
+		MaxRuns:       maxRuns,
+		MaxSteps:      req.MaxSteps,
+		StopAtFirstUB: req.StopAtFirstUB,
+		Engine:        s.cfg.Engine,
+		Parallelism:   par,
+		POR:           por,
+		Dedup:         dedup,
+	}
+	if sopts.MaxSteps <= 0 {
+		sopts.MaxSteps = s.cfg.MaxSteps
+	}
+
+	if !wantsNDJSON(r) {
+		var resp *ExploreResponse
+		gerr := fault.Guard(fault.StageServe, file, func() error {
+			res := search.Explore(ctx, prog, sopts)
+			resp = ExploreResponseFrom(file, res)
+			s.countExplore(res.Stats)
+			finishExploreSpan(sp, res)
+			return nil
+		})
+		if gerr != nil {
+			sp.End()
+			s.countPanic()
+			writeError(w, http.StatusInternalServerError, "internal-error", gerr.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Streamed form: header, one line per distinct behavior as the
+	// frontier discovers it, trailer with the accounting. Once the header
+	// is on the wire, failures travel in the trailer (as in /v1/batch).
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.Encode(ExploreHeader{
+		Schema: APISchema, File: file,
+		MaxRuns: maxRuns, Parallelism: par, POR: por, Dedup: dedup,
+	})
+	flush()
+
+	outcomes := 0
+	sopts.OnOutcome = func(o search.Outcome, st search.Stats) {
+		// OnOutcome calls are serialized by the search, so the encoder
+		// and counter need no extra locking.
+		outcomes++
+		line := ExploreOutcomeLine{ExploreOutcome: ExploreOutcomeFrom(o), Runs: st.OrdersExplored}
+		enc.Encode(line)
+		flush()
+	}
+	var res search.Result
+	gerr = fault.Guard(fault.StageServe, file, func() error {
+		res = search.Explore(ctx, prog, sopts)
+		return nil
+	})
+	trailer := ExploreTrailer{
+		Done:          gerr == nil,
+		Runs:          res.Runs,
+		Exhausted:     res.Exhausted,
+		Deterministic: res.Deterministic(),
+		Outcomes:      outcomes,
+		Stats:         &res.Stats,
+	}
+	if gerr != nil {
+		s.countPanic()
+		trailer.Error = &APIError{Code: "internal-error", Message: gerr.Error()}
+	} else {
+		s.countExplore(res.Stats)
+	}
+	finishExploreSpan(sp, res)
+	enc.Encode(trailer)
+	flush()
+}
+
+func finishExploreSpan(sp *obs.Span, res search.Result) {
+	if sp.Recording() {
+		sp.SetAttr("runs", fmt.Sprint(res.Runs))
+		sp.SetAttr("pruned", fmt.Sprint(res.Stats.OrdersPruned))
+		sp.SetAttr("deduped", fmt.Sprint(res.Stats.StatesDeduped))
+		sp.SetAttr("outcomes", fmt.Sprint(len(res.Outcomes)))
+	}
+	sp.End()
 }
 
 // ---------- /v1/trace ----------
@@ -484,6 +607,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		MaxTimeout:     s.cfg.MaxTimeout.String(),
 		MaxSourceBytes: s.cfg.MaxSourceBytes,
 		MaxBatchCases:  s.cfg.MaxBatchCases,
+		MaxExploreRuns: s.cfg.MaxExploreRuns,
 		InjectorArmed:  s.cfg.Injector != nil,
 		TraceSample:    s.cfg.TraceSample,
 		FlightEvents:   s.cfg.Flight,

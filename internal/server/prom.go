@@ -60,6 +60,13 @@ func writePrometheus(w http.ResponseWriter, m *MetricsResponse) {
 		promGauge(w, "undefc_bytecode_cached", "Programs with compiled code resident.", float64(b.Size))
 	}
 
+	if e := m.Explore; e != nil {
+		promCounter(w, "undefc_explore_searches_total", "Evaluation-order searches completed.", e.Searches)
+		promCounter(w, "undefc_explore_orders_total", "Evaluation orders executed across all searches.", e.OrdersExplored)
+		promCounter(w, "undefc_explore_pruned_total", "Orders pruned as commuting (partial-order reduction).", e.OrdersPruned)
+		promCounter(w, "undefc_explore_deduped_total", "Runs cut short at an already-explored machine state.", e.StatesDeduped)
+	}
+
 	for _, stage := range sortedKeys(m.Latency) {
 		promHistogram(w, "undefc_latency_seconds", stage, m.Latency[stage])
 	}

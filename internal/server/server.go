@@ -34,6 +34,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/search"
 	"repro/internal/tools"
 	"repro/internal/vm"
 )
@@ -72,6 +73,9 @@ type Config struct {
 	MaxSourceBytes int64
 	// MaxBatchCases bounds a caller-supplied batch (default 4096).
 	MaxBatchCases int
+	// MaxExploreRuns is the default evaluation-order budget of a
+	// /v1/explore search when the request names none (default 5000).
+	MaxExploreRuns int
 	// MaxSteps is the default execution step budget (0 = the pipeline's
 	// interp.DefaultBudget).
 	MaxSteps int64
@@ -120,6 +124,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchCases <= 0 {
 		c.MaxBatchCases = 4096
 	}
+	if c.MaxExploreRuns <= 0 {
+		c.MaxExploreRuns = 5000
+	}
 	if c.TraceBufferSize <= 0 {
 		c.TraceBufferSize = 128
 	}
@@ -162,6 +169,7 @@ type Server struct {
 	verdicts   map[string]int64
 	batchCells map[string]int64
 	panics     int64
+	explore    ExploreMetrics
 }
 
 // New builds a Server from cfg (zero fields defaulted). It fails only on
@@ -252,6 +260,16 @@ func (s *Server) countPanic() {
 	s.mu.Unlock()
 }
 
+// countExplore folds one finished search into the /metrics aggregates.
+func (s *Server) countExplore(st search.Stats) {
+	s.mu.Lock()
+	s.explore.Searches++
+	s.explore.OrdersExplored += st.OrdersExplored
+	s.explore.OrdersPruned += st.OrdersPruned
+	s.explore.StatesDeduped += st.StatesDeduped
+	s.mu.Unlock()
+}
+
 // Metrics assembles the /metrics snapshot.
 func (s *Server) Metrics() *MetricsResponse {
 	m := &MetricsResponse{
@@ -279,6 +297,10 @@ func (s *Server) Metrics() *MetricsResponse {
 	m.Verdicts = copyMap(s.verdicts)
 	m.BatchCells = copyMap(s.batchCells)
 	m.Panics = s.panics
+	if s.explore.Searches > 0 {
+		ex := s.explore
+		m.Explore = &ex
+	}
 	s.mu.Unlock()
 	return m
 }

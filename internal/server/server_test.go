@@ -723,3 +723,154 @@ func TestParseTimeout(t *testing.T) {
 		}
 	}
 }
+
+// TestExploreGolden pins the buffered /v1/explore document: the paper's
+// setDenom program (§2.5.2) at parallelism 1 with default POR, so outcome
+// discovery order, run counts and pruning stats are all deterministic.
+func TestExploreGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := readFixture(t, "explore_request.json")
+	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200\n%s", resp.StatusCode, raw.Bytes())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	golden(t, "explore_response.json", normalize(t, raw.Bytes()))
+}
+
+// TestExploreStreamGolden pins the streamed form of the same request:
+// Accept: application/x-ndjson negotiates header / outcome-line / trailer
+// frames, exactly like /v1/batch.
+func TestExploreStreamGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/explore",
+		bytes.NewReader(readFixture(t, "explore_request.json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var norm bytes.Buffer
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var doc any
+		if err := json.Unmarshal(line, &doc); err != nil {
+			t.Fatalf("stream line is not JSON: %v\n%s", err, line)
+		}
+		zeroNS(doc)
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm.Write(out)
+		norm.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "explore_response.ndjson", norm.Bytes())
+}
+
+// TestExploreStreamAccounting checks the streamed frames against each
+// other and against /metrics: outcome lines == trailer count, trailer
+// done, and the server-side explore counters advance by this search.
+func TestExploreStreamAccounting(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(ExploreRequest{
+		Source: `
+int x = 0;
+int set(void) { x = 1; return 1; }
+int get(void) { return x; }
+int main(void) { return set() + get(); }
+`,
+		Parallelism: 2,
+	})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/explore", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, raw.Bytes())
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw.Bytes()), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("stream has %d lines, want header + outcomes + trailer", len(lines))
+	}
+	var hdr ExploreHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Schema != APISchema || hdr.MaxRuns == 0 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	outcomes := lines[1 : len(lines)-1]
+	for _, l := range outcomes {
+		var o ExploreOutcomeLine
+		if err := json.Unmarshal(l, &o); err != nil {
+			t.Fatalf("outcome line: %v\n%s", err, l)
+		}
+	}
+	var tr ExploreTrailer
+	if err := json.Unmarshal(lines[len(lines)-1], &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.Error != nil {
+		t.Fatalf("trailer = %+v, want done with no error", tr)
+	}
+	if tr.Outcomes != len(outcomes) {
+		t.Errorf("trailer counts %d outcomes, stream carried %d lines", tr.Outcomes, len(outcomes))
+	}
+	if tr.Stats == nil || tr.Stats.OrdersExplored != int64(tr.Runs) {
+		t.Errorf("trailer stats = %+v, want orders_explored == runs %d", tr.Stats, tr.Runs)
+	}
+	m := metrics(t, ts.URL)
+	if m.Explore == nil || m.Explore.Searches != 1 {
+		t.Fatalf("metrics explore = %+v, want one search", m.Explore)
+	}
+	if m.Explore.OrdersExplored != int64(tr.Runs) {
+		t.Errorf("metrics orders = %d, trailer runs = %d", m.Explore.OrdersExplored, tr.Runs)
+	}
+	// The Prometheus rendering carries the same counters.
+	resp2, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var prom bytes.Buffer
+	prom.ReadFrom(resp2.Body)
+	if !bytes.Contains(prom.Bytes(), []byte("undefc_explore_searches_total 1")) {
+		t.Errorf("prometheus output lacks explore counters:\n%s", prom.Bytes())
+	}
+}

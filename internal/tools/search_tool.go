@@ -31,24 +31,30 @@ func (t *searchTool) Analyze(src, file string) Report {
 	return compileAndDelegate(t, src, file, t.cfg.Model)
 }
 
-// AnalyzeProgram implements Tool. The search itself is not cancelable
-// mid-run; ctx only bounds the fault-containment watchdog.
+// AnalyzeProgram implements Tool. ctx bounds the fault-containment
+// watchdog and cancels the search itself (in-flight runs stop at the
+// next step poll).
 func (t *searchTool) AnalyzeProgram(ctx context.Context, prog *sema.Program, file string) Report {
 	return guarded(ctx, t.Name(), t.cfg, file, func(ctx context.Context, _ *obs.Flight) Report {
-		return t.analyze(prog)
+		return t.analyze(ctx, prog)
 	})
 }
 
-func (t *searchTool) analyze(prog *sema.Program) Report {
+func (t *searchTool) analyze(ctx context.Context, prog *sema.Program) Report {
 	start := time.Now()
 	if len(prog.StaticUB) > 0 {
 		return Report{Verdict: Flagged, UB: prog.StaticUB[0],
 			Detail: prog.StaticUB[0].Error(), RunDuration: time.Since(start)}
 	}
-	res := search.Explore(prog, search.Options{
+	// Single-worker on purpose: the tool matrix already runs one tool per
+	// runner cell, so parallelism lives a level up. POR makes the same
+	// budget cover exponentially more of the order space.
+	res := search.Explore(ctx, prog, search.Options{
 		MaxRuns:       t.maxRuns,
 		MaxSteps:      t.cfg.Budget.WithDefaults().MaxSteps,
 		StopAtFirstUB: true,
+		Parallelism:   1,
+		POR:           true,
 	})
 	rep := Report{RunDuration: time.Since(start)}
 	if u := res.UB(); u != nil {

@@ -424,16 +424,19 @@ func (c *compiler) compilePtrAdd(xe, ie cast.Expr, pos token.Pos) cexpr {
 		first, _ := in.Order2()
 		if first == 0 {
 			if xv, err = cx(in); err == nil {
+				in.OperandDone()
 				iv, err = ci(in)
 			}
 		} else {
 			if iv, err = ci(in); err == nil {
+				in.OperandDone()
 				xv, err = cx(in)
 			}
 		}
 		if err != nil {
 			return nil, err
 		}
+		in.OperandDone()
 		if xv, err = in.Usable(xv, pos); err != nil {
 			return nil, err
 		}
@@ -694,16 +697,19 @@ func (c *compiler) compileBinary(e *cast.Binary) cexpr {
 		first, _ := in.Order2()
 		if first == 0 {
 			if xv, err = cx(in); err == nil {
+				in.OperandDone()
 				yv, err = cy(in)
 			}
 		} else {
 			if yv, err = cy(in); err == nil {
+				in.OperandDone()
 				xv, err = cx(in)
 			}
 		}
 		if err != nil {
 			return nil, err
 		}
+		in.OperandDone()
 		if xv, err = in.Usable(xv, pos); err != nil {
 			return nil, err
 		}
@@ -729,16 +735,19 @@ func (c *compiler) compileAssign(e *cast.Assign) cexpr {
 			first, _ := in.Order2()
 			if first == 0 {
 				if l, err = lv(in); err == nil {
+					in.OperandDone()
 					rv, err = cr(in)
 				}
 			} else {
 				if rv, err = cr(in); err == nil {
+					in.OperandDone()
 					l, err = lv(in)
 				}
 			}
 			if err != nil {
 				return nil, err
 			}
+			in.OperandDone()
 			cv, err := in.ConvertForStore(rv, l.T, pos)
 			if err != nil {
 				return nil, err
@@ -764,16 +773,19 @@ func (c *compiler) compileAssign(e *cast.Assign) cexpr {
 		first, _ := in.Order2()
 		if first == 0 {
 			if l, err = lv(in); err == nil {
+				in.OperandDone()
 				rv, err = cr(in)
 			}
 		} else {
 			if rv, err = cr(in); err == nil {
+				in.OperandDone()
 				l, err = lv(in)
 			}
 		}
 		if err != nil {
 			return nil, err
 		}
+		in.OperandDone()
 		old, err := in.ReadLV(l, pos)
 		if err != nil {
 			return nil, err
@@ -841,16 +853,19 @@ func (c *compiler) compileCall(e *cast.Call) cexpr {
 			first, _ := in.Order2()
 			if first == 0 {
 				if vals[0], err = cfn(in); err == nil {
+					in.OperandDone()
 					vals[1], err = cargs[0](in)
 				}
 			} else {
 				if vals[1], err = cargs[0](in); err == nil {
+					in.OperandDone()
 					vals[0], err = cfn(in)
 				}
 			}
 			if err != nil {
 				return nil, err
 			}
+			in.OperandDone()
 		default:
 			for _, which := range in.Order(n) {
 				if which == 0 {
@@ -861,6 +876,7 @@ func (c *compiler) compileCall(e *cast.Call) cexpr {
 				if err != nil {
 					return nil, err
 				}
+				in.OperandDone()
 			}
 		}
 		return in.FinishCall(e, vals, func(fd *cast.FuncDef, args []mem.Value, p token.Pos) (mem.Value, error) {
