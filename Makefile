@@ -21,23 +21,32 @@ test:
 # sets to the sequential DFS oracle on every suite case with choice
 # points, for both engines, and the whole search package must be
 # race-clean (workers share the frontier, the POR registry and the
-# dedup table).
+# dedup table). The cluster gates: the ring/breaker/failover package
+# race-clean, the router smoke (one shard + one router, analyze
+# round-trip, clean SIGTERM drains), and the chaos gate — 3 real shard
+# processes behind the router, 1% injected forward faults, one shard
+# SIGKILLed mid-load and restarted, auditing zero client-visible
+# crashes, exact verdict-counter agreement (client == router delivered
+# == per-instance shard counters), drained queues, and a full breaker
+# open → half-open → closed cycle.
 .PHONY: check
 check: test
 	go vet ./...
 	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/... ./internal/obs/... ./internal/fault/...
 	go test -race ./internal/server/...
+	go test -race ./internal/cluster/...
 	go test ./internal/interp/ -run 'ObserverPathAllocs' -count=1
 	go test ./internal/obs/ -run 'SpanNoCollector' -count=1
 	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 100x
 	go test ./internal/obs/ -run '^$$' -bench BenchmarkSpanOverhead -benchtime 100x
 	go test ./cmd/ubsuite/ -run TestContainmentGate -count=1
 	go test ./internal/lexer/ ./internal/parser/ ./internal/cpp/ ./internal/vm/ -run '^Fuzz' -count=1
-	go test ./cmd/undefd/ -run TestDaemonSmoke -count=1
+	go test ./cmd/undefd/ -run 'TestDaemonSmoke|TestRouterSmoke' -count=1
 	go test ./internal/vm/ -run 'TestGoldenEventSequenceVM|TestEngineDiff' -count=1
 	go test -race ./internal/vm/ -run TestMatrixParallelVM -count=1
 	go test ./internal/search/ -run 'TestDifferentialGate|TestExploreConfigMatrix' -count=1
 	go test -race ./internal/search/ -count=1
+	go run ./cmd/undefbench -cluster 3 -kill 1 -c 12 -d 6s -inject 'cluster.forward=error%0.01' -seed 1
 
 # Engine speedup: the pre-compiled program, tree-vs-vm dispatch benchmark
 # (reported in EXPERIMENTS.md).
@@ -68,6 +77,13 @@ bench-serve:
 .PHONY: bench-explore
 bench-explore:
 	go run ./cmd/undefbench -spawn -explore -c 16 -d 10s
+
+# Cluster chaos benchmark: a longer kill-shards-under-load run (reported
+# in EXPERIMENTS.md) — 3 shard processes + router, one SIGKILL + restart
+# mid-load, 1% injected forward faults, full invariants audit.
+.PHONY: bench-cluster
+bench-cluster:
+	go run ./cmd/undefbench -cluster 3 -kill 1 -c 16 -d 15s -inject 'cluster.forward=error%0.01' -seed 1
 
 # Fuller observability benchmark (reported in EXPERIMENTS.md).
 .PHONY: bench-obs

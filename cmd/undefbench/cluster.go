@@ -1,0 +1,458 @@
+// Cluster chaos mode (-cluster N): spawn N real undefd shard processes
+// plus an in-process cluster router, drive the analyze workload through
+// the router, SIGKILL -kill shards mid-load and restart them, then audit
+// the serving invariants the cluster promises:
+//
+//   - zero client-visible crashes: every request got a structured answer
+//     (a verdict, an honest 429, or — when every replica attempt failed
+//     within the retry budget — a typed 503), never a transport error or
+//     torn body
+//   - exact counter agreement: the client-side verdict tally equals the
+//     router's delivered counters, and each live shard's own verdict
+//     counters equal the router's per-instance delivered counts — the
+//     remainder is attributable, verdict for verdict, to the killed
+//     incarnations
+//   - every live shard's admission queue drained
+//   - when a shard was killed and restarted, its breaker recorded the
+//     full open → half-open → closed recovery cycle
+//
+// The shards are separate OS processes (undefbench re-execs itself with
+// the hidden -shard-exec flag), so the kill is a real SIGKILL: no defers
+// run, no counters flush, the TCP socket just dies — exactly the failure
+// the router exists to absorb.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/suite"
+)
+
+// clusterOpts carries the -cluster run configuration.
+type clusterOpts struct {
+	shards     int
+	kill       int
+	conns      int
+	dur        time.Duration
+	dup        float64
+	seed       int64
+	injectSpec string
+	injectSeed uint64
+	asJSON     bool
+}
+
+// clusterReport is the machine-readable cluster-audit result (-json).
+type clusterReport struct {
+	report
+	Shards    int `json:"shards"`
+	Killed    int `json:"killed"`
+	Restarted int `json:"restarted"`
+	// RouterDelivered is the router's total delivered-verdict count;
+	// DeadDelivered is the share attributed to killed incarnations.
+	RouterDelivered int64 `json:"router_delivered"`
+	DeadDelivered   int64 `json:"dead_delivered"`
+	// InstanceMatch: every live shard's own verdict counters equal the
+	// router's per-instance delivered counts. BreakerCycle: a killed
+	// shard's breaker recorded open → half-open → closed. ZeroErrors:
+	// no client-visible transport or malformed-body failures.
+	InstanceMatch bool  `json:"instance_match"`
+	BreakerCycle  bool  `json:"breaker_cycle"`
+	ZeroErrors    bool  `json:"zero_errors"`
+	Failovers     int64 `json:"failovers"`
+	InjectedFails int64 `json:"injected_failures"`
+	// Unavailable counts structured 503 refusals: requests whose every
+	// replica attempt failed within the retry budget, answered with an
+	// honest typed error body instead of a hang or a torn response.
+	Unavailable int64 `json:"unavailable_503"`
+}
+
+// runShardProc is the hidden -shard-exec main: one undefd shard serving
+// on a fixed address until the parent kills the process.
+func runShardProc(addr, id string) int {
+	srv, err := server.New(server.Config{ShardID: id})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench shard %s: %v\n", id, err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench shard %s: %v\n", id, err)
+		return 1
+	}
+	go srv.Warmup(context.Background())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench shard %s: serve: %v\n", id, err)
+		return 1
+	}
+	return 0
+}
+
+// freePorts reserves n distinct loopback ports by binding and releasing
+// them. The tiny bind race against other processes is acceptable in a
+// benchmark harness.
+func freePorts(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+// spawnShard re-execs this binary as one shard process on addr.
+func spawnShard(addr, id string) (*exec.Cmd, error) {
+	cmd := exec.Command(os.Args[0], "-shard-exec", "-shard-addr", addr, "-shard-id", id)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// waitReady polls a /readyz until it answers 200 (the shard is up and
+// compile-cache warm) or the deadline passes.
+func waitReady(client *http.Client, addr string, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		resp, err := client.Get("http://" + addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("%s not ready before deadline", addr)
+}
+
+func runCluster(opts clusterOpts) int {
+	if opts.kill >= opts.shards {
+		opts.kill = opts.shards - 1 // at least one shard must survive
+	}
+	ports, err := freePorts(opts.shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: ports: %v\n", err)
+		return 1
+	}
+
+	// Real shard processes: a SIGKILL later must be a real process death.
+	procs := make([]*exec.Cmd, opts.shards)
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+	for i, addr := range ports {
+		p, err := spawnShard(addr, fmt.Sprintf("s%d", i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "undefbench: spawn shard %d: %v\n", i, err)
+			return 1
+		}
+		procs[i] = p
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: opts.conns}}
+	readyBy := time.Now().Add(30 * time.Second)
+	for _, addr := range ports {
+		if err := waitReady(client, addr, readyBy); err != nil {
+			fmt.Fprintf(os.Stderr, "undefbench: %v\n", err)
+			return 1
+		}
+	}
+
+	// The router rides in-process: its failover loop, breakers, and
+	// delivered counters are the objects under audit, and its /metrics is
+	// served over HTTP like production so the audit reads the wire shape.
+	var injector *fault.Injector
+	if opts.injectSpec != "" {
+		rules, err := fault.ParseSpec(opts.injectSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "undefbench: -inject: %v\n", err)
+			return 2
+		}
+		injector = fault.NewInjector(opts.injectSeed, rules...)
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Shards:        ports,
+		ProbeInterval: 100 * time.Millisecond,
+		Injector:      injector,
+		Seed:          opts.seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: router: %v\n", err)
+		return 1
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: %v\n", err)
+		return 1
+	}
+	rt.Start()
+	defer rt.Stop()
+	rtSrv := &http.Server{Handler: rt.Handler()}
+	go rtSrv.Serve(rln)
+	defer rtSrv.Close()
+	url := "http://" + rln.Addr().String()
+
+	corpus := suite.Juliet().Cases
+	hot := corpus
+	if len(hot) > 4 {
+		hot = corpus[:4]
+	}
+
+	// The chaos schedule: SIGKILL the victims at 35% of the run, restart
+	// them on the same ports (same ring positions) at 60%, so the run ends
+	// with every breaker recovered and every shard back in rotation.
+	deadline := time.Now().Add(opts.dur)
+	restarted := make(chan int, 1)
+	var chaos sync.WaitGroup
+	if opts.kill > 0 {
+		chaos.Add(1)
+		go func() {
+			defer chaos.Done()
+			time.Sleep(opts.dur * 35 / 100)
+			for i := 0; i < opts.kill; i++ {
+				procs[i].Process.Kill()
+				procs[i].Wait()
+				procs[i] = nil
+			}
+			time.Sleep(opts.dur * 25 / 100)
+			n := 0
+			for i := 0; i < opts.kill; i++ {
+				p, err := spawnShard(ports[i], fmt.Sprintf("s%d", i))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "undefbench: restart shard %d: %v\n", i, err)
+					continue
+				}
+				procs[i] = p
+				n++
+			}
+			restarted <- n
+		}()
+	} else {
+		restarted <- 0
+	}
+
+	stats := make([]workerStats, opts.conns)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.seed + int64(w)))
+			st := &stats[w]
+			st.verdicts = make(map[string]int64)
+			for time.Now().Before(deadline) {
+				c := &corpus[rng.Intn(len(corpus))]
+				if rng.Float64() < opts.dup {
+					c = &hot[rng.Intn(len(hot))]
+				}
+				oneRequest(client, url, c, st)
+			}
+		}(w)
+	}
+	wg.Wait()
+	chaos.Wait()
+
+	rep := clusterReport{Shards: opts.shards, Killed: opts.kill, Restarted: <-restarted}
+	rep.Addr = rln.Addr().String()
+	rep.Connections = opts.conns
+	rep.DurationNS = opts.dur.Nanoseconds()
+	rep.Verdicts = map[string]int64{}
+	var all []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		all = append(all, st.latencies...)
+		rep.Rejected += st.rejected
+		rep.Unavailable += st.unavailable
+		rep.Errors += st.errors
+		rep.Coalesced += st.coalesced
+		for v, n := range st.verdicts {
+			rep.Verdicts[v] += n
+		}
+	}
+	rep.Requests = int64(len(all))
+	rep.Throughput = float64(rep.Requests) / opts.dur.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50NS = percentile(all, 0.50).Nanoseconds()
+	rep.P95NS = percentile(all, 0.95).Nanoseconds()
+	rep.P99NS = percentile(all, 0.99).Nanoseconds()
+	if n := len(all); n > 0 {
+		rep.MaxNS = all[n-1].Nanoseconds()
+	}
+
+	// Let in-flight shard work settle before reading counters: the last
+	// responses were relayed, but a shard's own tally is written before
+	// its response, so no wait is needed for correctness — only for the
+	// queue-drained check to see idle queues.
+	time.Sleep(200 * time.Millisecond)
+	auditCluster(client, url, ports, procs, &rep)
+
+	if opts.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(&rep)
+	} else {
+		printClusterReport(&rep)
+	}
+	if !rep.ServerOK || !rep.TallyMatch || !rep.InstanceMatch || !rep.QueueEmpty ||
+		!rep.ZeroErrors || !rep.BreakerCycle {
+		return 1
+	}
+	return 0
+}
+
+// auditCluster reads the router and live-shard /metrics and fills the
+// report's invariant verdicts. A /metrics that cannot be read at audit
+// time is itself an audit failure: an invariant that cannot be checked
+// is not an invariant that held.
+func auditCluster(client *http.Client, url string, ports []string, procs []*exec.Cmd, rep *clusterReport) {
+	rm, err := fetchRouterMetrics(client, url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: router /metrics unreachable at audit time: %v\n", err)
+		rep.ServerOK = false
+		return
+	}
+	rep.ServerOK = true
+	rep.Failovers = rm.Forward.Failovers
+	rep.InjectedFails = rm.Forward.Failures
+	for _, v := range rm.Delivered {
+		rep.RouterDelivered += v
+	}
+
+	// Invariant 1: the client-side verdict tally equals the router's
+	// delivered counters, verdict for verdict. The router is fresh for
+	// this run, so no before-snapshot is needed.
+	rep.TallyMatch = len(rep.Verdicts) == len(rm.Delivered)
+	for v, n := range rep.Verdicts {
+		if rm.Delivered[v] != n {
+			rep.TallyMatch = false
+		}
+	}
+
+	// Invariant 2: each live shard's own verdict counters equal the
+	// router's per-instance delivered counts; what remains of the total is
+	// attributed to dead incarnations. The same sweep checks each live
+	// shard's admission queue drained.
+	rep.InstanceMatch = true
+	rep.QueueEmpty = true
+	var liveDelivered int64
+	for i, addr := range ports {
+		if procs[i] == nil {
+			continue
+		}
+		sm, err := fetchMetrics(client, "http://"+addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "undefbench: shard %s /metrics unreachable at audit time: %v\n", addr, err)
+			rep.ServerOK = false
+			return
+		}
+		perInst := rm.DeliveredByInstance[sm.Instance]
+		if len(sm.Verdicts) != len(perInst) {
+			rep.InstanceMatch = false
+		}
+		for v, n := range sm.Verdicts {
+			if perInst[v] != n {
+				rep.InstanceMatch = false
+			}
+			liveDelivered += n
+		}
+		if sm.Queue.Depth != 0 || sm.Queue.Active != 0 {
+			rep.QueueEmpty = false
+		}
+	}
+	rep.DeadDelivered = rep.RouterDelivered - liveDelivered
+
+	// Invariant 3: no client-visible crash — every request was answered
+	// with a structured body.
+	rep.ZeroErrors = rep.Errors == 0
+
+	// Invariant 4: a killed-and-restarted shard's breaker walked the full
+	// open → half-open → closed recovery cycle.
+	rep.BreakerCycle = true
+	if rep.Killed > 0 && rep.Restarted > 0 {
+		rep.BreakerCycle = false
+		for _, sh := range rm.Shards {
+			b := sh.Breaker
+			if b.Opens >= 1 && b.HalfOpens >= 1 && b.Closes >= 1 && b.State == "closed" {
+				rep.BreakerCycle = true
+			}
+		}
+	}
+}
+
+// fetchRouterMetrics reads the router's undefc.cluster/v1 metrics body.
+func fetchRouterMetrics(client *http.Client, url string) (*cluster.RouterMetrics, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m cluster.RouterMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	if m.Schema != cluster.MetricsSchema {
+		return nil, fmt.Errorf("unexpected schema %q", m.Schema)
+	}
+	return &m, nil
+}
+
+func printClusterReport(rep *clusterReport) {
+	fmt.Printf("undefbench: cluster of %d shards (%d killed, %d restarted), %d connections, %s through router %s\n",
+		rep.Shards, rep.Killed, rep.Restarted, rep.Connections, time.Duration(rep.DurationNS), rep.Addr)
+	fmt.Printf("  requests:  %d ok, %d rejected (429), %d refused (503), %d errors — %.1f req/s\n",
+		rep.Requests, rep.Rejected, rep.Unavailable, rep.Errors, rep.Throughput)
+	fmt.Printf("  latency:   p50 %s · p95 %s · p99 %s · max %s  (client-side, through router)\n",
+		time.Duration(rep.P50NS), time.Duration(rep.P95NS), time.Duration(rep.P99NS), time.Duration(rep.MaxNS))
+	fmt.Printf("  verdicts: ")
+	var keys []string
+	for v := range rep.Verdicts {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		fmt.Printf("  %s %d", v, rep.Verdicts[v])
+	}
+	fmt.Println()
+	fmt.Printf("  failover:  %d failovers over %d failed attempts · %d verdicts from killed incarnations\n",
+		rep.Failovers, rep.InjectedFails, rep.DeadDelivered)
+	check := func(name string, ok bool) {
+		state := "ok"
+		if !ok {
+			state = "FAILED"
+		}
+		fmt.Printf("  check:     %-36s %s\n", name, state)
+	}
+	check("router + live shards reachable", rep.ServerOK)
+	check("zero client-visible crashes", rep.ZeroErrors)
+	check("client tally == router delivered", rep.TallyMatch)
+	check("live shard counters reconcile", rep.InstanceMatch)
+	check("admission queues drained", rep.QueueEmpty)
+	check("breaker cycled open→half-open→closed", rep.BreakerCycle)
+}

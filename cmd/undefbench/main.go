@@ -30,10 +30,17 @@
 //	           consistent — then the /metrics explore counters against the
 //	           client-side search count
 //	-json      emit the report as JSON
+//	-cluster N spawn N real shard processes plus a consistent-hash router
+//	           and bench through the router; the audit then covers the
+//	           cluster serving invariants (see cluster.go)
+//	-kill K    with -cluster: SIGKILL K shards mid-load and restart them,
+//	           proving failover keeps every invariant
 //
 // Exit status is non-zero when the daemon died, the verdict cross-check
-// (or, under -explore, the frame/counter audit) fails, or the queue did
-// not drain.
+// (or, under -explore, the frame/counter audit; under -cluster, the
+// cluster invariants audit) fails, the queue did not drain, or /metrics
+// was unreachable at audit time — an invariant that cannot be checked is
+// treated as an invariant that failed.
 package main
 
 import (
@@ -62,31 +69,35 @@ type workerStats struct {
 	verdicts  map[string]int64
 	coalesced int64
 	rejected  int64 // 429 backpressure
-	errors    int64 // transport or non-API failures
-	searches  int64 // -explore: streams that passed the frame audit
-	frameErrs int64 // -explore: streams that violated a serving invariant
+	// unavailable counts structured 503 refusals (-cluster: every replica
+	// failed within the retry budget). An honest, typed refusal is
+	// backpressure, not a crash — the zero-crash audit excludes it.
+	unavailable int64
+	errors      int64 // transport or non-API failures
+	searches    int64 // -explore: streams that passed the frame audit
+	frameErrs   int64 // -explore: streams that violated a serving invariant
 }
 
 // report is the machine-readable benchmark result (-json).
 type report struct {
-	Addr        string           `json:"addr"`
-	Connections int              `json:"connections"`
-	DurationNS  int64            `json:"duration_ns"`
-	Requests    int64            `json:"requests"`
-	Rejected    int64            `json:"rejected"`
-	Errors      int64            `json:"errors"`
-	Throughput  float64          `json:"requests_per_sec"`
-	P50NS       int64            `json:"p50_ns"`
-	P95NS       int64            `json:"p95_ns"`
-	P99NS       int64            `json:"p99_ns"`
-	MaxNS       int64            `json:"max_ns"`
+	Addr        string  `json:"addr"`
+	Connections int     `json:"connections"`
+	DurationNS  int64   `json:"duration_ns"`
+	Requests    int64   `json:"requests"`
+	Rejected    int64   `json:"rejected"`
+	Errors      int64   `json:"errors"`
+	Throughput  float64 `json:"requests_per_sec"`
+	P50NS       int64   `json:"p50_ns"`
+	P95NS       int64   `json:"p95_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	MaxNS       int64   `json:"max_ns"`
 	// ServerP*NS are the daemon's own end-to-end quantiles over this run's
 	// window, computed from the /metrics latency histogram delta
 	// (after − before). Client-side adds network + HTTP framing; the gap
 	// between the two columns is exactly that overhead.
-	ServerP50NS int64 `json:"server_p50_ns,omitempty"`
-	ServerP95NS int64 `json:"server_p95_ns,omitempty"`
-	ServerP99NS int64 `json:"server_p99_ns,omitempty"`
+	ServerP50NS int64            `json:"server_p50_ns,omitempty"`
+	ServerP95NS int64            `json:"server_p95_ns,omitempty"`
+	ServerP99NS int64            `json:"server_p99_ns,omitempty"`
 	Verdicts    map[string]int64 `json:"verdicts"`
 	Coalesced   int64            `json:"coalesced"`
 	CoalesceHit float64          `json:"coalesce_hit_rate"`
@@ -113,7 +124,29 @@ func main() {
 	injectSpec := flag.String("inject", "", "with -spawn: fault-injection rules for the server")
 	injectSeed := flag.Uint64("inject-seed", 1, "seed for probabilistic injection rules")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	clusterN := flag.Int("cluster", 0, "spawn N shard processes + a router and bench through the router")
+	killN := flag.Int("kill", 0, "with -cluster: SIGKILL this many shards mid-load and restart them")
+	shardExec := flag.Bool("shard-exec", false, "internal: run as a cluster shard process")
+	shardAddr := flag.String("shard-addr", "", "internal: the -shard-exec listen address")
+	shardName := flag.String("shard-id", "", "internal: the -shard-exec shard name")
 	flag.Parse()
+
+	if *shardExec {
+		os.Exit(runShardProc(*shardAddr, *shardName))
+	}
+	if *clusterN > 0 {
+		os.Exit(runCluster(clusterOpts{
+			shards:     *clusterN,
+			kill:       *killN,
+			conns:      *conns,
+			dur:        *dur,
+			dup:        *dup,
+			seed:       *seed,
+			injectSpec: *injectSpec,
+			injectSeed: *injectSeed,
+			asJSON:     *asJSON,
+		}))
+	}
 
 	if (*addr == "") == !*spawn {
 		fmt.Fprintln(os.Stderr, "undefbench: need exactly one of -addr or -spawn")
@@ -230,8 +263,13 @@ func main() {
 	}
 
 	// The verification pass: daemon alive, counters honest, queue empty.
+	// An unreachable /metrics is a hard audit failure, loudly attributed:
+	// nothing below can be checked without it.
 	after, err := fetchMetrics(client, url)
 	rep.ServerOK = err == nil
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: /metrics unreachable at audit time: %v\n", err)
+	}
 	if rep.ServerOK {
 		rep.TallyMatch = true
 		if *explore {
@@ -299,6 +337,19 @@ func oneRequest(client *http.Client, url string, c *suite.Case, st *workerStats)
 	}
 	if httpResp.StatusCode == http.StatusTooManyRequests {
 		st.rejected++
+		return
+	}
+	if httpResp.StatusCode == http.StatusServiceUnavailable {
+		// A 503 with the typed error body is a structured refusal — the
+		// router exhausted its bounded retry budget (or the box is
+		// draining) and said so honestly. That is backpressure, like a
+		// 429, not a crash. A 503 with a torn or alien body still is.
+		var er server.ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Schema == server.APISchema && er.Error.Code != "" {
+			st.unavailable++
+			return
+		}
+		st.errors++
 		return
 	}
 	var resp server.AnalyzeResponse

@@ -32,9 +32,21 @@
 //	-debug-addr      second listener with GET /debug/pprof/... and
 //	                 POST /debug/metrics/reset; keep it loopback-only
 //
-// On SIGTERM or SIGINT the daemon drains: /healthz flips to 503 so load
-// balancers stop routing here, the listener closes, in-flight requests
-// get -drain to finish, and the process exits 0.
+// Cluster flags:
+//
+//	-router          run as the cluster front router instead of a shard:
+//	                 consistent-hash requests over -shards, probe their
+//	                 /readyz, fail over with backoff when one dies
+//	-shards a,b,c    shard addresses (host:port) forming the ring
+//	-shard-id s      this shard's name, stamped on every response as
+//	                 X-Undefc-Shard (shard mode only)
+//	-probe-interval  router health-probe period (default 250ms)
+//
+// On SIGTERM or SIGINT the daemon drains: /readyz flips to 503 so load
+// balancers (and the cluster router) stop routing here, the listener
+// closes, in-flight requests get -drain to finish, and the process exits
+// 0. /healthz stays 200 the whole time — it answers "is the process
+// alive", not "should traffic come here".
 package main
 
 import (
@@ -46,9 +58,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/server"
 )
@@ -78,6 +92,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	traceSample := fs.Int("trace-sample", 0, "trace every Nth analyze request (0 = off, 1 = all)")
 	flight := fs.Int("flight", -1, "flight-recorder events per analysis (-1 = auto, 0 = off)")
 	debugAddr := fs.String("debug-addr", "", "debug listener (pprof + metrics reset); empty = disabled")
+	router := fs.Bool("router", false, "run as the cluster front router over -shards")
+	shards := fs.String("shards", "", "comma-separated shard addresses for -router mode")
+	shardID := fs.String("shard-id", "", "this shard's name, stamped as X-Undefc-Shard on responses")
+	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "router /readyz probe period")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,6 +109,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		}
 		injector = fault.NewInjector(*injectSeed, rules...)
 		fmt.Fprintf(stdout, "undefd: fault injection armed: %s\n", *injectSpec)
+	}
+
+	if *router {
+		return runRouter(routerOpts{
+			addr:          *addr,
+			shards:        *shards,
+			model:         *model,
+			probeInterval: *probeInterval,
+			drain:         *drain,
+			traceSample:   *traceSample,
+			injector:      injector,
+			seed:          int64(*injectSeed),
+		}, stdout, stderr, ready)
+	}
+	if *shards != "" {
+		fmt.Fprintln(stderr, "undefd: -shards requires -router")
+		return 2
 	}
 
 	// Flag semantics (-1 auto / 0 off) invert the Config's (0 auto /
@@ -115,6 +150,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Injector:       injector,
 		TraceSample:    *traceSample,
 		Flight:         cfgFlight,
+		ShardID:        *shardID,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "undefd: %v\n", err)
@@ -130,6 +166,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
+
+	// Warm the compile cache off the serving path: /readyz answers "cold"
+	// until the first compile lands, so a cluster router holds traffic
+	// back from a shard that would pay full frontend latency on its first
+	// real request.
+	go func() {
+		wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer wcancel()
+		srv.Warmup(wctx)
+	}()
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -173,6 +219,81 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 0
 	case err := <-errc:
 		fmt.Fprintf(stderr, "undefd: serve: %v\n", err)
+		return 1
+	}
+}
+
+// routerOpts carries the subset of flags the router mode uses.
+type routerOpts struct {
+	addr          string
+	shards        string
+	model         string
+	probeInterval time.Duration
+	drain         time.Duration
+	traceSample   int
+	injector      *fault.Injector
+	seed          int64
+}
+
+// runRouter is the -router main: mount a cluster.Router over the shard
+// list and serve until a drain signal.
+func runRouter(opts routerOpts, stdout, stderr io.Writer, ready chan<- string) int {
+	var addrs []string
+	for _, a := range strings.Split(opts.shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(stderr, "undefd: -router needs -shards host:port[,host:port...]")
+		return 2
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Shards:        addrs,
+		ProbeInterval: opts.probeInterval,
+		Model:         opts.model,
+		TraceSample:   opts.traceSample,
+		Injector:      opts.injector,
+		Seed:          opts.seed,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "undefd: router: %v\n", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "undefd: %v\n", err)
+		return 1
+	}
+	rt.Start()
+	defer rt.Stop()
+	fmt.Fprintf(stdout, "undefd: router listening on %s (%d shards)\n", ln.Addr(), len(addrs))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sig)
+
+	select {
+	case got := <-sig:
+		fmt.Fprintf(stdout, "undefd: router %v: draining (up to %v)\n", got, opts.drain)
+		rt.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), opts.drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "undefd: router drain: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "undefd: router drained clean")
+		return 0
+	case err := <-errc:
+		fmt.Fprintf(stderr, "undefd: router serve: %v\n", err)
 		return 1
 	}
 }

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits every request (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one trial request (or waits for one probe
+	// success) to decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerStats is one breaker's /metrics view: its position plus the
+// lifetime transition counters the chaos gate audits (a full recovery is
+// Opens ≥ 1 ∧ HalfOpens ≥ 1 ∧ Closes ≥ 1).
+type BreakerStats struct {
+	State        string `json:"state"`
+	Failures     int    `json:"consecutive_failures"`
+	Opens        int64  `json:"opens"`
+	HalfOpens    int64  `json:"half_opens"`
+	Closes       int64  `json:"closes"`
+	CooldownNS   int64  `json:"cooldown_ns"`
+	LastOpenedNS int64  `json:"last_opened_unix_ns,omitempty"`
+}
+
+// Breaker is a per-shard circuit breaker. Closed, it counts consecutive
+// failures (forward errors and probe failures both feed it); at
+// MaxFailures it opens and everything is rejected for a cooldown. After
+// the cooldown it half-opens: one trial request is admitted (a probe
+// success counts as the trial too), and its outcome either closes the
+// breaker or re-opens it with the cooldown doubled (capped, jittered) —
+// so a shard that stays dead is probed at a geometrically decaying rate
+// instead of hammered.
+type Breaker struct {
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive, while closed
+
+	cooldown time.Duration // current open period
+	openedAt time.Time
+	trial    bool // half-open trial request in flight
+
+	maxFailures  int
+	baseCooldown time.Duration
+	maxCooldown  time.Duration
+	rng          *rand.Rand
+
+	opens     int64
+	halfOpens int64
+	closes    int64
+}
+
+// NewBreaker builds a breaker. Zero values default to 3 consecutive
+// failures, a 500ms base cooldown, and a 30s cooldown ceiling; seed makes
+// the jitter replayable.
+func NewBreaker(maxFailures int, base, max time.Duration, seed int64) *Breaker {
+	if maxFailures <= 0 {
+		maxFailures = 3
+	}
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Breaker{
+		state:        BreakerClosed,
+		maxFailures:  maxFailures,
+		baseCooldown: base,
+		maxCooldown:  max,
+		cooldown:     base,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Allow reports whether a request may be sent to the shard now. In the
+// open state it flips to half-open once the cooldown has elapsed and
+// admits exactly one trial; a second caller during the trial is refused.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.halfOpens++
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success reports a healthy signal (a forward that completed, or a probe
+// that passed). Closed, it clears the failure streak. Open, it half-opens
+// the breaker — the shard answered a probe, so it deserves a trial. Half-
+// open, it closes the breaker and resets the cooldown to its base.
+func (b *Breaker) Success(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerOpen:
+		b.state = BreakerHalfOpen
+		b.halfOpens++
+		b.trial = false
+	default: // half-open
+		b.state = BreakerClosed
+		b.closes++
+		b.failures = 0
+		b.trial = false
+		b.cooldown = b.baseCooldown
+	}
+}
+
+// Failure reports an unhealthy signal. Closed, it extends the streak and
+// trips the breaker at the threshold. Half-open, the trial failed: the
+// breaker re-opens with the cooldown doubled (capped) plus up to 25%
+// jitter, so a fleet of routers does not retry a dead shard in lockstep.
+func (b *Breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.maxFailures {
+			b.open(now, b.baseCooldown)
+		}
+	case BreakerHalfOpen:
+		next := b.cooldown * 2
+		if next > b.maxCooldown {
+			next = b.maxCooldown
+		}
+		b.open(now, next)
+		b.trial = false
+	default: // already open: nothing to do, the cooldown governs
+	}
+}
+
+// open transitions to the open state with the given cooldown, jittered.
+// Callers hold b.mu.
+func (b *Breaker) open(now time.Time, cooldown time.Duration) {
+	jitter := time.Duration(b.rng.Int63n(int64(cooldown)/4 + 1))
+	b.state = BreakerOpen
+	b.opens++
+	b.openedAt = now
+	b.cooldown = cooldown + jitter
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats snapshots the breaker for /metrics.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{
+		State:      b.state.String(),
+		Failures:   b.failures,
+		Opens:      b.opens,
+		HalfOpens:  b.halfOpens,
+		Closes:     b.closes,
+		CooldownNS: b.cooldown.Nanoseconds(),
+	}
+	if !b.openedAt.IsZero() {
+		st.LastOpenedNS = b.openedAt.UnixNano()
+	}
+	return st
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTripAndRecover walks the full state machine the chaos gate
+// audits: closed → (3 failures) open → (cooldown) half-open with exactly
+// one trial → closed on trial success.
+func TestBreakerTripAndRecover(t *testing.T) {
+	b := NewBreaker(3, 100*time.Millisecond, time.Second, 1)
+	now := time.Unix(0, 0)
+	for i := 0; i < 2; i++ {
+		b.Failure(now)
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker refused after %d failures", i+1)
+		}
+	}
+	b.Failure(now)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow(now) {
+		t.Fatal("open breaker admitted inside cooldown")
+	}
+	// Past the (jittered) cooldown: half-open admits exactly one trial.
+	later := now.Add(time.Second)
+	if !b.Allow(later) {
+		t.Fatal("open breaker refused after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown Allow = %v, want half-open", b.State())
+	}
+	if b.Allow(later) {
+		t.Fatal("half-open breaker admitted a second trial")
+	}
+	b.Success(later)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after trial success = %v, want closed", b.State())
+	}
+	st := b.Stats()
+	if st.Opens != 1 || st.HalfOpens != 1 || st.Closes != 1 {
+		t.Errorf("transition counters = %+v, want one full cycle", st)
+	}
+	if st.CooldownNS != (100 * time.Millisecond).Nanoseconds() {
+		t.Errorf("cooldown after close = %dns, want reset to base", st.CooldownNS)
+	}
+}
+
+// TestBreakerHalfOpenFailureDoublesCooldown: a failed trial re-opens with
+// the cooldown doubled (before jitter), so a shard that stays dead is
+// retried at a geometrically decaying rate.
+func TestBreakerHalfOpenFailureDoublesCooldown(t *testing.T) {
+	base := 100 * time.Millisecond
+	b := NewBreaker(1, base, time.Second, 1)
+	now := time.Unix(0, 0)
+	b.Failure(now) // trips immediately (threshold 1)
+	first := b.Stats().CooldownNS
+	now = now.Add(time.Duration(first) + time.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("no trial after cooldown")
+	}
+	b.Failure(now) // trial fails
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", b.State())
+	}
+	second := b.Stats().CooldownNS
+	if second < (2 * base).Nanoseconds() {
+		t.Errorf("cooldown after failed trial = %dns, want >= doubled base %dns", second, 2*base)
+	}
+}
+
+// TestBreakerProbeRecovery is the trafficless path: an open breaker whose
+// shard starts answering probes walks open → half-open → closed on two
+// probe successes, with no request ever spent as a trial.
+func TestBreakerProbeRecovery(t *testing.T) {
+	b := NewBreaker(1, 100*time.Millisecond, time.Second, 1)
+	now := time.Unix(0, 0)
+	b.Failure(now)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+	b.Success(now) // first probe success: deserves a trial
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe success = %v, want half-open", b.State())
+	}
+	b.Success(now) // second probe success: recovered
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after second probe success = %v, want closed", b.State())
+	}
+}

@@ -1,0 +1,648 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Config tunes a Router. Zero values take the documented defaults.
+type Config struct {
+	// Shards are the undefd shard addresses (host:port) forming the ring.
+	Shards []string
+	// VNodes is the virtual-node count per shard (default 64).
+	VNodes int
+	// ProbeInterval is the /readyz health-probe period (default 250ms);
+	// ProbeTimeout bounds one probe (default: the interval).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// ForwardTimeout bounds one forward attempt (default 35s — above the
+	// shards' own 30s request ceiling, so a shard always answers with its
+	// own structured timeout verdict before the router gives up on it;
+	// abandoning a shard that is still working is how replays double-count).
+	ForwardTimeout time.Duration
+	// Retry is the failover policy (default: 3 attempts, 10ms–500ms
+	// full-jitter backoff).
+	Retry RetryPolicy
+	// BreakerFailures, BreakerCooldown, BreakerMaxCooldown tune the
+	// per-shard breakers (defaults 3, 500ms, 30s).
+	BreakerFailures    int
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// Model and Defines mirror the shards' serving defaults so the router
+	// computes the same driver.SourceKey a shard's compile cache uses.
+	Model   string
+	Defines []string
+	// TraceSample forwards a fresh trace ID with every Nth /v1/analyze
+	// request (X-Undefc-Trace-Id); the shard adopts it, so the trace is
+	// retrievable from that shard's /v1/trace/{id}. 0 disables.
+	TraceSample int
+	// MaxBodyBytes bounds a request body (default 17 MiB, above the
+	// shards' 16 MiB batch ceiling so the shard's own 413 stays the
+	// authoritative answer).
+	MaxBodyBytes int64
+	// Injector arms the cluster.probe / cluster.forward fault sites.
+	Injector *fault.Injector
+	// Seed makes backoff and breaker jitter replayable (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 35 * time.Second
+	}
+	c.Retry = c.Retry.withDefaults()
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 17 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Router is the cluster front end: one HTTP handler that owns the ring,
+// the shard health model, and the failover loop. It serves the same
+// undefc.api/v1 surface as a single undefd, so clients cannot tell a
+// cluster from a box — except that shards may die under them without the
+// answers changing.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shard
+	prober *prober
+	client *http.Client
+	mux    *http.ServeMux
+	start  time.Time
+
+	draining  atomic.Bool
+	sampleCtr atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	fwdAttempts  atomic.Int64
+	fwdDelivered atomic.Int64
+	fwdFailures  atomic.Int64
+	fwdRetries   atomic.Int64
+	fwdFailovers atomic.Int64
+	fwd429       atomic.Int64
+	relayed429   atomic.Int64
+	noShards     atomic.Int64
+	upstreamLost atomic.Int64
+
+	mu         sync.Mutex
+	requests   map[string]int64
+	delivered  map[string]int64
+	byInstance map[string]map[string]int64
+}
+
+// NewRouter builds a router over the given shards. It is inert until
+// Start arms the prober and Handler is mounted on a listener.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if _, err := server.ModelFor(cfg.Model); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:        cfg,
+		ring:       ring,
+		client:     &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
+		start:      time.Now(),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		requests:   make(map[string]int64),
+		delivered:  make(map[string]int64),
+		byInstance: make(map[string]map[string]int64),
+	}
+	for i, addr := range ring.Shards() {
+		b := NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.BreakerMaxCooldown, cfg.Seed+int64(i))
+		rt.shards = append(rt.shards, newShard(addr, b))
+	}
+	rt.prober = newProber(rt.shards, cfg.ProbeInterval, cfg.ProbeTimeout, cfg.Injector)
+	rt.mux = http.NewServeMux()
+	rt.route("/v1/analyze", http.MethodPost, rt.handleKeyed)
+	rt.route("/v1/explore", http.MethodPost, rt.handleKeyed)
+	rt.route("/v1/batch", http.MethodPost, rt.handleKeyed)
+	rt.route("/v1/trace/", http.MethodGet, rt.handleTrace)
+	rt.route("/healthz", http.MethodGet, rt.handleHealthz)
+	rt.route("/readyz", http.MethodGet, rt.handleReadyz)
+	rt.route("/metrics", http.MethodGet, rt.handleMetrics)
+	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		rt.writeError(w, http.StatusNotFound, "not-found", "no such route: "+r.URL.Path)
+	})
+	return rt, nil
+}
+
+// Start launches the health prober (one synchronous sweep first, so the
+// router knows its shards before the first request).
+func (rt *Router) Start() { rt.prober.start() }
+
+// Stop halts the prober. In-flight forwards are unaffected.
+func (rt *Router) Stop() { rt.prober.halt() }
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// SetDraining flips the router's own drain flag: /readyz answers 503 so
+// the layer above stops routing here, while forwards in flight finish.
+func (rt *Router) SetDraining(v bool) { rt.draining.Store(v) }
+
+func (rt *Router) route(path, method string, h http.HandlerFunc) {
+	rt.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		rt.mu.Lock()
+		rt.requests[path]++
+		rt.mu.Unlock()
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			rt.writeError(w, http.StatusMethodNotAllowed, "method-not-allowed",
+				fmt.Sprintf("%s only accepts %s", path, method))
+			return
+		}
+		h(w, r)
+	})
+}
+
+// shardFor maps an address back to its health record.
+func (rt *Router) shardFor(addr string) *shard {
+	for _, s := range rt.shards {
+		if s.addr == addr {
+			return s
+		}
+	}
+	return nil
+}
+
+// routeKey computes the ring key for a request body: driver.SourceKey
+// over (source, file, model, defines), exactly the identity the shards'
+// compile caches use — so identical sources land on the shard that
+// already has them compiled. Bodies that do not parse (the shard will
+// answer 400) and batch bodies (no single source) key on the raw bytes:
+// still deterministic, still balanced.
+func (rt *Router) routeKey(path string, body []byte) string {
+	if path == "/v1/batch" {
+		return fmt.Sprintf("batch:%x", hash64(string(body)))
+	}
+	var req struct {
+		Source  string   `json:"source"`
+		File    string   `json:"file"`
+		Model   string   `json:"model"`
+		Defines []string `json:"defines"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Source == "" {
+		return fmt.Sprintf("raw:%x", hash64(string(body)))
+	}
+	name := req.Model
+	if name == "" {
+		name = rt.cfg.Model
+	}
+	model, err := server.ModelFor(name)
+	if err != nil {
+		return fmt.Sprintf("raw:%x", hash64(string(body)))
+	}
+	file := req.File
+	if file == "" {
+		file = "request.c"
+	}
+	defines := append(append([]string{}, rt.cfg.Defines...), req.Defines...)
+	return driver.SourceKey(req.Source, file, driver.Options{Model: model, Defines: defines})
+}
+
+// handleKeyed is the forwarding path for the three /v1 analysis routes:
+// consistent-hash the body, then forward with bounded failover.
+func (rt *Router) handleKeyed(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			rt.writeError(w, http.StatusRequestEntityTooLarge, "too-large",
+				fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
+			return
+		}
+		rt.writeError(w, http.StatusBadRequest, "bad-request", "body: "+err.Error())
+		return
+	}
+	path := r.URL.Path
+	replicas := rt.ring.Replicas(rt.routeKey(path, body))
+	rt.forward(w, r, path, body, replicas)
+}
+
+// forward runs the failover loop: walk the key's replica list, skipping
+// shards the health model rules out, with jittered exponential backoff
+// between attempts. A response from a shard — any status — ends the
+// loop, except 429 and draining 503, which fail over (the shard counted
+// nothing for them, so replaying elsewhere cannot double-count).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path string, body []byte, replicas []string) {
+	streaming := path == "/v1/batch" ||
+		(path == "/v1/explore" && strings.Contains(r.Header.Get("Accept"), "application/x-ndjson"))
+
+	// The trace identity survives failover: mint it once per logical
+	// request (or adopt the client's), not per attempt.
+	traceID := r.Header.Get("X-Undefc-Trace-Id")
+	if traceID == "" && rt.cfg.TraceSample > 0 && path == "/v1/analyze" &&
+		rt.sampleCtr.Add(1)%uint64(rt.cfg.TraceSample) == 0 {
+		traceID = obs.FormatTraceID(obs.NewTraceID())
+	}
+
+	next := 0 // cursor into replicas: failover advances it
+	var last429 *http.Response
+	var last429Body []byte
+	for attempt := 1; attempt <= rt.cfg.Retry.MaxAttempts; attempt++ {
+		now := time.Now()
+		var sh *shard
+		for next < len(replicas) {
+			cand := rt.shardFor(replicas[next])
+			next++
+			if cand != nil && cand.available(now) {
+				sh = cand
+				break
+			}
+		}
+		if sh == nil {
+			break // replica list exhausted
+		}
+		if attempt > 1 {
+			rt.fwdRetries.Add(1)
+			rt.fwdFailovers.Add(1) // the cursor only moves forward: every retry is a failover
+			rt.sleepBackoff(attempt - 1)
+		}
+		rt.fwdAttempts.Add(1)
+		sh.forwards.Add(1)
+
+		if err := rt.cfg.Injector.Fire(SiteForward, sh.addr); err != nil {
+			sh.errors.Add(1)
+			rt.fwdFailures.Add(1)
+			sh.breaker.Failure(time.Now())
+			continue
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ForwardTimeout)
+		req, err := http.NewRequestWithContext(ctx, r.Method, "http://"+sh.addr+path, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			rt.writeError(w, http.StatusInternalServerError, "internal-error", err.Error())
+			return
+		}
+		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+		if accept := r.Header.Get("Accept"); accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		if traceID != "" {
+			req.Header.Set("X-Undefc-Trace-Id", traceID)
+		}
+		if attempt > 1 {
+			req.Header.Set("X-Undefc-Replay", "1")
+		}
+		fstart := time.Now()
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			cancel()
+			if r.Context().Err() != nil {
+				// The client went away: the outbound context (derived from
+				// the request's) was cancelled under the shard, which is
+				// blameless. No one is left to answer or fail over for.
+				return
+			}
+			sh.errors.Add(1)
+			rt.fwdFailures.Add(1)
+			sh.breaker.Failure(time.Now())
+			continue
+		}
+		// A response of any status means the shard is alive.
+		sh.breaker.Success(time.Now())
+		sh.observeLatency(time.Since(fstart))
+		sh.setInstance(resp.Header.Get("X-Undefc-Instance"))
+
+		if streaming && resp.StatusCode == http.StatusOK {
+			lost := rt.relayStream(w, resp, sh)
+			resp.Body.Close()
+			cancel()
+			switch {
+			case lost == nil:
+				rt.fwdDelivered.Add(1)
+			case r.Context().Err() == nil:
+				// Bytes are on the wire: no replay. The client got a typed
+				// trailer error instead of a truncated stream.
+				rt.upstreamLost.Add(1)
+				sh.errors.Add(1)
+				sh.breaker.Failure(time.Now())
+				// Remaining case: the client hung up mid-stream and the
+				// cancellation rippled into the upstream read — the shard
+				// is blameless, and no one is left to answer.
+			}
+			return
+		}
+
+		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		resp.Body.Close()
+		cancel()
+		if rerr != nil {
+			if r.Context().Err() != nil {
+				return // client gone mid-read; the shard is blameless
+			}
+			// Response lost in transit before anything reached the client:
+			// replay is safe for the client; if the shard died, its counters
+			// died with it, and if it lives its next probe keeps it honest.
+			sh.errors.Add(1)
+			rt.fwdFailures.Add(1)
+			sh.breaker.Failure(time.Now())
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// Shard backpressure: it admitted nothing and counted nothing,
+			// so the next replica can take the request. Keep the response in
+			// case every replica is saturated.
+			rt.fwd429.Add(1)
+			last429 = resp
+			last429Body = respBody
+			continue
+		case resp.StatusCode == http.StatusServiceUnavailable && bytes.Contains(respBody, []byte("draining")):
+			// The shard is leaving: take it out of rotation ahead of the
+			// next probe and fail over.
+			sh.draining.Store(true)
+			continue
+		}
+		rt.relay(w, resp, respBody)
+		rt.fwdDelivered.Add(1)
+		if path == "/v1/analyze" {
+			rt.countDelivered(respBody, sh.instanceID())
+		}
+		return
+	}
+	if last429 != nil {
+		rt.relayed429.Add(1)
+		rt.relay(w, last429, last429Body)
+		return
+	}
+	rt.noShards.Add(1)
+	w.Header().Set("Retry-After", "1")
+	rt.writeError(w, http.StatusServiceUnavailable, "no-shards",
+		fmt.Sprintf("no shard available for this request (%d in ring)", len(rt.shards)))
+}
+
+// relay copies a buffered upstream response to the client verbatim.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, body []byte) {
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// relayStream forwards an NDJSON stream line by line: only complete
+// lines reach the client, so when the shard dies mid-stream the client
+// sees every whole frame it produced plus one typed trailer error —
+// never a torn JSON line. Returns non-nil when the upstream was lost.
+func (rt *Router) relayStream(w http.ResponseWriter, resp *http.Response, sh *shard) error {
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadBytes('\n')
+		complete := len(line) > 0 && line[len(line)-1] == '\n'
+		if complete {
+			w.Write(line)
+			flush()
+		}
+		if err == io.EOF {
+			if len(line) > 0 && !complete {
+				// The stream ended inside a frame: the shard died mid-line.
+				err = io.ErrUnexpectedEOF
+			} else {
+				return nil
+			}
+		}
+		if err != nil {
+			trailer, _ := json.Marshal(map[string]any{
+				"done": false,
+				"error": map[string]string{
+					"code":    "upstream-lost",
+					"message": fmt.Sprintf("shard %s lost mid-stream: %v", sh.addr, err),
+				},
+			})
+			w.Write(append(trailer, '\n'))
+			flush()
+			return err
+		}
+	}
+}
+
+// countDelivered parses an analyze response body and counts its verdict
+// once — the moment of delivery — in both the total and the per-instance
+// tallies. Error bodies (no result) count nothing, matching the shard.
+func (rt *Router) countDelivered(body []byte, instance string) {
+	var resp server.AnalyzeResponse
+	if json.Unmarshal(body, &resp) != nil || resp.Result.Tool == "" {
+		return
+	}
+	v := resp.Result.Verdict.String()
+	rt.mu.Lock()
+	rt.delivered[v]++
+	m := rt.byInstance[instance]
+	if m == nil {
+		m = make(map[string]int64)
+		rt.byInstance[instance] = m
+	}
+	m[v]++
+	rt.mu.Unlock()
+}
+
+func (rt *Router) sleepBackoff(retry int) {
+	rt.rngMu.Lock()
+	d := rt.cfg.Retry.Backoff(retry, rt.rng)
+	rt.rngMu.Unlock()
+	time.Sleep(d)
+}
+
+// handleTrace resolves GET /v1/trace/{id} by asking each shard in turn:
+// traces live on the shard that executed the sampled request, and the
+// router does not remember which one that was.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	for _, sh := range rt.shards {
+		if sh.draining.Load() || sh.breaker.State() == BreakerOpen {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout*4)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+sh.addr+r.URL.Path, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		cancel()
+		if rerr != nil || resp.StatusCode == http.StatusNotFound {
+			continue
+		}
+		rt.relay(w, resp, body)
+		return
+	}
+	rt.writeError(w, http.StatusNotFound, "not-found", "no shard holds that trace")
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers whether the router can do useful work: not
+// draining, and at least one shard routable.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case rt.draining.Load():
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case rt.availableShards() == 0:
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no shards ready")
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// availableShards counts shards the forward path could use right now,
+// without consuming any half-open trial slot.
+func (rt *Router) availableShards() int {
+	n := 0
+	for _, sh := range rt.shards {
+		if !sh.draining.Load() && !sh.cold.Load() && sh.breaker.State() != BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics assembles the router /metrics snapshot.
+func (rt *Router) Metrics() *RouterMetrics {
+	m := &RouterMetrics{
+		Schema:   MetricsSchema,
+		UptimeNS: time.Since(rt.start).Nanoseconds(),
+		Draining: rt.draining.Load(),
+		Forward: ForwardStats{
+			Attempts:     rt.fwdAttempts.Load(),
+			Delivered:    rt.fwdDelivered.Load(),
+			Failures:     rt.fwdFailures.Load(),
+			Retries:      rt.fwdRetries.Load(),
+			Failovers:    rt.fwdFailovers.Load(),
+			Upstream429:  rt.fwd429.Load(),
+			Relayed429:   rt.relayed429.Load(),
+			NoShards:     rt.noShards.Load(),
+			UpstreamLost: rt.upstreamLost.Load(),
+		},
+	}
+	for _, sh := range rt.shards {
+		state := "ready"
+		switch {
+		case sh.draining.Load():
+			state = "draining"
+		case sh.cold.Load():
+			state = "cold"
+		case sh.breaker.State() != BreakerClosed:
+			state = sh.breaker.State().String()
+		}
+		m.Shards = append(m.Shards, ShardMetrics{
+			Addr:          sh.addr,
+			Instance:      sh.instanceID(),
+			State:         state,
+			Breaker:       sh.breaker.Stats(),
+			Probes:        sh.probes.Load(),
+			ProbeFails:    sh.probeFails.Load(),
+			Forwards:      sh.forwards.Load(),
+			Errors:        sh.errors.Load(),
+			LatencyEWMANS: sh.latEWMA.Load(),
+		})
+	}
+	rt.mu.Lock()
+	m.Requests = make(map[string]int64, len(rt.requests))
+	for k, v := range rt.requests {
+		m.Requests[k] = v
+	}
+	m.Delivered = make(map[string]int64, len(rt.delivered))
+	for k, v := range rt.delivered {
+		m.Delivered[k] = v
+	}
+	m.DeliveredByInstance = make(map[string]map[string]int64, len(rt.byInstance))
+	for inst, vs := range rt.byInstance {
+		cp := make(map[string]int64, len(vs))
+		for k, v := range vs {
+			cp[k] = v
+		}
+		m.DeliveredByInstance[inst] = cp
+	}
+	rt.mu.Unlock()
+	return m
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rt.Metrics())
+}
+
+// writeError serves the same uniform error body the shards do, so a
+// client never needs to know whether a refusal came from the router or
+// from a shard.
+func (rt *Router) writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&server.ErrorResponse{
+		Schema: server.APISchema,
+		Error:  server.APIError{Code: code, Message: msg},
+	})
+}
+
+// copyHeaders relays upstream response headers, preserving the shard's
+// identity headers (X-Undefc-Shard, X-Undefc-Instance) so clients and
+// audits can attribute each answer.
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -129,6 +129,16 @@ func WithTrace(ctx context.Context, col Collector) (context.Context, uint64) {
 	return context.WithValue(ctx, traceCtxKey{}, &traceCtx{col: col, traceID: id}), id
 }
 
+// WithTraceID installs a collector on ctx under an externally assigned
+// trace ID. It exists for cross-process trace propagation: a cluster
+// router samples a request, stamps the ID on the forwarded hop
+// (X-Undefc-Trace-Id), and the shard adopts it here — so the spans the
+// shard records land under the identity the client was told, whichever
+// shard (or how many, across failovers) ends up serving the request.
+func WithTraceID(ctx context.Context, col Collector, id uint64) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, &traceCtx{col: col, traceID: id})
+}
+
 // RebindTrace copies the trace state of src onto dst. It exists for the
 // detach pattern: a server that severs a request's cancellation (so
 // coalesced followers are not killed by the leader's client hanging up)

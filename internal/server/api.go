@@ -306,6 +306,20 @@ type CoalesceStats struct {
 type MetricsResponse struct {
 	Schema   string `json:"schema"`
 	UptimeNS int64  `json:"uptime_ns"`
+	// Instance is this process incarnation's boot identity (random per
+	// start). A cluster router reconciles its delivered-by-instance
+	// counts against shard metrics through this field: if it changes
+	// between two readings, the counters restarted from zero.
+	Instance string `json:"instance,omitempty"`
+	// ShardID is the operator-assigned shard name, set when the server
+	// runs as a cluster shard.
+	ShardID string `json:"shard_id,omitempty"`
+	// Warm reports whether the compile cache has completed at least one
+	// compile (the /readyz cold gate).
+	Warm bool `json:"warm,omitempty"`
+	// ServiceEWMANS is the smoothed per-request service time feeding the
+	// adaptive Retry-After calculation.
+	ServiceEWMANS int64 `json:"service_ewma_ns,omitempty"`
 	// Requests counts received requests by route ("/v1/analyze", ...).
 	Requests map[string]int64 `json:"requests"`
 	// Verdicts counts /v1/analyze results by verdict string; BatchCells
@@ -348,6 +362,7 @@ type ExploreMetrics struct {
 type ConfigResponse struct {
 	Schema         string   `json:"schema"`
 	Model          string   `json:"model"`
+	ShardID        string   `json:"shard_id,omitempty"`
 	Defines        []string `json:"defines,omitempty"`
 	Engine         string   `json:"engine,omitempty"`
 	Concurrency    int      `json:"concurrency"`

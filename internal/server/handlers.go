@@ -43,7 +43,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	model := s.model
 	if req.Model != "" {
 		var err error
-		if model, err = modelFor(req.Model); err != nil {
+		if model, err = ModelFor(req.Model); err != nil {
 			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
 			return
 		}
@@ -72,10 +72,20 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	// Tracing: every cfg.TraceSample-th analyze request gets a trace
 	// context; its span tree lands in s.traces when the root ends and is
-	// served by GET /v1/trace/{id}.
+	// served by GET /v1/trace/{id}. A request arriving from a cluster
+	// router may carry X-Undefc-Trace-Id — a trace the router already
+	// sampled — in which case this hop adopts that identity instead of
+	// minting one, so the spans recorded here are retrievable under the
+	// ID the client was told, whichever shard a failover landed on.
 	ctx := r.Context()
 	var traceID uint64
-	if s.traces != nil && s.sampleCtr.Add(1)%uint64(s.cfg.TraceSample) == 0 {
+	if fwd := r.Header.Get("X-Undefc-Trace-Id"); fwd != "" && s.traces != nil {
+		if id, perr := obs.ParseTraceID(fwd); perr == nil && id != 0 {
+			traceID = id
+			ctx = obs.WithTraceID(ctx, s.traces, id)
+		}
+	}
+	if traceID == 0 && s.traces != nil && s.sampleCtr.Add(1)%uint64(s.cfg.TraceSample) == 0 {
 		ctx, traceID = obs.WithTrace(ctx, s.traces)
 	}
 	ctx, hsp := obs.StartSpan(ctx, "handle")
@@ -100,6 +110,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		hsp.End()
 	}
 	if out.errCode != "" {
+		if out.status == http.StatusTooManyRequests || out.status == http.StatusServiceUnavailable {
+			s.setRetryAfter(w.Header())
+		}
 		writeError(w, out.status, out.errCode, out.errMsg)
 		s.latE2E.Observe(time.Since(start))
 		return
@@ -111,7 +124,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.countVerdict("analyze", resp.Result.Verdict.String())
 	writeJSON(w, out.status, resp)
-	s.latE2E.Observe(time.Since(start))
+	e2e := time.Since(start)
+	s.latE2E.Observe(e2e)
+	s.observeService(e2e)
 }
 
 // runAnalysis is the leader's flight: admission, then one guarded
@@ -157,6 +172,7 @@ func (s *Server) runAnalysis(ctx context.Context, src, file string, tool tools.T
 			}
 			return nil
 		}
+		s.warmed.Store(true) // any successful compile counts as warm
 		rep = tool.AnalyzeProgram(runCtx, prog, file)
 		s.latRun.Observe(rep.RunDuration)
 		return nil
@@ -219,7 +235,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	model := s.model
 	if req.Model != "" {
 		var err error
-		if model, err = modelFor(req.Model); err != nil {
+		if model, err = ModelFor(req.Model); err != nil {
 			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
 			return
 		}
@@ -255,6 +271,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// is the request's own (clamped) knob.
 	release, err := s.queue.Acquire(r.Context())
 	if errors.Is(err, ErrQueueFull) {
+		s.setRetryAfter(w.Header())
 		writeError(w, http.StatusTooManyRequests, "queue-full", "admission queue at capacity; retry later")
 		return
 	}
@@ -366,7 +383,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	model := s.model
 	if req.Model != "" {
 		var err error
-		if model, err = modelFor(req.Model); err != nil {
+		if model, err = ModelFor(req.Model); err != nil {
 			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
 			return
 		}
@@ -402,6 +419,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.queue.Acquire(r.Context())
 	if errors.Is(err, ErrQueueFull) {
+		s.setRetryAfter(w.Header())
 		writeError(w, http.StatusTooManyRequests, "queue-full", "admission queue at capacity; retry later")
 		return
 	}
@@ -560,15 +578,34 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // ---------- operational endpoints ----------
 
+// handleHealthz is pure liveness: if the process can answer HTTP at all,
+// it is alive — even while draining. Routability lives on /readyz; keeping
+// the two apart means a drain never looks like a crash to a supervisor,
+// and a supervisor never restarts a shard for politely refusing traffic.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is routability: 503 "draining" once shutdown has begun
+// (the cluster prober takes the shard out of the ring before the
+// listener closes), 503 "cold" until the compile cache has produced its
+// first program (Server.Warmup, or any successful compile), 200 "ok"
+// otherwise. Routers probe this endpoint, never /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		s.setRetryAfter(w.Header())
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
-		return
+	case !s.warmed.Load():
+		s.setRetryAfter(w.Header())
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "cold")
+	default:
+		fmt.Fprintln(w, "ok")
 	}
-	fmt.Fprintln(w, "ok")
 }
 
 // handleMetrics negotiates the exposition format: JSON stays the default
@@ -599,6 +636,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &ConfigResponse{
 		Schema:         APISchema,
 		Model:          s.cfg.Model,
+		ShardID:        s.cfg.ShardID,
 		Defines:        s.cfg.Defines,
 		Engine:         s.cfg.Engine,
 		Concurrency:    s.cfg.Concurrency,
@@ -646,10 +684,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError serves the uniform ErrorResponse. Backpressure statuses
-// carry Retry-After so well-behaved clients pace themselves.
+// carry Retry-After so well-behaved clients pace themselves; handlers
+// with access to the live queue set the adaptive value first
+// (Server.setRetryAfter), and this fallback only fills in the floor.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
 	}
 	writeJSON(w, status, &ErrorResponse{Schema: APISchema, Error: APIError{Code: code, Message: msg}})
 }

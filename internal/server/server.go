@@ -21,7 +21,11 @@
 package server
 
 import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -48,6 +52,10 @@ type Config struct {
 	// Model is the default implementation-defined model ("LP64", "ILP32",
 	// "INT8"); requests may override it.
 	Model string
+	// ShardID, when set, names this instance's place in a cluster: every
+	// response carries it as X-Undefc-Shard, so clients and audits can
+	// attribute answers to ring members.
+	ShardID string
 	// Defines are macro definitions applied to every compile, before any
 	// per-request defines.
 	Defines []string
@@ -152,6 +160,18 @@ type Server struct {
 	start    time.Time
 	draining atomic.Bool
 
+	// instance is this process's boot identity (random per Server): a
+	// cluster router watches it to detect restarts, because a restart
+	// resets every counter below.
+	instance string
+	// warmed flips once the compile cache has produced its first program:
+	// /readyz answers 503 "cold" until then, so a router never hashes
+	// traffic onto a shard that would pay a cold-cache penalty spike.
+	warmed atomic.Bool
+	// ewmaServiceNS tracks recent analyze service time (α=1/8); the
+	// adaptive Retry-After derives from it and the queue backlog.
+	ewmaServiceNS atomic.Int64
+
 	// traces retains sampled span trees for /v1/trace/{id}; nil when
 	// tracing is off. sampleCtr drives the 1-in-TraceSample decision.
 	traces    *obs.TraceBuffer
@@ -176,7 +196,7 @@ type Server struct {
 // an unknown default model.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	model, err := modelFor(cfg.Model)
+	model, err := ModelFor(cfg.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +210,7 @@ func New(cfg Config) (*Server, error) {
 		queue:      newQueue(cfg.Concurrency, cfg.QueueDepth),
 		coalesce:   newCoalescer(),
 		start:      time.Now(),
+		instance:   newInstanceID(),
 		requests:   make(map[string]int64),
 		verdicts:   make(map[string]int64),
 		batchCells: make(map[string]int64),
@@ -208,6 +229,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("/v1/explore", http.MethodPost, s.handleExplore)
 	s.route("/v1/trace/", http.MethodGet, s.handleTrace)
 	s.route("/healthz", http.MethodGet, s.handleHealthz)
+	s.route("/readyz", http.MethodGet, s.handleReadyz)
 	s.route("/metrics", http.MethodGet, s.handleMetrics)
 	s.route("/debug/config", http.MethodGet, s.handleConfig)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -228,12 +250,47 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // CacheStats exposes the shared compile cache's counters.
 func (s *Server) CacheStats() driver.CacheStats { return s.cache.Stats() }
 
-// route registers a method-checked, request-counted handler.
+// Instance returns this process's boot identity (the X-Undefc-Instance
+// header value).
+func (s *Server) Instance() string { return s.instance }
+
+// Warmup runs one compile of a trivial translation unit through the
+// shared cache, flipping /readyz from "cold" to ready. Daemons call it
+// between binding the listener and announcing readiness, so a cluster
+// router only ever routes to shards whose pipeline has proven itself
+// end to end at least once.
+func (s *Server) Warmup(ctx context.Context) error {
+	copts := driver.Options{Model: s.model, Defines: s.cfg.Defines}
+	_, err := s.cache.CompileCtx(ctx, "int main(void) { return 0; }", "warmup.c", copts)
+	if err != nil {
+		return err
+	}
+	s.warmed.Store(true)
+	return nil
+}
+
+// newInstanceID draws a random 64-bit boot identity.
+func newInstanceID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// The fallback only needs per-restart uniqueness on one host.
+		return fmt.Sprintf("%016x", uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// route registers a method-checked, request-counted handler. Every
+// response carries the process's instance identity (and shard name when
+// configured), so a router can attribute answers and detect restarts.
 func (s *Server) route(path, method string, h http.HandlerFunc) {
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.requests[path]++
 		s.mu.Unlock()
+		w.Header().Set("X-Undefc-Instance", s.instance)
+		if s.cfg.ShardID != "" {
+			w.Header().Set("X-Undefc-Shard", s.cfg.ShardID)
+		}
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			writeError(w, http.StatusMethodNotAllowed, "method-not-allowed",
@@ -273,12 +330,16 @@ func (s *Server) countExplore(st search.Stats) {
 // Metrics assembles the /metrics snapshot.
 func (s *Server) Metrics() *MetricsResponse {
 	m := &MetricsResponse{
-		Schema:   APISchema,
-		UptimeNS: time.Since(s.start).Nanoseconds(),
-		Queue:    s.queue.Stats(),
-		Coalesce: s.coalesce.Stats(),
-		Cache:    s.cache.Stats(),
-		Draining: s.draining.Load(),
+		Schema:        APISchema,
+		UptimeNS:      time.Since(s.start).Nanoseconds(),
+		Instance:      s.instance,
+		ShardID:       s.cfg.ShardID,
+		Warm:          s.warmed.Load(),
+		ServiceEWMANS: s.ewmaServiceNS.Load(),
+		Queue:         s.queue.Stats(),
+		Coalesce:      s.coalesce.Stats(),
+		Cache:         s.cache.Stats(),
+		Draining:      s.draining.Load(),
 	}
 	if s.cfg.Engine == "vm" {
 		st := vm.Stats()
@@ -328,8 +389,46 @@ func copyMap(src map[string]int64) map[string]int64 {
 	return out
 }
 
-// modelFor resolves the implementation-defined model names the CLIs use.
-func modelFor(name string) (*ctypes.Model, error) {
+// observeService folds one completed analyze round-trip into the
+// service-time EWMA behind the adaptive Retry-After (racy lost updates
+// are fine for a pacing signal).
+func (s *Server) observeService(d time.Duration) {
+	old := s.ewmaServiceNS.Load()
+	s.ewmaServiceNS.Store(old + (d.Nanoseconds()-old)/8)
+}
+
+// retryAfterSeconds derives the backpressure pacing hint from live
+// signals instead of a constant: the expected time to clear the current
+// backlog — (waiting + active + 1) requests at the recent EWMA service
+// time across Concurrency executors — clamped to [1, 60]. A router (or
+// any well-behaved client) backing off by this amount arrives roughly
+// when a slot is actually free, instead of either hammering a deep queue
+// every second or idling in front of an empty one.
+func (s *Server) retryAfterSeconds() int {
+	ewma := s.ewmaServiceNS.Load()
+	if ewma <= 0 {
+		return 1
+	}
+	backlog := s.queue.waiting.Load() + s.queue.active.Load() + 1
+	secs := int(math.Ceil(float64(backlog) * float64(ewma) / float64(s.cfg.Concurrency) / 1e9))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// setRetryAfter stamps the adaptive pacing hint on a backpressure reply.
+func (s *Server) setRetryAfter(h http.Header) {
+	h.Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
+}
+
+// ModelFor resolves the implementation-defined model names the CLIs use.
+// Exported for the cluster router, which must compute the same
+// source-identity hash the shards' compile caches key on.
+func ModelFor(name string) (*ctypes.Model, error) {
 	switch strings.ToUpper(name) {
 	case "", "LP64":
 		return ctypes.LP64(), nil

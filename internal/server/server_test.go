@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -258,8 +259,8 @@ func TestCoalesceConcurrent(t *testing.T) {
 
 	req := AnalyzeRequest{Source: "int main(void){int x; return x;}", File: "dup.c"}
 	type reply struct {
-		status    int
-		resp      AnalyzeResponse
+		status int
+		resp   AnalyzeResponse
 	}
 	replies := make([]reply, n)
 	var wg sync.WaitGroup
@@ -533,17 +534,37 @@ func TestRouteDiscipline(t *testing.T) {
 	}
 }
 
-// TestHealthzDrain covers the liveness flip: ok while serving, 503 +
-// Retry-After once draining.
+// TestHealthzDrain covers the liveness/readiness split: /healthz stays
+// 200 for the whole process lifetime (a draining shard is still alive —
+// restarting it would lose the drain), while /readyz flips to 503 +
+// Retry-After once draining so a router stops routing to it.
 func TestHealthzDrain(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
-	resp, err := http.Get(ts.URL + "/healthz")
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		want := http.StatusOK
+		if path == "/readyz" {
+			// No compile has happened yet: the shard is cold.
+			want = http.StatusServiceUnavailable
+		}
+		if resp.StatusCode != want {
+			t.Errorf("%s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	if err := srv.Warmup(context.Background()); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+		t.Errorf("warm readyz = %d, want 200", resp.StatusCode)
 	}
 	srv.SetDraining(true)
 	resp, err = http.Get(ts.URL + "/healthz")
@@ -551,14 +572,77 @@ func TestHealthzDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("draining healthz = %d, want 200 (liveness, not readiness)", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("draining healthz = %d, want 503", resp.StatusCode)
+		t.Errorf("draining readyz = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("draining readyz body = %q, want to mention draining", body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
-		t.Error("draining healthz without Retry-After")
+		t.Error("draining readyz without Retry-After")
 	}
 	if !metrics(t, ts.URL).Draining {
 		t.Error("metrics does not report draining")
+	}
+}
+
+// TestAdaptiveRetryAfter: the backpressure pacing hint is derived from
+// backlog × recent service time across the executor count, not a
+// hardcoded "1" — a router backing off by it arrives when a slot is
+// plausibly free.
+func TestAdaptiveRetryAfter(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Concurrency: 1})
+	// Prime the EWMA as if recent requests took ~8s each: with an empty
+	// queue the backlog is just the arrival itself, so the hint is 8s.
+	srv.ewmaServiceNS.Store((8 * time.Second).Nanoseconds())
+	srv.SetDraining(true)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Retry-After"); got != "8" {
+		t.Errorf("Retry-After = %q, want \"8\" (1 backlog × 8s EWMA / 1 executor)", got)
+	}
+	// Before any request has been observed the hint degrades to 1s.
+	srv.ewmaServiceNS.Store(0)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("cold Retry-After = %q, want \"1\"", got)
+	}
+}
+
+// TestInstanceHeader: every response carries the process's boot identity
+// (and the shard name when configured) — the handles a cluster router
+// uses to attribute delivered verdicts to incarnations.
+func TestInstanceHeader(t *testing.T) {
+	srv, ts := newTestServer(t, Config{ShardID: "s7"})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Undefc-Instance"); got == "" || got != srv.Instance() {
+		t.Errorf("X-Undefc-Instance = %q, want %q", got, srv.Instance())
+	}
+	if got := resp.Header.Get("X-Undefc-Shard"); got != "s7" {
+		t.Errorf("X-Undefc-Shard = %q, want s7", got)
+	}
+	if m := metrics(t, ts.URL); m.Instance != srv.Instance() || m.ShardID != "s7" {
+		t.Errorf("metrics instance/shard = %q/%q, want %q/s7", m.Instance, m.ShardID, srv.Instance())
 	}
 }
 
