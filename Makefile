@@ -28,13 +28,22 @@ test:
 # SIGKILLed mid-load and restarted, auditing zero client-visible
 # crashes, exact verdict-counter agreement (client == router delivered
 # == per-instance shard counters), drained queues, and a full breaker
-# open → half-open → closed cycle.
+# open → half-open → closed cycle — now extended with the artifact-tier
+# gates: the whole suite runs every artifact round-trip differentially
+# (a decoded program must analyze byte-identically to the compiled
+# original on every suite case, both engines), the artifact package is
+# race-clean, and the chaos run additionally audits that the restarted
+# shard answers warmed keys by artifact fetch (disk, then peer) with
+# zero frontend recompiles, and that the router's cross-node
+# single-flight coalesced duplicate compiles.
 .PHONY: check
 check: test
 	go vet ./...
 	go test -race ./internal/runner/... ./internal/driver/... ./internal/tools/... ./internal/obs/... ./internal/fault/...
 	go test -race ./internal/server/...
 	go test -race ./internal/cluster/...
+	go test -race ./internal/artifact/...
+	go test ./internal/artifact/ -run TestArtifactRoundTripGate -count=1
 	go test ./internal/interp/ -run 'ObserverPathAllocs' -count=1
 	go test ./internal/obs/ -run 'SpanNoCollector' -count=1
 	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 100x

@@ -23,15 +23,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,12 +81,50 @@ type clusterReport struct {
 	// replica attempt failed within the retry budget, answered with an
 	// honest typed error body instead of a hang or a torn response.
 	Unavailable int64 `json:"unavailable_503"`
+
+	// Artifact-tier audit. ClusterFetches / ClusterCompiles split the
+	// cluster's cache misses into artifact-served and frontend-compiled
+	// (the fetch-vs-recompile ratio); RouterCoalesced counts forwards the
+	// router held behind an identical in-flight key; RouterHints counts
+	// forwards stamped with a directory hint. DiskFetches / PeerFetches /
+	// ProbeRecompiles are the restarted shard's counter deltas over the
+	// cold-restart probes, and ColdRestartOK is the gate: the SIGKILLed-
+	// and-restarted shard answered its first repeat-key requests by
+	// fetching (disk, then peer), never by recompiling. CoalesceOK gates
+	// RouterCoalesced > 0 whenever the workload had duplicates to coalesce.
+	ClusterFetches  int64 `json:"cluster_fetches"`
+	ClusterCompiles int64 `json:"cluster_compiles"`
+	RouterCoalesced int64 `json:"router_coalesced"`
+	RouterHints     int64 `json:"router_hints"`
+	DiskFetches     int64 `json:"disk_fetches"`
+	PeerFetches     int64 `json:"peer_fetches"`
+	ProbeRecompiles int64 `json:"probe_recompiles"`
+	ColdRestartOK   bool  `json:"cold_restart_ok"`
+	CoalesceOK      bool  `json:"coalesce_ok"`
 }
 
+// The cold-restart probe sources: distinctive translation units no
+// workload case collides with. The disk probe is compiled by a victim
+// shard BEFORE it is SIGKILLed, so its artifact survives on disk; the
+// peer probe is compiled by a surviving shard AFTER the audit, so the
+// restarted shard can only know it by fetching across the cluster.
+const (
+	diskProbeSrc = "int main(void) { int disk_probe = 41; return disk_probe - 41; }\n"
+	peerProbeSrc = "int main(void) { int peer_probe = 43; return peer_probe - 43; }\n"
+)
+
 // runShardProc is the hidden -shard-exec main: one undefd shard serving
-// on a fixed address until the parent kills the process.
-func runShardProc(addr, id string) int {
-	srv, err := server.New(server.Config{ShardID: id})
+// on a fixed address until the parent kills the process. artDir arms the
+// artifact tier (persistent across the parent's kill/restart cycle);
+// peers is the comma-separated sibling list for cross-shard fetch.
+func runShardProc(addr, id, artDir, peers string) int {
+	var peerList []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	srv, err := server.New(server.Config{ShardID: id, ArtifactDir: artDir, ArtifactPeers: peerList})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "undefbench shard %s: %v\n", id, err)
 		return 1
@@ -123,8 +165,9 @@ func freePorts(n int) ([]string, error) {
 }
 
 // spawnShard re-execs this binary as one shard process on addr.
-func spawnShard(addr, id string) (*exec.Cmd, error) {
-	cmd := exec.Command(os.Args[0], "-shard-exec", "-shard-addr", addr, "-shard-id", id)
+func spawnShard(addr, id, artDir, peers string) (*exec.Cmd, error) {
+	cmd := exec.Command(os.Args[0], "-shard-exec", "-shard-addr", addr, "-shard-id", id,
+		"-shard-artifact-dir", artDir, "-shard-peers", peers)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, err
@@ -158,6 +201,28 @@ func runCluster(opts clusterOpts) int {
 		return 1
 	}
 
+	// Per-shard artifact directories under one run-scoped root. The dirs
+	// are keyed by ring position, NOT by process: a shard restarted onto
+	// its old port reopens its old store — the property under audit.
+	artRoot, err := os.MkdirTemp("", "undefbench-artifacts-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: artifact root: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(artRoot)
+	artDirs := make([]string, opts.shards)
+	peerLists := make([]string, opts.shards)
+	for i := range artDirs {
+		artDirs[i] = filepath.Join(artRoot, fmt.Sprintf("s%d", i))
+		var others []string
+		for j, p := range ports {
+			if j != i {
+				others = append(others, p)
+			}
+		}
+		peerLists[i] = strings.Join(others, ",")
+	}
+
 	// Real shard processes: a SIGKILL later must be a real process death.
 	procs := make([]*exec.Cmd, opts.shards)
 	defer func() {
@@ -169,7 +234,7 @@ func runCluster(opts clusterOpts) int {
 		}
 	}()
 	for i, addr := range ports {
-		p, err := spawnShard(addr, fmt.Sprintf("s%d", i))
+		p, err := spawnShard(addr, fmt.Sprintf("s%d", i), artDirs[i], peerLists[i])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "undefbench: spawn shard %d: %v\n", i, err)
 			return 1
@@ -225,6 +290,17 @@ func runCluster(opts clusterOpts) int {
 		hot = corpus[:4]
 	}
 
+	// Seed the cold-restart audit: compile the disk probe on the first
+	// victim BEFORE the chaos kills it. The process, its cache, and its
+	// counters all die with the SIGKILL — only the artifact store
+	// survives, which is exactly what the post-restart probe measures.
+	if opts.kill > 0 {
+		if err := probeAnalyze(client, ports[0], diskProbeSrc, "disk_probe.c"); err != nil {
+			fmt.Fprintf(os.Stderr, "undefbench: disk-probe seed: %v\n", err)
+			return 1
+		}
+	}
+
 	// The chaos schedule: SIGKILL the victims at 35% of the run, restart
 	// them on the same ports (same ring positions) at 60%, so the run ends
 	// with every breaker recovered and every shard back in rotation.
@@ -244,7 +320,7 @@ func runCluster(opts clusterOpts) int {
 			time.Sleep(opts.dur * 25 / 100)
 			n := 0
 			for i := 0; i < opts.kill; i++ {
-				p, err := spawnShard(ports[i], fmt.Sprintf("s%d", i))
+				p, err := spawnShard(ports[i], fmt.Sprintf("s%d", i), artDirs[i], peerLists[i])
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "undefbench: restart shard %d: %v\n", i, err)
 					continue
@@ -312,6 +388,10 @@ func runCluster(opts clusterOpts) int {
 	// queue-drained check to see idle queues.
 	time.Sleep(200 * time.Millisecond)
 	auditCluster(client, url, ports, procs, &rep)
+	// The artifact audit runs strictly AFTER auditCluster: its direct
+	// shard probes bump shard-local verdict counters the router never
+	// delivered, which would wrongly fail the instance-match invariant.
+	auditArtifacts(client, url, ports, procs, opts, &rep)
 
 	if opts.asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -321,10 +401,109 @@ func runCluster(opts clusterOpts) int {
 		printClusterReport(&rep)
 	}
 	if !rep.ServerOK || !rep.TallyMatch || !rep.InstanceMatch || !rep.QueueEmpty ||
-		!rep.ZeroErrors || !rep.BreakerCycle {
+		!rep.ZeroErrors || !rep.BreakerCycle || !rep.ColdRestartOK || !rep.CoalesceOK {
 		return 1
 	}
 	return 0
+}
+
+// probeAnalyze posts one source straight to a shard (bypassing the
+// router) and requires a verdict-bearing 200.
+func probeAnalyze(client *http.Client, addr, src, file string) error {
+	body, err := json.Marshal(server.AnalyzeRequest{Source: src, File: file})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post("http://"+addr+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %s: probe status %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// auditArtifacts fills the artifact-tier verdicts: the cluster-wide
+// fetch-vs-recompile split, the router's coalescing/hint counters, and —
+// when the chaos killed and restarted a shard — the cold-restart gate:
+// the restarted shard must answer a repeat of a pre-kill key from its
+// surviving disk store, and a key it never saw by fetching from a peer,
+// with ZERO frontend recompiles across both probes.
+func auditArtifacts(client *http.Client, url string, ports []string, procs []*exec.Cmd, opts clusterOpts, rep *clusterReport) {
+	rm, err := fetchRouterMetrics(client, url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: router /metrics unreachable in artifact audit: %v\n", err)
+		rep.ServerOK = false
+		return
+	}
+	if rm.Artifact != nil {
+		rep.RouterCoalesced = rm.Artifact.Coalesced
+		rep.RouterHints = rm.Artifact.Hints
+	}
+	if rm.Aggregate != nil {
+		rep.ClusterFetches = rm.Aggregate.Cache.ArtifactHits
+		rep.ClusterCompiles = rm.Aggregate.Cache.Compiles
+	}
+	// With duplicate traffic in the workload, the cluster-wide
+	// single-flight must have held at least one follower.
+	rep.CoalesceOK = opts.dup <= 0 || rep.RouterCoalesced > 0
+
+	rep.ColdRestartOK = true
+	if opts.kill == 0 || rep.Restarted == 0 || procs[0] == nil {
+		return
+	}
+	rep.ColdRestartOK = false
+	addr := ports[0]
+	if err := waitReady(client, addr, time.Now().Add(15*time.Second)); err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: restarted shard: %v\n", err)
+		return
+	}
+	before, err := fetchMetrics(client, "http://"+addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: restarted shard /metrics: %v\n", err)
+		return
+	}
+	// Probe 1: the key the dead incarnation compiled. Only the disk store
+	// can know it here — the hot cache died with the process.
+	if err := probeAnalyze(client, addr, diskProbeSrc, "disk_probe.c"); err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: disk probe: %v\n", err)
+		return
+	}
+	mid, err := fetchMetrics(client, "http://"+addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: restarted shard /metrics: %v\n", err)
+		return
+	}
+	// Probe 2: a key only a surviving peer holds. Prime the last shard
+	// (never a kill victim) directly, then ask the restarted one.
+	survivor := ports[len(ports)-1]
+	if err := probeAnalyze(client, survivor, peerProbeSrc, "peer_probe.c"); err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: peer-probe seed: %v\n", err)
+		return
+	}
+	if err := probeAnalyze(client, addr, peerProbeSrc, "peer_probe.c"); err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: peer probe: %v\n", err)
+		return
+	}
+	after, err := fetchMetrics(client, "http://"+addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: restarted shard /metrics: %v\n", err)
+		return
+	}
+
+	if before.Artifact != nil && after.Artifact != nil {
+		rep.DiskFetches = after.Artifact.DiskHits - before.Artifact.DiskHits
+		rep.PeerFetches = after.Artifact.PeerHits - before.Artifact.PeerHits
+	}
+	rep.ProbeRecompiles = after.Cache.Compiles - before.Cache.Compiles
+	diskHit := mid.Cache.ArtifactHits-before.Cache.ArtifactHits >= 1 &&
+		mid.Cache.Compiles == before.Cache.Compiles
+	peerHit := after.Artifact != nil && mid.Artifact != nil &&
+		after.Artifact.PeerHits-mid.Artifact.PeerHits >= 1
+	rep.ColdRestartOK = diskHit && peerHit && rep.ProbeRecompiles == 0
 }
 
 // auditCluster reads the router and live-shard /metrics and fills the
@@ -442,6 +621,16 @@ func printClusterReport(rep *clusterReport) {
 	fmt.Println()
 	fmt.Printf("  failover:  %d failovers over %d failed attempts · %d verdicts from killed incarnations\n",
 		rep.Failovers, rep.InjectedFails, rep.DeadDelivered)
+	ratio := "n/a"
+	if total := rep.ClusterFetches + rep.ClusterCompiles; total > 0 {
+		ratio = fmt.Sprintf("%.0f%% fetched", 100*float64(rep.ClusterFetches)/float64(total))
+	}
+	fmt.Printf("  artifacts: %d fetched vs %d compiled cluster-wide (%s) · router coalesced %d · hinted %d\n",
+		rep.ClusterFetches, rep.ClusterCompiles, ratio, rep.RouterCoalesced, rep.RouterHints)
+	if rep.Killed > 0 {
+		fmt.Printf("  restart:   %d disk fetches, %d peer fetches, %d recompiles over the cold-restart probes\n",
+			rep.DiskFetches, rep.PeerFetches, rep.ProbeRecompiles)
+	}
 	check := func(name string, ok bool) {
 		state := "ok"
 		if !ok {
@@ -455,4 +644,6 @@ func printClusterReport(rep *clusterReport) {
 	check("live shard counters reconcile", rep.InstanceMatch)
 	check("admission queues drained", rep.QueueEmpty)
 	check("breaker cycled open→half-open→closed", rep.BreakerCycle)
+	check("router coalesced duplicate compiles", rep.CoalesceOK)
+	check("cold restart served from artifacts", rep.ColdRestartOK)
 }

@@ -1,0 +1,127 @@
+package artifact
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Fetcher pulls artifact frames from peer shards over the cluster's
+// `GET /v1/artifact/{key}` endpoint. The router's directory hint (the
+// shard that compiled the key) is tried first; the static peer list is
+// the sweep fallback, so an artifact is found even when the directory is
+// cold or the hinted shard just died.
+type Fetcher struct {
+	// Self is this shard's own address; it is skipped wherever it
+	// appears so a shard never fetches from itself.
+	Self string
+	// Peers are the other shards' addresses ("host:port" or full URLs).
+	Peers []string
+	// PerTry bounds each attempt (default 750ms).
+	PerTry time.Duration
+	// Budget bounds the whole fetch across all candidates (default 2s):
+	// peer fetch must stay decisively cheaper than just recompiling.
+	Budget time.Duration
+	// Client, when nil, uses a dedicated client with sane pooling.
+	Client *http.Client
+}
+
+func baseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// Fetch tries the hinted peer then the remaining peers and returns the
+// first validated frame. errs counts failed attempts (transport errors,
+// bad status, torn/corrupt bodies) — the mid-fetch-peer-death counter.
+func (f *Fetcher) Fetch(ctx context.Context, key, hint string) (frame []byte, from string, errs int64, ok bool) {
+	perTry := f.PerTry
+	if perTry <= 0 {
+		perTry = 750 * time.Millisecond
+	}
+	budget := f.Budget
+	if budget <= 0 {
+		budget = 2 * time.Second
+	}
+	client := f.Client
+	if client == nil {
+		client = fetchClient
+	}
+	ctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+
+	var candidates []string
+	if hint != "" && hint != f.Self {
+		candidates = append(candidates, hint)
+	}
+	for _, p := range f.Peers {
+		if p == "" || p == f.Self || p == hint {
+			continue
+		}
+		candidates = append(candidates, p)
+	}
+	for _, addr := range candidates {
+		if ctx.Err() != nil {
+			break
+		}
+		data, err := f.fetchOne(ctx, client, addr, key, perTry)
+		if err != nil {
+			if err != ErrNotFound {
+				errs++
+			}
+			continue
+		}
+		return data, addr, errs, true
+	}
+	return nil, "", errs, false
+}
+
+func (f *Fetcher) fetchOne(ctx context.Context, client *http.Client, addr, key string, perTry time.Duration) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, perTry)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL(addr)+"/v1/artifact/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, ErrNotFound
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("artifact: peer %s: status %d", addr, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes+1))
+	if err != nil {
+		// Mid-fetch peer death lands here: a torn body, counted by the
+		// caller, degrades to trying the next peer or compiling.
+		return nil, fmt.Errorf("artifact: peer %s: %w", addr, err)
+	}
+	if len(data) > maxFrameBytes {
+		return nil, fmt.Errorf("%w: peer %s frame exceeds %d bytes", ErrCorrupt, addr, maxFrameBytes)
+	}
+	if _, err := parseFrame(data); err != nil {
+		return nil, fmt.Errorf("peer %s: %w", addr, err)
+	}
+	return data, nil
+}
+
+// fetchClient is the default transport for peer fetches: small pool,
+// short dial timeout — a dead peer must fail fast.
+var fetchClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConnsPerHost: 4,
+		IdleConnTimeout:     30 * time.Second,
+	},
+}

@@ -8,6 +8,11 @@ package cluster
 // live shards' own counters against what was actually delivered (and
 // attribute the remainder to killed incarnations).
 
+import (
+	"repro/internal/artifact"
+	"repro/internal/driver"
+)
+
 // MetricsSchema identifies the router metrics wire format.
 const MetricsSchema = "undefc.cluster/v1"
 
@@ -51,6 +56,33 @@ type ShardMetrics struct {
 	Errors     int64        `json:"errors"`
 	// LatencyEWMANS is the passive forward-latency signal (α=1/8).
 	LatencyEWMANS int64 `json:"latency_ewma_ns,omitempty"`
+	// Cache and Artifact are the shard's own compile-cache and
+	// artifact-tier counters, grafted in by the /metrics fan-out; absent
+	// when the shard could not answer within the probe budget (or has no
+	// artifact tier).
+	Cache    *driver.CacheStats `json:"cache,omitempty"`
+	Artifact *artifact.Stats    `json:"artifact,omitempty"`
+}
+
+// ArtifactRouting is the router's own artifact machinery: the directory
+// behind the peer hints and the cluster-wide single-flight table.
+type ArtifactRouting struct {
+	// Coalesced counts forwards held behind an identical in-flight key —
+	// compiles the cluster did NOT run twice.
+	Coalesced int64 `json:"coalesced"`
+	// Hints counts forwards stamped with an X-Undefc-Artifact-Peer header.
+	Hints int64 `json:"hints"`
+	// DirectoryKeys is the current key→holder directory size.
+	DirectoryKeys int64 `json:"directory_keys"`
+}
+
+// ClusterAggregate sums the per-shard cache and artifact counters over
+// the Shards entries that answered the /metrics fan-out.
+type ClusterAggregate struct {
+	// Shards counts how many shards contributed to the sums.
+	Shards   int64             `json:"shards"`
+	Cache    driver.CacheStats `json:"cache"`
+	Artifact artifact.Stats    `json:"artifact"`
 }
 
 // RouterMetrics is the body of the router's GET /metrics.
@@ -67,4 +99,8 @@ type RouterMetrics struct {
 	Delivered           map[string]int64            `json:"delivered,omitempty"`
 	DeliveredByInstance map[string]map[string]int64 `json:"delivered_by_instance,omitempty"`
 	Shards              []ShardMetrics              `json:"shards"`
+	// Artifact is the router's own artifact-routing state; Aggregate sums
+	// the shards' cache/artifact counters (fan-out on /metrics only).
+	Artifact  *ArtifactRouting  `json:"artifact,omitempty"`
+	Aggregate *ClusterAggregate `json:"aggregate,omitempty"`
 }

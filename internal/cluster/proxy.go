@@ -60,6 +60,9 @@ type Config struct {
 	Injector *fault.Injector
 	// Seed makes backoff and breaker jitter replayable (default 1).
 	Seed int64
+	// DirectoryMax bounds the key→shard artifact directory (default 4096
+	// entries, LRU).
+	DirectoryMax int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.DirectoryMax <= 0 {
+		c.DirectoryMax = 4096
 	}
 	return c
 }
@@ -115,6 +121,14 @@ type Router struct {
 	noShards     atomic.Int64
 	upstreamLost atomic.Int64
 
+	// Artifact routing state: the key→holder directory behind the
+	// X-Undefc-Artifact-Peer hint, and the cluster-wide single-flight
+	// table with its counters.
+	dir          *directory
+	flights      *flightTable
+	artHints     atomic.Int64
+	artCoalesced atomic.Int64
+
 	mu         sync.Mutex
 	requests   map[string]int64
 	delivered  map[string]int64
@@ -138,6 +152,8 @@ func NewRouter(cfg Config) (*Router, error) {
 		client:     &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
 		start:      time.Now(),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		dir:        newDirectory(cfg.DirectoryMax),
+		flights:    newFlightTable(),
 		requests:   make(map[string]int64),
 		delivered:  make(map[string]int64),
 		byInstance: make(map[string]map[string]int64),
@@ -251,8 +267,8 @@ func (rt *Router) handleKeyed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	path := r.URL.Path
-	replicas := rt.ring.Replicas(rt.routeKey(path, body))
-	rt.forward(w, r, path, body, replicas)
+	key := rt.routeKey(path, body)
+	rt.forward(w, r, path, key, body, rt.ring.Replicas(key))
 }
 
 // forward runs the failover loop: walk the key's replica list, skipping
@@ -260,9 +276,32 @@ func (rt *Router) handleKeyed(w http.ResponseWriter, r *http.Request) {
 // between attempts. A response from a shard — any status — ends the
 // loop, except 429 and draining 503, which fail over (the shard counted
 // nothing for them, so replaying elsewhere cannot double-count).
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path string, body []byte, replicas []string) {
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path, key string, body []byte, replicas []string) {
 	streaming := path == "/v1/batch" ||
 		(path == "/v1/explore" && strings.Contains(r.Header.Get("Accept"), "application/x-ndjson"))
+
+	// Cluster-wide single-flight: the first /v1/analyze for a source key
+	// leads; identical keys arriving while it is in flight wait here and
+	// find the work already done wherever they land. The wait is bounded
+	// by the forward timeout — a stuck leader delays followers, it cannot
+	// strand them.
+	artKey := ""
+	if path == "/v1/analyze" && isArtifactKey(key) {
+		artKey = key
+	}
+	if artKey != "" {
+		if wait := rt.flights.begin(artKey); wait != nil {
+			rt.artCoalesced.Add(1)
+			select {
+			case <-wait:
+			case <-time.After(rt.cfg.ForwardTimeout):
+			case <-r.Context().Done():
+				return // client gone while coalesced; nothing to answer
+			}
+		} else {
+			defer rt.flights.end(artKey)
+		}
+	}
 
 	// The trace identity survives failover: mint it once per logical
 	// request (or adopt the client's), not per attempt.
@@ -320,6 +359,16 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path string, b
 		}
 		if attempt > 1 {
 			req.Header.Set("X-Undefc-Replay", "1")
+		}
+		if artKey != "" {
+			// Steer the shard's artifact fetch at whoever answered for
+			// this key last — decisive on failover, when the replacement
+			// shard is cold but the original's store (or a peer that
+			// fetched from it) still holds the frame.
+			if holder, ok := rt.dir.lookup(artKey); ok && holder != sh.addr {
+				req.Header.Set("X-Undefc-Artifact-Peer", holder)
+				rt.artHints.Add(1)
+			}
 		}
 		fstart := time.Now()
 		resp, err := rt.client.Do(req)
@@ -395,6 +444,12 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path string, b
 		rt.fwdDelivered.Add(1)
 		if path == "/v1/analyze" {
 			rt.countDelivered(respBody, sh.instanceID())
+			if artKey != "" && resp.StatusCode == http.StatusOK {
+				// The shard that just answered compiled (or fetched) the
+				// program: it is now the directory's best guess for where
+				// this key's artifact lives.
+				rt.dir.record(artKey, sh.addr)
+			}
 		}
 		return
 	}
@@ -570,6 +625,11 @@ func (rt *Router) Metrics() *RouterMetrics {
 			NoShards:     rt.noShards.Load(),
 			UpstreamLost: rt.upstreamLost.Load(),
 		},
+		Artifact: &ArtifactRouting{
+			Coalesced:     rt.artCoalesced.Load(),
+			Hints:         rt.artHints.Load(),
+			DirectoryKeys: int64(rt.dir.len()),
+		},
 	}
 	for _, sh := range rt.shards {
 		state := "ready"
@@ -615,10 +675,14 @@ func (rt *Router) Metrics() *RouterMetrics {
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := rt.Metrics()
+	// The per-shard cache/artifact graft costs one bounded round trip per
+	// shard, so it runs only on the request path, never inside Metrics().
+	rt.enrichMetrics(r.Context(), m)
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(rt.Metrics())
+	enc.Encode(m)
 }
 
 // writeError serves the same uniform error body the shards do, so a

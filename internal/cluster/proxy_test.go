@@ -27,6 +27,9 @@ type fakeShard struct {
 	served   atomic.Int64
 	// mode: "ok", "429", "draining", "torn-stream", "stall-stream"
 	mode atomic.Value
+	// onAnalyze, when set to a func(*http.Request), observes each
+	// /v1/analyze request before it is answered (header assertions).
+	onAnalyze atomic.Value
 }
 
 func newFakeShard(t *testing.T, instance string) *fakeShard {
@@ -39,6 +42,9 @@ func newFakeShard(t *testing.T, instance string) *fakeShard {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		if fn, ok := f.onAnalyze.Load().(func(*http.Request)); ok && fn != nil {
+			fn(r)
+		}
 		w.Header().Set("X-Undefc-Instance", f.instance)
 		w.Header().Set("Content-Type", "application/json")
 		switch f.mode.Load() {
@@ -76,6 +82,14 @@ func newFakeShard(t *testing.T, instance string) *fakeShard {
 			panic(http.ErrAbortHandler)
 		}
 		io.WriteString(w, `{"done":true,"frontend":{},"failures":0}`+"\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Canned counters for the router's /metrics fan-out tests.
+		w.Header().Set("X-Undefc-Instance", f.instance)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"schema":"undefc.api/v1","requests":{},"queue":{},"coalesce":{},`+
+			`"cache":{"hits":5,"misses":2,"compiles":2,"artifact_hits":0},`+
+			`"artifact":{"disk_hits":7,"stores":2}}`)
 	})
 	f.ts = httptest.NewServer(mux)
 	t.Cleanup(f.ts.Close)

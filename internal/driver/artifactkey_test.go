@@ -1,0 +1,66 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// TestArtifactFormatBumpInvalidatesKeys pins the version-stamp contract:
+// the artifact format version is folded into every cache key and
+// SourceKey, so bumping it moves ALL keys — artifacts written by an older
+// build are simply never addressed by a newer one.
+func TestArtifactFormatBumpInvalidatesKeys(t *testing.T) {
+	variants := []struct {
+		src, file string
+		opts      Options
+	}{
+		{"int main(void) { return 0; }", "a.c", Options{}},
+		{"int main(void) { return 1; }", "a.c", Options{}},
+		{"int main(void) { return 0; }", "b.c", Options{}},
+		{"int main(void) { return 0; }", "a.c", Options{Defines: []string{"X=1"}}},
+		{"int main(void) { return 0; }", "a.c", Options{Model: ctypes.ILP32()}},
+	}
+	old := artifactFormat
+	defer func() { artifactFormat = old }()
+
+	before := make([]string, len(variants))
+	for i, v := range variants {
+		before[i] = SourceKey(v.src, v.file, v.opts)
+	}
+	// Distinct inputs must produce distinct keys to begin with.
+	seen := map[string]int{}
+	for i, k := range before {
+		if j, dup := seen[k]; dup {
+			t.Fatalf("variants %d and %d collide on %s", j, i, k)
+		}
+		seen[k] = i
+	}
+
+	artifactFormat++
+	for i, v := range variants {
+		after := SourceKey(v.src, v.file, v.opts)
+		if after == before[i] {
+			t.Errorf("variant %d: key unchanged across a format bump", i)
+		}
+		if j, dup := seen[after]; dup {
+			t.Errorf("variant %d: post-bump key collides with pre-bump variant %d", i, j)
+		}
+	}
+
+	// The in-memory cache keys move too: the same source is a fresh miss
+	// after a bump, so a stale in-process entry can never shadow the new
+	// format either.
+	artifactFormat = old
+	c := NewCache()
+	if _, err := c.Compile(variants[0].src, variants[0].file, variants[0].opts); err != nil {
+		t.Fatal(err)
+	}
+	artifactFormat++
+	if _, err := c.Compile(variants[0].src, variants[0].file, variants[0].opts); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 2 misses across a format bump", st)
+	}
+}

@@ -43,6 +43,14 @@ type Cache struct {
 	waits                int64
 	evictions            int64
 	compileTime          time.Duration
+	// artifactHits counts misses served by decoding a stored artifact;
+	// compiles counts misses that ran an actual frontend pass. Their sum
+	// equals misses.
+	artifactHits, compiles int64
+
+	// artifacts, when set, is the second-level miss path: a miss consults
+	// it before running the frontend, and stores successful compiles back.
+	artifacts Artifacts
 
 	// observer, when set, receives EvCacheHit/EvCacheMiss per lookup.
 	observer obs.Observer
@@ -73,10 +81,44 @@ func (c *Cache) SetObserver(o obs.Observer) {
 	c.mu.Unlock()
 }
 
+// ArtifactFormat is the compiled-program artifact format version. It is
+// folded into every cache key and SourceKey, so artifacts written by a
+// build with a different codec shape are never even addressed: bumping it
+// invalidates every previously stored artifact at the key layer (asserted
+// by TestArtifactFormatBumpInvalidatesKeys). Bump it whenever the
+// sema.Program surface or the internal/artifact codec changes.
+const ArtifactFormat = 1
+
+// artifactFormat is the stamp actually folded into keys; a variable only
+// so the invalidation test can bump it and prove every key moves.
+var artifactFormat uint32 = ArtifactFormat
+
+// Artifacts is the content-addressed artifact tier consulted on cache
+// misses (implemented by internal/artifact.Tier; the interface lives here
+// so the artifact package can depend on driver, not the reverse).
+type Artifacts interface {
+	// Load returns the stored program for key if one is available locally
+	// or from a peer. Implementations must never return a wrong program:
+	// corrupt, torn, or version-skewed artifacts degrade to (nil, false).
+	// opts carries the ArtifactPeer fetch hint.
+	Load(key string, opts Options) (*sema.Program, bool)
+	// Store persists a freshly compiled program under key, best effort.
+	Store(key string, prog *sema.Program)
+}
+
+// SetArtifacts installs the artifact tier as the second-level miss path.
+// Set it before sharing the cache across goroutines.
+func (c *Cache) SetArtifacts(a Artifacts) {
+	c.mu.Lock()
+	c.artifacts = a
+	c.mu.Unlock()
+}
+
 type cacheKey struct {
 	srcHash [sha256.Size]byte
 	model   ctypes.Model
 	defines string
+	format  uint32
 }
 
 type cacheEntry struct {
@@ -110,13 +152,18 @@ type CacheStats struct {
 	// CompileTime is the total wall time spent inside actual frontend
 	// passes (misses only; waiting on another caller's compile is free).
 	CompileTime time.Duration `json:"compile_time_ns"`
+	// ArtifactHits counts misses served by decoding a stored artifact
+	// instead of running the frontend; Compiles counts misses that ran a
+	// real frontend pass. ArtifactHits + Compiles == Misses.
+	ArtifactHits int64 `json:"artifact_hits"`
+	Compiles     int64 `json:"compiles"`
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Errors: c.errors, Waits: c.waits, Evictions: c.evictions, CompileTime: c.compileTime}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Errors: c.errors, Waits: c.waits, Evictions: c.evictions, CompileTime: c.compileTime, ArtifactHits: c.artifactHits, Compiles: c.compiles}
 }
 
 // Len reports the number of cached translation units (including failures
@@ -142,14 +189,10 @@ func (c *Cache) Compile(src, file string, opts Options) (*sema.Program, error) {
 // caller's request.
 func (c *Cache) CompileCtx(ctx context.Context, src, file string, opts Options) (*sema.Program, error) {
 	_, sp := obs.StartSpan(ctx, "compile")
-	prog, err, hit := c.compile(src, file, opts)
+	prog, err, how := c.compile(src, file, opts)
 	if sp.Recording() {
 		sp.SetAttr("file", file)
-		if hit {
-			sp.SetAttr("cache", "hit")
-		} else {
-			sp.SetAttr("cache", "miss")
-		}
+		sp.SetAttr("cache", how)
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 		}
@@ -158,7 +201,10 @@ func (c *Cache) CompileCtx(ctx context.Context, src, file string, opts Options) 
 	return prog, err
 }
 
-func (c *Cache) compile(src, file string, opts Options) (prog *sema.Program, err error, hit bool) {
+// compile reports how the result was obtained in its third return: "hit"
+// (served from an existing entry), "artifact" (miss served by the artifact
+// tier), or "miss" (ran the frontend).
+func (c *Cache) compile(src, file string, opts Options) (prog *sema.Program, err error, how string) {
 	k := makeKey(src, file, opts)
 
 	c.mu.Lock()
@@ -175,24 +221,42 @@ func (c *Cache) compile(src, file string, opts Options) (prog *sema.Program, err
 			o.Event(&obs.Event{Kind: obs.EvCacheHit, Name: file})
 		}
 		<-e.done
-		return e.prog, e.err, true
+		return e.prog, e.err, "hit"
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[k] = e
 	c.misses++
+	arts := c.artifacts
 	o := c.observer
 	c.mu.Unlock()
 	if o != nil {
 		o.Event(&obs.Event{Kind: obs.EvCacheMiss, Name: file})
 	}
 
+	how = "miss"
 	start := time.Now()
-	e.prog, e.err = Compile(src, file, opts)
+	if arts != nil {
+		if p, ok := arts.Load(sourceKeyOf(k), opts); ok {
+			e.prog = p
+			how = "artifact"
+		}
+	}
+	if e.prog == nil {
+		e.prog, e.err = Compile(src, file, opts)
+		if e.err == nil && arts != nil {
+			arts.Store(sourceKeyOf(k), e.prog)
+		}
+	}
 	elapsed := time.Since(start)
 	close(e.done)
 
 	c.mu.Lock()
 	c.compileTime += elapsed
+	if how == "artifact" {
+		c.artifactHits++
+	} else {
+		c.compiles++
+	}
 	if e.err != nil {
 		c.errors++
 		if !cacheable(e.err) {
@@ -205,7 +269,7 @@ func (c *Cache) compile(src, file string, opts Options) (prog *sema.Program, err
 		}
 	}
 	c.mu.Unlock()
-	return e.prog, e.err, false
+	return e.prog, e.err, how
 }
 
 // cacheable reports whether a compile error is deterministic — a property
@@ -259,10 +323,13 @@ func (c *Cache) Invalidate(src, file string, opts Options) bool {
 // sharing the run too is sound as long as the remaining knobs (tool,
 // budget, timeout) are folded into the request key by the caller.
 func SourceKey(src, file string, opts Options) string {
-	k := makeKey(src, file, opts)
+	return sourceKeyOf(makeKey(src, file, opts))
+}
+
+func sourceKeyOf(k cacheKey) string {
 	h := sha256.New()
 	h.Write(k.srcHash[:])
-	fmt.Fprintf(h, "|%+v|%s", k.model, k.defines)
+	fmt.Fprintf(h, "|v%d|%+v|%s", k.format, k.model, k.defines)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -279,5 +346,6 @@ func makeKey(src, file string, opts Options) cacheKey {
 	}
 	k.model = *model
 	k.defines = strings.Join(opts.Defines, "\x1f")
+	k.format = artifactFormat
 	return k
 }

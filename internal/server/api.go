@@ -11,6 +11,7 @@ package server
 import (
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/driver"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -334,6 +335,9 @@ type MetricsResponse struct {
 	// Bytecode is the compiled-code cache of the "vm" engine, present only
 	// when the server runs with Config.Engine "vm".
 	Bytecode *vm.CacheStats `json:"bytecode,omitempty"`
+	// Artifact is the content-addressed artifact tier under the compile
+	// cache, present only when the server runs with Config.ArtifactDir.
+	Artifact *artifact.Stats `json:"artifact,omitempty"`
 	// Latency holds the server-side latency distributions of the analyze
 	// path, keyed "e2e", "queue", "compile", "run" — each with count, sum,
 	// min/max and precomputed p50/p95/p99. Present once the server has
@@ -377,6 +381,10 @@ type ConfigResponse struct {
 	// FlightEvents is the armed flight-recorder ring size (0 = off).
 	TraceSample  int `json:"trace_sample,omitempty"`
 	FlightEvents int `json:"flight_events,omitempty"`
+	// ArtifactDir and ArtifactPeers describe the artifact tier (empty =
+	// tier disabled).
+	ArtifactDir   string   `json:"artifact_dir,omitempty"`
+	ArtifactPeers []string `json:"artifact_peers,omitempty"`
 }
 
 // parseTimeout resolves a request's timeout string against the server's

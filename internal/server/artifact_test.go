@@ -1,0 +1,127 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+)
+
+// TestArtifactEndpointAndRestartReuse drives the artifact tier through the
+// HTTP surface: a warm shard serves its compiled frame on /v1/artifact/,
+// and a second shard pointed at the first's address (the peer-fetch path)
+// answers its first analyze without running its own frontend.
+func TestArtifactEndpointAndRestartReuse(t *testing.T) {
+	dir := t.TempDir()
+	src := "int main(void) { int a = 1; return a - 1; }\n"
+	_, tsA := newTestServer(t, Config{ArtifactDir: dir})
+
+	resp, _ := post(t, tsA.URL, "/v1/analyze", map[string]any{"source": src, "file": "art.c"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d", resp.StatusCode)
+	}
+	key := driver.SourceKey(src, "art.c", driver.Options{})
+
+	// The compiled frame must now be served raw on the peer endpoint.
+	fresp, err := http.Get(tsA.URL + "/v1/artifact/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK || len(frame) == 0 {
+		t.Fatalf("artifact fetch: status %d, %d bytes", fresp.StatusCode, len(frame))
+	}
+	if got := fresp.Header.Get("Content-Type"); got != "application/octet-stream" {
+		t.Errorf("content type = %q", got)
+	}
+
+	// Unknown key and traversal-shaped keys are clean 404s.
+	for _, bad := range []string{strings.Repeat("0", 64), "../../etc/passwd", "zz"} {
+		r, err := http.Get(tsA.URL + "/v1/artifact/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("key %q: status %d, want 404", bad, r.StatusCode)
+		}
+	}
+
+	// A restarted shard on the same directory serves the repeat request
+	// from disk: artifact hit, zero frontend compiles beyond it.
+	srvB, tsB := newTestServer(t, Config{ArtifactDir: dir})
+	resp, _ = post(t, tsB.URL, "/v1/analyze", map[string]any{"source": src, "file": "art.c"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted analyze: status %d", resp.StatusCode)
+	}
+	st := srvB.CacheStats()
+	if st.ArtifactHits != 1 || st.Compiles != 0 {
+		t.Fatalf("restarted cache stats = %+v, want the miss served by the artifact tier", st)
+	}
+	m := srvB.Metrics()
+	if m.Artifact == nil || m.Artifact.DiskHits != 1 {
+		t.Fatalf("metrics artifact block = %+v, want 1 disk hit", m.Artifact)
+	}
+
+	// A cold shard with no shared disk but tsA as a peer fetches instead
+	// of compiling — the cross-node path, steered by the router hint.
+	srvC, tsC := newTestServer(t, Config{ArtifactDir: t.TempDir(), ArtifactPeers: []string{tsA.URL}})
+	resp, _ = post(t, tsC.URL, "/v1/analyze", map[string]any{"source": src, "file": "art.c"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer analyze: status %d", resp.StatusCode)
+	}
+	if st := srvC.CacheStats(); st.ArtifactHits != 1 || st.Compiles != 0 {
+		t.Fatalf("peer cache stats = %+v, want the miss served by a peer fetch", st)
+	}
+	if m := srvC.Metrics(); m.Artifact == nil || m.Artifact.PeerHits != 1 {
+		t.Fatalf("peer metrics artifact block = %+v, want 1 peer hit", m.Artifact)
+	}
+}
+
+// TestArtifactDisabled pins the no-tier behavior: the endpoint answers 404
+// and /metrics carries no artifact block.
+func TestArtifactDisabled(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	r, err := http.Get(ts.URL + "/v1/artifact/" + strings.Repeat("0", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 with no tier", r.StatusCode)
+	}
+	if m := srv.Metrics(); m.Artifact != nil {
+		t.Fatal("metrics carry an artifact block with no tier configured")
+	}
+}
+
+// TestArtifactPrometheusBlock checks the text exposition carries the new
+// cache split and the artifact counters.
+func TestArtifactPrometheusBlock(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{ArtifactDir: dir})
+	post(t, ts.URL, "/v1/analyze", map[string]any{"source": "int main(void) { return 0; }", "file": "p.c"})
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"undefc_cache_artifact_hits_total 0",
+		"undefc_cache_compiles_total 1",
+		"undefc_artifact_stores_total 1",
+		"undefc_artifact_disk_entries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
