@@ -35,7 +35,12 @@ test:
 # race-clean, and the chaos run additionally audits that the restarted
 # shard answers warmed keys by artifact fetch (disk, then peer) with
 # zero frontend recompiles, and that the router's cross-node
-# single-flight coalesced duplicate compiles.
+# single-flight coalesced duplicate compiles. The observability gates on
+# top: the UB coverage hot path (evaluated/fired counters on every check
+# site) must not allocate, and the chaos run finishes by SIGKILLing a
+# shard under a pinned trace id and asserting GET /v1/trace/{id}
+# assembles one Chrome trace with the router's failed forward + backoff
+# spans and spans from the surviving shard processes.
 .PHONY: check
 check: test
 	go vet ./...
@@ -46,6 +51,7 @@ check: test
 	go test ./internal/artifact/ -run TestArtifactRoundTripGate -count=1
 	go test ./internal/interp/ -run 'ObserverPathAllocs' -count=1
 	go test ./internal/obs/ -run 'SpanNoCollector' -count=1
+	go test ./internal/obs/ -run 'TestCoverageLedgerAllocs' -count=1
 	go test ./internal/interp/ -run '^$$' -bench BenchmarkObserverOverhead -benchtime 100x
 	go test ./internal/obs/ -run '^$$' -bench BenchmarkSpanOverhead -benchtime 100x
 	go test ./cmd/ubsuite/ -run TestContainmentGate -count=1

@@ -29,6 +29,8 @@
 //	-trace-out f   write the analysis' span tree (compile → interp) as
 //	               Chrome trace-event JSON to f; open it in
 //	               chrome://tracing or https://ui.perfetto.dev
+//	-coverage      after the run, print the UB check-site coverage ledger
+//	               (which registered behaviors this run evaluated/fired)
 package main
 
 import (
@@ -67,7 +69,16 @@ func main() {
 	jsonFlag := flag.Bool("json", false, "emit the canonical undefc.report/v1 JSON report")
 	timeout := flag.Duration("timeout", 0, "per-analysis wall-clock watchdog (0 = none)")
 	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace-event JSON to this file")
+	coverageFlag := flag.Bool("coverage", false, "after the run, print the UB check-site coverage ledger")
 	flag.Parse()
+
+	// The ledger goes to stderr so it composes with both the program's
+	// stdout and the -json report body.
+	printCoverage := func() {
+		if *coverageFlag {
+			fmt.Fprint(os.Stderr, runner.CoverageReport(obs.CoverageSnapshot()))
+		}
+	}
 
 	if *catalog {
 		fmt.Println(runner.CatalogSummary())
@@ -104,7 +115,9 @@ func main() {
 		os.Exit(2)
 	}
 	if *batch {
-		os.Exit(runBatch(flag.Args(), model, *engineFlag, budget, *jobs, tracer, *jsonFlag, *timeout))
+		code := runBatch(flag.Args(), model, *engineFlag, budget, *jobs, tracer, *jsonFlag, *timeout)
+		printCoverage()
+		os.Exit(code)
 	}
 	file := flag.Arg(0)
 	src, err := os.ReadFile(file)
@@ -140,6 +153,7 @@ func main() {
 			}
 		}
 		finishTrace()
+		printCoverage()
 		if err := runner.WriteJSON(os.Stdout, runner.FileReportFrom(file, kcc.Name(), rep)); err != nil {
 			fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
 			os.Exit(1)
@@ -209,6 +223,7 @@ func main() {
 		rsp.End()
 	}
 	finishTrace()
+	printCoverage()
 	if res.UB != nil {
 		fmt.Print(res.UB.Report())
 		os.Exit(1)

@@ -19,6 +19,9 @@
 //	-flight N    per-analysis flight-recorder ring (-1 auto: armed when
 //	             -inject is; 0 off); quarantined cells carry their last N
 //	             events in the failure manifest
+//	-coverage    run every suite (juliet, own, torture), then print the UB
+//	             check-site coverage ledger: per-behavior evaluated/fired
+//	             counters and the registered behaviors that never fired
 //
 // Fault containment:
 //
@@ -61,6 +64,7 @@ func main() {
 	strict := flag.Bool("strict", false, "exit non-zero when the run recorded failures")
 	traceOut := flag.String("trace-out", "", "write the run's span forest as Chrome trace-event JSON to this file")
 	flight := flag.Int("flight", -1, "flight-recorder events per analysis (-1 = auto, 0 = off)")
+	coverageFlag := flag.Bool("coverage", false, "run every suite (juliet, own, torture) and print the UB check-site coverage ledger")
 	flag.Parse()
 
 	if *catalog {
@@ -91,6 +95,10 @@ func main() {
 	collect := *jsonFlag || *metricsFlag
 	cfg := tools.Config{Engine: *engineFlag, Metrics: collect, Injector: injector, Flight: cfgFlight}
 	opts := runner.Options{Parallelism: *jobs, CaseTimeout: *caseTimeout, Injector: injector, Engine: *engineFlag}
+
+	if *coverageFlag {
+		os.Exit(runCoverage(cfg, opts, *engineFlag))
+	}
 
 	// -trace-out installs a span collector on the run context; every matrix
 	// cell then records its cell → compile → interp spans, and finishTrace
@@ -210,6 +218,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ubsuite: unknown suite %q\n", *suiteFlag)
 		os.Exit(2)
 	}
+}
+
+// runCoverage runs the full case corpus — the juliet and own matrices
+// under every tool, then the torture-lite positives — and prints the UB
+// check-site coverage ledger the runs accumulated. Counters are
+// order-independent atomic sums and the render is code-sorted, so the
+// report is byte-identical across -j values and engines.
+func runCoverage(cfg tools.Config, opts runner.Options, engine string) int {
+	obs.ResetCoverage()
+	cases := 0
+	for _, s := range []*suite.Suite{suite.Juliet(), suite.Own()} {
+		if _, err := runner.RunMatrix(s, tools.All(cfg), opts); err != nil {
+			fmt.Fprintf(os.Stderr, "ubsuite: -coverage: %v\n", err)
+			return 1
+		}
+		cases += len(s.Cases)
+	}
+	for _, tc := range suite.Torture() {
+		undefc.RunSource(tc.Source, tc.Name+".c",
+			undefc.Options{Exec: interp.Options{Engine: engine}})
+		cases++
+	}
+	fmt.Printf("coverage over %d cases (juliet + own matrices, torture-lite)\n\n", cases)
+	fmt.Print(runner.CoverageReport(obs.CoverageSnapshot()))
+	return 0
 }
 
 // reportFailures prints the run's crash manifest to stderr. The default

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/suite"
 )
@@ -101,6 +102,17 @@ type clusterReport struct {
 	ProbeRecompiles int64 `json:"probe_recompiles"`
 	ColdRestartOK   bool  `json:"cold_restart_ok"`
 	CoalesceOK      bool  `json:"coalesce_ok"`
+
+	// Trace-assembly audit: one failover forced under a known trace
+	// identity, then the router's /v1/trace/{id} pulled and checked.
+	// TraceShardProcs counts distinct shard process rows in the assembled
+	// trace; TraceFailedFwd reports whether the router's side shows the
+	// failed forward attempt; TraceAssembled is the gate — the one trace
+	// must contain the router's spans plus spans from at least two shard
+	// incarnations.
+	TraceShardProcs int  `json:"trace_shard_procs"`
+	TraceFailedFwd  bool `json:"trace_failed_forward"`
+	TraceAssembled  bool `json:"trace_assembled"`
 }
 
 // The cold-restart probe sources: distinctive translation units no
@@ -392,6 +404,10 @@ func runCluster(opts clusterOpts) int {
 	// shard probes bump shard-local verdict counters the router never
 	// delivered, which would wrongly fail the instance-match invariant.
 	auditArtifacts(client, url, ports, procs, opts, &rep)
+	// The trace audit runs LAST of all: it SIGKILLs a shard for real to
+	// force a failover under a known trace identity, which would wreck
+	// every earlier reconciliation.
+	auditTrace(client, url, ports, procs, opts, &rep)
 
 	if opts.asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -401,7 +417,8 @@ func runCluster(opts clusterOpts) int {
 		printClusterReport(&rep)
 	}
 	if !rep.ServerOK || !rep.TallyMatch || !rep.InstanceMatch || !rep.QueueEmpty ||
-		!rep.ZeroErrors || !rep.BreakerCycle || !rep.ColdRestartOK || !rep.CoalesceOK {
+		!rep.ZeroErrors || !rep.BreakerCycle || !rep.ColdRestartOK || !rep.CoalesceOK ||
+		!rep.TraceAssembled {
 		return 1
 	}
 	return 0
@@ -504,6 +521,138 @@ func auditArtifacts(client *http.Client, url string, ports []string, procs []*ex
 	peerHit := after.Artifact != nil && mid.Artifact != nil &&
 		after.Artifact.PeerHits-mid.Artifact.PeerHits >= 1
 	rep.ColdRestartOK = diskHit && peerHit && rep.ProbeRecompiles == 0
+}
+
+// tracedAnalyze posts one source through the router, optionally under an
+// explicit trace identity, and returns the answering shard's ID and the
+// router's attempt count (both from response headers).
+func tracedAnalyze(client *http.Client, url, src, file, traceID string) (shard, attempts string, err error) {
+	body, err := json.Marshal(server.AnalyzeRequest{Source: src, File: file})
+	if err != nil {
+		return "", "", err
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return "", "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Undefc-Trace-Id", traceID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("analyze status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("X-Undefc-Shard"), resp.Header.Get("X-Undefc-Attempts"), nil
+}
+
+// auditTrace forces one failover under a known trace identity and checks
+// that the router's /v1/trace/{id} assembles ONE cross-node Chrome trace
+// out of it: the router's own spans (including the failed attempt and the
+// retry) stitched with the spans of every shard the identity touched. It
+// must run last — the victim shard stays dead.
+func auditTrace(client *http.Client, url string, ports []string, procs []*exec.Cmd, opts clusterOpts, rep *clusterReport) {
+	if opts.shards < 3 || opts.kill == 0 {
+		rep.TraceAssembled = true // no failover topology to assemble across
+		return
+	}
+	const traceID = "c0ffee0000000001"
+	// Discovery: find a distinct probe (source, file) pair routed to each
+	// shard, read off the X-Undefc-Shard header. No trace header yet — the
+	// probes must not pollute the trace under audit. The replay below MUST
+	// reuse the exact pair: the ring key is driver.SourceKey over source
+	// AND file, so changing either would route somewhere else.
+	type probe struct{ src, file string }
+	probeFor := make(map[string]probe)
+	for i := 0; i < 96 && len(probeFor) < len(ports); i++ {
+		p := probe{
+			src:  fmt.Sprintf("int main(void) { int trace_probe_%d = %d; return trace_probe_%d - %d; }\n", i, i, i, i),
+			file: fmt.Sprintf("trace_probe_%d.c", i),
+		}
+		sh, _, err := tracedAnalyze(client, url, p.src, p.file, "")
+		if err != nil || sh == "" {
+			continue
+		}
+		if _, ok := probeFor[sh]; !ok {
+			probeFor[sh] = p
+		}
+	}
+	if len(probeFor) < 3 {
+		fmt.Fprintf(os.Stderr, "undefbench: trace audit: probes reached only %d of %d shards\n", len(probeFor), len(ports))
+		return
+	}
+	// Victim: the last ring position with a live process and a known
+	// probe. The other discovered shards stay alive, so at least two of
+	// them will contribute spans under the shared identity.
+	victim := -1
+	for i := len(ports) - 1; i >= 0; i-- {
+		if procs[i] != nil && probeFor[fmt.Sprintf("s%d", i)].src != "" {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		fmt.Fprintf(os.Stderr, "undefbench: trace audit: no live shard with a probe source\n")
+		return
+	}
+	victimID := fmt.Sprintf("s%d", victim)
+	// Every surviving shard records its side of the trace first.
+	for id, p := range probeFor {
+		if id == victimID {
+			continue
+		}
+		if _, _, err := tracedAnalyze(client, url, p.src, p.file, traceID); err != nil {
+			fmt.Fprintf(os.Stderr, "undefbench: trace audit: %s request: %v\n", id, err)
+			return
+		}
+	}
+	// SIGKILL the victim and replay its probe under the same identity
+	// immediately — before the prober notices — so the router's attempt at
+	// the dead shard is real: connection refused, backoff, failover.
+	procs[victim].Process.Kill()
+	procs[victim].Wait()
+	procs[victim] = nil
+	vp := probeFor[victimID]
+	if _, _, err := tracedAnalyze(client, url, vp.src, vp.file, traceID); err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: trace audit: failover request: %v\n", err)
+		return
+	}
+
+	resp, err := client.Get(url + "/v1/trace/" + traceID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: trace audit: /v1/trace: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "undefbench: trace audit: /v1/trace status %d\n", resp.StatusCode)
+		return
+	}
+	var tr obs.ChromeTrace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&tr); err != nil {
+		fmt.Fprintf(os.Stderr, "undefbench: trace audit: decode: %v\n", err)
+		return
+	}
+	router := false
+	for _, ev := range tr.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			switch name := ev.Args["name"]; {
+			case name == "router":
+				router = true
+			case strings.HasPrefix(name, "shard "):
+				rep.TraceShardProcs++
+			}
+		case ev.Ph == "X" && ev.Name == "forward" && ev.Args["error"] != "":
+			rep.TraceFailedFwd = true
+		}
+	}
+	rep.TraceAssembled = router && rep.TraceShardProcs >= 2
 }
 
 // auditCluster reads the router and live-shard /metrics and fills the
@@ -631,6 +780,8 @@ func printClusterReport(rep *clusterReport) {
 		fmt.Printf("  restart:   %d disk fetches, %d peer fetches, %d recompiles over the cold-restart probes\n",
 			rep.DiskFetches, rep.PeerFetches, rep.ProbeRecompiles)
 	}
+	fmt.Printf("  trace:     %d shard processes in the assembled failover trace (failed attempt visible: %v)\n",
+		rep.TraceShardProcs, rep.TraceFailedFwd)
 	check := func(name string, ok bool) {
 		state := "ok"
 		if !ok {
@@ -646,4 +797,5 @@ func printClusterReport(rep *clusterReport) {
 	check("breaker cycled open→half-open→closed", rep.BreakerCycle)
 	check("router coalesced duplicate compiles", rep.CoalesceOK)
 	check("cold restart served from artifacts", rep.ColdRestartOK)
+	check("failover trace assembled across nodes", rep.TraceAssembled)
 }

@@ -29,6 +29,16 @@
 //	                 GET /v1/trace/{id} as Chrome trace-event JSON
 //	-flight N        flight-recorder ring size per analysis (-1 auto:
 //	                 armed when -inject is; 0 off)
+//
+// Observability routes (every response also carries X-Undefc-Trace-Id):
+//
+//	GET /v1/spans/{trace}  this process's retained spans for one trace
+//	                       (bounded ring; always on, no sampling needed)
+//	GET /v1/coverage       the UB check-site coverage ledger — per-behavior
+//	                       evaluated/fired counters and dead coverage; the
+//	                       router's route merges every shard's ledger, and
+//	                       its GET /v1/trace/{id} stitches router + shard
+//	                       spans into one cross-node Chrome trace
 //	-debug-addr      second listener with GET /debug/pprof/... and
 //	                 POST /debug/metrics/reset; keep it loopback-only
 //	-artifact-dir    content-addressed artifact store directory: compiled

@@ -11,6 +11,7 @@ package cluster
 import (
 	"repro/internal/artifact"
 	"repro/internal/driver"
+	"repro/internal/obs"
 )
 
 // MetricsSchema identifies the router metrics wire format.
@@ -59,9 +60,12 @@ type ShardMetrics struct {
 	// Cache and Artifact are the shard's own compile-cache and
 	// artifact-tier counters, grafted in by the /metrics fan-out; absent
 	// when the shard could not answer within the probe budget (or has no
-	// artifact tier).
-	Cache    *driver.CacheStats `json:"cache,omitempty"`
-	Artifact *artifact.Stats    `json:"artifact,omitempty"`
+	// artifact tier). Latency is the shard's own per-stage histogram set,
+	// grafted the same way — the mergeable raw buckets, not just the EWMA
+	// the router measures from outside.
+	Cache    *driver.CacheStats                `json:"cache,omitempty"`
+	Artifact *artifact.Stats                   `json:"artifact,omitempty"`
+	Latency  map[string]*obs.HistogramSnapshot `json:"latency,omitempty"`
 }
 
 // ArtifactRouting is the router's own artifact machinery: the directory
@@ -83,6 +87,12 @@ type ClusterAggregate struct {
 	Shards   int64             `json:"shards"`
 	Cache    driver.CacheStats `json:"cache"`
 	Artifact artifact.Stats    `json:"artifact"`
+	// Latency merges the shards' per-stage histograms bucket-by-bucket, so
+	// the router-side p50/p95/p99 are true cluster quantiles rather than
+	// quantiles-of-quantiles.
+	Latency map[string]*obs.HistogramSnapshot `json:"latency,omitempty"`
+	// Coverage merges the shards' UB check-site coverage ledgers.
+	Coverage *obs.CoverageLedger `json:"coverage,omitempty"`
 }
 
 // RouterMetrics is the body of the router's GET /metrics.

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -136,7 +137,11 @@ func (f *flightTable) end(key string) {
 // path — Metrics() itself stays network-free — and a shard that cannot
 // answer within the probe budget simply contributes no block.
 func (rt *Router) enrichMetrics(ctx context.Context, m *RouterMetrics) {
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		covMu sync.Mutex
+		cov   *obs.CoverageLedger
+	)
 	for i := range m.Shards {
 		wg.Add(1)
 		go func(sm *ShardMetrics) {
@@ -164,6 +169,15 @@ func (rt *Router) enrichMetrics(ctx context.Context, m *RouterMetrics) {
 			cache := sr.Cache
 			sm.Cache = &cache
 			sm.Artifact = sr.Artifact
+			sm.Latency = sr.Latency
+			if sr.Coverage != nil {
+				covMu.Lock()
+				if cov == nil {
+					cov = &obs.CoverageLedger{Schema: obs.CoverageSchema}
+				}
+				cov.Add(sr.Coverage)
+				covMu.Unlock()
+			}
 		}(&m.Shards[i])
 	}
 	wg.Wait()
@@ -202,7 +216,28 @@ func (rt *Router) enrichMetrics(ctx context.Context, m *RouterMetrics) {
 			agg.Artifact.BytesServed += a.BytesServed
 		}
 	}
-	if agg.Shards > 0 {
+	// Merge the shards' per-stage latency histograms bucket-by-bucket:
+	// stage keys come from whichever shards answered, and merging snapshots
+	// is commutative, so the result is the same regardless of fan-out order.
+	for i := range m.Shards {
+		for stage, hs := range m.Shards[i].Latency {
+			if hs == nil {
+				continue
+			}
+			if agg.Latency == nil {
+				agg.Latency = make(map[string]*obs.HistogramSnapshot)
+			}
+			if cur := agg.Latency[stage]; cur == nil {
+				cp := *hs
+				cp.Buckets = append([]int64{}, hs.Buckets...)
+				agg.Latency[stage] = &cp
+			} else {
+				cur.Merge(hs)
+			}
+		}
+	}
+	agg.Coverage = cov
+	if agg.Shards > 0 || agg.Latency != nil || agg.Coverage != nil {
 		m.Aggregate = agg
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,13 @@ type Router struct {
 	draining  atomic.Bool
 	sampleCtr atomic.Uint64
 
+	// spans is the router's own bounded span ring: the forward loop records
+	// one span per attempt (and per backoff sleep) under the request's
+	// trace identity, so an assembled cross-node trace shows the failed
+	// attempt, the wait, and the retried shard — not just the hop that
+	// finally answered.
+	spans *obs.SpanRing
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -152,6 +160,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		client:     &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
 		start:      time.Now(),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		spans:      obs.NewSpanRing(0, 0),
 		dir:        newDirectory(cfg.DirectoryMax),
 		flights:    newFlightTable(),
 		requests:   make(map[string]int64),
@@ -168,6 +177,8 @@ func NewRouter(cfg Config) (*Router, error) {
 	rt.route("/v1/explore", http.MethodPost, rt.handleKeyed)
 	rt.route("/v1/batch", http.MethodPost, rt.handleKeyed)
 	rt.route("/v1/trace/", http.MethodGet, rt.handleTrace)
+	rt.route("/v1/spans/", http.MethodGet, rt.handleSpans)
+	rt.route("/v1/coverage", http.MethodGet, rt.handleCoverage)
 	rt.route("/healthz", http.MethodGet, rt.handleHealthz)
 	rt.route("/readyz", http.MethodGet, rt.handleReadyz)
 	rt.route("/metrics", http.MethodGet, rt.handleMetrics)
@@ -196,6 +207,12 @@ func (rt *Router) route(path, method string, h http.HandlerFunc) {
 		rt.mu.Lock()
 		rt.requests[path]++
 		rt.mu.Unlock()
+		// Echo a client-supplied trace identity on every response — the
+		// forward path overwrites this with the minted id when it runs, but
+		// refusals (405, no-shards 503) must carry it too.
+		if tid := r.Header.Get("X-Undefc-Trace-Id"); tid != "" {
+			w.Header().Set("X-Undefc-Trace-Id", tid)
+		}
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			rt.writeError(w, http.StatusMethodNotAllowed, "method-not-allowed",
@@ -311,6 +328,26 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path, key stri
 		traceID = obs.FormatTraceID(obs.NewTraceID())
 	}
 
+	// Traced requests record the router's side of the story into its span
+	// ring: one "forward" span per attempt, one "backoff" span per retry
+	// wait. The identity is stamped on the response up front, so even a
+	// refusal (429 relay, no-shards 503) tells the client which trace to
+	// ask /v1/trace for.
+	var spanCtx context.Context
+	if traceID != "" {
+		if tid, perr := obs.ParseTraceID(traceID); perr == nil && tid != 0 {
+			spanCtx = obs.WithTraceID(context.Background(), rt.spans, tid)
+		}
+		w.Header().Set("X-Undefc-Trace-Id", traceID)
+	}
+	startSpan := func(name string) *obs.Span {
+		if spanCtx == nil {
+			return nil
+		}
+		_, sp := obs.StartSpan(spanCtx, name)
+		return sp
+	}
+
 	next := 0 // cursor into replicas: failover advances it
 	var last429 *http.Response
 	var last429Body []byte
@@ -331,12 +368,23 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path, key stri
 		if attempt > 1 {
 			rt.fwdRetries.Add(1)
 			rt.fwdFailovers.Add(1) // the cursor only moves forward: every retry is a failover
+			bsp := startSpan("backoff")
 			rt.sleepBackoff(attempt - 1)
+			if bsp.Recording() {
+				bsp.SetAttr("attempt", fmt.Sprint(attempt))
+				bsp.End()
+			}
 		}
 		rt.fwdAttempts.Add(1)
 		sh.forwards.Add(1)
 
 		if err := rt.cfg.Injector.Fire(SiteForward, sh.addr); err != nil {
+			if sp := startSpan("forward"); sp.Recording() {
+				sp.SetAttr("shard", sh.addr)
+				sp.SetAttr("attempt", fmt.Sprint(attempt))
+				sp.SetAttr("error", err.Error())
+				sp.End()
+			}
 			sh.errors.Add(1)
 			rt.fwdFailures.Add(1)
 			sh.breaker.Failure(time.Now())
@@ -370,9 +418,18 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path, key stri
 				rt.artHints.Add(1)
 			}
 		}
+		fsp := startSpan("forward")
+		if fsp.Recording() {
+			fsp.SetAttr("shard", sh.addr)
+			fsp.SetAttr("attempt", fmt.Sprint(attempt))
+		}
 		fstart := time.Now()
 		resp, err := rt.client.Do(req)
 		if err != nil {
+			if fsp.Recording() {
+				fsp.SetAttr("error", err.Error())
+				fsp.End()
+			}
 			cancel()
 			if r.Context().Err() != nil {
 				// The client went away: the outbound context (derived from
@@ -389,9 +446,14 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path, key stri
 		sh.breaker.Success(time.Now())
 		sh.observeLatency(time.Since(fstart))
 		sh.setInstance(resp.Header.Get("X-Undefc-Instance"))
+		if fsp.Recording() {
+			fsp.SetAttr("status", fmt.Sprint(resp.StatusCode))
+			fsp.End()
+		}
 
 		if streaming && resp.StatusCode == http.StatusOK {
-			lost := rt.relayStream(w, resp, sh)
+			w.Header().Set("X-Undefc-Attempts", fmt.Sprint(attempt))
+			lost := rt.relayStream(w, resp, sh, traceID)
 			resp.Body.Close()
 			cancel()
 			switch {
@@ -440,6 +502,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path, key stri
 			sh.draining.Store(true)
 			continue
 		}
+		w.Header().Set("X-Undefc-Attempts", fmt.Sprint(attempt))
 		rt.relay(w, resp, respBody)
 		rt.fwdDelivered.Add(1)
 		if path == "/v1/analyze" {
@@ -475,7 +538,7 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, body []byte)
 // lines reach the client, so when the shard dies mid-stream the client
 // sees every whole frame it produced plus one typed trailer error —
 // never a torn JSON line. Returns non-nil when the upstream was lost.
-func (rt *Router) relayStream(w http.ResponseWriter, resp *http.Response, sh *shard) error {
+func (rt *Router) relayStream(w http.ResponseWriter, resp *http.Response, sh *shard, traceID string) error {
 	copyHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
@@ -501,13 +564,19 @@ func (rt *Router) relayStream(w http.ResponseWriter, resp *http.Response, sh *sh
 			}
 		}
 		if err != nil {
-			trailer, _ := json.Marshal(map[string]any{
+			frame := map[string]any{
 				"done": false,
 				"error": map[string]string{
 					"code":    "upstream-lost",
 					"message": fmt.Sprintf("shard %s lost mid-stream: %v", sh.addr, err),
 				},
-			})
+			}
+			if traceID != "" {
+				// The trailer names the trace, so a consumer holding only the
+				// stream can still pull the assembled failure story.
+				frame["trace_id"] = traceID
+			}
+			trailer, _ := json.Marshal(frame)
 			w.Write(append(trailer, '\n'))
 			flush()
 			return err
@@ -542,35 +611,168 @@ func (rt *Router) sleepBackoff(retry int) {
 	time.Sleep(d)
 }
 
-// handleTrace resolves GET /v1/trace/{id} by asking each shard in turn:
-// traces live on the shard that executed the sampled request, and the
-// router does not remember which one that was.
+// handleTrace resolves GET /v1/trace/{id} into ONE cross-node Chrome
+// trace: the router's own forward/backoff spans stitched with the spans
+// every shard recorded under the same identity, one named process row
+// per node. Failover is visible in the result — the failed attempt, the
+// backoff wait, and the retried shard all appear.
 func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
-	for _, sh := range rt.shards {
-		if sh.draining.Load() || sh.breaker.State() == BreakerOpen {
-			continue
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout*4)
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+sh.addr+r.URL.Path, nil)
-		if err != nil {
-			cancel()
-			continue
-		}
-		resp, err := rt.client.Do(req)
-		if err != nil {
-			cancel()
-			continue
-		}
-		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-		resp.Body.Close()
-		cancel()
-		if rerr != nil || resp.StatusCode == http.StatusNotFound {
-			continue
-		}
-		rt.relay(w, resp, body)
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	id, err := obs.ParseTraceID(raw)
+	if err != nil || id == 0 {
+		rt.writeError(w, http.StatusBadRequest, "bad-request", "trace id: malformed")
 		return
 	}
-	rt.writeError(w, http.StatusNotFound, "not-found", "no shard holds that trace")
+	var procs []obs.ProcessSpans
+	if own := rt.spans.Get(id); len(own) > 0 {
+		procs = append(procs, obs.ProcessSpans{Name: "router", Spans: own})
+	}
+	// Every shard is asked, even ones the health model would skip for
+	// forwarding: the fetch is cheap, a dead shard fails fast, and a
+	// recovering shard may still hold the spans that matter.
+	type contribution struct {
+		idx   int
+		name  string
+		spans []obs.Span
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		contribs []contribution
+	)
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout*4)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+sh.addr+"/v1/spans/"+raw, nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				return
+			}
+			var sr server.SpansResponse
+			if json.Unmarshal(body, &sr) != nil || len(sr.Spans) == 0 {
+				return
+			}
+			spans := make([]obs.Span, 0, len(sr.Spans))
+			for _, sj := range sr.Spans {
+				sp, serr := obs.SpanFromJSON(sj)
+				if serr != nil {
+					continue
+				}
+				spans = append(spans, sp)
+			}
+			if len(spans) == 0 {
+				return
+			}
+			name := "shard " + sh.addr
+			if sr.Instance != "" {
+				// The instance distinguishes incarnations: a shard that died
+				// and was replaced at the same address shows up as a distinct
+				// process row, which is exactly what a failover trace needs.
+				name += " (" + sr.Instance + ")"
+			}
+			mu.Lock()
+			contribs = append(contribs, contribution{idx: i, name: name, spans: spans})
+			mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	// Ring order, not answer order, so the assembled trace is deterministic.
+	sort.Slice(contribs, func(a, b int) bool { return contribs[a].idx < contribs[b].idx })
+	for _, c := range contribs {
+		procs = append(procs, obs.ProcessSpans{Name: c.name, Spans: c.spans})
+	}
+	if len(procs) == 0 {
+		rt.writeError(w, http.StatusNotFound, "not-found", "no process recorded spans for that trace")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(obs.AssembleChromeTrace(procs))
+}
+
+// handleSpans serves the router's own span ring for one trace in the
+// same wire shape the shards use, so anything that can stitch a shard's
+// spans can stitch the router's too.
+func (rt *Router) handleSpans(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/spans/")
+	id, err := obs.ParseTraceID(raw)
+	if err != nil || id == 0 {
+		rt.writeError(w, http.StatusBadRequest, "bad-request", "trace id: malformed")
+		return
+	}
+	spans := rt.spans.Get(id)
+	if len(spans) == 0 {
+		rt.writeError(w, http.StatusNotFound, "not-found", "no spans recorded for that trace")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&server.SpansResponse{
+		Schema:   server.APISchema,
+		TraceID:  obs.FormatTraceID(id),
+		Instance: "router",
+		Spans:    obs.SpansToJSON(spans),
+	})
+}
+
+// handleCoverage merges the shards' UB coverage ledgers into one
+// cluster-wide view. The router's own snapshot contributes the full
+// registry shape (the check sites register at init in every binary that
+// links the interpreter) with zero counters — the router never executes
+// C — so the merged ledger's dead-coverage rows are meaningful even when
+// a shard is unreachable.
+func (rt *Router) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	led := obs.CoverageSnapshot()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, sh := range rt.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout*4)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+sh.addr+"/v1/coverage", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				return
+			}
+			var sl obs.CoverageLedger
+			if json.Unmarshal(body, &sl) != nil {
+				return
+			}
+			mu.Lock()
+			led.Add(&sl)
+			mu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(led)
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -703,6 +905,11 @@ func (rt *Router) writeError(w http.ResponseWriter, status int, code, msg string
 func copyHeaders(dst, src http.Header) {
 	for k, vs := range src {
 		if k == "Content-Length" {
+			continue
+		}
+		if len(dst.Values(k)) > 0 {
+			// The router already stamped this header (trace identity,
+			// attempt count); the shard's echo would only duplicate it.
 			continue
 		}
 		for _, v := range vs {

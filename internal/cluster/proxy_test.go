@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -90,6 +91,27 @@ func newFakeShard(t *testing.T, instance string) *fakeShard {
 		io.WriteString(w, `{"schema":"undefc.api/v1","requests":{},"queue":{},"coalesce":{},`+
 			`"cache":{"hits":5,"misses":2,"compiles":2,"artifact_hits":0},`+
 			`"artifact":{"disk_hits":7,"stores":2}}`)
+	})
+	mux.HandleFunc("/v1/spans/", func(w http.ResponseWriter, r *http.Request) {
+		// One canned span under whatever trace is asked for, in the real
+		// wire shape: enough for the router's cross-node stitching tests.
+		id := strings.TrimPrefix(r.URL.Path, "/v1/spans/")
+		w.Header().Set("X-Undefc-Instance", f.instance)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&server.SpansResponse{
+			Schema:   server.APISchema,
+			TraceID:  id,
+			Instance: f.instance,
+			Spans: []obs.SpanJSON{{
+				TraceID: id, ID: 1, Name: "handle",
+				StartNS: 1700000000000000000, DurNS: 2000000,
+			}},
+		})
+	})
+	mux.HandleFunc("/v1/coverage", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"schema":"undefc.coverage/v1","registered_behaviors":1,"fired_behaviors":1,"dead_behaviors":0,`+
+			`"behaviors":[{"code":16,"key":"00016","section":"6.5:2","gates":["Seq"],"sites":["fake.site"],"evaluated":5,"fired":1}]}`)
 	})
 	f.ts = httptest.NewServer(mux)
 	t.Cleanup(f.ts.Close)
@@ -374,5 +396,147 @@ func TestRouterReadyz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
 		t.Fatalf("draining readyz = %d %q, want 503 draining", resp.StatusCode, body)
+	}
+}
+
+// TestTraceAssemblyShowsFailover: a traced request whose first replica
+// is dead for real (connection refused) must come back with one trace id
+// and an attempts count of 2, and GET /v1/trace/{id} must stitch the
+// router's failed forward, the backoff, and the surviving shard's spans
+// into one Chrome trace.
+func TestTraceAssemblyShowsFailover(t *testing.T) {
+	a := newFakeShard(t, "inst-a")
+	b := newFakeShard(t, "inst-b")
+	rt, ts := newTestRouter(t, Config{
+		Shards: []string{a.addr(), b.addr()},
+		Retry:  RetryPolicy{MaxAttempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	body := analyzeBody()
+	ordered := orderShards(rt, body, a, b)
+	if len(ordered) != 2 {
+		t.Fatalf("replica order resolved %d shards, want 2", len(ordered))
+	}
+	ordered[0].ts.Close() // first replica dies for real: connection refused
+	survivor := ordered[1].instance
+
+	const traceID = "00000000000000ab"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Undefc-Trace-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze after failover = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Values("X-Undefc-Trace-Id"); len(got) != 1 || got[0] != traceID {
+		t.Errorf("X-Undefc-Trace-Id = %v, want exactly one %q", got, traceID)
+	}
+	if got := resp.Header.Get("X-Undefc-Attempts"); got != "2" {
+		t.Errorf("X-Undefc-Attempts = %q, want \"2\"", got)
+	}
+
+	tresp, err := http.Get(ts.URL + "/v1/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace/%s = %d, want 200", traceID, tresp.StatusCode)
+	}
+	var ct obs.ChromeTrace
+	if err := json.NewDecoder(tresp.Body).Decode(&ct); err != nil {
+		t.Fatal(err)
+	}
+
+	routerProc, shardProcs := false, 0
+	var failedFwd, okFwd, backoff bool
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			switch name := ev.Args["name"]; {
+			case name == "router":
+				routerProc = true
+			case strings.HasPrefix(name, "shard "):
+				shardProcs++
+				if !strings.Contains(name, survivor) {
+					t.Errorf("shard process %q, want the survivor %s", name, survivor)
+				}
+			}
+		}
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Name {
+		case "forward":
+			if ev.Args["error"] != "" {
+				failedFwd = true
+			}
+			if ev.Args["status"] == "200" {
+				okFwd = true
+			}
+		case "backoff":
+			backoff = true
+		}
+	}
+	if !routerProc {
+		t.Error("assembled trace is missing the router process")
+	}
+	// The dead replica cannot serve /v1/spans, so exactly the survivor
+	// contributes a shard process.
+	if shardProcs != 1 {
+		t.Errorf("assembled trace has %d shard processes, want 1 (the survivor)", shardProcs)
+	}
+	if !failedFwd {
+		t.Error("assembled trace has no forward span recording the failed attempt")
+	}
+	if !backoff {
+		t.Error("assembled trace has no backoff span between the attempts")
+	}
+	if !okFwd {
+		t.Error("assembled trace has no forward span with status 200")
+	}
+}
+
+// TestClusterCoverageMerge: the router's /v1/coverage must sum the
+// shards' per-behavior counters — two shards each reporting behavior 16
+// as evaluated 5 / fired 1 merge to 10 / 2.
+func TestClusterCoverageMerge(t *testing.T) {
+	a := newFakeShard(t, "inst-a")
+	b := newFakeShard(t, "inst-b")
+	_, ts := newTestRouter(t, Config{Shards: []string{a.addr(), b.addr()}})
+
+	resp, err := http.Get(ts.URL + "/v1/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/coverage = %d, want 200", resp.StatusCode)
+	}
+	var led obs.CoverageLedger
+	if err := json.NewDecoder(resp.Body).Decode(&led); err != nil {
+		t.Fatal(err)
+	}
+	var row *obs.CoverageRow
+	for i := range led.Behaviors {
+		if led.Behaviors[i].Code == 16 {
+			row = &led.Behaviors[i]
+			break
+		}
+	}
+	if row == nil {
+		t.Fatal("merged ledger has no row for behavior code 16")
+	}
+	if row.Evaluated != 10 || row.Fired != 1*2 {
+		t.Errorf("behavior 16 merged to evaluated=%d fired=%d, want 10/2", row.Evaluated, row.Fired)
+	}
+	if led.Fired < 1 {
+		t.Errorf("merged ledger reports %d fired behaviors, want >= 1", led.Fired)
 	}
 }

@@ -1,0 +1,121 @@
+package interp
+
+// Static check-site registry for the UB coverage ledger. Every behavior the
+// interpreter can evaluate a check for is declared here once, at package
+// init, as a (behavior, profile gate, site) triple — the denominator of the
+// coverage report. The counters themselves live in internal/obs and are
+// bumped by the two emission funnels (ubError for fires, obsCheckPass for
+// passes); this table only says which behaviors *have* check sites and
+// which Profile field arms them, so `ubsuite -coverage` can name the
+// registered behaviors a suite never fires.
+//
+// Granularity is per source file: a site string names the file whose checks
+// evaluate the behavior, and a behavior checked under more than one gate
+// (InvalidDeref fires under HeapBounds or StackBounds depending on the
+// object's storage) registers once per gate. Sites that no Profile field
+// gates — library argument validation, format strings, the constraint
+// checks the paper's kcc always performs — register under "Always".
+
+import (
+	"repro/internal/obs"
+	"repro/internal/ub"
+)
+
+// checkSite is one registry row before registration.
+type checkSite struct {
+	b    *ub.Behavior
+	gate string
+	site string
+}
+
+func init() {
+	sites := []checkSite{
+		// interp/access.go — the memory access path: every load and store
+		// funnels through checkRead/checkWrite.
+		{ub.BadAlias, "Alias", "interp/access.go"},
+		{ub.DanglingPointer, "StackLife", "interp/access.go"},
+		{ub.IndeterminateValue, "Uninit", "interp/access.go"},
+		{ub.IndeterminateValue, "UninitPtr", "interp/access.go"},
+		{ub.InvalidDeref, "HeapBounds", "interp/access.go"},
+		{ub.InvalidDeref, "StackBounds", "interp/access.go"},
+		{ub.ModifyConst, "Const", "interp/access.go"},
+		{ub.ModifyStringLit, "StringLit", "interp/access.go"},
+		{ub.OutsideLifetime, "StackLife", "interp/access.go"},
+		{ub.PtrDerefOnePast, "HeapBounds", "interp/access.go"},
+		{ub.PtrDerefOnePast, "StackBounds", "interp/access.go"},
+		{ub.PtrFromInt, "ForgedPtr", "interp/access.go"},
+		{ub.TrapRepresentation, "Uninit", "interp/access.go"},
+		{ub.UnseqSideEffect, "Seq", "interp/access.go"},
+		{ub.UnseqValueComp, "Seq", "interp/access.go"},
+		{ub.UseAfterFree, "HeapLife", "interp/access.go"},
+		{ub.VolatileNonvolatile, "Volatile", "interp/access.go"},
+		{ub.PtrArithBounds, "HeapBounds", "interp/access.go"},
+		{ub.PtrArithBounds, "StackBounds", "interp/access.go"},
+
+		// interp/builtins.go — the library model: allocation, string and
+		// memory functions, printf-family formatting.
+		{ub.BadFormat, "Always", "interp/builtins.go"},
+		{ub.BadFree, "BadFree", "interp/builtins.go"},
+		{ub.BadRealloc, "BadFree", "interp/builtins.go"},
+		{ub.DanglingPointer, "StackLife", "interp/builtins.go"},
+		{ub.IndeterminateValue, "Uninit", "interp/builtins.go"},
+		{ub.MemcpyOverlap, "Always", "interp/builtins.go"},
+		{ub.StrcpyOverlap, "Always", "interp/builtins.go"},
+		{ub.ModifyConst, "Const", "interp/builtins.go"},
+		{ub.ModifyStringLit, "StringLit", "interp/builtins.go"},
+		{ub.NullLibArg, "Always", "interp/builtins.go"},
+		{ub.PtrFromInt, "ForgedPtr", "interp/builtins.go"},
+		{ub.StrFuncBadPtr, "Always", "interp/builtins.go"},
+		{ub.TrapRepresentation, "Uninit", "interp/builtins.go"},
+		{ub.UseAfterFree, "HeapLife", "interp/builtins.go"},
+		{ub.Catalog[113], "Always", "interp/builtins.go"},
+		{ub.Catalog[129], "Always", "interp/builtins.go"},
+		{ub.Catalog[148], "Always", "interp/builtins.go"},
+		{ub.Catalog[153], "Always", "interp/builtins.go"},
+		{ub.Catalog[175], "Always", "interp/builtins.go"},
+		{ub.Catalog[188], "Always", "interp/builtins.go"},
+
+		// interp/convert.go — conversions and returned values.
+		{ub.FloatConvRange, "FloatConv", "interp/convert.go"},
+		{ub.FloatDemote, "FloatConv", "interp/convert.go"},
+		{ub.IndeterminateValue, "Uninit", "interp/convert.go"},
+		{ub.MisalignedPtr, "Misaligned", "interp/convert.go"},
+		{ub.NoReturnValue, "NoReturn", "interp/convert.go"},
+		{ub.TrapRepresentation, "Uninit", "interp/convert.go"},
+		{ub.VoidValueUsed, "Always", "interp/convert.go"},
+		{ub.Catalog[0], "Always", "interp/convert.go"},
+
+		// interp/eval.go — expression evaluation: arithmetic, shifts,
+		// pointer arithmetic and comparison.
+		{ub.DerefVoid, "VoidDeref", "interp/eval.go"},
+		{ub.DivByZero, "DivZero", "interp/eval.go"},
+		{ub.DivOverflow, "Overflow", "interp/eval.go"},
+		{ub.InvalidDeref, "HeapBounds", "interp/eval.go"},
+		{ub.InvalidDeref, "StackBounds", "interp/eval.go"},
+		{ub.OutsideLifetime, "StackLife", "interp/eval.go"},
+		{ub.PtrArithBounds, "HeapBounds", "interp/eval.go"},
+		{ub.PtrArithBounds, "StackBounds", "interp/eval.go"},
+		{ub.PtrCompareDifferent, "PtrCompare", "interp/eval.go"},
+		{ub.PtrSubDifferent, "PtrCompare", "interp/eval.go"},
+		{ub.PtrFromInt, "ForgedPtr", "interp/eval.go"},
+		{ub.ShiftNegLeft, "Shift", "interp/eval.go"},
+		{ub.ShiftOverflow, "Shift", "interp/eval.go"},
+		{ub.ShiftTooFar, "Shift", "interp/eval.go"},
+		{ub.SignedOverflow, "Overflow", "interp/eval.go"},
+		{ub.Catalog[0], "Always", "interp/eval.go"},
+		{ub.Catalog[82], "Always", "interp/eval.go"},
+
+		// interp/exec.go — statements, calls, declarations.
+		{ub.BadCallArgs, "CallMismatch", "interp/exec.go"},
+		{ub.BadCallNoProto, "CallMismatch", "interp/exec.go"},
+		{ub.BadFuncPtrCall, "CallMismatch", "interp/exec.go"},
+		{ub.InvalidDeref, "HeapBounds", "interp/exec.go"},
+		{ub.InvalidDeref, "StackBounds", "interp/exec.go"},
+		{ub.VLANotPositive, "VLASize", "interp/exec.go"},
+		{ub.Catalog[0], "Always", "interp/exec.go"},
+		{ub.Catalog[82], "Always", "interp/exec.go"},
+	}
+	for _, s := range sites {
+		obs.RegisterCheckSite(s.b.Code, s.gate, s.site)
+	}
+}

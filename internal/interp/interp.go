@@ -479,6 +479,7 @@ func (in *Interp) funcName() string {
 // the interpreter funnels through here, which makes it the single emission
 // point for fired-check events.
 func (in *Interp) ubError(b *ub.Behavior, pos token.Pos, format string, args ...any) *ub.Error {
+	obs.CoverageHit(b.Code, true)
 	if in.obs != nil {
 		in.obsEv = obs.Event{Kind: obs.EvCheck, Pos: pos, Behavior: b, Fired: true}
 		in.obs.Event(&in.obsEv)

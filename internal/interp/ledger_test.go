@@ -1,0 +1,102 @@
+package interp_test
+
+// End-to-end tests for the UB coverage ledger: running programs through the
+// public entry point must move the obs counters for exactly the behaviors
+// whose checks were evaluated, identically under both engines.
+
+import (
+	"testing"
+
+	undefc "repro"
+	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/ub"
+)
+
+func coverageRow(t *testing.T, code int) obs.CoverageRow {
+	t.Helper()
+	led := obs.CoverageSnapshot()
+	for _, r := range led.Behaviors {
+		if r.Code == code {
+			return r
+		}
+	}
+	t.Fatalf("behavior %d not in coverage snapshot (check-site registry missing it)", code)
+	return obs.CoverageRow{}
+}
+
+func TestCoverageLedgerCountsEvaluationsAndFires(t *testing.T) {
+	obs.ResetCoverage()
+
+	// A defined division: the DivZero check is evaluated and passes.
+	res := undefc.RunSource(`int main(void){ int d = 2; return 10 / d - 5; }`, "ok.c", undefc.Options{})
+	if res.UB != nil || res.Err != nil {
+		t.Fatalf("clean program failed: %v %v", res.UB, res.Err)
+	}
+	r := coverageRow(t, ub.DivByZero.Code)
+	if r.Evaluated == 0 {
+		t.Fatal("defined division did not count a DivByZero evaluation")
+	}
+	if r.Fired != 0 {
+		t.Fatalf("defined division counted %d DivByZero fires", r.Fired)
+	}
+
+	// An undefined division: the same check fires.
+	res = undefc.RunSource(`int main(void){ int d = 0; return 10 / d; }`, "div0.c", undefc.Options{})
+	if res.UB == nil || res.UB.Behavior.Code != ub.DivByZero.Code {
+		t.Fatalf("div-by-zero program verdict: %+v", res.UB)
+	}
+	r = coverageRow(t, ub.DivByZero.Code)
+	if r.Fired != 1 {
+		t.Fatalf("DivByZero fired count %d, want 1", r.Fired)
+	}
+	if r.Evaluated < 2 {
+		t.Fatalf("DivByZero evaluated count %d, want >= 2", r.Evaluated)
+	}
+	if len(r.Gates) == 0 || len(r.Sites) == 0 {
+		t.Fatalf("DivByZero row missing registry identity: %+v", r)
+	}
+}
+
+// TestCoverageLedgerEngineAgreement pins the determinism contract behind
+// `ubsuite -coverage`: both engines funnel checks through ubError /
+// obsCheckPass, so a program must move the counters by the same deltas
+// under "tree" and "vm".
+func TestCoverageLedgerEngineAgreement(t *testing.T) {
+	src := `
+int main(void){
+	int a[4] = {1, 2, 3, 4};
+	int s = 0;
+	for (int i = 0; i < 4; i++) s += a[i] << 1;
+	return s / (a[0] + 1) - 3;
+}
+`
+	deltas := make(map[string]map[int][2]int64)
+	for _, engine := range []string{"tree", "vm"} {
+		obs.ResetCoverage()
+		res := undefc.RunSource(src, "agree.c", undefc.Options{Exec: interp.Options{Engine: engine}})
+		if res.UB != nil || res.Err != nil {
+			t.Fatalf("engine %s: %v %v", engine, res.UB, res.Err)
+		}
+		d := make(map[int][2]int64)
+		for _, r := range obs.CoverageSnapshot().Behaviors {
+			if r.Evaluated != 0 || r.Fired != 0 {
+				d[r.Code] = [2]int64{r.Evaluated, r.Fired}
+			}
+		}
+		if len(d) == 0 {
+			t.Fatalf("engine %s evaluated no checks", engine)
+		}
+		deltas[engine] = d
+	}
+	tree, vm := deltas["tree"], deltas["vm"]
+	if len(tree) != len(vm) {
+		t.Fatalf("engines touched different behavior sets: tree %v, vm %v", tree, vm)
+	}
+	for code, tc := range tree {
+		if vc, ok := vm[code]; !ok || vc != tc {
+			t.Fatalf("behavior %d: tree counted %v, vm counted %v", code, tc, vm[code])
+		}
+	}
+	obs.ResetCoverage()
+}

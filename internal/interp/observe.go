@@ -45,6 +45,10 @@ func (in *Interp) obsMem(kind obs.EventKind, o *mem.Object, off, size int64, pos
 // (Fired checks are reported by ubError, the single construction funnel for
 // UB verdicts.)
 func (in *Interp) obsCheckPass(b *ub.Behavior, pos token.Pos) {
+	// The coverage ledger counts every evaluation, observer or not: the
+	// increment is two indexed atomic adds, cheap enough to leave always-on
+	// (gated at zero allocations by TestCoverageLedgerAllocs).
+	obs.CoverageHit(b.Code, false)
 	if in.obs == nil {
 		return
 	}

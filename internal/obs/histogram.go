@@ -96,6 +96,41 @@ func (h *Histogram) ObserveNS(v int64) {
 	}
 }
 
+// Merge folds o's counters into h on the live type: bucket-wise atomic
+// adds plus the same min/max CAS races Observe runs, so both sides may
+// keep recording during the merge. Bucket addition is associative and
+// commutative, so any merge tree over the same histograms yields the
+// same totals (the property test in histogram_merge_test.go holds both
+// this and the snapshot Merge to that contract). Nil and empty are no-ops.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count.Load() == 0 {
+		return
+	}
+	omin, omax := o.min.Load(), o.max.Load()
+	if !h.hasMin.Load() && h.hasMin.CompareAndSwap(false, true) {
+		h.min.Store(omin)
+	}
+	for {
+		m := h.min.Load()
+		if omin >= m || h.min.CompareAndSwap(m, omin) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if omax <= m || h.max.CompareAndSwap(m, omax) {
+			break
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := range h.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
 // Reset zeroes the histogram. It is not atomic with respect to concurrent
 // Observe calls — a racing observation may straddle the wipe — which is
 // acceptable for its one caller, the operator-initiated
@@ -174,11 +209,22 @@ func (s *HistogramSnapshot) Quantile(q float64) int64 {
 				hi = s.MaxNS // overflow bucket: the observed max is the only bound
 			}
 			frac := (rank - float64(cum)) / float64(n)
-			est := int64(float64(lo) + frac*float64(hi-lo))
-			if s.MinNS != 0 && est < s.MinNS {
+			// Interpolate geometrically inside the log-spaced bucket (the
+			// documented log-linear scheme); fall back to linear when the
+			// lower bound is zero (the underflow bucket has no log scale).
+			var est int64
+			if lo > 0 && hi > lo {
+				est = int64(float64(lo) * math.Pow(float64(hi)/float64(lo), frac))
+			} else {
+				est = int64(float64(lo) + frac*float64(hi-lo))
+			}
+			// Clamp to the observed extremes unconditionally: gating the
+			// clamp on MinNS/MaxNS != 0 drifted at the zero boundary, where
+			// a genuine 0ns minimum was treated as "absent".
+			if est < s.MinNS {
 				est = s.MinNS
 			}
-			if s.MaxNS != 0 && est > s.MaxNS {
+			if est > s.MaxNS {
 				est = s.MaxNS
 			}
 			return est
@@ -197,10 +243,13 @@ func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
 	if s.Buckets == nil {
 		s.Buckets = make([]int64, numLatBuckets)
 	}
-	if s.Count == 0 || (o.MinNS != 0 && o.MinNS < s.MinNS) {
+	// o.Count > 0 here, so its extremes are real observations: gate the
+	// min on the counts, not on a MinNS != 0 sentinel — a genuine 0ns
+	// minimum must win the merge from either side (commutativity).
+	if s.Count == 0 || o.MinNS < s.MinNS {
 		s.MinNS = o.MinNS
 	}
-	if o.MaxNS > s.MaxNS {
+	if s.Count == 0 || o.MaxNS > s.MaxNS {
 		s.MaxNS = o.MaxNS
 	}
 	s.Count += o.Count

@@ -1,0 +1,127 @@
+package obs
+
+// Property tests for histogram merging: merge must be commutative and
+// associative (so cluster-level aggregation is deterministic regardless
+// of shard fan-out order), the live-type Merge must agree with the
+// snapshot Merge, and quantiles of merged histograms must respect the
+// observed extremes — including the 0ns boundary, where the old
+// MinNS != 0 sentinel drifted.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomHistogram fills a histogram with values that deliberately include
+// zero, exact bucket bounds, and overflow values.
+func randomHistogram(rng *rand.Rand, n int) *Histogram {
+	h := &Histogram{}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			h.ObserveNS(0)
+		case 1:
+			h.ObserveNS(HistogramBound(rng.Intn(numLatBuckets - 1)))
+		case 2:
+			h.ObserveNS(rng.Int63n(2_000_000))
+		case 3:
+			h.ObserveNS(20_000_000_000 + rng.Int63n(1_000_000_000)) // overflow
+		default:
+			h.ObserveNS(1 + rng.Int63n(500_000_000))
+		}
+	}
+	return h
+}
+
+func mergedSnap(snaps ...*HistogramSnapshot) *HistogramSnapshot {
+	out := &HistogramSnapshot{}
+	for _, s := range snaps {
+		out.Merge(s)
+	}
+	return out
+}
+
+func TestHistogramMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := randomHistogram(rng, rng.Intn(200)).Snapshot()
+		b := randomHistogram(rng, rng.Intn(200)).Snapshot()
+		c := randomHistogram(rng, rng.Intn(200)).Snapshot()
+
+		ab := mergedSnap(a, b)
+		ba := mergedSnap(b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\na+b %+v\nb+a %+v", trial, ab, ba)
+		}
+
+		abc := mergedSnap(mergedSnap(a, b), c)
+		acb := mergedSnap(a, mergedSnap(b, c))
+		if !reflect.DeepEqual(abc, acb) {
+			t.Fatalf("trial %d: merge not associative:\n(a+b)+c %+v\na+(b+c) %+v", trial, abc, acb)
+		}
+
+		// Identity: merging an empty snapshot changes nothing.
+		withEmpty := mergedSnap(a, &HistogramSnapshot{})
+		alone := mergedSnap(a)
+		if !reflect.DeepEqual(withEmpty, alone) {
+			t.Fatalf("trial %d: empty merge not identity", trial)
+		}
+	}
+}
+
+func TestHistogramLiveMergeAgreesWithSnapshotMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		h1 := randomHistogram(rng, 100)
+		h2 := randomHistogram(rng, 100)
+		want := mergedSnap(h1.Snapshot(), h2.Snapshot())
+		h1.Merge(h2)
+		got := h1.Snapshot()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: live Merge disagrees with snapshot Merge:\nlive %+v\nsnap %+v", trial, got, want)
+		}
+	}
+	// Nil and empty are no-ops.
+	h := randomHistogram(rng, 10)
+	before := h.Snapshot()
+	h.Merge(nil)
+	h.Merge(&Histogram{})
+	if !reflect.DeepEqual(h.Snapshot(), before) {
+		t.Fatal("nil/empty live merge was not a no-op")
+	}
+}
+
+// TestHistogramQuantileBoundaries pins the boundary behavior the property
+// test exposed: a histogram of identical values must report that exact
+// value for every quantile — including 0ns, where the old MinNS != 0
+// clamp sentinel let the estimate drift into the bucket interior — and
+// merged quantiles must stay within the merged observed range.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	for _, v := range []int64{0, 1, latMinNS, HistogramBound(1), HistogramBound(17), 123_456_789} {
+		var h Histogram
+		for i := 0; i < 10; i++ {
+			h.ObserveNS(v)
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1.0} {
+			if got := s.Quantile(q); got != v {
+				t.Fatalf("uniform value %d: Quantile(%v) = %d, want %d", v, q, got, v)
+			}
+		}
+	}
+
+	var zero, high Histogram
+	zero.ObserveNS(0)
+	high.ObserveNS(5_000_000)
+	merged := mergedSnap(zero.Snapshot(), high.Snapshot())
+	flipped := mergedSnap(high.Snapshot(), zero.Snapshot())
+	if merged.MinNS != 0 || flipped.MinNS != 0 {
+		t.Fatalf("0ns minimum lost in merge: %d / %d", merged.MinNS, flipped.MinNS)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := merged.Quantile(q); got < 0 || got > 5_000_000 {
+			t.Fatalf("merged Quantile(%v) = %d outside observed range", q, got)
+		}
+	}
+}

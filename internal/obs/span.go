@@ -170,6 +170,36 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, traceCtxKey{}, &traceCtx{col: tc.col, traceID: tc.traceID, parent: s.ID}), s
 }
 
+// TeeCollector fans each completed span out to several collectors,
+// dropping nils — the span-side Multi. It returns nil when every argument
+// is nil (preserving the no-collector fast path) and the collector itself
+// when only one remains. The server tees spans into its TraceBuffer (the
+// whole-trace store behind /v1/trace) and its SpanRing (the per-span
+// store behind /v1/spans) this way.
+func TeeCollector(cols ...Collector) Collector {
+	var live teeCollector
+	for _, c := range cols {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type teeCollector []Collector
+
+func (t teeCollector) CollectSpan(s *Span) {
+	for _, c := range t {
+		c.CollectSpan(s)
+	}
+}
+
 // SpanBuffer is the simplest collector: it keeps every span, in end order.
 // The CLIs use it to write one whole-process trace file (-trace-out).
 type SpanBuffer struct {

@@ -131,7 +131,11 @@ type BatchTrailer struct {
 	Failures int                 `json:"failures"`
 	Skipped  int                 `json:"skipped,omitempty"`
 	Retried  int                 `json:"retried,omitempty"`
-	Error    *APIError           `json:"error,omitempty"`
+	// TraceID echoes the batch's forwarded trace identity, so a consumer of
+	// the stream — including one that only saw an Error — can fetch the
+	// assembled trace without having kept the request headers around.
+	TraceID string    `json:"trace_id,omitempty"`
+	Error   *APIError `json:"error,omitempty"`
 }
 
 // ExploreRequest is the body of POST /v1/explore: evaluation-order search
@@ -200,7 +204,10 @@ type ExploreTrailer struct {
 	Deterministic bool          `json:"deterministic"`
 	Outcomes      int           `json:"outcomes"`
 	Stats         *search.Stats `json:"stats,omitempty"`
-	Error         *APIError     `json:"error,omitempty"`
+	// TraceID echoes the search's forwarded trace identity (see
+	// BatchTrailer.TraceID).
+	TraceID string    `json:"trace_id,omitempty"`
+	Error   *APIError `json:"error,omitempty"`
 }
 
 // ExploreOutcome is one distinct observed behavior.
@@ -274,6 +281,17 @@ type ErrorResponse struct {
 	Error  APIError `json:"error"`
 }
 
+// SpansResponse is the body of GET /v1/spans/{trace}: one process's
+// retained spans for a trace, labeled with the process identity so an
+// assembler can tell shard incarnations apart.
+type SpansResponse struct {
+	Schema   string         `json:"schema"`
+	TraceID  string         `json:"trace_id"`
+	ShardID  string         `json:"shard_id,omitempty"`
+	Instance string         `json:"instance"`
+	Spans    []obs.SpanJSON `json:"spans"`
+}
+
 // QueueStats is the admission queue's /metrics view.
 type QueueStats struct {
 	// Depth is the current number of requests waiting for admission;
@@ -345,7 +363,11 @@ type MetricsResponse struct {
 	// (HistogramSnapshot.Sub) give windowed quantiles; undefbench uses
 	// exactly that to compare server-side against client-observed latency.
 	Latency  map[string]*obs.HistogramSnapshot `json:"latency,omitempty"`
-	Draining bool                              `json:"draining,omitempty"`
+	// Coverage is the process-lifetime UB check-site coverage ledger (also
+	// served alone on GET /v1/coverage); a cluster router sums shard
+	// ledgers into its aggregate through this field.
+	Coverage *obs.CoverageLedger `json:"coverage,omitempty"`
+	Draining bool                `json:"draining,omitempty"`
 	// Explore aggregates /v1/explore work, present once the server has
 	// run at least one search.
 	Explore *ExploreMetrics `json:"explore,omitempty"`

@@ -82,17 +82,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// sampled — in which case this hop adopts that identity instead of
 	// minting one, so the spans recorded here are retrievable under the
 	// ID the client was told, whichever shard a failover landed on.
-	ctx := r.Context()
-	var traceID uint64
-	if fwd := r.Header.Get("X-Undefc-Trace-Id"); fwd != "" && s.traces != nil {
-		if id, perr := obs.ParseTraceID(fwd); perr == nil && id != 0 {
-			traceID = id
-			ctx = obs.WithTraceID(ctx, s.traces, id)
-		}
-	}
-	if traceID == 0 && s.traces != nil && s.sampleCtr.Add(1)%uint64(s.cfg.TraceSample) == 0 {
-		ctx, traceID = obs.WithTrace(ctx, s.traces)
-	}
+	ctx, traceID := s.adoptTrace(w, r, true)
 	ctx, hsp := obs.StartSpan(ctx, "handle")
 
 	// The coalesce key is the compile cache's source identity plus every
@@ -132,6 +122,39 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	e2e := time.Since(start)
 	s.latE2E.Observe(e2e)
 	s.observeService(e2e)
+}
+
+// adoptTrace resolves a request's trace identity and installs the span
+// collector on its context. A forwarded X-Undefc-Trace-Id is adopted
+// unconditionally — the spans land in the always-on ring, so a shard
+// contributes to a router-assembled trace even with sampling off; sample
+// additionally mints a fresh identity for every cfg.TraceSample-th request
+// when local sampling is on. Whenever the request ends up traced, the
+// response carries the ID back in the same header.
+func (s *Server) adoptTrace(w http.ResponseWriter, r *http.Request, sample bool) (context.Context, uint64) {
+	ctx := r.Context()
+	// s.traces is a typed pointer: box it only when non-nil, or the tee
+	// would keep a nil collector alive inside a non-nil interface.
+	var traceBuf obs.Collector
+	if s.traces != nil {
+		traceBuf = s.traces
+	}
+	col := obs.TeeCollector(traceBuf, s.spans)
+	var traceID uint64
+	if fwd := r.Header.Get("X-Undefc-Trace-Id"); fwd != "" {
+		if id, perr := obs.ParseTraceID(fwd); perr == nil && id != 0 {
+			traceID = id
+			ctx = obs.WithTraceID(ctx, col, id)
+		}
+	}
+	if traceID == 0 && sample && s.cfg.TraceSample > 0 &&
+		s.sampleCtr.Add(1)%uint64(s.cfg.TraceSample) == 0 {
+		ctx, traceID = obs.WithTrace(ctx, col)
+	}
+	if traceID != 0 {
+		w.Header().Set("X-Undefc-Trace-Id", obs.FormatTraceID(traceID))
+	}
+	return ctx, traceID
 }
 
 // runAnalysis is the leader's flight: admission, then one guarded
@@ -272,9 +295,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		par = s.cfg.Concurrency
 	}
 
+	// A forwarded trace identity covers the whole batch: the runner's
+	// per-cell spans land in the span ring under it (minting is analyze-only;
+	// a batch is traced when its caller decided to trace it).
+	ctx, traceID := s.adoptTrace(w, r, false)
+
 	// One admission slot covers the whole batch; its internal parallelism
 	// is the request's own (clamped) knob.
-	release, err := s.queue.Acquire(r.Context())
+	release, err := s.queue.Acquire(ctx)
 	if errors.Is(err, ErrQueueFull) {
 		s.setRetryAfter(w.Header())
 		writeError(w, http.StatusTooManyRequests, "queue-full", "admission queue at capacity; retry later")
@@ -304,7 +332,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defines := append(append([]string{}, s.cfg.Defines...), req.Defines...)
 	opts := runner.Options{
 		Parallelism: par,
-		Context:     r.Context(),
+		Context:     ctx,
 		Cache:       s.cache,
 		Model:       model,
 		Defines:     defines,
@@ -327,6 +355,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return rerr
 	})
 	trailer := BatchTrailer{Done: gerr == nil}
+	if traceID != 0 {
+		trailer.TraceID = obs.FormatTraceID(traceID)
+	}
 	if m != nil {
 		trailer.Frontend = runner.FrontendJSON{
 			Compiles:  m.Frontend.Compiles,
@@ -434,7 +465,10 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	// As with batch, a forwarded trace identity makes the search's spans
+	// retrievable from the ring; exploration never mints its own.
+	actx, traceID := s.adoptTrace(w, r, false)
+	ctx, cancel := context.WithTimeout(actx, timeout)
 	defer cancel()
 	ctx, sp := obs.StartSpan(ctx, "explore")
 	copts := driver.Options{Model: model, Defines: s.cfg.Defines, Injector: s.cfg.Injector}
@@ -533,6 +567,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		Outcomes:      outcomes,
 		Stats:         &res.Stats,
 	}
+	if traceID != 0 {
+		trailer.TraceID = obs.FormatTraceID(traceID)
+	}
 	if gerr != nil {
 		s.countPanic()
 		trailer.Error = &APIError{Code: "internal-error", Message: gerr.Error()}
@@ -579,6 +616,44 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	obs.WriteChromeTrace(w, spans)
+}
+
+// ---------- /v1/spans ----------
+
+// handleSpans serves this process's retained spans for one trace ID from
+// the always-on span ring, in the explicit wire form — the per-node feed a
+// cluster router stitches into a cross-node trace. Unlike /v1/trace it
+// answers even when local sampling is off: any request that arrived with a
+// trace identity left spans here (until byte pressure evicts them).
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/spans/")
+	id, err := obs.ParseTraceID(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "trace id: "+err.Error())
+		return
+	}
+	spans := s.spans.Get(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "not-found",
+			"no spans retained for trace (never traced here, or evicted): "+idStr)
+		return
+	}
+	writeJSON(w, http.StatusOK, &SpansResponse{
+		Schema:   APISchema,
+		TraceID:  obs.FormatTraceID(id),
+		ShardID:  s.cfg.ShardID,
+		Instance: s.instance,
+		Spans:    obs.SpansToJSON(spans),
+	})
+}
+
+// ---------- /v1/coverage ----------
+
+// handleCoverage serves the process-lifetime UB check-site coverage ledger:
+// every behavior with a registered check site, how often its checks were
+// evaluated, and how often they fired.
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.CoverageSnapshot())
 }
 
 // ---------- /v1/artifact ----------

@@ -91,6 +91,26 @@ func writePrometheus(w http.ResponseWriter, m *MetricsResponse) {
 		promHistogram(w, "undefc_latency_seconds", stage, m.Latency[stage])
 	}
 
+	if c := m.Coverage; c != nil {
+		// The ledger rows are already code-sorted; render only behaviors
+		// whose checks have been evaluated at least once, so an idle server
+		// exposes no 221-series wall and consecutive scrapes stay stable.
+		fmt.Fprintf(w, "# HELP undefc_ub_check_evaluated_total UB check evaluations, by behavior code.\n# TYPE undefc_ub_check_evaluated_total counter\n")
+		for _, row := range c.Behaviors {
+			if row.Evaluated != 0 {
+				fmt.Fprintf(w, "undefc_ub_check_evaluated_total{code=%q,section=%q} %d\n", row.Key, row.Section, row.Evaluated)
+			}
+		}
+		fmt.Fprintf(w, "# HELP undefc_ub_check_fired_total UB checks that fired (behavior detected), by behavior code.\n# TYPE undefc_ub_check_fired_total counter\n")
+		for _, row := range c.Behaviors {
+			if row.Fired != 0 {
+				fmt.Fprintf(w, "undefc_ub_check_fired_total{code=%q,section=%q} %d\n", row.Key, row.Section, row.Fired)
+			}
+		}
+		promGauge(w, "undefc_ub_check_registered_behaviors", "Behaviors with at least one registered check site.", float64(c.Registered))
+		promGauge(w, "undefc_ub_check_dead_behaviors", "Registered behaviors whose checks have never fired here.", float64(c.Dead))
+	}
+
 	drain := 0.0
 	if m.Draining {
 		drain = 1

@@ -15,6 +15,9 @@
 //	POST /v1/analyze   one source → one undefc.report/v1 tool result
 //	POST /v1/batch     case set → NDJSON stream of per-cell results
 //	POST /v1/explore   evaluation-order search (§2.5.2)
+//	GET  /v1/trace/    sampled whole-request trace, Chrome trace JSON
+//	GET  /v1/spans/    this process's retained spans for one trace ID
+//	GET  /v1/coverage  the UB check-site coverage ledger
 //	GET  /healthz      liveness ("ok", or 503 "draining")
 //	GET  /metrics      queue/coalesce/cache/verdict counters, JSON
 //	GET  /debug/config effective serving configuration
@@ -194,6 +197,12 @@ type Server struct {
 	// tracing is off. sampleCtr drives the 1-in-TraceSample decision.
 	traces    *obs.TraceBuffer
 	sampleCtr atomic.Uint64
+	// spans is the always-on bounded span ring behind GET /v1/spans/{trace}:
+	// whenever a request carries a trace identity (forwarded by a router or
+	// sampled here), its completed spans are teed into the ring, so a
+	// router can stitch this shard's contribution into a cross-node trace
+	// even when the shard itself samples nothing.
+	spans *obs.SpanRing
 
 	// Server-side latency distributions (lock-free histograms, exposed on
 	// /metrics as latency{e2e,queue,compile,run} with p50/p95/p99).
@@ -240,6 +249,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceSample > 0 {
 		s.traces = obs.NewTraceBuffer(cfg.TraceBufferSize)
 	}
+	s.spans = obs.NewSpanRing(0, 0)
 	if cfg.Engine == "vm" {
 		// Keep the compiled-code cache coherent with the compile cache: an
 		// invalidated program's bytecode goes with it.
@@ -263,6 +273,8 @@ func New(cfg Config) (*Server, error) {
 	s.route("/v1/batch", http.MethodPost, s.handleBatch)
 	s.route("/v1/explore", http.MethodPost, s.handleExplore)
 	s.route("/v1/trace/", http.MethodGet, s.handleTrace)
+	s.route("/v1/spans/", http.MethodGet, s.handleSpans)
+	s.route("/v1/coverage", http.MethodGet, s.handleCoverage)
 	s.route("/healthz", http.MethodGet, s.handleHealthz)
 	s.route("/readyz", http.MethodGet, s.handleReadyz)
 	s.route("/metrics", http.MethodGet, s.handleMetrics)
@@ -327,6 +339,12 @@ func (s *Server) route(path, method string, h http.HandlerFunc) {
 		if s.cfg.ShardID != "" {
 			w.Header().Set("X-Undefc-Shard", s.cfg.ShardID)
 		}
+		// Echo a forwarded trace identity on every response — including
+		// refusals (429/503) and method errors — so a client can always ask
+		// the cluster for the trace of the request that was turned away.
+		if tid := r.Header.Get("X-Undefc-Trace-Id"); tid != "" {
+			w.Header().Set("X-Undefc-Trace-Id", tid)
+		}
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			writeError(w, http.StatusMethodNotAllowed, "method-not-allowed",
@@ -384,6 +402,9 @@ func (s *Server) Metrics() *MetricsResponse {
 	if s.artifacts != nil {
 		st := s.artifacts.Stats()
 		m.Artifact = &st
+	}
+	if led := obs.CoverageSnapshot(); led.Registered > 0 {
+		m.Coverage = led
 	}
 	if e2e := s.latE2E.Snapshot(); e2e.Count > 0 {
 		m.Latency = map[string]*obs.HistogramSnapshot{
